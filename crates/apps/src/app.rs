@@ -1,0 +1,163 @@
+//! The common benchmark contract (paper Table 3).
+
+use crate::config::RunConfig;
+use accordion_sim::workload::Workload;
+
+/// An RMS benchmark with an Accordion input knob.
+///
+/// Implementations are deterministic under `RunConfig::seed`: the same
+/// knob and config always produce the same output vector, which is
+/// what makes quality *relative to a reference execution* well
+/// defined.
+pub trait RmsApp: Send + Sync {
+    /// Benchmark name as used in the paper ("canneal", …).
+    fn name(&self) -> &'static str;
+
+    /// Name of the Accordion input (Table 3).
+    fn knob_name(&self) -> &'static str;
+
+    /// The default knob value (the paper's `simsmall`-equivalent
+    /// baseline, the normalization point of Figures 2 and 4).
+    fn default_knob(&self) -> f64;
+
+    /// The knob sweep used for the quality-versus-problem-size fronts.
+    /// Ordered so problem size increases along the sweep.
+    fn knob_sweep(&self) -> Vec<f64>;
+
+    /// The "hyper-accurate" knob setting used as the quality reference
+    /// (Section 6.2).
+    fn hyper_knob(&self) -> f64;
+
+    /// Thread count the paper profiles this benchmark under (64, or
+    /// 32 for srad).
+    fn profile_threads(&self) -> usize {
+        64
+    }
+
+    /// Problem size implied by a knob value, in benchmark-specific
+    /// work units (callers normalize to the default knob).
+    fn problem_size(&self, knob: f64) -> f64;
+
+    /// Runs the kernel, returning its output vector.
+    fn run(&self, knob: f64, cfg: &RunConfig) -> Vec<f64>;
+
+    /// Application-specific quality of `output` against `reference`
+    /// (higher is better). Both must come from `run` at compatible
+    /// configurations.
+    fn quality(&self, output: &[f64], reference: &[f64]) -> f64;
+
+    /// The abstract workload descriptor at a knob value, for the
+    /// analytic timing model.
+    fn workload(&self, knob: f64) -> Workload {
+        Workload::rms_default(self.problem_size(knob))
+    }
+
+    /// The workload at full paper-input scale: our kernels run the
+    /// paper's problems shrunk by roughly [`FULL_INPUT_WORK_SCALE`]
+    /// for test speed; the analytic timing model (baselines,
+    /// iso-execution-time fronts, speculative per-thread cycle counts)
+    /// restores the real scale so thread lengths — and therefore the
+    /// `Perr = 1/e` speculative targets — match paper-sized inputs.
+    fn full_scale_workload(&self, knob: f64) -> Workload {
+        let mut w = self.workload(knob);
+        w.work_units *= FULL_INPUT_WORK_SCALE;
+        w
+    }
+}
+
+/// Ratio between the paper's benchmark input sizes and the shrunken
+/// deterministic instances this crate executes.
+pub const FULL_INPUT_WORK_SCALE: f64 = 100.0;
+
+/// Extension benchmarks beyond the paper's six (Section 7 directions).
+pub fn extension_apps() -> Vec<Box<dyn RmsApp>> {
+    vec![Box::new(crate::hashsearch::HashSearch::paper_default())]
+}
+
+/// All six paper benchmarks with their default configurations.
+///
+/// # Example
+///
+/// ```
+/// let apps = accordion_apps::all_apps();
+/// assert_eq!(apps.len(), 6);
+/// let names: Vec<&str> = apps.iter().map(|a| a.name()).collect();
+/// assert!(names.contains(&"canneal") && names.contains(&"srad"));
+/// ```
+pub fn all_apps() -> Vec<Box<dyn RmsApp>> {
+    vec![
+        Box::new(crate::canneal::Canneal::paper_default()),
+        Box::new(crate::ferret::Ferret::paper_default()),
+        Box::new(crate::bodytrack::Bodytrack::paper_default()),
+        Box::new(crate::x264::X264::paper_default()),
+        Box::new(crate::hotspot::Hotspot::paper_default()),
+        Box::new(crate::srad::Srad::paper_default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_lists_the_paper_benchmarks() {
+        let apps = all_apps();
+        let names: Vec<&str> = apps.iter().map(|a| a.name()).collect();
+        assert_eq!(
+            names,
+            vec!["canneal", "ferret", "bodytrack", "x264", "hotspot", "srad"]
+        );
+    }
+
+    #[test]
+    fn srad_profiles_under_32_threads_others_64() {
+        for app in all_apps() {
+            let expect = if app.name() == "srad" { 32 } else { 64 };
+            assert_eq!(app.profile_threads(), expect, "{}", app.name());
+        }
+    }
+
+    #[test]
+    fn sweeps_are_increasing_in_problem_size() {
+        for app in all_apps() {
+            let sweep = app.knob_sweep();
+            assert!(sweep.len() >= 5, "{} sweep too short", app.name());
+            let sizes: Vec<f64> = sweep.iter().map(|&k| app.problem_size(k)).collect();
+            for w in sizes.windows(2) {
+                assert!(
+                    w[1] > w[0],
+                    "{}: problem size must increase along the sweep",
+                    app.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_knob_is_inside_the_sweep_range() {
+        for app in all_apps() {
+            let sizes: Vec<f64> = app.knob_sweep().iter().map(|&k| app.problem_size(k)).collect();
+            let d = app.problem_size(app.default_knob());
+            let lo = sizes.first().copied().unwrap();
+            let hi = sizes.last().copied().unwrap();
+            assert!(d >= lo && d <= hi, "{}: default outside sweep", app.name());
+        }
+    }
+
+    #[test]
+    fn hyper_knob_dominates_sweep_in_problem_size() {
+        for app in all_apps() {
+            let hyper = app.problem_size(app.hyper_knob());
+            let max_sweep = app
+                .knob_sweep()
+                .iter()
+                .map(|&k| app.problem_size(k))
+                .fold(f64::NEG_INFINITY, f64::max);
+            assert!(
+                hyper >= max_sweep,
+                "{}: hyper-accurate run must be at least as large as the sweep",
+                app.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! `bodytrack` — annealed-particle-filter tracking (PARSEC; paper
+//! Section 5.2).
+//!
+//! Tracks an articulated pose (a `D`-dimensional state vector) through
+//! a scene using an annealed particle filter: per frame, several
+//! annealing layers progressively sharpen the particle weights and
+//! shrink the diffusion noise, letting the particle cloud settle into
+//! the observation likelihood's peak. The Accordion input is the
+//! number of annealing layers; quality is SSD-based distortion of the
+//! tracked configuration vector. The Drop hook prevents particle
+//! weight calculation for dropped threads' particles (the paper's
+//! `TrackingModelPthread::Exec` hook).
+
+use crate::app::RmsApp;
+use crate::config::{thread_range, RunConfig};
+use accordion_sim::workload::Workload;
+use accordion_stats::rng::{sample_std_normal, StreamRng};
+use rand::Rng;
+
+/// The bodytrack kernel configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bodytrack {
+    /// State dimensionality (joint angles + root position).
+    pub dims: usize,
+    /// Number of frames in the sequence.
+    pub frames: usize,
+    /// Particle count.
+    pub particles: usize,
+    /// Process (motion) noise per frame.
+    pub process_noise: f64,
+    /// Observation noise.
+    pub obs_noise: f64,
+}
+
+impl Bodytrack {
+    /// Paper-like defaults shrunk to a fast instance.
+    pub fn paper_default() -> Self {
+        Self {
+            dims: 8,
+            frames: 12,
+            particles: 256,
+            process_noise: 0.35,
+            obs_noise: 0.12,
+        }
+    }
+
+    /// Generates the ground-truth pose trajectory and its noisy
+    /// observations.
+    fn trajectory(&self, rng: &mut StreamRng) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mut truth = Vec::with_capacity(self.frames);
+        let mut obs = Vec::with_capacity(self.frames);
+        let mut pose: Vec<f64> = (0..self.dims).map(|_| sample_std_normal(rng)).collect();
+        for _ in 0..self.frames {
+            pose = pose
+                .iter()
+                .map(|p| p + self.process_noise * sample_std_normal(rng))
+                .collect();
+            let o: Vec<f64> = pose
+                .iter()
+                .map(|p| p + self.obs_noise * sample_std_normal(rng))
+                .collect();
+            truth.push(pose.clone());
+            obs.push(o);
+        }
+        (truth, obs)
+    }
+}
+
+impl RmsApp for Bodytrack {
+    fn name(&self) -> &'static str {
+        "bodytrack"
+    }
+
+    fn knob_name(&self) -> &'static str {
+        "number of annealing layers"
+    }
+
+    fn default_knob(&self) -> f64 {
+        3.0
+    }
+
+    fn knob_sweep(&self) -> Vec<f64> {
+        vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0]
+    }
+
+    fn hyper_knob(&self) -> f64 {
+        16.0
+    }
+
+    fn problem_size(&self, knob: f64) -> f64 {
+        // Each layer weighs + resamples the full particle set per
+        // frame.
+        knob * (self.particles * self.frames) as f64
+    }
+
+    fn run(&self, knob: f64, cfg: &RunConfig) -> Vec<f64> {
+        let layers = (knob.max(1.0).round() as usize).max(1);
+        let seed = cfg.seed_stream();
+        let (_truth, obs) = self.trajectory(&mut seed.stream("bodytrack-scene", 0));
+        let mut rng = seed.stream("bodytrack-filter", 0);
+        let mut corrupt_rng = seed.stream("bodytrack-corrupt", 0);
+        let d = self.dims;
+        let p = self.particles;
+
+        // Initialize the particle cloud around the first observation.
+        let mut particles: Vec<Vec<f64>> = (0..p)
+            .map(|_| {
+                obs[0]
+                    .iter()
+                    .map(|o| o + 0.5 * sample_std_normal(&mut rng))
+                    .collect()
+            })
+            .collect();
+        let mut weights = vec![1.0 / p as f64; p];
+        let mut estimates = Vec::with_capacity(self.frames * d);
+
+        // Particles owned by dropped threads never get weights and are
+        // never replaced by resampling: they go stale, yet still enter
+        // the merged estimate — the cloud pollution that makes
+        // bodytrack the paper's most Drop-sensitive benchmark.
+        let mut live = vec![true; p];
+        for t in 0..cfg.threads {
+            if cfg.is_dropped(t) {
+                let (p0, p1) = thread_range(p, cfg.threads, t);
+                for flag in live[p0..p1].iter_mut() {
+                    *flag = false;
+                }
+            }
+        }
+
+        for (frame, frame_obs) in obs.iter().enumerate() {
+            // The paper's first bodytrack Drop hook: dropped threads
+            // skip the row/column image filtering
+            // (`ParticleFilterPthread::Exec`), so the observation
+            // components their image stripes feed stay unfiltered —
+            // heavy noise that biases the likelihood for *every*
+            // particle. Observation dims rotate across threads by
+            // frame so the pollution spreads.
+            let mut frame_obs = frame_obs.clone();
+            for (k, o) in frame_obs.iter_mut().enumerate() {
+                let owner = (k + frame) % cfg.threads;
+                if cfg.is_dropped(owner) {
+                    *o += 15.0 * self.obs_noise * sample_std_normal(&mut rng);
+                }
+            }
+            let frame_obs = &frame_obs;
+
+            // Propagate with process noise.
+            for part in particles.iter_mut() {
+                for v in part.iter_mut() {
+                    *v += self.process_noise * sample_std_normal(&mut rng);
+                }
+            }
+
+            for layer in 0..layers {
+                // Annealing schedule: weights sharpen and diffusion
+                // shrinks as layers progress.
+                let beta = 0.5 * 2f64.powi(layer as i32) / (self.obs_noise * self.obs_noise * d as f64);
+                let sigma = self.process_noise * 0.5f64.powi(layer as i32 + 1);
+
+                // Weight computation, partitioned across threads.
+                for t in 0..cfg.threads {
+                    let (p0, p1) = thread_range(p, cfg.threads, t);
+                    if cfg.is_dropped(t) {
+                        // Particle weight calculation prevented.
+                        for w in weights[p0..p1].iter_mut() {
+                            *w = 0.0;
+                        }
+                        continue;
+                    }
+                    for i in p0..p1 {
+                        let dist2: f64 = particles[i]
+                            .iter()
+                            .zip(frame_obs)
+                            .map(|(x, o)| (x - o) * (x - o))
+                            .sum();
+                        weights[i] = (-beta * dist2).exp();
+                    }
+                }
+
+                let total: f64 = weights.iter().sum();
+                if total <= 0.0 {
+                    continue; // degenerate layer: keep the cloud as-is
+                }
+
+                // Systematic resampling over the live slots; stale
+                // slots keep their (unweighted) particles.
+                let live_count = live.iter().filter(|&&l| l).count().max(1);
+                let step = total / live_count as f64;
+                let mut u = step * rng.random::<f64>();
+                let mut cum = weights[0];
+                let mut j = 0;
+                let mut resampled = particles.clone();
+                for (slot, resampled_slot) in resampled.iter_mut().enumerate() {
+                    if !live[slot] {
+                        continue;
+                    }
+                    while cum < u && j + 1 < p {
+                        j += 1;
+                        cum += weights[j];
+                    }
+                    *resampled_slot = particles[j].clone();
+                    u += step;
+                }
+                particles = resampled;
+
+                // Diffuse with the layer's shrunken noise.
+                for part in particles.iter_mut() {
+                    for v in part.iter_mut() {
+                        *v += sigma * sample_std_normal(&mut rng);
+                    }
+                }
+            }
+
+            // Estimate: mean of the (resampled, hence equally
+            // weighted) cloud.
+            for k in 0..d {
+                let mean = particles.iter().map(|part| part[k]).sum::<f64>() / p as f64;
+                estimates.push(mean);
+            }
+        }
+
+        // End-result corruption: infected threads owned particle
+        // ranges; their influence is already merged, so the paper's
+        // end-result injection corrupts the per-frame estimate entries
+        // attributed to each thread's share.
+        if cfg.corruption.is_some() {
+            let len = estimates.len();
+            for t in 0..cfg.threads {
+                let (e0, e1) = thread_range(len, cfg.threads, t);
+                let mut vals = estimates[e0..e1].to_vec();
+                if cfg.corrupt_thread_results(t, &mut vals, &mut corrupt_rng) {
+                    estimates[e0..e1].copy_from_slice(&vals);
+                } else {
+                    for v in estimates[e0..e1].iter_mut() {
+                        *v = 0.0;
+                    }
+                }
+            }
+        }
+
+        estimates
+    }
+
+    fn quality(&self, output: &[f64], reference: &[f64]) -> f64 {
+        // SSD-based distortion of the tracked configuration vector,
+        // normalized by the reference trajectory's centered energy.
+        let ssd = accordion_stats::metrics::ssd(output, reference);
+        let mean: f64 = reference.iter().sum::<f64>() / reference.len() as f64;
+        let energy: f64 = reference
+            .iter()
+            .map(|r| (r - mean) * (r - mean))
+            .sum::<f64>()
+            .max(1e-12);
+        (1.0 - ssd / energy).max(0.0)
+    }
+
+    fn workload(&self, knob: f64) -> Workload {
+        Workload {
+            work_units: self.problem_size(knob),
+            // Weight = D-dim distance + exp; plus resampling share.
+            instructions_per_unit: 6.0 * self.dims as f64,
+            mem_accesses_per_instr: 0.01,
+            private_hit_rate: 0.95,
+            cluster_hit_rate: 0.90,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app() -> Bodytrack {
+        Bodytrack::paper_default()
+    }
+
+    #[test]
+    fn tracking_follows_observations() {
+        let a = app();
+        let cfg = RunConfig::default_run(8);
+        let est = a.run(4.0, &cfg);
+        let (_truth, obs) = a.trajectory(&mut cfg.seed_stream().stream("bodytrack-scene", 0));
+        // The estimate should be closer to the observation stream than
+        // a zero predictor.
+        let obs_flat: Vec<f64> = obs.into_iter().flatten().collect();
+        let err = accordion_stats::metrics::mse(&est, &obs_flat);
+        let zero = vec![0.0; est.len()];
+        let zero_err = accordion_stats::metrics::mse(&zero, &obs_flat);
+        assert!(err < 0.5 * zero_err, "tracker mse {err} vs zero {zero_err}");
+    }
+
+    #[test]
+    fn more_layers_track_better() {
+        let a = app();
+        let cfg = RunConfig::default_run(8);
+        let hyper = a.run(a.hyper_knob(), &cfg);
+        let q1 = a.quality(&a.run(1.0, &cfg), &hyper);
+        let q6 = a.quality(&a.run(6.0, &cfg), &hyper);
+        assert!(q6 > q1, "6 layers {q6} vs 1 layer {q1}");
+    }
+
+    #[test]
+    fn drop_degrades_quality_noticeably() {
+        // The paper singles bodytrack out as the most Drop-sensitive
+        // benchmark.
+        let a = app();
+        let hyper = a.run(a.hyper_knob(), &RunConfig::default_run(8));
+        let q_full = a.quality(&a.run(3.0, &RunConfig::default_run(8)), &hyper);
+        let q_half = a.quality(&a.run(3.0, &RunConfig::with_drop(8, 0.5)), &hyper);
+        assert!(q_half < q_full);
+    }
+
+    #[test]
+    fn output_shape() {
+        let a = app();
+        let est = a.run(2.0, &RunConfig::default_run(4));
+        assert_eq!(est.len(), a.frames * a.dims);
+        assert!(est.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = app();
+        let cfg = RunConfig::default_run(16);
+        assert_eq!(a.run(3.0, &cfg), a.run(3.0, &cfg));
+    }
+
+    #[test]
+    fn survives_all_threads_dropped() {
+        let a = app();
+        let est = a.run(3.0, &RunConfig::with_drop(8, 1.0));
+        assert!(est.iter().all(|v| v.is_finite()));
+    }
+}

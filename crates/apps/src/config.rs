@@ -1,0 +1,162 @@
+//! Run configuration shared by all kernels.
+
+use accordion_sim::fault::{uniform_drop_mask, CorruptionMode};
+use accordion_stats::rng::{SeedStream, StreamRng};
+
+/// How a kernel run is executed across logical threads and which
+/// error semantics apply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// Number of logical threads the data-parallel phases partition
+    /// over.
+    pub threads: usize,
+    /// Threads whose data-intensive contribution is dropped (paper
+    /// Section 6.2 Drop). Length must equal `threads`.
+    pub drop_mask: Vec<bool>,
+    /// Optional end-result corruption: the mode and the infected
+    /// threads it applies to.
+    pub corruption: Option<(CorruptionMode, Vec<bool>)>,
+    /// Seed for the kernel's synthetic input and internal randomness.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// An error-free run on `threads` threads.
+    pub fn default_run(threads: usize) -> Self {
+        Self {
+            threads,
+            drop_mask: vec![false; threads],
+            corruption: None,
+            seed: 7,
+        }
+    }
+
+    /// The paper's Drop scenario: a uniform `fraction` of threads
+    /// dropped.
+    pub fn with_drop(threads: usize, fraction: f64) -> Self {
+        Self {
+            drop_mask: uniform_drop_mask(threads, fraction),
+            ..Self::default_run(threads)
+        }
+    }
+
+    /// A corruption scenario: a uniform `fraction` of threads infected
+    /// and their end results corrupted under `mode`.
+    pub fn with_corruption(threads: usize, fraction: f64, mode: CorruptionMode) -> Self {
+        Self {
+            corruption: Some((mode, uniform_drop_mask(threads, fraction))),
+            ..Self::default_run(threads)
+        }
+    }
+
+    /// Whether thread `t`'s data-intensive work is dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn is_dropped(&self, t: usize) -> bool {
+        self.drop_mask[t]
+    }
+
+    /// Number of live (non-dropped) threads.
+    pub fn live_threads(&self) -> usize {
+        self.drop_mask.iter().filter(|&&d| !d).count()
+    }
+
+    /// Applies the configured corruption to thread `t`'s end-result
+    /// values in place. Returns `false` if the thread's results should
+    /// instead be discarded entirely (Drop-style corruption mode).
+    pub fn corrupt_thread_results(&self, t: usize, values: &mut [f64], rng: &mut StreamRng) -> bool {
+        match &self.corruption {
+            Some((mode, infected)) if infected[t] => {
+                for v in values.iter_mut() {
+                    match mode.corrupt_f64(*v, rng) {
+                        Some(c) => *v = c,
+                        None => return false,
+                    }
+                }
+                true
+            }
+            _ => true,
+        }
+    }
+
+    /// The root seed stream for a kernel run.
+    pub fn seed_stream(&self) -> SeedStream {
+        SeedStream::new(self.seed)
+    }
+}
+
+/// Splits `items` indices across `threads` threads in contiguous
+/// blocks, returning the `(start, end)` range of thread `t`.
+pub fn thread_range(items: usize, threads: usize, t: usize) -> (usize, usize) {
+    assert!(threads > 0, "need at least one thread");
+    assert!(t < threads, "thread index out of range");
+    let base = items / threads;
+    let extra = items % threads;
+    let start = t * base + t.min(extra);
+    let len = base + usize::from(t < extra);
+    (start, start + len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_run_has_no_errors() {
+        let c = RunConfig::default_run(8);
+        assert_eq!(c.live_threads(), 8);
+        assert!(c.corruption.is_none());
+    }
+
+    #[test]
+    fn drop_scenario_counts() {
+        let c = RunConfig::with_drop(64, 0.25);
+        assert_eq!(c.live_threads(), 48);
+    }
+
+    #[test]
+    fn thread_ranges_partition_exactly() {
+        for items in [0, 1, 7, 64, 100] {
+            for threads in [1, 3, 8, 64] {
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for t in 0..threads {
+                    let (s, e) = thread_range(items, threads, t);
+                    assert_eq!(s, prev_end);
+                    covered += e - s;
+                    prev_end = e;
+                }
+                assert_eq!(covered, items);
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_applies_only_to_infected() {
+        use accordion_sim::fault::CorruptionMode;
+        let c = RunConfig::with_corruption(4, 0.5, CorruptionMode::Invert);
+        let mut rng = c.seed_stream().stream("t", 0);
+        let infected = c.corruption.as_ref().unwrap().1.clone();
+        for t in 0..4 {
+            let mut vals = [1.0, 2.0];
+            let keep = c.corrupt_thread_results(t, &mut vals, &mut rng);
+            assert!(keep);
+            if infected[t] {
+                assert_ne!(vals, [1.0, 2.0]);
+            } else {
+                assert_eq!(vals, [1.0, 2.0]);
+            }
+        }
+    }
+
+    #[test]
+    fn drop_corruption_mode_discards() {
+        use accordion_sim::fault::CorruptionMode;
+        let c = RunConfig::with_corruption(2, 1.0, CorruptionMode::Drop);
+        let mut rng = c.seed_stream().stream("t", 0);
+        let mut vals = [1.0];
+        assert!(!c.corrupt_thread_results(0, &mut vals, &mut rng));
+    }
+}

@@ -1,0 +1,314 @@
+//! `ferret` — content-based similarity search (PARSEC; paper
+//! Section 5.2).
+//!
+//! Searches an image database for the images most similar to each
+//! query. Images are partitioned into regions and compared by a
+//! region-set distance; the number of regions — controlled by the
+//! *size factor* (minimum region size = pixels × size_factor) — sets
+//! both the work per comparison and the fidelity of the estimate. The
+//! output is the top-`n` result set per query; per-query relative
+//! error is `1 − common_image_count / n` against the reference
+//! outcome. The Drop hook degrades dropped threads' share of the
+//! database scan to coarse single-region signatures. The [`pipeline`]
+//! module runs the same search through PARSEC ferret's explicit
+//! load/segment/extract/index/rank/out stages with per-stage work
+//! accounting.
+
+pub mod pipeline;
+
+use crate::app::RmsApp;
+use crate::config::{thread_range, RunConfig};
+use accordion_sim::workload::Workload;
+use accordion_stats::rng::{sample_std_normal, SeedStream, StreamRng};
+
+/// The ferret kernel configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ferret {
+    /// Database size in images.
+    pub database: usize,
+    /// Number of queries per run.
+    pub queries: usize,
+    /// Result-set size `n` per query.
+    pub top_n: usize,
+    /// Feature dimensionality per region.
+    pub dims: usize,
+    /// Region count of an image at size factor 1.0.
+    pub base_regions: usize,
+    /// Number of latent clusters the image corpus is drawn from.
+    pub clusters: usize,
+}
+
+impl Ferret {
+    /// Paper-like defaults on a fast instance.
+    pub fn paper_default() -> Self {
+        Self {
+            database: 192,
+            queries: 12,
+            top_n: 10,
+            dims: 8,
+            base_regions: 8,
+            clusters: 12,
+        }
+    }
+
+    /// Regions per image at a size factor: larger factors mean larger
+    /// minimum region sizes, hence fewer regions.
+    pub fn regions_at(&self, size_factor: f64) -> usize {
+        assert!(size_factor > 0.0, "size factor must be positive");
+        ((self.base_regions as f64 / size_factor).round() as usize).max(1)
+    }
+
+    /// The latent "true" feature vector of image `i` (queries use
+    /// indices ≥ `database`). Images cluster so that similarity
+    /// structure exists to recover.
+    fn image_signature(&self, seed: &SeedStream, i: usize) -> Vec<f64> {
+        let cluster = i % self.clusters;
+        let mut c_rng = seed.stream("ferret-cluster", cluster as u64);
+        let center: Vec<f64> = (0..self.dims)
+            .map(|_| 3.0 * sample_std_normal(&mut c_rng))
+            .collect();
+        let mut i_rng = seed.stream("ferret-image", i as u64);
+        center
+            .iter()
+            .map(|c| c + 0.8 * sample_std_normal(&mut i_rng))
+            .collect()
+    }
+
+    /// Segments image `i` into `regions` noisy region features; finer
+    /// segmentation (more regions) estimates the signature better.
+    pub(crate) fn segment(&self, seed: &SeedStream, i: usize, regions: usize) -> Vec<Vec<f64>> {
+        let sig = self.image_signature(seed, i);
+        let mut rng: StreamRng = seed.stream("ferret-regions", i as u64);
+        (0..regions)
+            .map(|_| {
+                sig.iter()
+                    .map(|s| s + 2.2 * sample_std_normal(&mut rng))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Public alias of [`Self::segment`] for the pipeline module.
+    pub(crate) fn segment_public(
+        &self,
+        seed: &SeedStream,
+        i: usize,
+        regions: usize,
+    ) -> Vec<Vec<f64>> {
+        self.segment(seed, i, regions)
+    }
+
+    /// Public alias of [`Self::set_distance`] for the pipeline module.
+    pub(crate) fn set_distance_public(query: &[Vec<f64>], cand: &[Vec<f64>]) -> f64 {
+        Self::set_distance(query, cand)
+    }
+
+    /// Region-set distance: for each query region, the distance to the
+    /// closest candidate region, averaged (a one-directional simplified
+    /// Earth Mover's Distance).
+    fn set_distance(query: &[Vec<f64>], cand: &[Vec<f64>]) -> f64 {
+        let mut total = 0.0;
+        for q in query {
+            let mut best = f64::INFINITY;
+            for c in cand {
+                let d2: f64 = q.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum();
+                best = best.min(d2);
+            }
+            total += best.sqrt();
+        }
+        total / query.len() as f64
+    }
+}
+
+impl RmsApp for Ferret {
+    fn name(&self) -> &'static str {
+        "ferret"
+    }
+
+    fn knob_name(&self) -> &'static str {
+        "size factor"
+    }
+
+    fn default_knob(&self) -> f64 {
+        1.0
+    }
+
+    fn knob_sweep(&self) -> Vec<f64> {
+        // Decreasing size factor ⇒ more regions ⇒ larger problem.
+        vec![2.7, 2.0, 1.6, 1.25, 1.0, 0.8, 0.65, 0.5]
+    }
+
+    fn hyper_knob(&self) -> f64 {
+        0.25
+    }
+
+    fn problem_size(&self, knob: f64) -> f64 {
+        // The database is pre-indexed at a fixed granularity; the size
+        // factor controls how finely each *query* image is segmented,
+        // so work per query-candidate pair — and thus the problem size
+        // — is linear in the query's region count (Table 3: linear).
+        let r = self.regions_at(knob) as f64;
+        (self.queries * self.database) as f64 * r * self.base_regions as f64
+    }
+
+    fn run(&self, knob: f64, cfg: &RunConfig) -> Vec<f64> {
+        let regions = self.regions_at(knob);
+        let seed = cfg.seed_stream();
+        let mut corrupt_rng = seed.stream("ferret-corrupt", 0);
+
+        // The database index is built once at the fixed base
+        // granularity; queries are segmented at the knob's granularity.
+        let db: Vec<Vec<Vec<f64>>> = (0..self.database)
+            .map(|i| self.segment(&seed, i, self.base_regions))
+            .collect();
+        let queries: Vec<Vec<Vec<f64>>> = (0..self.queries)
+            .map(|q| self.segment(&seed, self.database + q, regions))
+            .collect();
+
+        let mut out = Vec::with_capacity(self.queries * self.top_n);
+        for query in queries.iter() {
+            // Threads partition the database scan. A dropped thread's
+            // fine-grained region processing never happens; its
+            // candidates are ranked by the coarse single-region
+            // signature that the extraction stage always produces --
+            // they stay in the running, just scored poorly.
+            let mut scored: Vec<(f64, usize)> = Vec::with_capacity(self.database);
+            for t in 0..cfg.threads {
+                let (c0, c1) = thread_range(self.database, cfg.threads, t);
+                let dropped = cfg.is_dropped(t);
+                for (c, cand) in db.iter().enumerate().take(c1).skip(c0) {
+                    let d = if dropped {
+                        Self::set_distance(query, &cand[..1])
+                    } else {
+                        Self::set_distance(query, cand)
+                    };
+                    scored.push((d, c));
+                }
+            }
+            scored.sort_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
+            let mut ids: Vec<f64> = scored
+                .iter()
+                .take(self.top_n)
+                .map(|&(_, c)| c as f64)
+                .collect();
+            ids.resize(self.top_n, -1.0); // pad if the scan lost candidates
+            out.extend(ids);
+        }
+
+        // End-result corruption: infected threads mangle the result-id
+        // entries their share of the scan produced.
+        if cfg.corruption.is_some() {
+            let len = out.len();
+            for t in 0..cfg.threads {
+                let (e0, e1) = thread_range(len, cfg.threads, t);
+                let mut vals = out[e0..e1].to_vec();
+                if cfg.corrupt_thread_results(t, &mut vals, &mut corrupt_rng) {
+                    out[e0..e1].copy_from_slice(&vals);
+                } else {
+                    for v in out[e0..e1].iter_mut() {
+                        *v = -1.0;
+                    }
+                }
+            }
+        }
+
+        out
+    }
+
+    fn quality(&self, output: &[f64], reference: &[f64]) -> f64 {
+        // Average over queries of common_image_count / n (Table 3:
+        // relative error per query = 1 − common/n).
+        assert_eq!(output.len(), reference.len(), "result sets must align");
+        let n = self.top_n;
+        let mut total = 0.0;
+        let mut queries = 0;
+        for (out_set, ref_set) in output.chunks(n).zip(reference.chunks(n)) {
+            let common = out_set
+                .iter()
+                .filter(|id| **id >= 0.0 && ref_set.contains(id))
+                .count();
+            total += common as f64 / n as f64;
+            queries += 1;
+        }
+        total / queries.max(1) as f64
+    }
+
+    fn workload(&self, knob: f64) -> Workload {
+        Workload {
+            work_units: self.problem_size(knob),
+            // One region-pair distance: D mul-adds + sqrt amortized.
+            instructions_per_unit: 3.0 * self.dims as f64,
+            mem_accesses_per_instr: 0.04,
+            private_hit_rate: 0.80,
+            cluster_hit_rate: 0.85,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app() -> Ferret {
+        Ferret::paper_default()
+    }
+
+    #[test]
+    fn finds_cluster_mates() {
+        // The top results for a query should over-represent the
+        // query's own latent cluster.
+        let a = app();
+        let out = a.run(0.5, &RunConfig::default_run(8));
+        // Query 0 lives in cluster (database + 0) % clusters.
+        let qc = a.database % a.clusters;
+        let top: Vec<usize> = out[..a.top_n].iter().map(|v| *v as usize).collect();
+        let mates = top.iter().filter(|&&c| c % a.clusters == qc).count();
+        assert!(
+            mates >= a.top_n / 2,
+            "top-{} should be dominated by cluster mates, got {mates}",
+            a.top_n
+        );
+    }
+
+    #[test]
+    fn finer_segmentation_improves_quality() {
+        let a = app();
+        let cfg = RunConfig::default_run(8);
+        let hyper = a.run(a.hyper_knob(), &cfg);
+        let q_coarse = a.quality(&a.run(4.0, &cfg), &hyper);
+        let q_fine = a.quality(&a.run(0.5, &cfg), &hyper);
+        assert!(q_fine > q_coarse, "fine {q_fine} vs coarse {q_coarse}");
+    }
+
+    #[test]
+    fn dropping_threads_loses_candidates() {
+        let a = app();
+        let cfg_full = RunConfig::default_run(8);
+        let hyper = a.run(a.hyper_knob(), &cfg_full);
+        let q_full = a.quality(&a.run(1.0, &cfg_full), &hyper);
+        let q_half = a.quality(&a.run(1.0, &RunConfig::with_drop(8, 0.5)), &hyper);
+        assert!(q_half < q_full);
+        assert!(q_half > 0.0, "half the database still finds some mates");
+    }
+
+    #[test]
+    fn regions_scale_inversely_with_size_factor() {
+        let a = app();
+        assert!(a.regions_at(0.5) > a.regions_at(1.0));
+        assert!(a.regions_at(4.0) >= 1);
+    }
+
+    #[test]
+    fn self_quality_is_one() {
+        let a = app();
+        let out = a.run(1.0, &RunConfig::default_run(8));
+        assert_eq!(a.quality(&out, &out), 1.0);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = app();
+        let cfg = RunConfig::default_run(8);
+        assert_eq!(a.run(1.0, &cfg), a.run(1.0, &cfg));
+    }
+}

@@ -1,0 +1,206 @@
+//! The ferret processing pipeline.
+//!
+//! PARSEC ferret is the canonical pipeline benchmark: a query flows
+//! through *load → segment → extract → index → rank → output* stages.
+//! This module runs the similarity search through those explicit
+//! stages with per-stage work accounting, producing output identical
+//! to the monolithic `Ferret::run` path's (a golden test holds the two
+//! together) while exposing where the work actually goes — the basis
+//! for pipeline-level scheduling studies.
+
+use crate::config::{thread_range, RunConfig};
+use crate::ferret::Ferret;
+
+/// Work accounting for one pipeline stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageStats {
+    /// Stage name (the PARSEC stage it mirrors).
+    pub name: &'static str,
+    /// Items processed (images, regions or candidate pairs).
+    pub items: usize,
+    /// Abstract work units spent (feature-dimension operations).
+    pub work_units: f64,
+}
+
+/// The result of an instrumented pipeline execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineRun {
+    /// Per-stage accounting, in flow order.
+    pub stages: Vec<StageStats>,
+    /// The search output (same encoding as `Ferret::run`).
+    pub output: Vec<f64>,
+}
+
+impl PipelineRun {
+    /// Total work units across stages.
+    pub fn total_work(&self) -> f64 {
+        self.stages.iter().map(|s| s.work_units).sum()
+    }
+
+    /// The stage carrying the most work (the pipeline bottleneck).
+    pub fn bottleneck(&self) -> &StageStats {
+        self.stages
+            .iter()
+            .max_by(|a, b| {
+                a.work_units
+                    .partial_cmp(&b.work_units)
+                    .expect("work is finite")
+            })
+            .expect("pipeline has stages")
+    }
+}
+
+/// Runs the similarity search through explicit pipeline stages.
+pub fn run_pipeline(app: &Ferret, knob: f64, cfg: &RunConfig) -> PipelineRun {
+    let regions = app.regions_at(knob);
+    let seed = cfg.seed_stream();
+    let mut corrupt_rng = seed.stream("ferret-corrupt", 0);
+    let dims = app.dims as f64;
+    let mut stages = Vec::with_capacity(5);
+
+    // Stage: load — the image identifiers entering the pipeline.
+    stages.push(StageStats {
+        name: "load",
+        items: app.database + app.queries,
+        work_units: (app.database + app.queries) as f64,
+    });
+
+    // Stage: segment+extract for the database at the fixed index
+    // granularity (an offline index in real ferret, charged here for
+    // transparency).
+    let db: Vec<Vec<Vec<f64>>> = (0..app.database)
+        .map(|i| app.segment_public(&seed, i, app.base_regions))
+        .collect();
+    stages.push(StageStats {
+        name: "index (db segment+extract)",
+        items: app.database * app.base_regions,
+        work_units: (app.database * app.base_regions) as f64 * dims,
+    });
+
+    // Stage: segment+extract for the queries at the knob granularity.
+    let queries: Vec<Vec<Vec<f64>>> = (0..app.queries)
+        .map(|q| app.segment_public(&seed, app.database + q, regions))
+        .collect();
+    stages.push(StageStats {
+        name: "segment+extract (queries)",
+        items: app.queries * regions,
+        work_units: (app.queries * regions) as f64 * dims,
+    });
+
+    // Stage: rank — the data-parallel scan the threads partition.
+    let mut rank_work = 0.0;
+    let mut out = Vec::with_capacity(app.queries * app.top_n);
+    for query in queries.iter() {
+        let mut scored: Vec<(f64, usize)> = Vec::with_capacity(app.database);
+        for t in 0..cfg.threads {
+            let (c0, c1) = thread_range(app.database, cfg.threads, t);
+            let dropped = cfg.is_dropped(t);
+            for (c, cand) in db.iter().enumerate().take(c1).skip(c0) {
+                let d = if dropped {
+                    rank_work += (query.len() * 1) as f64 * dims;
+                    Ferret::set_distance_public(query, &cand[..1])
+                } else {
+                    rank_work += (query.len() * cand.len()) as f64 * dims;
+                    Ferret::set_distance_public(query, cand)
+                };
+                scored.push((d, c));
+            }
+        }
+        scored.sort_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
+        let mut ids: Vec<f64> = scored
+            .iter()
+            .take(app.top_n)
+            .map(|&(_, c)| c as f64)
+            .collect();
+        ids.resize(app.top_n, -1.0);
+        out.extend(ids);
+    }
+    stages.push(StageStats {
+        name: "rank",
+        items: app.queries * app.database,
+        work_units: rank_work,
+    });
+
+    // Stage: output — apply end-result corruption and emit.
+    if cfg.corruption.is_some() {
+        let len = out.len();
+        for t in 0..cfg.threads {
+            let (e0, e1) = thread_range(len, cfg.threads, t);
+            let mut vals = out[e0..e1].to_vec();
+            if cfg.corrupt_thread_results(t, &mut vals, &mut corrupt_rng) {
+                out[e0..e1].copy_from_slice(&vals);
+            } else {
+                for v in out[e0..e1].iter_mut() {
+                    *v = -1.0;
+                }
+            }
+        }
+    }
+    stages.push(StageStats {
+        name: "out",
+        items: out.len(),
+        work_units: out.len() as f64,
+    });
+
+    PipelineRun { stages, output: out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::RmsApp;
+
+    fn app() -> Ferret {
+        Ferret::paper_default()
+    }
+
+    #[test]
+    fn pipeline_output_matches_monolithic_run() {
+        let a = app();
+        for cfg in [RunConfig::default_run(8), RunConfig::with_drop(8, 0.5)] {
+            let mono = a.run(1.0, &cfg);
+            let pipe = run_pipeline(&a, 1.0, &cfg);
+            assert_eq!(mono, pipe.output);
+        }
+    }
+
+    #[test]
+    fn rank_dominates_the_pipeline() {
+        // The data-parallel rank stage carries almost all the work —
+        // which is exactly why the paper's Drop hook lives there.
+        let a = app();
+        let run = run_pipeline(&a, 1.0, &RunConfig::default_run(8));
+        assert_eq!(run.bottleneck().name, "rank");
+        assert!(run.bottleneck().work_units > 0.5 * run.total_work());
+    }
+
+    #[test]
+    fn finer_queries_grow_only_query_stages() {
+        let a = app();
+        let coarse = run_pipeline(&a, 2.0, &RunConfig::default_run(8));
+        let fine = run_pipeline(&a, 0.5, &RunConfig::default_run(8));
+        let stage = |r: &PipelineRun, name: &str| {
+            r.stages
+                .iter()
+                .find(|s| s.name == name)
+                .expect("stage exists")
+                .work_units
+        };
+        assert!(stage(&fine, "segment+extract (queries)") > stage(&coarse, "segment+extract (queries)"));
+        assert!(stage(&fine, "rank") > stage(&coarse, "rank"));
+        // The offline database index does not depend on the knob.
+        assert_eq!(
+            stage(&fine, "index (db segment+extract)"),
+            stage(&coarse, "index (db segment+extract)")
+        );
+    }
+
+    #[test]
+    fn dropped_threads_shrink_rank_work() {
+        let a = app();
+        let full = run_pipeline(&a, 1.0, &RunConfig::default_run(8));
+        let half = run_pipeline(&a, 1.0, &RunConfig::with_drop(8, 0.5));
+        let rank = |r: &PipelineRun| r.stages.iter().find(|s| s.name == "rank").unwrap().work_units;
+        assert!(rank(&half) < rank(&full));
+    }
+}

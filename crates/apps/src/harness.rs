@@ -1,0 +1,202 @@
+//! Quality-versus-problem-size measurement harness (Figures 2 and 4).
+//!
+//! For each benchmark the harness sweeps the Accordion input under
+//! three scenarios — `Default`, `Drop 1/4`, `Drop 1/2` (Section 6.2) —
+//! computing quality against a hyper-accurate reference execution and
+//! normalizing both axes to the default Accordion input, exactly as
+//! the paper's figures do.
+
+use crate::app::RmsApp;
+use crate::config::RunConfig;
+use accordion_stats::interp::PiecewiseLinear;
+
+/// Execution scenario of a front.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scenario {
+    /// All parallel tasks contribute.
+    Default,
+    /// A uniform fraction of threads is dropped.
+    Drop(f64),
+}
+
+impl Scenario {
+    /// The paper's three scenarios.
+    pub const PAPER: [Scenario; 3] = [Scenario::Default, Scenario::Drop(0.25), Scenario::Drop(0.5)];
+
+    /// Display label matching the paper's legends.
+    pub fn label(&self) -> String {
+        match self {
+            Scenario::Default => "Default".to_string(),
+            Scenario::Drop(f) if (*f - 0.25).abs() < 1e-9 => "Drop 1/4".to_string(),
+            Scenario::Drop(f) if (*f - 0.5).abs() < 1e-9 => "Drop 1/2".to_string(),
+            Scenario::Drop(f) => format!("Drop {f:.2}"),
+        }
+    }
+
+    fn config(&self, threads: usize) -> RunConfig {
+        match self {
+            Scenario::Default => RunConfig::default_run(threads),
+            Scenario::Drop(f) => RunConfig::with_drop(threads, *f),
+        }
+    }
+}
+
+/// One measured point of a front.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontPoint {
+    /// Accordion input value.
+    pub knob: f64,
+    /// Problem size normalized to the default input's.
+    pub size_norm: f64,
+    /// Quality normalized to the default input's error-free quality.
+    pub quality_norm: f64,
+}
+
+/// A quality-versus-problem-size front for one benchmark/scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityFront {
+    /// Benchmark name.
+    pub app: String,
+    /// Scenario the front was measured under.
+    pub scenario: Scenario,
+    /// Measured points, ordered by increasing problem size.
+    pub points: Vec<FrontPoint>,
+}
+
+impl QualityFront {
+    /// A piecewise-linear interpolant `size_norm → quality_norm`, used
+    /// by the Accordion framework to estimate quality at arbitrary
+    /// problem sizes.
+    pub fn interpolator(&self) -> PiecewiseLinear {
+        PiecewiseLinear::from_samples(
+            self.points
+                .iter()
+                .map(|p| (p.size_norm, p.quality_norm))
+                .collect(),
+        )
+        .expect("fronts have at least one point")
+    }
+}
+
+/// All three paper scenarios measured against one shared
+/// hyper-accurate reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontSet {
+    /// Benchmark name.
+    pub app: String,
+    /// One front per scenario, in [`Scenario::PAPER`] order.
+    pub fronts: Vec<QualityFront>,
+}
+
+impl FrontSet {
+    /// Measures the paper's three scenarios for `app`.
+    ///
+    /// Quality is computed against the hyper-accurate execution
+    /// outcome and normalized to the quality at the default Accordion
+    /// input under Default execution (Section 6.2); problem size is
+    /// normalized to the default input's.
+    pub fn measure(app: &dyn RmsApp) -> Self {
+        Self::measure_scenarios(app, &Scenario::PAPER)
+    }
+
+    /// Measures an explicit scenario list.
+    pub fn measure_scenarios(app: &dyn RmsApp, scenarios: &[Scenario]) -> Self {
+        let threads = app.profile_threads();
+        let reference = app.run(app.hyper_knob(), &RunConfig::default_run(threads));
+        let default_out = app.run(app.default_knob(), &RunConfig::default_run(threads));
+        let q_default = app.quality(&default_out, &reference).max(1e-9);
+        let size_default = app.problem_size(app.default_knob());
+
+        let fronts = scenarios
+            .iter()
+            .map(|&scenario| {
+                let cfg = scenario.config(threads);
+                let points = app
+                    .knob_sweep()
+                    .iter()
+                    .map(|&knob| {
+                        let out = app.run(knob, &cfg);
+                        FrontPoint {
+                            knob,
+                            size_norm: app.problem_size(knob) / size_default,
+                            quality_norm: app.quality(&out, &reference) / q_default,
+                        }
+                    })
+                    .collect();
+                QualityFront {
+                    app: app.name().to_string(),
+                    scenario,
+                    points,
+                }
+            })
+            .collect();
+
+        Self {
+            app: app.name().to_string(),
+            fronts,
+        }
+    }
+
+    /// The front for a given scenario, if measured.
+    pub fn front(&self, scenario: Scenario) -> Option<&QualityFront> {
+        self.fronts.iter().find(|f| f.scenario == scenario)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hotspot::Hotspot;
+
+    fn fronts() -> FrontSet {
+        FrontSet::measure(&Hotspot::paper_default())
+    }
+
+    #[test]
+    fn default_front_passes_through_unity() {
+        let set = fronts();
+        let f = set.front(Scenario::Default).unwrap();
+        // The default knob (size_norm = 1) must have quality_norm = 1.
+        let interp = f.interpolator();
+        assert!((interp.eval(1.0) - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn quality_increases_with_problem_size_under_default() {
+        let set = fronts();
+        let f = set.front(Scenario::Default).unwrap();
+        let first = f.points.first().unwrap().quality_norm;
+        let last = f.points.last().unwrap().quality_norm;
+        assert!(last > first);
+    }
+
+    #[test]
+    fn drop_fronts_sit_below_default() {
+        let set = fronts();
+        let d0 = set.front(Scenario::Default).unwrap();
+        let d4 = set.front(Scenario::Drop(0.25)).unwrap();
+        let d2 = set.front(Scenario::Drop(0.5)).unwrap();
+        // Compare at each sweep point.
+        let mut below_4 = 0;
+        let mut below_2 = 0;
+        for ((a, b), c) in d0.points.iter().zip(&d4.points).zip(&d2.points) {
+            if b.quality_norm <= a.quality_norm + 1e-9 {
+                below_4 += 1;
+            }
+            if c.quality_norm <= b.quality_norm + 1e-9 {
+                below_2 += 1;
+            }
+        }
+        // Allow occasional nondeterministic-looking crossings as the
+        // paper itself observes for bodytrack, but the trend must hold.
+        assert!(below_4 >= d0.points.len() - 1, "Drop 1/4 must sit below Default");
+        assert!(below_2 >= d0.points.len() - 2, "Drop 1/2 must sit below Drop 1/4");
+    }
+
+    #[test]
+    fn scenario_labels() {
+        assert_eq!(Scenario::Default.label(), "Default");
+        assert_eq!(Scenario::Drop(0.25).label(), "Drop 1/4");
+        assert_eq!(Scenario::Drop(0.5).label(), "Drop 1/2");
+    }
+}

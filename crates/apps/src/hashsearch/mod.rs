@@ -1,0 +1,182 @@
+//! `hashsearch` — a strictly weak-scaling extension benchmark.
+//!
+//! Paper Section 7: "for the select RMS benchmarks we deployed, per
+//! thread work tends to increase with problem size. We are extending
+//! our study to strict weak scaling, considering novel application
+//! domains such as bitcoin mining." This kernel is that extension: a
+//! proof-of-work-style search where each thread scans a fixed-size
+//! slice of nonce space for *golden nonces* (hashes below a target),
+//! so the problem size grows exactly with the thread count — per
+//! thread work is constant, Gustafson-Barsis in the strict sense.
+//!
+//! Not part of the paper's six-benchmark registry; exposed through
+//! [`crate::extension_apps`].
+
+use crate::app::RmsApp;
+use crate::config::{thread_range, RunConfig};
+use accordion_sim::workload::Workload;
+
+/// The hashsearch kernel configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HashSearch {
+    /// Size of the full nonce universe.
+    pub universe: u64,
+    /// A nonce is golden when `mix(nonce ^ seed) < threshold`.
+    pub threshold: u64,
+}
+
+impl HashSearch {
+    /// Defaults sized so the universe holds ≈256 golden nonces.
+    pub fn paper_default() -> Self {
+        let universe = 1u64 << 20;
+        Self {
+            universe,
+            // P(golden) = 2^-12 ⇒ E[golden] = 2^20 / 2^12 = 256.
+            threshold: u64::MAX >> 12,
+        }
+    }
+
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Nonces scanned at a knob value (the searched prefix).
+    pub fn prefix_at(&self, knob: f64) -> u64 {
+        ((self.universe as f64 * knob.clamp(0.0, 1.0)).round() as u64).min(self.universe)
+    }
+
+    /// All golden nonces in the full universe for a seed (the
+    /// hyper-accurate reference output).
+    fn golden_in(&self, seed: u64, lo: u64, hi: u64) -> Vec<u64> {
+        (lo..hi)
+            .filter(|&n| Self::mix(n ^ seed) < self.threshold)
+            .collect()
+    }
+}
+
+impl RmsApp for HashSearch {
+    fn name(&self) -> &'static str {
+        "hashsearch"
+    }
+
+    fn knob_name(&self) -> &'static str {
+        "searched fraction of nonce space"
+    }
+
+    fn default_knob(&self) -> f64 {
+        0.5
+    }
+
+    fn knob_sweep(&self) -> Vec<f64> {
+        vec![0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0]
+    }
+
+    fn hyper_knob(&self) -> f64 {
+        1.0
+    }
+
+    fn problem_size(&self, knob: f64) -> f64 {
+        self.prefix_at(knob) as f64
+    }
+
+    fn run(&self, knob: f64, cfg: &RunConfig) -> Vec<f64> {
+        let prefix = self.prefix_at(knob);
+        let seed = cfg.seed;
+        let mut found = Vec::new();
+        for t in 0..cfg.threads {
+            if cfg.is_dropped(t) {
+                continue; // the slice is never searched
+            }
+            let (lo, hi) = thread_range(prefix as usize, cfg.threads, t);
+            found.extend(self.golden_in(seed, lo as u64, hi as u64));
+        }
+        found.sort_unstable();
+        found.into_iter().map(|n| n as f64).collect()
+    }
+
+    fn quality(&self, output: &[f64], reference: &[f64]) -> f64 {
+        // Fraction of the reference's golden nonces recovered. Both
+        // vectors are sorted nonce lists.
+        if reference.is_empty() {
+            return 1.0;
+        }
+        let hits = output.iter().filter(|n| reference.contains(n)).count();
+        hits as f64 / reference.len() as f64
+    }
+
+    fn workload(&self, knob: f64) -> Workload {
+        Workload {
+            work_units: self.problem_size(knob),
+            // One mix + compare per nonce.
+            instructions_per_unit: 8.0,
+            mem_accesses_per_instr: 0.0, // pure compute: the ideal NTC guest
+            private_hit_rate: 1.0,
+            cluster_hit_rate: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app() -> HashSearch {
+        HashSearch::paper_default()
+    }
+
+    #[test]
+    fn golden_density_matches_threshold() {
+        let a = app();
+        let golden = a.golden_in(7, 0, a.universe);
+        // E = 256, σ = 16; allow ±5σ.
+        assert!(
+            (176..=336).contains(&golden.len()),
+            "golden count {}",
+            golden.len()
+        );
+    }
+
+    #[test]
+    fn quality_scales_with_searched_fraction() {
+        let a = app();
+        let cfg = RunConfig::default_run(16);
+        let reference = a.run(1.0, &cfg);
+        let q_quarter = a.quality(&a.run(0.25, &cfg), &reference);
+        let q_full = a.quality(&a.run(1.0, &cfg), &reference);
+        assert!((q_full - 1.0).abs() < 1e-12);
+        assert!(
+            (q_quarter - 0.25).abs() < 0.12,
+            "quarter of the space finds ≈ quarter of the gold, got {q_quarter}"
+        );
+    }
+
+    #[test]
+    fn strict_weak_scaling_per_thread_work_constant() {
+        // Double the threads at double the problem size: per-thread
+        // slice length unchanged.
+        let a = app();
+        let half = a.prefix_at(0.5) / 16;
+        let full = a.prefix_at(1.0) / 32;
+        assert_eq!(half, full);
+    }
+
+    #[test]
+    fn drop_loses_proportional_gold() {
+        let a = app();
+        let reference = a.run(1.0, &RunConfig::default_run(16));
+        let q = a.quality(&a.run(1.0, &RunConfig::with_drop(16, 0.5)), &reference);
+        assert!((q - 0.5).abs() < 0.12, "Drop 1/2 keeps ≈ half the gold, got {q}");
+    }
+
+    #[test]
+    fn deterministic_and_sorted() {
+        let a = app();
+        let cfg = RunConfig::default_run(8);
+        let x = a.run(0.5, &cfg);
+        assert_eq!(x, a.run(0.5, &cfg));
+        assert!(x.windows(2).all(|w| w[0] < w[1]));
+    }
+}

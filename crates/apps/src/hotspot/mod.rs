@@ -1,0 +1,274 @@
+//! `hotspot` — iterative thermal simulation (Rodinia; paper
+//! Section 5.2).
+//!
+//! Solves the heat-transfer differential equation on a grid
+//! superimposed on a floorplan with an explicit finite-difference
+//! stencil. The Accordion input is the iteration count; the output is
+//! the temperature at each grid point; quality is SSD-based
+//! (1 − normalized sum of squared temperature differences). The Drop
+//! hook prevents "solution of the temperature equation and update of
+//! the corresponding cell temperature" for the rows owned by dropped
+//! threads.
+
+use crate::app::RmsApp;
+use crate::config::{thread_range, RunConfig};
+use accordion_sim::workload::Workload;
+use accordion_stats::rng::StreamRng;
+use rand::Rng;
+
+/// The hotspot kernel configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hotspot {
+    /// Grid side length (grid is `side × side`).
+    pub side: usize,
+    /// Number of heat sources in the synthetic power map.
+    pub sources: usize,
+    /// Ambient temperature the grid starts at and leaks toward.
+    pub ambient: f64,
+    /// Stencil diffusion coefficient (stability requires < 0.25).
+    pub alpha: f64,
+    /// Coupling of the power map into the temperature update.
+    pub power_gain: f64,
+}
+
+impl Hotspot {
+    /// Paper-like defaults on a fast 64×64 grid.
+    pub fn paper_default() -> Self {
+        Self {
+            side: 64,
+            sources: 12,
+            ambient: 45.0,
+            alpha: 0.2,
+            power_gain: 1.5,
+        }
+    }
+
+    /// Builds the synthetic floorplan power map: a few Gaussian blobs
+    /// of dissipation over the die.
+    fn power_map(&self, rng: &mut StreamRng) -> Vec<f64> {
+        let n = self.side;
+        let mut p = vec![0.0; n * n];
+        for _ in 0..self.sources {
+            let cx = rng.random_range(0..n) as f64;
+            let cy = rng.random_range(0..n) as f64;
+            let strength = 2.0 + 6.0 * rng.random::<f64>();
+            let radius = 2.0 + 6.0 * rng.random::<f64>();
+            for y in 0..n {
+                for x in 0..n {
+                    let d2 = (x as f64 - cx).powi(2) + (y as f64 - cy).powi(2);
+                    p[y * n + x] += strength * (-d2 / (2.0 * radius * radius)).exp();
+                }
+            }
+        }
+        p
+    }
+
+    fn idx(&self, x: usize, y: usize) -> usize {
+        y * self.side + x
+    }
+
+    /// Number of sequential warm-up sweeps building the initial
+    /// temperature map. Rodinia's hotspot starts from a provided
+    /// initial-temperature file that is already near the operating
+    /// point; mirroring that keeps dropped rows (which freeze at their
+    /// initial values) from being catastrophically wrong, exactly as
+    /// the paper observes.
+    const WARMUP_ITERS: usize = 80;
+
+    /// One full-grid stencil sweep of `temp` into `next` over rows
+    /// `[r0, r1)`.
+    fn sweep_rows(&self, power: &[f64], temp: &[f64], next: &mut [f64], r0: usize, r1: usize) {
+        let n = self.side;
+        for y in r0..r1 {
+            for x in 0..n {
+                let c = temp[self.idx(x, y)];
+                let up = if y > 0 { temp[self.idx(x, y - 1)] } else { c };
+                let down = if y + 1 < n { temp[self.idx(x, y + 1)] } else { c };
+                let left = if x > 0 { temp[self.idx(x - 1, y)] } else { c };
+                let right = if x + 1 < n { temp[self.idx(x + 1, y)] } else { c };
+                let lap = up + down + left + right - 4.0 * c;
+                let leak = 0.01 * (self.ambient - c);
+                next[self.idx(x, y)] =
+                    c + self.alpha * lap + self.power_gain * power[self.idx(x, y)] * 0.01 + leak;
+            }
+        }
+    }
+
+    /// The initial temperature map (the "input file" of the Rodinia
+    /// benchmark): the ambient grid relaxed by a fixed number of
+    /// sequential sweeps.
+    fn initial_temperatures(&self, power: &[f64]) -> Vec<f64> {
+        let n = self.side;
+        let mut temp = vec![self.ambient; n * n];
+        let mut next = temp.clone();
+        for _ in 0..Self::WARMUP_ITERS {
+            self.sweep_rows(power, &temp, &mut next, 0, n);
+            std::mem::swap(&mut temp, &mut next);
+        }
+        temp
+    }
+}
+
+impl RmsApp for Hotspot {
+    fn name(&self) -> &'static str {
+        "hotspot"
+    }
+
+    fn knob_name(&self) -> &'static str {
+        "number of iterations"
+    }
+
+    fn default_knob(&self) -> f64 {
+        48.0
+    }
+
+    fn knob_sweep(&self) -> Vec<f64> {
+        vec![8.0, 16.0, 24.0, 32.0, 48.0, 64.0, 96.0, 128.0]
+    }
+
+    fn hyper_knob(&self) -> f64 {
+        512.0
+    }
+
+    fn problem_size(&self, knob: f64) -> f64 {
+        // Work is linear in the iteration count (Table 3).
+        knob * (self.side * self.side) as f64
+    }
+
+    fn run(&self, knob: f64, cfg: &RunConfig) -> Vec<f64> {
+        let n = self.side;
+        let seed = cfg.seed_stream();
+        let power = self.power_map(&mut seed.stream("hotspot-power", 0));
+        let mut temp = self.initial_temperatures(&power);
+        let mut next = temp.clone();
+        let iters = knob.max(0.0).round() as usize;
+        let mut corrupt_rng = seed.stream("hotspot-corrupt", 0);
+
+        for _it in 0..iters {
+            for t in 0..cfg.threads {
+                let (r0, r1) = thread_range(n, cfg.threads, t);
+                if cfg.is_dropped(t) {
+                    // Temperature-equation solve and cell update
+                    // prevented: rows keep their previous values.
+                    for y in r0..r1 {
+                        for x in 0..n {
+                            next[self.idx(x, y)] = temp[self.idx(x, y)];
+                        }
+                    }
+                    continue;
+                }
+                self.sweep_rows(&power, &temp, &mut next, r0, r1);
+            }
+            std::mem::swap(&mut temp, &mut next);
+        }
+
+        // End-result corruption (generic Section 6.2 modes): infected
+        // threads corrupt the rows they own.
+        if cfg.corruption.is_some() {
+            for t in 0..cfg.threads {
+                let (r0, r1) = thread_range(n, cfg.threads, t);
+                let mut rows: Vec<f64> = temp[r0 * n..r1 * n].to_vec();
+                if cfg.corrupt_thread_results(t, &mut rows, &mut corrupt_rng) {
+                    temp[r0 * n..r1 * n].copy_from_slice(&rows);
+                } else {
+                    // Drop-style: the thread's output is ignored; the
+                    // merge keeps ambient placeholders.
+                    for v in temp[r0 * n..r1 * n].iter_mut() {
+                        *v = self.ambient;
+                    }
+                }
+            }
+        }
+
+        temp
+    }
+
+    fn quality(&self, output: &[f64], reference: &[f64]) -> f64 {
+        // SSD-based quality, normalized by the reference signal energy
+        // above ambient so it is scale-free.
+        let ssd = accordion_stats::metrics::ssd(output, reference);
+        let energy: f64 = reference
+            .iter()
+            .map(|r| (r - self.ambient) * (r - self.ambient))
+            .sum::<f64>()
+            .max(1e-12);
+        (1.0 - ssd / energy).max(0.0)
+    }
+
+    fn workload(&self, knob: f64) -> Workload {
+        Workload {
+            work_units: self.problem_size(knob),
+            // One cell update: 5-point stencil + power + leak.
+            instructions_per_unit: 15.0,
+            mem_accesses_per_instr: 0.02,
+            private_hit_rate: 0.93,
+            cluster_hit_rate: 0.90,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app() -> Hotspot {
+        Hotspot::paper_default()
+    }
+
+    #[test]
+    fn temperatures_rise_above_ambient() {
+        let a = app();
+        let out = a.run(64.0, &RunConfig::default_run(8));
+        let max = out.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max > a.ambient + 1.0, "hotspots must heat up, max={max}");
+        assert!(out.iter().all(|t| t.is_finite()));
+    }
+
+    #[test]
+    fn more_iterations_approach_steady_state() {
+        let a = app();
+        let cfg = RunConfig::default_run(8);
+        let hyper = a.run(a.hyper_knob(), &cfg);
+        let q32 = a.quality(&a.run(32.0, &cfg), &hyper);
+        let q128 = a.quality(&a.run(128.0, &cfg), &hyper);
+        assert!(q128 > q32, "quality: 128 iters {q128} vs 32 iters {q32}");
+    }
+
+    #[test]
+    fn dropped_threads_leave_cold_stripes() {
+        let a = app();
+        let hyper = a.run(a.hyper_knob(), &RunConfig::default_run(8));
+        let q_full = a.quality(&a.run(64.0, &RunConfig::default_run(8)), &hyper);
+        let q_half = a.quality(&a.run(64.0, &RunConfig::with_drop(8, 0.5)), &hyper);
+        assert!(q_half < q_full);
+        assert!(q_half > 0.0, "Drop 1/2 must not zero out quality");
+    }
+
+    #[test]
+    fn quality_of_reference_is_one() {
+        let a = app();
+        let cfg = RunConfig::default_run(8);
+        let hyper = a.run(a.hyper_knob(), &cfg);
+        assert!((a.quality(&hyper, &hyper) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = app();
+        let cfg = RunConfig::default_run(16);
+        assert_eq!(a.run(16.0, &cfg), a.run(16.0, &cfg));
+    }
+
+    #[test]
+    fn corruption_degrades_quality() {
+        use accordion_sim::fault::CorruptionMode;
+        let a = app();
+        let hyper = a.run(a.hyper_knob(), &RunConfig::default_run(8));
+        let clean = a.quality(&a.run(64.0, &RunConfig::default_run(8)), &hyper);
+        let corrupted = a.quality(
+            &a.run(64.0, &RunConfig::with_corruption(8, 0.25, CorruptionMode::StuckAt1All)),
+            &hyper,
+        );
+        assert!(corrupted < clean);
+    }
+}

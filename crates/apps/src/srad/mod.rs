@@ -1,0 +1,271 @@
+//! `srad` — Speckle-Reducing Anisotropic Diffusion (Rodinia; paper
+//! Section 5.2).
+//!
+//! Removes correlated multiplicative (speckle) noise from an image by
+//! iterating a PDE: directional derivatives → instantaneous
+//! coefficient of variation (ICOV) → diffusion coefficients →
+//! divergence update. The Accordion input is the iteration count;
+//! quality is PSNR-based against the clean image reconstruction of a
+//! hyper-accurate run. The Drop hook prevents "calculation of
+//! directional derivatives, ICOV, diffusion coefficients, along with
+//! divergence and image update" for dropped threads' rows.
+
+use crate::app::RmsApp;
+use crate::config::{thread_range, RunConfig};
+use accordion_sim::workload::Workload;
+use accordion_stats::rng::StreamRng;
+use rand::Rng;
+
+/// The srad kernel configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Srad {
+    /// Image side length.
+    pub side: usize,
+    /// Diffusion time step λ.
+    pub lambda: f64,
+    /// Speckle noise strength (multiplicative).
+    pub noise: f64,
+}
+
+impl Srad {
+    /// Paper-like defaults on a fast 64×64 image.
+    pub fn paper_default() -> Self {
+        Self {
+            side: 64,
+            lambda: 0.12,
+            noise: 0.25,
+        }
+    }
+
+    /// The clean synthetic phantom: smooth intensity regions with
+    /// sharp boundaries (what SRAD is designed to preserve).
+    fn clean_image(&self) -> Vec<f64> {
+        let n = self.side;
+        let mut img = vec![0.0; n * n];
+        for y in 0..n {
+            for x in 0..n {
+                let fx = x as f64 / n as f64;
+                let fy = y as f64 / n as f64;
+                let mut v = 80.0;
+                // Bright disc.
+                if (fx - 0.35).powi(2) + (fy - 0.4).powi(2) < 0.05 {
+                    v = 200.0;
+                }
+                // Dark rectangle.
+                if (0.55..0.9).contains(&fx) && (0.55..0.8).contains(&fy) {
+                    v = 30.0;
+                }
+                img[y * n + x] = v;
+            }
+        }
+        img
+    }
+
+    /// Applies multiplicative speckle noise.
+    fn speckled(&self, clean: &[f64], rng: &mut StreamRng) -> Vec<f64> {
+        clean
+            .iter()
+            .map(|&v| {
+                let u: f64 = rng.random::<f64>() - 0.5;
+                (v * (1.0 + self.noise * 2.0 * u)).max(1.0)
+            })
+            .collect()
+    }
+
+    fn idx(&self, x: usize, y: usize) -> usize {
+        y * self.side + x
+    }
+}
+
+impl RmsApp for Srad {
+    fn name(&self) -> &'static str {
+        "srad"
+    }
+
+    fn knob_name(&self) -> &'static str {
+        "number of iterations"
+    }
+
+    fn default_knob(&self) -> f64 {
+        32.0
+    }
+
+    fn knob_sweep(&self) -> Vec<f64> {
+        vec![4.0, 8.0, 16.0, 24.0, 32.0, 48.0, 64.0, 96.0]
+    }
+
+    fn hyper_knob(&self) -> f64 {
+        256.0
+    }
+
+    fn profile_threads(&self) -> usize {
+        32 // the paper profiles srad under 32 threads
+    }
+
+    fn problem_size(&self, knob: f64) -> f64 {
+        knob * (self.side * self.side) as f64
+    }
+
+    fn run(&self, knob: f64, cfg: &RunConfig) -> Vec<f64> {
+        let n = self.side;
+        let seed = cfg.seed_stream();
+        let clean = self.clean_image();
+        let mut img = self.speckled(&clean, &mut seed.stream("srad-noise", 0));
+        let iters = knob.max(0.0).round() as usize;
+        let mut corrupt_rng = seed.stream("srad-corrupt", 0);
+
+        let mut coeff = vec![0.0; n * n];
+        let mut dn = vec![0.0; n * n];
+        let mut ds = vec![0.0; n * n];
+        let mut de = vec![0.0; n * n];
+        let mut dw = vec![0.0; n * n];
+
+        for _it in 0..iters {
+            // Global ICOV scale from the image statistics (the
+            // homogeneous-region estimate q0 of the SRAD formulation).
+            let mean: f64 = img.iter().sum::<f64>() / img.len() as f64;
+            let var: f64 =
+                img.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / img.len() as f64;
+            let q0_sq = (var / (mean * mean)).max(1e-9);
+
+            // Pass 1: derivatives, ICOV, diffusion coefficient.
+            for t in 0..cfg.threads {
+                let (r0, r1) = thread_range(n, cfg.threads, t);
+                if cfg.is_dropped(t) {
+                    continue; // derivative/ICOV/coefficient work prevented
+                }
+                for y in r0..r1 {
+                    for x in 0..n {
+                        let c = img[self.idx(x, y)];
+                        let north = if y > 0 { img[self.idx(x, y - 1)] } else { c };
+                        let south = if y + 1 < n { img[self.idx(x, y + 1)] } else { c };
+                        let west = if x > 0 { img[self.idx(x - 1, y)] } else { c };
+                        let east = if x + 1 < n { img[self.idx(x + 1, y)] } else { c };
+                        let i = self.idx(x, y);
+                        dn[i] = north - c;
+                        ds[i] = south - c;
+                        de[i] = east - c;
+                        dw[i] = west - c;
+                        let g2 = (dn[i] * dn[i] + ds[i] * ds[i] + de[i] * de[i] + dw[i] * dw[i])
+                            / (c * c).max(1e-12);
+                        let l = (dn[i] + ds[i] + de[i] + dw[i]) / c.max(1e-6);
+                        let num = 0.5 * g2 - 0.0625 * l * l;
+                        let den = (1.0 + 0.25 * l).powi(2).max(1e-12);
+                        let q_sq = (num / den).max(0.0);
+                        // Diffusion coefficient: 1 in homogeneous
+                        // regions (q ≈ q0), → 0 at edges (q ≫ q0).
+                        coeff[i] = 1.0 / (1.0 + (q_sq - q0_sq) / (q0_sq * (1.0 + q0_sq)));
+                        coeff[i] = coeff[i].clamp(0.0, 1.0);
+                    }
+                }
+            }
+
+            // Pass 2: divergence and image update.
+            for t in 0..cfg.threads {
+                let (r0, r1) = thread_range(n, cfg.threads, t);
+                if cfg.is_dropped(t) {
+                    continue; // divergence and image update prevented
+                }
+                for y in r0..r1 {
+                    for x in 0..n {
+                        let i = self.idx(x, y);
+                        let c_s = if y + 1 < n { coeff[self.idx(x, y + 1)] } else { coeff[i] };
+                        let c_e = if x + 1 < n { coeff[self.idx(x + 1, y)] } else { coeff[i] };
+                        let div = coeff[i] * dn[i] + c_s * ds[i] + coeff[i] * dw[i] + c_e * de[i];
+                        img[i] += 0.25 * self.lambda * div;
+                    }
+                }
+            }
+        }
+
+        if cfg.corruption.is_some() {
+            for t in 0..cfg.threads {
+                let (r0, r1) = thread_range(n, cfg.threads, t);
+                let mut rows: Vec<f64> = img[r0 * n..r1 * n].to_vec();
+                if cfg.corrupt_thread_results(t, &mut rows, &mut corrupt_rng) {
+                    img[r0 * n..r1 * n].copy_from_slice(&rows);
+                } else {
+                    for v in img[r0 * n..r1 * n].iter_mut() {
+                        *v = 0.0;
+                    }
+                }
+            }
+        }
+
+        img
+    }
+
+    fn quality(&self, output: &[f64], reference: &[f64]) -> f64 {
+        // PSNR-based quality (Table 3), in dB against the reference
+        // reconstruction; capped to keep identical outputs finite.
+        accordion_stats::metrics::psnr(output, reference, 255.0).min(99.0)
+    }
+
+    fn workload(&self, knob: f64) -> Workload {
+        Workload {
+            work_units: self.problem_size(knob),
+            // Two stencil passes with divisions and a clamp.
+            instructions_per_unit: 35.0,
+            mem_accesses_per_instr: 0.02,
+            private_hit_rate: 0.92,
+            cluster_hit_rate: 0.88,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app() -> Srad {
+        Srad::paper_default()
+    }
+
+    #[test]
+    fn diffusion_reduces_noise() {
+        let a = app();
+        let cfg = RunConfig::default_run(8);
+        let clean = a.clean_image();
+        let noisy = a.run(0.0, &cfg); // zero iterations = speckled input
+        let denoised = a.run(48.0, &cfg);
+        let mse_before = accordion_stats::metrics::mse(&noisy, &clean);
+        let mse_after = accordion_stats::metrics::mse(&denoised, &clean);
+        assert!(
+            mse_after < mse_before,
+            "SRAD must denoise: {mse_after} vs {mse_before}"
+        );
+    }
+
+    #[test]
+    fn quality_improves_with_iterations() {
+        let a = app();
+        let cfg = RunConfig::default_run(8);
+        let hyper = a.run(a.hyper_knob(), &cfg);
+        let q8 = a.quality(&a.run(8.0, &cfg), &hyper);
+        let q64 = a.quality(&a.run(64.0, &cfg), &hyper);
+        assert!(q64 > q8, "{q64} vs {q8}");
+    }
+
+    #[test]
+    fn dropped_rows_degrade_quality() {
+        let a = app();
+        let hyper = a.run(a.hyper_knob(), &RunConfig::default_run(8));
+        let q_full = a.quality(&a.run(32.0, &RunConfig::default_run(8)), &hyper);
+        let q_half = a.quality(&a.run(32.0, &RunConfig::with_drop(8, 0.5)), &hyper);
+        assert!(q_half < q_full);
+    }
+
+    #[test]
+    fn output_stays_finite_and_positive() {
+        let a = app();
+        let out = a.run(96.0, &RunConfig::default_run(32));
+        assert!(out.iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = app();
+        let cfg = RunConfig::default_run(32);
+        assert_eq!(a.run(16.0, &cfg), a.run(16.0, &cfg));
+    }
+}

@@ -1,0 +1,165 @@
+//! Block motion estimation for the x264 proxy's P-frames.
+//!
+//! A full-search block matcher over a small window, minimizing the sum
+//! of absolute differences (SAD) against the previous *reconstructed*
+//! frame — the same closed prediction loop a real encoder uses, so
+//! drift cannot accumulate between encoder and decoder.
+
+/// A motion vector in pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MotionVector {
+    /// Horizontal displacement.
+    pub dx: i32,
+    /// Vertical displacement.
+    pub dy: i32,
+}
+
+/// Result of motion search for one block.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// The chosen motion vector.
+    pub mv: MotionVector,
+    /// The predicted block, row-major `size × size`.
+    pub block: Vec<f64>,
+    /// SAD of the chosen match.
+    pub sad: f64,
+}
+
+/// Extracts the `size × size` block at `(bx, by)` from a `w × h`
+/// frame, clamping coordinates at the borders (edge padding).
+pub fn block_at(frame: &[f64], w: usize, h: usize, bx: i32, by: i32, size: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(size * size);
+    for y in 0..size as i32 {
+        for x in 0..size as i32 {
+            let sx = (bx + x).clamp(0, w as i32 - 1) as usize;
+            let sy = (by + y).clamp(0, h as i32 - 1) as usize;
+            out.push(frame[sy * w + sx]);
+        }
+    }
+    out
+}
+
+/// Sum of absolute differences between two equal-length blocks.
+pub fn sad(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Full search over `±range` pixels in the reference frame for the
+/// best match of the `size × size` source block at `(bx, by)`.
+///
+/// # Panics
+///
+/// Panics if `range` is negative.
+pub fn search(
+    src: &[f64],
+    reference: &[f64],
+    w: usize,
+    h: usize,
+    bx: usize,
+    by: usize,
+    size: usize,
+    range: i32,
+) -> Prediction {
+    assert!(range >= 0, "search range must be non-negative");
+    let target = block_at(src, w, h, bx as i32, by as i32, size);
+    let mut best = Prediction {
+        mv: MotionVector { dx: 0, dy: 0 },
+        block: block_at(reference, w, h, bx as i32, by as i32, size),
+        sad: f64::INFINITY,
+    };
+    best.sad = sad(&target, &best.block);
+    for dy in -range..=range {
+        for dx in -range..=range {
+            if dx == 0 && dy == 0 {
+                continue;
+            }
+            let cand = block_at(reference, w, h, bx as i32 + dx, by as i32 + dy, size);
+            let s = sad(&target, &cand);
+            // Bias toward the zero vector on ties (cheaper to code).
+            if s + 1e-9 < best.sad {
+                best = Prediction {
+                    mv: MotionVector { dx, dy },
+                    block: cand,
+                    sad: s,
+                };
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A textured frame (pseudo-random, no translational aliases)
+    /// whose content shifts left by `shift` pixels.
+    fn textured_frame(w: usize, h: usize, shift: usize) -> Vec<f64> {
+        (0..w * h)
+            .map(|i| {
+                let (x, y) = ((i % w + shift) % w, i / w);
+                let z = (x as u64)
+                    .wrapping_mul(0x9e37_79b9)
+                    .wrapping_add((y as u64).wrapping_mul(0x85eb_ca6b));
+                (z.wrapping_mul(z ^ 0xff51_afd7) % 251) as f64
+            })
+            .collect()
+    }
+
+    fn gradient_frame(w: usize, h: usize, shift: usize) -> Vec<f64> {
+        (0..w * h)
+            .map(|i| {
+                let (x, y) = (i % w, i / w);
+                ((x + shift) % w) as f64 * 3.0 + y as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn finds_pure_translation() {
+        let w = 24;
+        let h = 24;
+        let prev = textured_frame(w, h, 0);
+        let cur = textured_frame(w, h, 2); // content moved 2 px
+        let p = search(&cur, &prev, w, h, 8, 8, 8, 3);
+        assert_eq!(p.mv, MotionVector { dx: 2, dy: 0 });
+        assert!(p.sad < 1e-9);
+    }
+
+    #[test]
+    fn zero_vector_on_static_content() {
+        let w = 16;
+        let h = 16;
+        let frame = gradient_frame(w, h, 0);
+        let p = search(&frame, &frame, w, h, 4, 4, 8, 2);
+        assert_eq!(p.mv, MotionVector { dx: 0, dy: 0 });
+        assert_eq!(p.sad, 0.0);
+    }
+
+    #[test]
+    fn border_blocks_are_padded() {
+        let w = 16;
+        let h = 16;
+        let frame = gradient_frame(w, h, 0);
+        let b = block_at(&frame, w, h, -4, -4, 8);
+        assert_eq!(b.len(), 64);
+        assert!(b.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn search_never_worsens_the_zero_vector() {
+        let w = 24;
+        let h = 24;
+        let prev = gradient_frame(w, h, 1);
+        let cur: Vec<f64> = gradient_frame(w, h, 0)
+            .iter()
+            .map(|v| v + 5.0)
+            .collect();
+        let p = search(&cur, &prev, w, h, 8, 8, 8, 2);
+        let zero_sad = sad(
+            &block_at(&cur, w, h, 8, 8, 8),
+            &block_at(&prev, w, h, 8, 8, 8),
+        );
+        assert!(p.sad <= zero_sad);
+    }
+}

@@ -1,0 +1,159 @@
+//! 8×8 DCT-II / inverse DCT and quantization for the x264 proxy.
+
+use std::sync::OnceLock;
+
+const N: usize = 8;
+
+/// Precomputed DCT basis `cos((2x+1)·u·π/16)` with normalization.
+fn basis() -> &'static [[f64; N]; N] {
+    static BASIS: OnceLock<[[f64; N]; N]> = OnceLock::new();
+    BASIS.get_or_init(|| {
+        let mut b = [[0.0; N]; N];
+        for (u, row) in b.iter_mut().enumerate() {
+            let cu = if u == 0 {
+                (1.0 / N as f64).sqrt()
+            } else {
+                (2.0 / N as f64).sqrt()
+            };
+            for (x, v) in row.iter_mut().enumerate() {
+                *v = cu
+                    * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI
+                        / (2.0 * N as f64))
+                        .cos();
+            }
+        }
+        b
+    })
+}
+
+/// Forward 8×8 DCT-II of a row-major block.
+pub fn dct2(block: &[f64; N * N]) -> [f64; N * N] {
+    let b = basis();
+    let mut out = [0.0; N * N];
+    for u in 0..N {
+        for v in 0..N {
+            let mut acc = 0.0;
+            for y in 0..N {
+                for x in 0..N {
+                    acc += block[y * N + x] * b[u][y] * b[v][x];
+                }
+            }
+            out[u * N + v] = acc;
+        }
+    }
+    out
+}
+
+/// Inverse 8×8 DCT of a row-major coefficient block.
+pub fn idct2(coef: &[f64; N * N]) -> [f64; N * N] {
+    let b = basis();
+    let mut out = [0.0; N * N];
+    for y in 0..N {
+        for x in 0..N {
+            let mut acc = 0.0;
+            for u in 0..N {
+                for v in 0..N {
+                    acc += coef[u * N + v] * b[u][y] * b[v][x];
+                }
+            }
+            out[y * N + x] = acc;
+        }
+    }
+    out
+}
+
+/// Frequency-weighted quantization step for coefficient `(u, v)` at
+/// quantizer `qp`: higher frequencies quantize coarser, like the
+/// H.264/JPEG quantization matrices.
+pub fn quant_step(qp: f64, u: usize, v: usize) -> f64 {
+    assert!(qp > 0.0, "quantizer must be positive");
+    qp * (1.0 + 0.25 * (u + v) as f64)
+}
+
+/// Quantizes a coefficient block; returns the quantized levels and the
+/// number of nonzero levels (the work/bit-cost proxy).
+pub fn quantize(coef: &[f64; N * N], qp: f64) -> ([i32; N * N], usize) {
+    let mut q = [0i32; N * N];
+    let mut nonzero = 0;
+    for u in 0..N {
+        for v in 0..N {
+            let s = quant_step(qp, u, v);
+            let level = (coef[u * N + v] / s).round() as i32;
+            q[u * N + v] = level;
+            if level != 0 {
+                nonzero += 1;
+            }
+        }
+    }
+    (q, nonzero)
+}
+
+/// Dequantizes levels back to coefficients.
+pub fn dequantize(levels: &[i32; N * N], qp: f64) -> [f64; N * N] {
+    let mut coef = [0.0; N * N];
+    for u in 0..N {
+        for v in 0..N {
+            coef[u * N + v] = levels[u * N + v] as f64 * quant_step(qp, u, v);
+        }
+    }
+    coef
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_block() -> [f64; 64] {
+        let mut b = [0.0; 64];
+        for (i, v) in b.iter_mut().enumerate() {
+            *v = ((i * 7) % 31) as f64 + 100.0;
+        }
+        b
+    }
+
+    #[test]
+    fn dct_round_trip_is_identity() {
+        let b = test_block();
+        let r = idct2(&dct2(&b));
+        for (x, y) in b.iter().zip(&r) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dct_of_constant_is_dc_only() {
+        let b = [50.0; 64];
+        let c = dct2(&b);
+        assert!((c[0] - 8.0 * 50.0).abs() < 1e-9); // DC = N·mean
+        assert!(c[1..].iter().all(|v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn lower_qp_keeps_more_coefficients() {
+        let b = test_block();
+        let c = dct2(&b);
+        let (_, nz_fine) = quantize(&c, 2.0);
+        let (_, nz_coarse) = quantize(&c, 40.0);
+        assert!(nz_fine > nz_coarse);
+    }
+
+    #[test]
+    fn quant_dequant_error_bounded_by_step() {
+        let b = test_block();
+        let c = dct2(&b);
+        let qp = 8.0;
+        let (levels, _) = quantize(&c, qp);
+        let d = dequantize(&levels, qp);
+        for u in 0..8 {
+            for v in 0..8 {
+                let err = (c[u * 8 + v] - d[u * 8 + v]).abs();
+                assert!(err <= 0.5 * quant_step(qp, u, v) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn high_frequencies_quantize_coarser() {
+        assert!(quant_step(10.0, 7, 7) > quant_step(10.0, 0, 0));
+    }
+}

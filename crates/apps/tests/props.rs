@@ -1,0 +1,89 @@
+//! Property-based tests for the RMS kernels' shared contract.
+
+use accordion_apps::app::all_apps;
+use accordion_apps::config::{thread_range, RunConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn thread_ranges_partition_and_balance(items in 0usize..10_000, threads in 1usize..300) {
+        let mut total = 0;
+        let mut min_len = usize::MAX;
+        let mut max_len = 0;
+        let mut prev_end = 0;
+        for t in 0..threads {
+            let (s, e) = thread_range(items, threads, t);
+            prop_assert_eq!(s, prev_end, "ranges must be contiguous");
+            prev_end = e;
+            total += e - s;
+            min_len = min_len.min(e - s);
+            max_len = max_len.max(e - s);
+        }
+        prop_assert_eq!(total, items);
+        prop_assert!(max_len - min_len <= 1, "block partition must balance");
+    }
+
+    #[test]
+    fn drop_config_live_count(threads in 1usize..256, quarters in 0u8..5) {
+        let fraction = quarters as f64 / 4.0;
+        let cfg = RunConfig::with_drop(threads, fraction);
+        let live = cfg.live_threads();
+        let expected = threads - (threads as f64 * fraction).floor() as usize;
+        prop_assert!(live.abs_diff(expected) <= 1);
+    }
+}
+
+// Kernel-level properties run on reduced instances: keep case counts
+// small because each case executes a real kernel.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn all_kernels_deterministic_under_seed(seed in 0u64..1000) {
+        for app in all_apps() {
+            let mut cfg = RunConfig::default_run(8);
+            cfg.seed = seed;
+            let knob = app.default_knob();
+            prop_assert_eq!(app.run(knob, &cfg), app.run(knob, &cfg), "{}", app.name());
+        }
+    }
+
+    #[test]
+    fn outputs_always_finite(seed in 0u64..1000, quarters in 0u8..3) {
+        let fraction = quarters as f64 / 4.0;
+        for app in all_apps() {
+            let mut cfg = RunConfig::with_drop(8, fraction);
+            cfg.seed = seed;
+            let out = app.run(app.default_knob(), &cfg);
+            prop_assert!(!out.is_empty(), "{}", app.name());
+            prop_assert!(out.iter().all(|v| v.is_finite()), "{}", app.name());
+        }
+    }
+
+    #[test]
+    fn self_quality_is_maximal(seed in 0u64..1000) {
+        for app in all_apps() {
+            let mut cfg = RunConfig::default_run(8);
+            cfg.seed = seed;
+            let out = app.run(app.default_knob(), &cfg);
+            let q_self = app.quality(&out, &out);
+            // A mildly perturbed output must not beat the identity.
+            let perturbed: Vec<f64> = out.iter().map(|v| v + 0.05 * v.abs() + 0.01).collect();
+            let q_pert = app.quality(&perturbed, &out);
+            prop_assert!(q_self >= q_pert - 1e-9, "{}", app.name());
+        }
+    }
+
+    #[test]
+    fn problem_size_positive_over_sweep(_x in 0u8..1) {
+        for app in all_apps() {
+            for knob in app.knob_sweep() {
+                prop_assert!(app.problem_size(knob) > 0.0, "{}", app.name());
+                let w = app.workload(knob);
+                prop_assert!(w.work_units > 0.0 && w.instructions_per_unit > 0.0);
+                let full = app.full_scale_workload(knob);
+                prop_assert!(full.work_units > w.work_units);
+            }
+        }
+    }
+}

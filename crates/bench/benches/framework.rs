@@ -1,0 +1,56 @@
+//! Criterion benchmarks of the framework layer: cluster selection,
+//! quality-front measurement and pareto-front extraction.
+
+use accordion::pareto::ParetoExtractor;
+use accordion_apps::harness::FrontSet;
+use accordion_apps::hotspot::Hotspot;
+use accordion_bench::chip0;
+use accordion_chip::selection::{ClusterSelection, SelectionPolicy};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_selection(c: &mut Criterion) {
+    let chip = chip0();
+    c.bench_function("framework/select_18_of_36_clusters", |b| {
+        b.iter(|| {
+            black_box(ClusterSelection::select(
+                chip,
+                black_box(18),
+                SelectionPolicy::EnergyEfficiency,
+            ))
+        })
+    });
+}
+
+fn bench_front_measurement(c: &mut Criterion) {
+    let app = Hotspot::paper_default();
+    let mut group = c.benchmark_group("framework/quality_fronts");
+    group.sample_size(10);
+    group.bench_function("hotspot_three_scenarios", |b| {
+        b.iter(|| black_box(FrontSet::measure(black_box(&app))))
+    });
+    group.finish();
+}
+
+fn bench_pareto_extraction(c: &mut Criterion) {
+    let chip = chip0();
+    let app = Hotspot::paper_default();
+    let set = FrontSet::measure(&app);
+    let mut group = c.benchmark_group("framework/pareto");
+    group.sample_size(10);
+    group.bench_function("hotspot_four_fronts", |b| {
+        b.iter(|| {
+            let extractor = ParetoExtractor::new(chip, &app, &set);
+            black_box(extractor.extract())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_selection,
+    bench_front_measurement,
+    bench_pareto_extraction
+);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion benchmarks of the six RMS kernels at their default
+//! Accordion inputs (the per-run cost behind the Figure 2/4 sweeps).
+
+use accordion_apps::app::all_apps;
+use accordion_apps::config::RunConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(10);
+    for app in all_apps() {
+        let cfg = RunConfig::default_run(app.profile_threads());
+        let knob = app.default_knob();
+        group.bench_function(app.name(), |b| {
+            b.iter(|| black_box(app.run(black_box(knob), &cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernels_under_drop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels_drop_half");
+    group.sample_size(10);
+    for app in all_apps() {
+        let cfg = RunConfig::with_drop(app.profile_threads(), 0.5);
+        let knob = app.default_knob();
+        group.bench_function(app.name(), |b| {
+            b.iter(|| black_box(app.run(black_box(knob), &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_kernels_under_drop);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion benchmarks of the variation-model substrate: field
+//! sampling, chip fabrication, timing-error solves and SRAM VddMIN.
+
+use accordion_chip::chip::Chip;
+use accordion_chip::floorplan::Floorplan;
+use accordion_chip::topology::Topology;
+use accordion_stats::rng::SeedStream;
+use accordion_varius::layout::MemKind;
+use accordion_varius::params::VariationParams;
+use accordion_varius::sram::SramModel;
+use accordion_varius::timing::CoreTiming;
+use accordion_varius::vmap::ChipVariation;
+use accordion_vlsi::freq::FreqModel;
+use accordion_vlsi::tech::Technology;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_field_sampling(c: &mut Criterion) {
+    let plan = Floorplan::paper_default().site_plan(&Topology::paper_default());
+    let params = VariationParams::default();
+    let sampler = ChipVariation::sampler(&plan, &params).expect("sampler");
+    let seed = SeedStream::new(1);
+    c.bench_function("variation/sample_chip_612_sites", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(sampler.sample(&mut seed.stream("bench", i)))
+        })
+    });
+}
+
+fn bench_chip_fabrication(c: &mut Criterion) {
+    let mut group = c.benchmark_group("variation/fabricate");
+    group.sample_size(10);
+    group.bench_function("paper_chip_288_cores", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(Chip::fabricate_default(black_box(i % 4)).expect("chip"))
+        })
+    });
+    group.finish();
+}
+
+fn bench_timing_solves(c: &mut Criterion) {
+    let fm = FreqModel::calibrate(&Technology::node_11nm());
+    let params = VariationParams::default();
+    let timing = CoreTiming::new(&fm, &params, 0.6, 0.01, 1.01);
+    c.bench_function("variation/safe_frequency_solve", |b| {
+        b.iter(|| black_box(timing.safe_frequency_ghz(black_box(&params))))
+    });
+    c.bench_function("variation/perr_eval", |b| {
+        b.iter(|| black_box(timing.perr(black_box(0.7))))
+    });
+}
+
+fn bench_sram(c: &mut Criterion) {
+    let sram = SramModel::new(&VariationParams::default());
+    c.bench_function("variation/block_vddmin", |b| {
+        b.iter(|| black_box(sram.block_vddmin_v(MemKind::ClusterShared, black_box(0.01))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_field_sampling,
+    bench_chip_fabrication,
+    bench_timing_solves,
+    bench_sram
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! `repro` — regenerates every table and figure of the Accordion
+//! paper's evaluation, plus the extension experiments.
+//!
+//! ```text
+//! repro <artifact> [--chips N] [--csv DIR]
+//! repro all
+//! ```
+//!
+//! Artifact ids: see `accordion_bench::registry::ARTIFACTS` (printed
+//! by running with no arguments).
+
+use accordion_bench::figures::fig5;
+use accordion_bench::registry::{generate, ARTIFACTS};
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut artifact = None;
+    let mut chips = 5usize;
+    let mut csv_dir: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--chips" => {
+                chips = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--chips needs a number"));
+            }
+            "--csv" => {
+                csv_dir = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--csv needs a directory")),
+                );
+            }
+            other if artifact.is_none() => artifact = Some(other.to_string()),
+            other => die(&format!("unexpected argument: {other}")),
+        }
+    }
+    let artifact = artifact.unwrap_or_else(|| {
+        eprintln!("usage: repro <artifact|all> [--chips N] [--csv DIR]");
+        eprintln!("artifacts: {}", ARTIFACTS.join(" "));
+        std::process::exit(2);
+    });
+
+    let ids: Vec<&str> = if artifact == "all" {
+        ARTIFACTS.to_vec()
+    } else {
+        vec![artifact.as_str()]
+    };
+
+    for id in ids {
+        let report = generate(id, chips).unwrap_or_else(|| {
+            die(&format!(
+                "unknown artifact {id}; known: {}",
+                ARTIFACTS.join(" ")
+            ))
+        });
+        println!("==== {id} ====");
+        println!("{report}");
+        if let Some(dir) = &csv_dir {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            let path = format!("{dir}/{id}.txt");
+            let mut f = std::fs::File::create(&path).expect("create report file");
+            f.write_all(report.as_bytes()).expect("write report");
+            if id == "fig5b" {
+                std::fs::write(format!("{dir}/fig5b.csv"), fig5::fig5b_csv())
+                    .expect("write fig5b csv");
+            }
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

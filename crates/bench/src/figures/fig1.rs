@@ -1,0 +1,178 @@
+//! Figure 1: the NTC operating-point basics.
+//!
+//! * **1a** — power, log-frequency and energy/operation versus `Vdd`,
+//!   normalized to the STV nominal point; the paper quotes 10–50×
+//!   power reduction, 5–10× frequency degradation and 2–5× energy
+//!   improvement between STV and (deep) NTV.
+//! * **1b** — variation-induced timing error rate versus `Vdd` at the
+//!   nominal 1 GHz clock over the 0.45–0.60 V window.
+//! * **1c** — worst-case timing guardband (%) versus `Vdd` for the
+//!   22 nm and 11 nm nodes.
+
+use crate::output::{f, sci, TextTable};
+use accordion_varius::params::VariationParams;
+use accordion_varius::timing::CoreTiming;
+use accordion_vlsi::freq::FreqModel;
+use accordion_vlsi::guardband::guardband_curve;
+use accordion_vlsi::power::CorePowerModel;
+use accordion_vlsi::tech::Technology;
+
+/// One row of the Figure 1a sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig1aRow {
+    /// Supply voltage in volts.
+    pub vdd_v: f64,
+    /// Power relative to the STV nominal point.
+    pub power_rel: f64,
+    /// Frequency relative to the STV nominal point.
+    pub freq_rel: f64,
+    /// Energy/operation relative to the STV nominal point.
+    pub energy_rel: f64,
+}
+
+/// Generates the Figure 1a sweep (0.25–1.2 V).
+pub fn fig1a_rows() -> Vec<Fig1aRow> {
+    let tech = Technology::node_11nm();
+    let fm = FreqModel::calibrate(&tech);
+    let pm = CorePowerModel::calibrate(&tech);
+    let f_stv = fm.frequency_ghz(tech.vdd_stv_v, 0.0, 1.0);
+    let p_stv = pm.core_power(tech.vdd_stv_v, f_stv, 0.0, 1.0).total_w();
+    let e_stv = pm.energy_per_op_nj(tech.vdd_stv_v, f_stv);
+    let mut rows = Vec::new();
+    let mut vdd = 0.25;
+    while vdd <= 1.2001 {
+        let freq = fm.frequency_ghz(vdd, 0.0, 1.0);
+        let p = pm.core_power(vdd, freq, 0.0, 1.0).total_w();
+        rows.push(Fig1aRow {
+            vdd_v: vdd,
+            power_rel: p / p_stv,
+            freq_rel: freq / f_stv,
+            energy_rel: pm.energy_per_op_nj(vdd, freq) / e_stv,
+        });
+        vdd += 0.05;
+    }
+    rows
+}
+
+/// Renders Figure 1a as an aligned table.
+pub fn fig1a_report() -> String {
+    let mut t = TextTable::new(["Vdd(V)", "P/P_STV", "f/f_STV", "E_op/E_STV"]);
+    for r in fig1a_rows() {
+        t.row([f(r.vdd_v), f(r.power_rel), f(r.freq_rel), f(r.energy_rel)]);
+    }
+    format!("Figure 1a — power, frequency, energy/op vs Vdd (11nm)\n{}", t.render())
+}
+
+/// One row of the Figure 1b sweep: timing error rate at the nominal
+/// clock as `Vdd` scales through the near-threshold window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig1bRow {
+    /// Supply voltage in volts.
+    pub vdd_v: f64,
+    /// Per-cycle timing error rate at the 1 GHz nominal clock.
+    pub perr: f64,
+}
+
+/// Generates the Figure 1b sweep (0.45–0.60 V at 1 GHz).
+pub fn fig1b_rows() -> Vec<Fig1bRow> {
+    let tech = Technology::node_11nm();
+    let fm = FreqModel::calibrate(&tech);
+    let params = VariationParams::default();
+    let mut rows = Vec::new();
+    let mut vdd = 0.45;
+    while vdd <= 0.6001 {
+        let timing = CoreTiming::new(&fm, &params, vdd, 0.0, 1.0);
+        rows.push(Fig1bRow {
+            vdd_v: vdd,
+            perr: timing.perr(tech.f_nom_ghz),
+        });
+        vdd += 0.01;
+    }
+    rows
+}
+
+/// Renders Figure 1b.
+pub fn fig1b_report() -> String {
+    let mut t = TextTable::new(["Vdd(V)", "Perr@1GHz"]);
+    for r in fig1b_rows() {
+        t.row([f(r.vdd_v), sci(r.perr)]);
+    }
+    format!(
+        "Figure 1b — timing error rate vs Vdd at the nominal clock\n{}",
+        t.render()
+    )
+}
+
+/// Generates the Figure 1c guardband curves for both nodes:
+/// `(vdd, guardband%)` series.
+pub fn fig1c_curves() -> (Vec<(f64, f64)>, Vec<(f64, f64)>) {
+    let f22 = FreqModel::calibrate(&Technology::node_22nm());
+    let f11 = FreqModel::calibrate(&Technology::node_11nm());
+    (
+        guardband_curve(&f22, 0.4, 1.2, 17, 3.0),
+        guardband_curve(&f11, 0.4, 1.2, 17, 3.0),
+    )
+}
+
+/// Renders Figure 1c.
+pub fn fig1c_report() -> String {
+    let (c22, c11) = fig1c_curves();
+    let mut t = TextTable::new(["Vdd(V)", "GB% 22nm", "GB% 11nm"]);
+    for (a, b) in c22.iter().zip(&c11) {
+        t.row([f(a.0), f(a.1), f(b.1)]);
+    }
+    format!("Figure 1c — timing guardband vs Vdd\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1a_paper_bands() {
+        let rows = fig1a_rows();
+        // Find deep-NTV (0.45 V) and STV (1.0 V) rows.
+        let ntv = rows.iter().find(|r| (r.vdd_v - 0.45).abs() < 1e-6).unwrap();
+        let stv = rows.iter().find(|r| (r.vdd_v - 1.0).abs() < 1e-6).unwrap();
+        let power_reduction = stv.power_rel / ntv.power_rel;
+        let freq_degradation = stv.freq_rel / ntv.freq_rel;
+        let energy_improvement = ntv.energy_rel.recip() * stv.energy_rel;
+        assert!(
+            power_reduction > 10.0 && power_reduction < 60.0,
+            "power reduction {power_reduction}"
+        );
+        assert!(
+            freq_degradation > 5.0 && freq_degradation < 12.0,
+            "freq degradation {freq_degradation}"
+        );
+        assert!(
+            energy_improvement > 2.0 && energy_improvement < 5.0,
+            "energy improvement {energy_improvement}"
+        );
+    }
+
+    #[test]
+    fn fig1b_error_rate_grows_as_vdd_drops() {
+        let rows = fig1b_rows();
+        assert!(rows.first().unwrap().perr > rows.last().unwrap().perr);
+        // At 0.60 V the nominal clock should be almost error free, at
+        // 0.45 V errors should be frequent.
+        assert!(rows.last().unwrap().perr < 1e-3);
+        assert!(rows.first().unwrap().perr > 0.99);
+    }
+
+    #[test]
+    fn fig1c_11nm_above_22nm() {
+        let (c22, c11) = fig1c_curves();
+        for (a, b) in c22.iter().zip(&c11) {
+            assert!(b.1 > a.1, "11nm must need more guardband at {}", a.0);
+        }
+    }
+
+    #[test]
+    fn reports_render() {
+        assert!(fig1a_report().contains("Figure 1a"));
+        assert!(fig1b_report().contains("Figure 1b"));
+        assert!(fig1c_report().contains("Figure 1c"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Figures 6 and 7: iso-execution-time pareto fronts.
+//!
+//! For every benchmark, four projections of the iso-execution-time
+//! front — energy efficiency (MIPS/W), power, problem size and quality
+//! (all normalized to the STV baseline) against `N_NTV/N_STV` — for
+//! the Safe/Speculative × Compress/Expand mode families.
+
+use crate::chip0;
+use crate::figures::fig2::app_by_name;
+use crate::output::{f, TextTable};
+use accordion::pareto::{ParetoExtractor, ParetoFront};
+use accordion_apps::harness::FrontSet;
+
+/// Extracts the four fronts for one named benchmark on the
+/// representative chip.
+pub fn fronts_for(name: &str) -> Vec<ParetoFront> {
+    let app = app_by_name(name);
+    let set = FrontSet::measure(app.as_ref());
+    ParetoExtractor::new(chip0(), app.as_ref(), &set).extract()
+}
+
+/// The Figure 6 benchmarks.
+pub const FIG6_APPS: [&str; 4] = ["canneal", "ferret", "bodytrack", "x264"];
+
+/// The Figure 7 benchmarks.
+pub const FIG7_APPS: [&str; 2] = ["hotspot", "srad"];
+
+fn render_app(name: &str) -> String {
+    let fronts = fronts_for(name);
+    let mut t = TextTable::new([
+        "mode",
+        "size_norm",
+        "N_NTV/N_STV",
+        "f_NTV(GHz)",
+        "MIPSW_ratio",
+        "power_ratio",
+        "quality_norm",
+        "power_limited",
+    ]);
+    for front in &fronts {
+        for p in &front.points {
+            t.row([
+                front.flavor.to_string(),
+                f(p.size_norm),
+                f(p.n_ratio),
+                f(p.f_ntv_ghz),
+                f(p.eff_norm),
+                f(p.power_norm),
+                f(p.quality_norm),
+                if p.power_limited { "yes" } else { "no" }.to_string(),
+            ]);
+        }
+    }
+    format!("\n[{name}]\n{}", t.render())
+}
+
+/// Renders Figure 6.
+pub fn fig6_report() -> String {
+    let mut out =
+        "Figure 6 — iso-execution-time fronts (canneal, ferret, bodytrack, x264)".to_string();
+    for name in FIG6_APPS {
+        out.push_str(&render_app(name));
+    }
+    out
+}
+
+/// Renders Figure 7.
+pub fn fig7_report() -> String {
+    let mut out = "Figure 7 — iso-execution-time fronts (hotspot, srad)".to_string();
+    for name in FIG7_APPS {
+        out.push_str(&render_app(name));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accordion::mode::{FrequencyPolicy, Mode, ProblemScaling};
+    use std::sync::OnceLock;
+
+    fn hotspot_fronts() -> &'static Vec<ParetoFront> {
+        static CACHE: OnceLock<Vec<ParetoFront>> = OnceLock::new();
+        CACHE.get_or_init(|| fronts_for("hotspot"))
+    }
+
+    fn by_flavor(fronts: &[ParetoFront], scaling: ProblemScaling, policy: FrequencyPolicy) -> &ParetoFront {
+        fronts
+            .iter()
+            .find(|f| f.flavor == Mode { scaling, policy })
+            .unwrap()
+    }
+
+    #[test]
+    fn fronts_intersect_at_still() {
+        // Compress and Expand both contain the default-size point.
+        let fronts = hotspot_fronts();
+        for policy in [FrequencyPolicy::Safe, FrequencyPolicy::Speculative] {
+            let c = by_flavor(fronts, ProblemScaling::Compress, policy);
+            let e = by_flavor(fronts, ProblemScaling::Expand, policy);
+            let c_still = c.points.iter().find(|p| (p.size_norm - 1.0).abs() < 0.02);
+            let e_still = e.points.iter().find(|p| (p.size_norm - 1.0).abs() < 0.02);
+            assert!(c_still.is_some() && e_still.is_some());
+            assert_eq!(c_still.unwrap().n_ntv, e_still.unwrap().n_ntv);
+        }
+    }
+
+    #[test]
+    fn efficiency_degrades_with_core_count() {
+        // Paper: "a degrading MIPS/W with increasing N".
+        let fronts = hotspot_fronts();
+        for front in fronts.iter() {
+            let pts = &front.points;
+            if pts.len() < 2 {
+                continue;
+            }
+            let first = pts.first().unwrap();
+            let last = pts.last().unwrap();
+            if last.n_ntv > first.n_ntv {
+                assert!(
+                    last.mips_per_w < first.mips_per_w * 1.05,
+                    "{}: MIPS/W should trend down with N",
+                    front.flavor
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn speculative_beats_safe_in_efficiency() {
+        // Paper: "due to the higher fNTV, a lower N suffices ...
+        // rendering a higher MIPS/W".
+        let fronts = hotspot_fronts();
+        let safe = by_flavor(fronts, ProblemScaling::Expand, FrequencyPolicy::Safe);
+        let spec = by_flavor(fronts, ProblemScaling::Expand, FrequencyPolicy::Speculative);
+        let mut wins = 0;
+        let mut total = 0;
+        for (s, p) in safe.points.iter().zip(&spec.points) {
+            total += 1;
+            if p.mips_per_w >= s.mips_per_w - 1e-9 {
+                wins += 1;
+            }
+        }
+        assert!(wins * 2 >= total, "speculative should win mostly: {wins}/{total}");
+    }
+
+    #[test]
+    fn compress_consumes_less_power_than_expand_at_iso_time() {
+        // Paper: Safe Compress consumes less power than Safe Expand.
+        let fronts = hotspot_fronts();
+        let c = by_flavor(fronts, ProblemScaling::Compress, FrequencyPolicy::Safe);
+        let e = by_flavor(fronts, ProblemScaling::Expand, FrequencyPolicy::Safe);
+        let c_max = c.points.iter().map(|p| p.power_w).fold(0.0, f64::max);
+        let e_max = e.points.iter().map(|p| p.power_w).fold(0.0, f64::max);
+        assert!(c_max <= e_max + 1e-9);
+    }
+
+    #[test]
+    fn all_benchmarks_produce_reports() {
+        // Smoke-test the remaining benchmarks cheaply (fronts only for
+        // one of each figure's list).
+        let r6 = render_app("canneal");
+        assert!(r6.contains("Safe Compress"));
+    }
+}

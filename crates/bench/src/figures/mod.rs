@@ -1,0 +1,11 @@
+//! One module per paper artifact.
+
+pub mod ablate;
+pub mod errmodel;
+pub mod extensions;
+pub mod fig1;
+pub mod fig2;
+pub mod fig5;
+pub mod fig6;
+pub mod headline;
+pub mod tables;

@@ -1,0 +1,103 @@
+//! Artifact registry: maps artifact ids to their generators, shared by
+//! the `repro` binary and the test suite (so `repro all` can never
+//! silently rot).
+
+use crate::figures::{ablate, errmodel, extensions, fig1, fig2, fig5, fig6, headline, tables};
+
+/// Every reproducible artifact id, in report order.
+pub const ARTIFACTS: &[&str] = &[
+    "fig1a",
+    "fig1b",
+    "fig1c",
+    "fig2",
+    "fig4",
+    "fig5a",
+    "fig5b",
+    "fig6",
+    "fig7",
+    "tab1",
+    "tab2",
+    "tab3",
+    "headline",
+    "errmodel",
+    "ablate-selection",
+    "ablate-phi",
+    "ablate-ncp",
+    "ablate-fdomain",
+    "ext-organization",
+    "ext-checkpoint",
+    "ext-weakscale",
+    "ext-runtime",
+    "ext-baselines",
+    "ext-validate",
+    "ext-sync",
+    "ablate-vdd",
+    "ext-vdddomains",
+    "ext-temperature",
+    "ext-thermal",
+];
+
+/// Generates the report for `artifact`; `chips` sizes the Monte-Carlo
+/// population where applicable. Returns `None` for unknown ids.
+pub fn generate(artifact: &str, chips: usize) -> Option<String> {
+    Some(match artifact {
+        "fig1a" => fig1::fig1a_report(),
+        "fig1b" => fig1::fig1b_report(),
+        "fig1c" => fig1::fig1c_report(),
+        "fig2" => fig2::fig2_report(),
+        "fig4" => fig2::fig4_report(),
+        "fig5a" => fig5::fig5a_report(),
+        "fig5b" => fig5::fig5b_report(),
+        "fig6" => fig6::fig6_report(),
+        "fig7" => fig6::fig7_report(),
+        "tab1" => tables::tab1_report(),
+        "tab2" => tables::tab2_report(),
+        "tab3" => tables::tab3_report(),
+        "headline" => headline::Headline::compute(chips).report(),
+        "errmodel" => errmodel::errmodel_report(),
+        "ablate-selection" => ablate::selection_report(),
+        "ablate-phi" => ablate::phi_report(),
+        "ablate-ncp" => ablate::ncp_report(),
+        "ablate-fdomain" => ablate::fdomain_report(),
+        "ext-organization" => extensions::organization_report(),
+        "ext-checkpoint" => extensions::checkpoint_report(),
+        "ext-weakscale" => extensions::weakscale_report(),
+        "ext-runtime" => extensions::runtime_report(),
+        "ext-baselines" => extensions::baselines_report(),
+        "ext-validate" => extensions::validate_report(),
+        "ext-sync" => extensions::sync_report(),
+        "ablate-vdd" => extensions::vdd_report(),
+        "ext-vdddomains" => extensions::vdddomains_report(),
+        "ext-temperature" => extensions::temperature_report(),
+        "ext-thermal" => extensions::thermal_report(),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_artifact_is_none() {
+        assert!(generate("fig99", 1).is_none());
+    }
+
+    #[test]
+    fn cheap_artifacts_all_generate() {
+        // The quick artifacts (no chip population, no full kernel
+        // sweeps) must render non-empty reports.
+        for id in ["fig1a", "fig1b", "fig1c", "tab1", "tab2", "ablate-ncp", "ext-checkpoint"] {
+            let r = generate(id, 1).expect("known id");
+            assert!(r.len() > 100, "{id} report suspiciously short");
+        }
+    }
+
+    #[test]
+    fn registry_has_no_duplicates() {
+        let mut ids = ARTIFACTS.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), ARTIFACTS.len());
+    }
+}

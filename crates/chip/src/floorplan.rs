@@ -1,0 +1,134 @@
+//! Die floorplan: maps the topology onto die coordinates and produces
+//! the variation model's sample-site plan.
+//!
+//! The paper's chip is ≈20 mm × 20 mm (Table 2). Clusters tile the die;
+//! within a cluster, cores sit on a small grid with their private
+//! memories alongside and the shared cluster memory at the center.
+
+use crate::topology::{ClusterId, Topology};
+use accordion_varius::layout::{MemKind, MemSite, SitePlan};
+
+/// Floorplan parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Floorplan {
+    /// Die width in mm (paper: ≈20 mm).
+    pub chip_w_mm: f64,
+    /// Die height in mm.
+    pub chip_h_mm: f64,
+}
+
+impl Floorplan {
+    /// The paper's ≈20 mm × 20 mm die.
+    pub fn paper_default() -> Self {
+        Self {
+            chip_w_mm: 20.0,
+            chip_h_mm: 20.0,
+        }
+    }
+
+    /// Builds the variation sample-site plan for a topology.
+    ///
+    /// Each cluster occupies an equal tile; cores form a near-square
+    /// grid inside the tile. One `CorePrivate` memory site co-locates
+    /// with each core (offset slightly so sites never coincide — a
+    /// coincident pair would make the correlation matrix singular) and
+    /// one `ClusterShared` site sits at the tile center.
+    pub fn site_plan(&self, topo: &Topology) -> SitePlan {
+        let tile_w = self.chip_w_mm / topo.clusters_x as f64;
+        let tile_h = self.chip_h_mm / topo.clusters_y as f64;
+        // Near-square core grid inside a tile.
+        let cores = topo.cores_per_cluster;
+        let gx = (cores as f64).sqrt().ceil() as usize;
+        let gy = cores.div_ceil(gx);
+
+        let mut core_sites = Vec::with_capacity(topo.num_cores());
+        let mut core_clusters = Vec::with_capacity(topo.num_cores());
+        let mut mem_sites = Vec::with_capacity(topo.num_cores() + topo.num_clusters());
+
+        for cl in 0..topo.num_clusters() {
+            let (cx, cy) = topo.cluster_xy(ClusterId(cl));
+            let (ox, oy) = (cx as f64 * tile_w, cy as f64 * tile_h);
+            for k in 0..cores {
+                let (ix, iy) = (k % gx, k / gx);
+                let x = ox + (ix as f64 + 0.5) / gx as f64 * tile_w;
+                let y = oy + (iy as f64 + 0.5) / gy as f64 * tile_h;
+                core_sites.push((x, y));
+                core_clusters.push(cl);
+                // Private memory sits next to its core, offset by a
+                // tenth of the core pitch.
+                mem_sites.push(MemSite {
+                    pos_mm: (x + 0.1 * tile_w / gx as f64, y),
+                    kind: MemKind::CorePrivate,
+                    cluster: cl,
+                });
+            }
+            mem_sites.push(MemSite {
+                pos_mm: (ox + 0.5 * tile_w, oy + 0.5 * tile_h + 0.05 * tile_h),
+                kind: MemKind::ClusterShared,
+                cluster: cl,
+            });
+        }
+
+        SitePlan {
+            chip_w_mm: self.chip_w_mm,
+            chip_h_mm: self.chip_h_mm,
+            core_sites_mm: core_sites,
+            core_clusters,
+            mem_sites,
+        }
+    }
+}
+
+impl Default for Floorplan {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_plan_counts() {
+        let plan = Floorplan::paper_default().site_plan(&Topology::paper_default());
+        assert_eq!(plan.num_cores(), 288);
+        assert_eq!(plan.num_mem_sites(), 288 + 36);
+        assert_eq!(plan.num_clusters(), 36);
+    }
+
+    #[test]
+    fn sites_inside_die() {
+        let plan = Floorplan::paper_default().site_plan(&Topology::paper_default());
+        for &(x, y) in &plan.core_sites_mm {
+            assert!(x > 0.0 && x < 20.0 && y > 0.0 && y < 20.0);
+        }
+        for m in &plan.mem_sites {
+            assert!(m.pos_mm.0 > 0.0 && m.pos_mm.0 < 20.5);
+            assert!(m.pos_mm.1 > 0.0 && m.pos_mm.1 < 20.5);
+        }
+    }
+
+    #[test]
+    fn no_two_sites_coincide() {
+        let plan = Floorplan::paper_default().site_plan(&Topology::small());
+        let pts = plan.all_points_mm();
+        for i in 0..pts.len() {
+            for j in i + 1..pts.len() {
+                let d = (pts[i].0 - pts[j].0).hypot(pts[i].1 - pts[j].1);
+                assert!(d > 1e-6, "sites {i} and {j} coincide");
+            }
+        }
+    }
+
+    #[test]
+    fn cores_of_same_cluster_are_close() {
+        let topo = Topology::paper_default();
+        let plan = Floorplan::paper_default().site_plan(&topo);
+        // All cores of cluster 0 must be inside its tile (≤3.33 mm).
+        for k in 0..topo.cores_per_cluster {
+            let (x, y) = plan.core_sites_mm[k];
+            assert!(x < 20.0 / 6.0 && y < 20.0 / 6.0);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Memory-hierarchy parameters (paper Table 2, "Architectural
+//! Parameters").
+
+/// The two-level memory hierarchy of the evaluation chip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryParams {
+    /// Core-private memory capacity in KB (write-through).
+    pub private_kb: usize,
+    /// Private memory associativity.
+    pub private_ways: usize,
+    /// Private memory access time in ns.
+    pub private_access_ns: f64,
+    /// Cluster memory capacity in MB (write-back).
+    pub cluster_mb: usize,
+    /// Cluster memory associativity.
+    pub cluster_ways: usize,
+    /// Cluster memory access time in ns.
+    pub cluster_access_ns: f64,
+    /// Cache line size in bytes.
+    pub line_bytes: usize,
+    /// Average round-trip main-memory access time without contention,
+    /// in ns (paper: ≈80 ns).
+    pub mem_round_trip_ns: f64,
+}
+
+impl MemoryParams {
+    /// The paper's Table 2 hierarchy.
+    pub fn paper_default() -> Self {
+        Self {
+            private_kb: 64,
+            private_ways: 4,
+            private_access_ns: 2.0,
+            cluster_mb: 2,
+            cluster_ways: 16,
+            cluster_access_ns: 10.0,
+            line_bytes: 64,
+            mem_round_trip_ns: 80.0,
+        }
+    }
+
+    /// Average memory latency in ns for an access stream with the
+    /// given hit rates (private hit, else cluster hit, else memory).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either hit rate is outside `[0, 1]`.
+    pub fn avg_latency_ns(&self, private_hit: f64, cluster_hit: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&private_hit), "hit rate in [0,1]");
+        assert!((0.0..=1.0).contains(&cluster_hit), "hit rate in [0,1]");
+        let miss1 = 1.0 - private_hit;
+        let miss2 = 1.0 - cluster_hit;
+        self.private_access_ns
+            + miss1 * (self.cluster_access_ns + miss2 * self.mem_round_trip_ns)
+    }
+}
+
+impl Default for MemoryParams {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values() {
+        let m = MemoryParams::paper_default();
+        assert_eq!(m.private_kb, 64);
+        assert_eq!(m.cluster_mb, 2);
+        assert_eq!(m.line_bytes, 64);
+        assert_eq!(m.mem_round_trip_ns, 80.0);
+    }
+
+    #[test]
+    fn perfect_private_cache_costs_only_l1() {
+        let m = MemoryParams::paper_default();
+        assert_eq!(m.avg_latency_ns(1.0, 0.0), 2.0);
+    }
+
+    #[test]
+    fn all_misses_cost_full_round_trip() {
+        let m = MemoryParams::paper_default();
+        assert_eq!(m.avg_latency_ns(0.0, 0.0), 2.0 + 10.0 + 80.0);
+    }
+
+    #[test]
+    fn latency_monotone_in_hit_rates() {
+        let m = MemoryParams::paper_default();
+        assert!(m.avg_latency_ns(0.9, 0.8) < m.avg_latency_ns(0.8, 0.8));
+        assert!(m.avg_latency_ns(0.9, 0.8) < m.avg_latency_ns(0.9, 0.7));
+    }
+
+    #[test]
+    #[should_panic(expected = "hit rate")]
+    fn bad_hit_rate_rejected() {
+        MemoryParams::paper_default().avg_latency_ns(1.5, 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! On-chip network: a bus inside each cluster and a 2D torus across
+//! clusters (paper Table 2), with a simple latency model used by the
+//! execution-time accounting.
+
+use crate::topology::{ClusterId, Topology};
+
+/// Network parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkParams {
+    /// Network clock in GHz (paper: 0.8 GHz at the NTV nominal).
+    pub f_network_ghz: f64,
+    /// Bus arbitration + transfer latency inside a cluster, in network
+    /// cycles.
+    pub bus_cycles: u32,
+    /// Per-hop latency of the torus, in network cycles.
+    pub hop_cycles: u32,
+    /// Router/injection overhead per message, in network cycles.
+    pub inject_cycles: u32,
+}
+
+impl NetworkParams {
+    /// Paper-consistent defaults.
+    pub fn paper_default() -> Self {
+        Self {
+            f_network_ghz: 0.8,
+            bus_cycles: 4,
+            hop_cycles: 2,
+            inject_cycles: 3,
+        }
+    }
+
+    /// Torus hop distance between two clusters (wrap-around Manhattan
+    /// distance).
+    pub fn torus_hops(&self, topo: &Topology, a: ClusterId, b: ClusterId) -> u32 {
+        let (ax, ay) = topo.cluster_xy(a);
+        let (bx, by) = topo.cluster_xy(b);
+        let dx = ax.abs_diff(bx).min(topo.clusters_x - ax.abs_diff(bx));
+        let dy = ay.abs_diff(by).min(topo.clusters_y - ay.abs_diff(by));
+        (dx + dy) as u32
+    }
+
+    /// One-way message latency in ns between two cores' clusters:
+    /// intra-cluster messages ride the bus; inter-cluster messages pay
+    /// injection plus per-hop costs.
+    pub fn message_latency_ns(&self, topo: &Topology, a: ClusterId, b: ClusterId) -> f64 {
+        let cycles = if a == b {
+            self.bus_cycles
+        } else {
+            self.inject_cycles + self.hop_cycles * self.torus_hops(topo, a, b) + self.bus_cycles
+        };
+        cycles as f64 / self.f_network_ghz
+    }
+
+    /// Average one-way latency from a cluster to `n` uniformly spread
+    /// destination clusters (used for reduction/merge cost estimates).
+    pub fn avg_latency_to_all_ns(&self, topo: &Topology, from: ClusterId) -> f64 {
+        let n = topo.num_clusters();
+        let total: f64 = (0..n)
+            .map(|c| self.message_latency_ns(topo, from, ClusterId(c)))
+            .sum();
+        total / n as f64
+    }
+}
+
+impl Default for NetworkParams {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intra_cluster_uses_bus() {
+        let net = NetworkParams::paper_default();
+        let topo = Topology::paper_default();
+        let l = net.message_latency_ns(&topo, ClusterId(3), ClusterId(3));
+        assert_eq!(l, 4.0 / 0.8);
+    }
+
+    #[test]
+    fn torus_wraps_around() {
+        let net = NetworkParams::paper_default();
+        let topo = Topology::paper_default();
+        // Clusters 0 (0,0) and 5 (5,0): 5 hops direct, 1 hop wrapped.
+        assert_eq!(net.torus_hops(&topo, ClusterId(0), ClusterId(5)), 1);
+        // Clusters 0 (0,0) and 2 (2,0): 2 hops.
+        assert_eq!(net.torus_hops(&topo, ClusterId(0), ClusterId(2)), 2);
+    }
+
+    #[test]
+    fn farther_clusters_cost_more() {
+        let net = NetworkParams::paper_default();
+        let topo = Topology::paper_default();
+        let near = net.message_latency_ns(&topo, ClusterId(0), ClusterId(1));
+        let far = net.message_latency_ns(&topo, ClusterId(0), ClusterId(14)); // (2,2)
+        assert!(far > near);
+    }
+
+    #[test]
+    fn avg_latency_is_between_extremes() {
+        let net = NetworkParams::paper_default();
+        let topo = Topology::paper_default();
+        let avg = net.avg_latency_to_all_ns(&topo, ClusterId(0));
+        let bus = net.message_latency_ns(&topo, ClusterId(0), ClusterId(0));
+        let far = net.message_latency_ns(&topo, ClusterId(0), ClusterId(21)); // (3,3): max hops
+        assert!(avg > bus && avg < far);
+    }
+}

@@ -1,0 +1,200 @@
+//! Chip-level power aggregation and the STV core-count budget.
+//!
+//! Combines the per-core model of `accordion-vlsi` with an uncore
+//! (cluster memory + network share) term, calibrated so the full
+//! 288-core chip at the NTV nominal point sits just inside the 100 W
+//! budget of Table 2 — which is exactly the paper's premise: NTC lets
+//! *all* cores fit the budget, STV only a fraction (`N_STV`).
+
+use crate::topology::Topology;
+use accordion_vlsi::power::CorePowerModel;
+use accordion_vlsi::tech::Technology;
+
+/// Chip power model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipPowerModel {
+    core: CorePowerModel,
+    tech: Technology,
+    /// Uncore power of one powered cluster at the NTV nominal point
+    /// (shared memory + network slice), in watts.
+    uncore_ntv_w: f64,
+    /// Dynamic fraction of the uncore power.
+    uncore_dyn_frac: f64,
+    /// Chip power budget in watts (paper: 100 W).
+    budget_w: f64,
+}
+
+/// Power of a chip configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipPower {
+    /// Active-core power in watts.
+    pub cores_w: f64,
+    /// Uncore (cluster memories + network) power in watts.
+    pub uncore_w: f64,
+}
+
+impl ChipPower {
+    /// Total chip power in watts.
+    pub fn total_w(&self) -> f64 {
+        self.cores_w + self.uncore_w
+    }
+}
+
+impl ChipPowerModel {
+    /// Uncore watts per powered cluster at the NTV nominal
+    /// (36 × 0.5 W = 18 W + 288 × 0.28 W ≈ 98.6 W ≤ 100 W).
+    pub const UNCORE_NTV_W: f64 = 0.5;
+
+    /// Builds the model for a technology with the paper's 100 W budget.
+    pub fn paper_default(tech: &Technology) -> Self {
+        Self {
+            core: CorePowerModel::calibrate(tech),
+            tech: tech.clone(),
+            uncore_ntv_w: Self::UNCORE_NTV_W,
+            uncore_dyn_frac: 0.6,
+            budget_w: 100.0,
+        }
+    }
+
+    /// The chip power budget in watts.
+    pub fn budget_w(&self) -> f64 {
+        self.budget_w
+    }
+
+    /// The underlying per-core power model.
+    pub fn core_model(&self) -> &CorePowerModel {
+        &self.core
+    }
+
+    /// Uncore power of one powered cluster at `vdd_v`, with its
+    /// network/memory clock scaled proportionally to `f_scale`
+    /// (relative to the NTV nominal network clock).
+    pub fn cluster_uncore_w(&self, vdd_v: f64, f_scale: f64) -> f64 {
+        assert!(f_scale >= 0.0, "frequency scale must be non-negative");
+        let v_rel = vdd_v / self.tech.vdd_nom_v;
+        let dynamic = self.uncore_ntv_w * self.uncore_dyn_frac * v_rel * v_rel * f_scale;
+        let static_ = self.uncore_ntv_w * (1.0 - self.uncore_dyn_frac) * v_rel;
+        dynamic + static_
+    }
+
+    /// Power of `active_cores` nominal cores in `active_clusters`
+    /// powered clusters, all at `vdd_v`/`f_ghz`. Idle cores in powered
+    /// clusters still leak.
+    pub fn chip_power(
+        &self,
+        topo: &Topology,
+        active_cores: usize,
+        active_clusters: usize,
+        vdd_v: f64,
+        f_ghz: f64,
+    ) -> ChipPower {
+        assert!(
+            active_cores <= active_clusters * topo.cores_per_cluster,
+            "more active cores than the powered clusters can hold"
+        );
+        let per_core = self.core.core_power(vdd_v, f_ghz, 0.0, 1.0).total_w();
+        let idle = self.core.idle_power_w(vdd_v, 0.0, 1.0);
+        let idle_cores = active_clusters * topo.cores_per_cluster - active_cores;
+        let f_scale = if vdd_v >= self.tech.vdd_stv_v {
+            self.tech.f_stv_ghz / self.tech.f_nom_ghz
+        } else {
+            f_ghz / self.tech.f_nom_ghz
+        };
+        ChipPower {
+            cores_w: active_cores as f64 * per_core + idle_cores as f64 * idle,
+            uncore_w: active_clusters as f64 * self.cluster_uncore_w(vdd_v, f_scale),
+        }
+    }
+
+    /// The maximum core count that fits the budget at the STV nominal
+    /// operating point, allocated at cluster granularity — the paper's
+    /// `N_STV` baseline.
+    pub fn n_stv(&self, topo: &Topology) -> usize {
+        let vdd = self.tech.vdd_stv_v;
+        let f = self.tech.f_stv_ghz;
+        let mut best = 0;
+        for clusters in 1..=topo.num_clusters() {
+            let cores = clusters * topo.cores_per_cluster;
+            let p = self.chip_power(topo, cores, clusters, vdd, f);
+            if p.total_w() <= self.budget_w {
+                best = cores;
+            } else {
+                break;
+            }
+        }
+        // Fall back to partial-cluster allocation if even one cluster
+        // exceeds the budget (does not happen for the paper config).
+        if best == 0 {
+            for cores in (1..=topo.cores_per_cluster).rev() {
+                let p = self.chip_power(topo, cores, 1, vdd, f);
+                if p.total_w() <= self.budget_w {
+                    return cores;
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> (ChipPowerModel, Topology) {
+        (
+            ChipPowerModel::paper_default(&Technology::node_11nm()),
+            Topology::paper_default(),
+        )
+    }
+
+    #[test]
+    fn full_chip_fits_budget_at_ntv() {
+        let (m, t) = model();
+        let tech = Technology::node_11nm();
+        let p = m.chip_power(&t, 288, 36, tech.vdd_nom_v, tech.f_nom_ghz);
+        assert!(p.total_w() <= 100.0, "NTV full chip draws {}", p.total_w());
+        assert!(p.total_w() > 80.0, "NTV full chip {} implausibly low", p.total_w());
+    }
+
+    #[test]
+    fn n_stv_is_a_small_fraction_of_the_chip() {
+        // The dark-silicon premise: at STV only a fraction of the 288
+        // cores fits 100 W. The paper's Figure 6/7 x-axes (N_NTV/N_STV
+        // up to ≈10-18) imply N_STV in the tens.
+        let (m, t) = model();
+        let n = m.n_stv(&t);
+        assert!(n >= 16 && n <= 64, "N_STV = {n}");
+        assert_eq!(n % t.cores_per_cluster, 0, "cluster granularity");
+    }
+
+    #[test]
+    fn stv_chip_power_exceeds_budget_if_all_cores_on() {
+        let (m, t) = model();
+        let tech = Technology::node_11nm();
+        let p = m.chip_power(&t, 288, 36, tech.vdd_stv_v, tech.f_stv_ghz);
+        assert!(p.total_w() > 300.0, "full STV chip should blow the budget");
+    }
+
+    #[test]
+    fn idle_cores_still_leak() {
+        let (m, t) = model();
+        let tech = Technology::node_11nm();
+        let active_only = m.chip_power(&t, 8, 1, tech.vdd_nom_v, 1.0);
+        let with_idle = m.chip_power(&t, 8, 2, tech.vdd_nom_v, 1.0);
+        assert!(with_idle.cores_w > active_only.cores_w);
+        assert!(with_idle.uncore_w > active_only.uncore_w);
+    }
+
+    #[test]
+    fn uncore_scales_with_voltage() {
+        let (m, _) = model();
+        assert!(m.cluster_uncore_w(1.0, 1.0) > m.cluster_uncore_w(0.55, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "more active cores")]
+    fn active_cores_capped_by_clusters() {
+        let (m, t) = model();
+        m.chip_power(&t, 9, 1, 0.55, 1.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Cluster selection policies.
+//!
+//! Accordion assigns work at cluster granularity (Section 6.1) and,
+//! when a problem size demands `N_NTV` cores, "picks the most
+//! energy-efficient `N_NTV` cores from the variation-afflicted chip"
+//! (Section 6.3). Alternative policies are provided for the ablation
+//! study called out in DESIGN.md.
+
+use crate::chip::Chip;
+use crate::topology::ClusterId;
+use accordion_stats::rng::SeedStream;
+use rand::seq::SliceRandom;
+
+/// How to order clusters when selecting `n` of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionPolicy {
+    /// Most energy-efficient first (the paper's policy).
+    EnergyEfficiency,
+    /// Highest safe frequency first.
+    FastestFirst,
+    /// Uniformly random order (ablation baseline); the payload seeds
+    /// the shuffle.
+    Random(u64),
+    /// Cluster-id order (naive baseline).
+    InOrder,
+}
+
+/// A set of selected clusters with the operating limits they imply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSelection {
+    clusters: Vec<ClusterId>,
+    /// Minimum (binding) safe frequency across the selection, GHz.
+    safe_f_ghz: f64,
+}
+
+impl ClusterSelection {
+    /// Selects `n` clusters from `chip` under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the cluster count.
+    pub fn select(chip: &Chip, n: usize, policy: SelectionPolicy) -> Self {
+        let total = chip.topology().num_clusters();
+        assert!(n > 0, "selection must be non-empty");
+        assert!(n <= total, "cannot select {n} of {total} clusters");
+        let mut order: Vec<ClusterId> = (0..total).map(ClusterId).collect();
+        match policy {
+            SelectionPolicy::EnergyEfficiency => {
+                order.sort_by(|a, b| {
+                    chip.cluster_efficiency(*b)
+                        .partial_cmp(&chip.cluster_efficiency(*a))
+                        .expect("efficiencies are finite")
+                });
+            }
+            SelectionPolicy::FastestFirst => {
+                order.sort_by(|a, b| {
+                    chip.cluster_safe_f_ghz(*b)
+                        .partial_cmp(&chip.cluster_safe_f_ghz(*a))
+                        .expect("frequencies are finite")
+                });
+            }
+            SelectionPolicy::Random(seed) => {
+                let mut rng = SeedStream::new(seed).stream("cluster-shuffle", 0);
+                order.shuffle(&mut rng);
+            }
+            SelectionPolicy::InOrder => {}
+        }
+        order.truncate(n);
+        let safe_f_ghz = order
+            .iter()
+            .map(|&c| chip.cluster_safe_f_ghz(c))
+            .fold(f64::INFINITY, f64::min);
+        Self {
+            clusters: order,
+            safe_f_ghz,
+        }
+    }
+
+    /// The selected clusters, best first.
+    pub fn clusters(&self) -> &[ClusterId] {
+        &self.clusters
+    }
+
+    /// Number of selected clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether the selection is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Total core count across the selection.
+    pub fn num_cores(&self, chip: &Chip) -> usize {
+        self.len() * chip.topology().cores_per_cluster
+    }
+
+    /// The binding safe frequency: all selected clusters run at the
+    /// frequency of the slowest one (Section 4: equal progress).
+    pub fn safe_f_ghz(&self) -> f64 {
+        self.safe_f_ghz
+    }
+
+    /// The binding frequency at a speculative per-cycle error rate.
+    pub fn f_for_perr_ghz(&self, chip: &Chip, perr: f64) -> f64 {
+        self.clusters
+            .iter()
+            .map(|&c| chip.cluster_f_for_perr_ghz(c, perr))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Total power of the selection with all member cores running at
+    /// `f_ghz`, in watts.
+    pub fn power_w(&self, chip: &Chip, f_ghz: f64) -> f64 {
+        self.clusters
+            .iter()
+            .map(|&c| chip.cluster_power_w(c, f_ghz))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chip() -> Chip {
+        Chip::fabricate_small(5).unwrap()
+    }
+
+    #[test]
+    fn efficiency_policy_orders_descending() {
+        let chip = chip();
+        let sel = ClusterSelection::select(&chip, 4, SelectionPolicy::EnergyEfficiency);
+        let effs: Vec<f64> = sel
+            .clusters()
+            .iter()
+            .map(|&c| chip.cluster_efficiency(c))
+            .collect();
+        for w in effs.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn growing_selection_never_raises_safe_f() {
+        let chip = chip();
+        let mut prev = f64::INFINITY;
+        for n in 1..=4 {
+            let sel = ClusterSelection::select(&chip, n, SelectionPolicy::EnergyEfficiency);
+            assert!(sel.safe_f_ghz() <= prev + 1e-12);
+            prev = sel.safe_f_ghz();
+        }
+    }
+
+    #[test]
+    fn fastest_first_beats_or_ties_others_on_f() {
+        let chip = chip();
+        for n in 1..=3 {
+            let fast = ClusterSelection::select(&chip, n, SelectionPolicy::FastestFirst);
+            for policy in [SelectionPolicy::EnergyEfficiency, SelectionPolicy::InOrder] {
+                let other = ClusterSelection::select(&chip, n, policy);
+                assert!(fast.safe_f_ghz() >= other.safe_f_ghz() - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn random_policy_is_seeded() {
+        let chip = chip();
+        let a = ClusterSelection::select(&chip, 3, SelectionPolicy::Random(7));
+        let b = ClusterSelection::select(&chip, 3, SelectionPolicy::Random(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn power_grows_with_selection_size() {
+        let chip = chip();
+        let p1 = ClusterSelection::select(&chip, 1, SelectionPolicy::EnergyEfficiency)
+            .power_w(&chip, 0.5);
+        let p4 = ClusterSelection::select(&chip, 4, SelectionPolicy::EnergyEfficiency)
+            .power_w(&chip, 0.5);
+        assert!(p4 > 3.0 * p1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot select")]
+    fn oversized_selection_rejected() {
+        ClusterSelection::select(&chip(), 99, SelectionPolicy::InOrder);
+    }
+}

@@ -1,0 +1,210 @@
+//! Thermal feedback: the leakage–temperature loop.
+//!
+//! The Table 2 budget pairs `P_MAX = 100 W` with `T_MIN = 80 °C` — the
+//! chip is power-limited *because* it is cooling-limited. Leakage
+//! grows exponentially with temperature (the thermal voltage in the
+//! sub-threshold slope), and dissipated power raises temperature
+//! through the package's thermal resistance: a positive feedback loop
+//! that can run away. At NTV the static share is large, making the
+//! loop gain — and the risk — higher than at STV. This module solves
+//! the fixed point `T = T_amb + R_th · P(T)` and detects runaway.
+
+use crate::topology::Topology;
+use accordion_vlsi::power::CorePowerModel;
+use accordion_vlsi::tech::Technology;
+
+/// Package/cooling description.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalParams {
+    /// Ambient (heatsink inlet) temperature in kelvin.
+    pub ambient_k: f64,
+    /// Junction-to-ambient thermal resistance in K/W.
+    pub r_th_k_per_w: f64,
+}
+
+impl ThermalParams {
+    /// A server-class heatsink: 45 °C ambient, 0.35 K/W — which puts a
+    /// 100 W chip at Table 2's 80 °C operating point.
+    pub fn paper_default() -> Self {
+        Self {
+            ambient_k: 318.15,
+            r_th_k_per_w: 0.35,
+        }
+    }
+}
+
+impl Default for ThermalParams {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Result of the thermal fixed-point solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThermalSolution {
+    /// The loop converged to a stable operating temperature.
+    Stable {
+        /// Junction temperature in kelvin.
+        temperature_k: f64,
+        /// Chip power at that temperature in watts.
+        power_w: f64,
+    },
+    /// The leakage–temperature loop diverged (thermal runaway).
+    Runaway,
+}
+
+impl ThermalSolution {
+    /// The stable temperature, if any.
+    pub fn temperature_k(&self) -> Option<f64> {
+        match self {
+            ThermalSolution::Stable { temperature_k, .. } => Some(*temperature_k),
+            ThermalSolution::Runaway => None,
+        }
+    }
+}
+
+/// Solves the leakage–temperature fixed point for `active_cores`
+/// nominal cores (in `active_clusters` powered clusters) at
+/// `vdd_v`/`f_ghz`, with the power model's constants held at their
+/// calibration values and only the device temperature varied.
+///
+/// # Panics
+///
+/// Panics if the thermal resistance is not positive.
+pub fn solve(
+    power: &CorePowerModel,
+    topo: &Topology,
+    thermal: &ThermalParams,
+    active_cores: usize,
+    active_clusters: usize,
+    vdd_v: f64,
+    f_ghz: f64,
+) -> ThermalSolution {
+    assert!(thermal.r_th_k_per_w > 0.0, "thermal resistance must be positive");
+    let base_tech = power.technology().clone();
+    let chip_power_at = |t_k: f64| -> f64 {
+        let tech = Technology {
+            temperature_k: t_k,
+            ..base_tech.clone()
+        };
+        let pm = power.with_technology(&tech);
+        let per_core = pm.core_power(vdd_v, f_ghz, 0.0, 1.0).total_w();
+        let idle = pm.idle_power_w(vdd_v, 0.0, 1.0);
+        let idle_cores = active_clusters * topo.cores_per_cluster - active_cores;
+        // Uncore share approximated with the NTV calibration constant
+        // (memory leakage also grows, folded into the core term).
+        let uncore =
+            active_clusters as f64 * crate::power::ChipPowerModel::UNCORE_NTV_W;
+        active_cores as f64 * per_core + idle_cores as f64 * idle + uncore
+    };
+
+    let mut t_k = thermal.ambient_k;
+    for _ in 0..200 {
+        let p = chip_power_at(t_k);
+        let next = thermal.ambient_k + thermal.r_th_k_per_w * p;
+        if next > 450.0 {
+            return ThermalSolution::Runaway; // > ~177 °C: silicon is done
+        }
+        if (next - t_k).abs() < 1e-6 {
+            return ThermalSolution::Stable {
+                temperature_k: next,
+                power_w: p,
+            };
+        }
+        t_k = next;
+    }
+    // Non-convergent oscillation counts as unstable.
+    ThermalSolution::Runaway
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (CorePowerModel, Topology) {
+        (
+            CorePowerModel::calibrate(&Technology::node_11nm()),
+            Topology::paper_default(),
+        )
+    }
+
+    #[test]
+    fn full_ntv_chip_is_thermally_stable_at_paper_cooling() {
+        let (pm, topo) = fixture();
+        let sol = solve(
+            &pm,
+            &topo,
+            &ThermalParams::paper_default(),
+            288,
+            36,
+            0.55,
+            1.0,
+        );
+        let t = sol.temperature_k().expect("stable");
+        // Near the Table 2 operating point (≈80 °C) and below boiling
+        // concern.
+        assert!(t > 340.0 && t < 380.0, "T = {t} K");
+    }
+
+    #[test]
+    fn weak_cooling_causes_runaway() {
+        let (pm, topo) = fixture();
+        let weak = ThermalParams {
+            ambient_k: 318.15,
+            r_th_k_per_w: 5.0,
+        };
+        assert_eq!(solve(&pm, &topo, &weak, 288, 36, 0.55, 1.0), ThermalSolution::Runaway);
+    }
+
+    #[test]
+    fn fewer_cores_run_cooler() {
+        let (pm, topo) = fixture();
+        let th = ThermalParams::paper_default();
+        let small = solve(&pm, &topo, &th, 72, 9, 0.55, 1.0)
+            .temperature_k()
+            .expect("stable");
+        let big = solve(&pm, &topo, &th, 288, 36, 0.55, 1.0)
+            .temperature_k()
+            .expect("stable");
+        assert!(small < big);
+    }
+
+    #[test]
+    fn feedback_raises_power_above_cold_estimate() {
+        // Self-heating must make the converged power exceed the
+        // ambient-temperature power.
+        let (pm, topo) = fixture();
+        let th = ThermalParams::paper_default();
+        let cold_tech = Technology {
+            temperature_k: th.ambient_k,
+            ..pm.technology().clone()
+        };
+        let cold = pm
+            .with_technology(&cold_tech)
+            .core_power(0.55, 1.0, 0.0, 1.0)
+            .total_w()
+            * 288.0
+            + 36.0 * crate::power::ChipPowerModel::UNCORE_NTV_W;
+        match solve(&pm, &topo, &th, 288, 36, 0.55, 1.0) {
+            ThermalSolution::Stable { power_w, .. } => {
+                assert!(power_w > cold, "hot {power_w} vs cold {cold}")
+            }
+            ThermalSolution::Runaway => panic!("should be stable"),
+        }
+    }
+
+    #[test]
+    fn stv_operation_of_few_cores_is_stable() {
+        let (pm, topo) = fixture();
+        let sol = solve(
+            &pm,
+            &topo,
+            &ThermalParams::paper_default(),
+            32,
+            4,
+            1.0,
+            3.3,
+        );
+        assert!(sol.temperature_k().is_some());
+    }
+}

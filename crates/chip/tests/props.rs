@@ -1,0 +1,100 @@
+//! Property-based tests for the chip model.
+
+use accordion_chip::chip::Chip;
+use accordion_chip::network::NetworkParams;
+use accordion_chip::organization::{cluster_yield, CcDcOrganization};
+use accordion_chip::selection::{ClusterSelection, SelectionPolicy};
+use accordion_chip::topology::{ClusterId, CoreId, Topology};
+use accordion_varius::params::VariationParams;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn chip() -> &'static Chip {
+    static CHIP: OnceLock<Chip> = OnceLock::new();
+    CHIP.get_or_init(|| Chip::fabricate_small(0).expect("chip"))
+}
+
+proptest! {
+    #[test]
+    fn topology_cluster_membership_total(cx in 1usize..8, cy in 1usize..8, cpc in 1usize..16) {
+        let t = Topology { clusters_x: cx, clusters_y: cy, cores_per_cluster: cpc };
+        let mut seen = 0;
+        for c in 0..t.num_clusters() {
+            for core in t.cores_of(ClusterId(c)) {
+                prop_assert_eq!(t.cluster_of(core), ClusterId(c));
+                seen += 1;
+            }
+        }
+        prop_assert_eq!(seen, t.num_cores());
+    }
+
+    #[test]
+    fn torus_distance_is_symmetric_and_bounded(
+        cx in 2usize..8, cy in 2usize..8, a in 0usize..64, b in 0usize..64,
+    ) {
+        let t = Topology { clusters_x: cx, clusters_y: cy, cores_per_cluster: 4 };
+        let n = t.num_clusters();
+        let (a, b) = (ClusterId(a % n), ClusterId(b % n));
+        let net = NetworkParams::paper_default();
+        prop_assert_eq!(net.torus_hops(&t, a, b), net.torus_hops(&t, b, a));
+        // Wrap-around bound: at most half the ring in each dimension.
+        prop_assert!(net.torus_hops(&t, a, b) as usize <= cx / 2 + cy / 2);
+        if a == b {
+            prop_assert_eq!(net.torus_hops(&t, a, b), 0);
+        }
+    }
+
+    #[test]
+    fn selection_is_subset_without_duplicates(n in 1usize..5, seed in 0u64..50) {
+        let sel = ClusterSelection::select(chip(), n, SelectionPolicy::Random(seed));
+        prop_assert_eq!(sel.len(), n);
+        let mut ids: Vec<usize> = sel.clusters().iter().map(|c| c.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), n);
+        prop_assert!(ids.iter().all(|&c| c < 4));
+    }
+
+    #[test]
+    fn binding_frequency_is_the_minimum_member(n in 1usize..5) {
+        let sel = ClusterSelection::select(chip(), n, SelectionPolicy::EnergyEfficiency);
+        let min_f = sel
+            .clusters()
+            .iter()
+            .map(|&c| chip().cluster_safe_f_ghz(c))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((sel.safe_f_ghz() - min_f).abs() < 1e-12);
+    }
+
+    #[test]
+    fn selection_power_monotone_in_frequency(n in 1usize..5, f1 in 0.1f64..0.8, df in 0.01f64..0.4) {
+        let sel = ClusterSelection::select(chip(), n, SelectionPolicy::EnergyEfficiency);
+        prop_assert!(sel.power_w(chip(), f1 + df) > sel.power_w(chip(), f1));
+    }
+
+    #[test]
+    fn speculative_f_weakly_monotone_in_perr(n in 1usize..5, e1 in 4i32..12, de in 1i32..4) {
+        let sel = ClusterSelection::select(chip(), n, SelectionPolicy::EnergyEfficiency);
+        let strict = sel.f_for_perr_ghz(chip(), 10f64.powi(-(e1 + de)));
+        let loose = sel.f_for_perr_ghz(chip(), 10f64.powi(-e1));
+        prop_assert!(loose >= strict);
+    }
+
+    #[test]
+    fn time_multiplex_duty_trades_linearly(duty in 0.0f64..0.9) {
+        let y = cluster_yield(
+            chip(),
+            ClusterId(0),
+            CcDcOrganization::HomogeneousTimeMultiplexed { control_duty: duty },
+            &VariationParams::default(),
+        );
+        let cores = chip().topology().cores_per_cluster as f64;
+        prop_assert!((y.dc_core_equivalents - cores * (1.0 - duty)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn core_ids_display_round_trip(id in 0usize..1000) {
+        prop_assert_eq!(format!("{}", CoreId(id)), format!("core{id}"));
+        prop_assert_eq!(format!("{}", ClusterId(id)), format!("cluster{id}"));
+    }
+}

@@ -1,0 +1,92 @@
+//! The super-threshold (STV) baseline execution.
+//!
+//! `Execution Time_STV` is obtained at the default problem size, with
+//! `N_STV` cores (the most that fit the 100 W budget at the STV
+//! nominal voltage) at the STV nominal frequency. The paper favours
+//! STV by neglecting variation there (Section 6.3) — so the baseline
+//! uses nominal, variation-free cores.
+
+use accordion_apps::app::RmsApp;
+use accordion_chip::chip::Chip;
+use accordion_sim::exec::ExecModel;
+use accordion_sim::workload::Workload;
+
+/// The STV reference operating point for one benchmark on one chip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StvBaseline {
+    /// Core count fitting the power budget at STV (cluster granular).
+    pub n_stv: usize,
+    /// STV nominal frequency in GHz.
+    pub f_stv_ghz: f64,
+    /// The default-knob workload.
+    pub workload: Workload,
+    /// Baseline execution time in seconds.
+    pub exec_time_s: f64,
+    /// Baseline chip power in watts.
+    pub power_w: f64,
+    /// Baseline throughput in MIPS.
+    pub mips: f64,
+}
+
+impl StvBaseline {
+    /// Computes the baseline for `app` on `chip` with timing model
+    /// `exec`.
+    pub fn compute(chip: &Chip, app: &dyn RmsApp, exec: &ExecModel) -> Self {
+        let tech = chip.freq_model().technology();
+        let topo = chip.topology();
+        let n_stv = chip.n_stv();
+        let f_stv_ghz = tech.f_stv_ghz;
+        let workload = app.full_scale_workload(app.default_knob());
+        let exec_time_s = exec.execution_time_s(&workload, n_stv, f_stv_ghz);
+        let clusters = n_stv.div_ceil(topo.cores_per_cluster);
+        let power_w = chip
+            .power_model()
+            .chip_power(topo, n_stv, clusters, tech.vdd_stv_v, f_stv_ghz)
+            .total_w();
+        let mips = exec.total_mips(&workload, n_stv, f_stv_ghz);
+        Self {
+            n_stv,
+            f_stv_ghz,
+            workload,
+            exec_time_s,
+            power_w,
+            mips,
+        }
+    }
+
+    /// Baseline energy efficiency in MIPS per watt.
+    pub fn mips_per_w(&self) -> f64 {
+        self.mips / self.power_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accordion_apps::hotspot::Hotspot;
+
+    fn baseline() -> StvBaseline {
+        let chip = Chip::fabricate_small(0).unwrap();
+        StvBaseline::compute(&chip, &Hotspot::paper_default(), &ExecModel::paper_default())
+    }
+
+    #[test]
+    fn baseline_is_within_budget() {
+        let b = baseline();
+        assert!(b.power_w <= 100.0, "baseline draws {}", b.power_w);
+        assert!(b.power_w > 10.0, "baseline {} implausibly low", b.power_w);
+    }
+
+    #[test]
+    fn baseline_runs_at_stv_frequency() {
+        let b = baseline();
+        assert!((b.f_stv_ghz - 3.3).abs() < 1e-9);
+        assert!(b.exec_time_s > 0.0 && b.exec_time_s.is_finite());
+    }
+
+    #[test]
+    fn efficiency_is_positive() {
+        let b = baseline();
+        assert!(b.mips_per_w() > 0.0);
+    }
+}

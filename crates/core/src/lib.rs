@@ -1,0 +1,65 @@
+//! # Accordion
+//!
+//! A reproduction of *"Accordion: Toward Soft Near-Threshold Voltage
+//! Computing"* (Karpuzcu, Akturk, Kim — HPCA 2014).
+//!
+//! Accordion overcomes the two barriers of near-threshold voltage
+//! computing (NTC) — frequency degradation and amplified parametric
+//! variation — by exploiting weak scaling and the inherent fault
+//! tolerance of R(ecognition)/M(ining)/S(ynthesis) applications. The
+//! **problem size** becomes the knob that simultaneously trades off
+//! the degree of parallelism (cores engaged) against vulnerability to
+//! variation (output-quality corruption from timing errors).
+//!
+//! This crate is the framework layer on top of the substrate crates:
+//!
+//! * [`mode`] — the Table 1 operating modes: Still / Compress / Expand
+//!   crossed with Safe / (timing-)Speculative frequency policies,
+//! * [`baseline`] — the super-threshold (STV) reference execution the
+//!   paper normalizes everything to,
+//! * [`quality`] — measured quality fronts with interpolation, the
+//!   bridge from problem size to output quality under error scenarios,
+//! * [`pareto`] — iso-execution-time pareto-front extraction, the
+//!   machinery behind Figures 6 and 7,
+//! * [`framework`] — the user-facing [`framework::Accordion`] type
+//!   gluing a fabricated chip to a benchmark,
+//! * [`report`] — population-level summaries, including the paper's
+//!   headline 1.61–1.87× energy-efficiency band,
+//! * [`runtime`] — the Section 7 extension: dynamic re-planning of the
+//!   cluster allocation as resiliency drifts mid-execution,
+//! * [`baselines`] — the Section 8 comparators, Booster and
+//!   EnergySmart, implemented on the same chip model,
+//! * [`validation`] — end-to-end validation: protocol-derived error
+//!   masks drive the real kernels and the measured quality is checked
+//!   against the interpolated model.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use accordion::framework::Accordion;
+//! use accordion_apps::hotspot::Hotspot;
+//! use accordion_chip::chip::Chip;
+//!
+//! let chip = Chip::fabricate_default(0)?;
+//! let acc = Accordion::new(chip, Box::new(Hotspot::paper_default()));
+//! let fronts = acc.iso_time_fronts();
+//! for front in &fronts {
+//!     println!("{}: {} feasible operating points", front.flavor, front.points.len());
+//! }
+//! # Ok::<(), accordion_stats::field::FieldError>(())
+//! ```
+
+pub mod baseline;
+pub mod baselines;
+pub mod framework;
+pub mod mode;
+pub mod pareto;
+pub mod quality;
+pub mod report;
+pub mod runtime;
+pub mod validation;
+
+pub use baseline::StvBaseline;
+pub use framework::Accordion;
+pub use mode::{FrequencyPolicy, Mode, ProblemScaling};
+pub use pareto::{ParetoFront, ParetoPoint};

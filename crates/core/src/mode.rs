@@ -1,0 +1,177 @@
+//! Accordion operating modes (paper Table 1).
+//!
+//! Depending on how the problem size accords with the number of cores,
+//! Accordion distinguishes **Still** (strong scaling: size unchanged,
+//! cores increase), **Compress** (smaller problem on fewer cores at
+//! higher f) and **Expand** (bigger problem on many more cores). Each
+//! comes in a **Safe** flavor (`f ≤ f_NTV,Safe`, no timing errors) and
+//! a **(timing-) Speculative** flavor (`f > f_NTV,Safe`, errors
+//! embraced and absorbed by the application's fault tolerance).
+
+/// How the problem size accords with the core count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProblemScaling {
+    /// Problem size strictly below the STV default.
+    Compress,
+    /// Problem size equal to the STV default (strong scaling).
+    Still,
+    /// Problem size above the STV default.
+    Expand,
+}
+
+/// How the NTV operating frequency relates to the safe frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrequencyPolicy {
+    /// `f_NTV ≤ f_NTV,Safe`: no variation-induced timing errors.
+    Safe,
+    /// `f_NTV > f_NTV,Safe`: timing errors occur and must be
+    /// tolerated.
+    Speculative,
+}
+
+/// A full Accordion mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mode {
+    /// Problem-size scaling relative to the STV baseline.
+    pub scaling: ProblemScaling,
+    /// Frequency policy.
+    pub policy: FrequencyPolicy,
+}
+
+impl Mode {
+    /// The four mode families whose pareto fronts Figures 6 and 7
+    /// plot (Still is the intersection point of the two scalings).
+    pub const FIGURE_MODES: [Mode; 4] = [
+        Mode {
+            scaling: ProblemScaling::Compress,
+            policy: FrequencyPolicy::Safe,
+        },
+        Mode {
+            scaling: ProblemScaling::Compress,
+            policy: FrequencyPolicy::Speculative,
+        },
+        Mode {
+            scaling: ProblemScaling::Expand,
+            policy: FrequencyPolicy::Safe,
+        },
+        Mode {
+            scaling: ProblemScaling::Expand,
+            policy: FrequencyPolicy::Speculative,
+        },
+    ];
+
+    /// Classifies the scaling from a problem-size ratio
+    /// `size_NTV / size_STV` (within `tol` of 1 counts as Still).
+    pub fn classify_scaling(size_ratio: f64, tol: f64) -> ProblemScaling {
+        assert!(size_ratio > 0.0, "size ratio must be positive");
+        if size_ratio < 1.0 - tol {
+            ProblemScaling::Compress
+        } else if size_ratio > 1.0 + tol {
+            ProblemScaling::Expand
+        } else {
+            ProblemScaling::Still
+        }
+    }
+
+    /// Classifies the frequency policy from the operating and safe
+    /// frequencies.
+    pub fn classify_policy(f_ghz: f64, f_safe_ghz: f64) -> FrequencyPolicy {
+        if f_ghz > f_safe_ghz * (1.0 + 1e-9) {
+            FrequencyPolicy::Speculative
+        } else {
+            FrequencyPolicy::Safe
+        }
+    }
+
+    /// Table 1 row: whether this mode requires `N_NTV > N_STV`.
+    ///
+    /// Still must grow the core count by at least `f_STV/f_NTV`;
+    /// Expand by even more; Compress has no restriction.
+    pub fn requires_core_growth(&self) -> bool {
+        !matches!(self.scaling, ProblemScaling::Compress)
+    }
+
+    /// Table 1 row: whether output quality can degrade below the STV
+    /// baseline in this mode. Compress degrades by construction
+    /// (smaller problem); any Speculative flavor degrades through
+    /// errors; Safe Still/Expand do not.
+    pub fn can_degrade_quality(&self) -> bool {
+        matches!(self.scaling, ProblemScaling::Compress)
+            || self.policy == FrequencyPolicy::Speculative
+    }
+}
+
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let policy = match self.policy {
+            FrequencyPolicy::Safe => "Safe",
+            FrequencyPolicy::Speculative => "Spec.",
+        };
+        let scaling = match self.scaling {
+            ProblemScaling::Compress => "Compress",
+            ProblemScaling::Still => "Still",
+            ProblemScaling::Expand => "Expand",
+        };
+        write!(f, "{policy} {scaling}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_by_size_ratio() {
+        assert_eq!(Mode::classify_scaling(0.5, 0.01), ProblemScaling::Compress);
+        assert_eq!(Mode::classify_scaling(1.0, 0.01), ProblemScaling::Still);
+        assert_eq!(Mode::classify_scaling(1.005, 0.01), ProblemScaling::Still);
+        assert_eq!(Mode::classify_scaling(2.0, 0.01), ProblemScaling::Expand);
+    }
+
+    #[test]
+    fn classification_by_frequency() {
+        assert_eq!(Mode::classify_policy(0.5, 0.6), FrequencyPolicy::Safe);
+        assert_eq!(Mode::classify_policy(0.6, 0.6), FrequencyPolicy::Safe);
+        assert_eq!(Mode::classify_policy(0.7, 0.6), FrequencyPolicy::Speculative);
+    }
+
+    #[test]
+    fn table1_core_count_rules() {
+        for mode in Mode::FIGURE_MODES {
+            match mode.scaling {
+                ProblemScaling::Compress => assert!(!mode.requires_core_growth()),
+                _ => assert!(mode.requires_core_growth()),
+            }
+        }
+    }
+
+    #[test]
+    fn table1_quality_rules() {
+        let safe_expand = Mode {
+            scaling: ProblemScaling::Expand,
+            policy: FrequencyPolicy::Safe,
+        };
+        assert!(!safe_expand.can_degrade_quality());
+        let safe_still = Mode {
+            scaling: ProblemScaling::Still,
+            policy: FrequencyPolicy::Safe,
+        };
+        assert!(!safe_still.can_degrade_quality());
+        let safe_compress = Mode {
+            scaling: ProblemScaling::Compress,
+            policy: FrequencyPolicy::Safe,
+        };
+        assert!(safe_compress.can_degrade_quality());
+        let spec_expand = Mode {
+            scaling: ProblemScaling::Expand,
+            policy: FrequencyPolicy::Speculative,
+        };
+        assert!(spec_expand.can_degrade_quality());
+    }
+
+    #[test]
+    fn display_matches_figure_legends() {
+        assert_eq!(Mode::FIGURE_MODES[0].to_string(), "Safe Compress");
+        assert_eq!(Mode::FIGURE_MODES[3].to_string(), "Spec. Expand");
+    }
+}

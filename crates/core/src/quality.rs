@@ -1,0 +1,125 @@
+//! Quality estimation from measured fronts.
+//!
+//! The framework characterizes each benchmark once (the Figure 2/4
+//! sweeps) and then interpolates: Safe modes read the Default front at
+//! the candidate problem size; Speculative modes read the Drop front —
+//! Drop 1/4 by default, or the more conservative Drop 1/2 when the
+//! benchmark barely notices Drop 1/4 (the paper's Section 6.3 rule).
+
+use accordion_apps::app::RmsApp;
+use accordion_apps::harness::{FrontSet, Scenario};
+use accordion_stats::interp::PiecewiseLinear;
+
+/// Interpolated quality model for one benchmark.
+#[derive(Debug, Clone)]
+pub struct QualityModel {
+    default_front: PiecewiseLinear,
+    drop_front: PiecewiseLinear,
+    drop_scenario: Scenario,
+    size_domain: (f64, f64),
+}
+
+impl QualityModel {
+    /// Quality-degradation threshold under Drop 1/4 below which the
+    /// paper switches to reporting Drop 1/2 (degradation "negligible").
+    pub const NEGLIGIBLE_DEGRADATION: f64 = 0.03;
+
+    /// Measures the fronts for `app` and builds the model.
+    pub fn measure(app: &dyn RmsApp) -> Self {
+        Self::from_front_set(&FrontSet::measure(app))
+    }
+
+    /// Builds the model from pre-measured fronts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set lacks the Default, Drop 1/4 or Drop 1/2
+    /// fronts.
+    pub fn from_front_set(set: &FrontSet) -> Self {
+        let default = set.front(Scenario::Default).expect("Default front");
+        let drop14 = set.front(Scenario::Drop(0.25)).expect("Drop 1/4 front");
+        let drop12 = set.front(Scenario::Drop(0.5)).expect("Drop 1/2 front");
+
+        let default_front = default.interpolator();
+        // Degradation at the default problem size decides which Drop
+        // front Speculative quality reads.
+        let q_def = default_front.eval(1.0);
+        let deg14 = (q_def - drop14.interpolator().eval(1.0)) / q_def.max(1e-9);
+        let (drop_front, drop_scenario) = if deg14 < Self::NEGLIGIBLE_DEGRADATION {
+            (drop12.interpolator(), Scenario::Drop(0.5))
+        } else {
+            (drop14.interpolator(), Scenario::Drop(0.25))
+        };
+        let size_domain = default_front.domain();
+        Self {
+            default_front,
+            drop_front,
+            drop_scenario,
+            size_domain,
+        }
+    }
+
+    /// Quality (normalized to the STV default) of an error-free run at
+    /// `size_norm` × the default problem size.
+    pub fn quality_safe(&self, size_norm: f64) -> f64 {
+        self.default_front.eval(size_norm)
+    }
+
+    /// Quality of a speculative (error-afflicted) run at `size_norm`.
+    pub fn quality_speculative(&self, size_norm: f64) -> f64 {
+        self.drop_front.eval(size_norm)
+    }
+
+    /// Which Drop scenario speculative quality is read from (the
+    /// paper's Drop 1/4-or-1/2 rule).
+    pub fn speculative_scenario(&self) -> Scenario {
+        self.drop_scenario
+    }
+
+    /// The measured problem-size range (normalized), inside which the
+    /// interpolation is trustworthy.
+    pub fn size_domain(&self) -> (f64, f64) {
+        self.size_domain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accordion_apps::bodytrack::Bodytrack;
+    use accordion_apps::canneal::Canneal;
+
+    #[test]
+    fn safe_quality_grows_with_size() {
+        let m = QualityModel::measure(&Canneal::paper_default());
+        let (lo, hi) = m.size_domain();
+        assert!(m.quality_safe(hi) > m.quality_safe(lo));
+    }
+
+    #[test]
+    fn speculative_quality_not_above_safe() {
+        let m = QualityModel::measure(&Canneal::paper_default());
+        let (lo, hi) = m.size_domain();
+        for i in 0..=10 {
+            let s = lo + (hi - lo) * i as f64 / 10.0;
+            assert!(
+                m.quality_speculative(s) <= m.quality_safe(s) + 0.05,
+                "at size {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn drop_sensitive_benchmark_uses_drop_quarter() {
+        // The paper singles out bodytrack as highly Drop-sensitive, so
+        // its speculative front must be the Drop 1/4 one.
+        let m = QualityModel::measure(&Bodytrack::paper_default());
+        assert_eq!(m.speculative_scenario(), Scenario::Drop(0.25));
+    }
+
+    #[test]
+    fn default_size_has_unity_quality() {
+        let m = QualityModel::measure(&Canneal::paper_default());
+        assert!((m.quality_safe(1.0) - 1.0).abs() < 0.05);
+    }
+}

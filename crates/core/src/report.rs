@@ -1,0 +1,136 @@
+//! Population-level summaries: the paper's headline numbers.
+//!
+//! Section 9: "Across a representative subset of RMS applications,
+//! Accordion can achieve the STV execution time while operating
+//! 1.61–1.87× more energy efficiently." Section 6.3: "We observe
+//! 8–41 % f increase across chip due to operation at a higher error
+//! rate."
+
+use crate::framework::Accordion;
+use crate::mode::Mode;
+use accordion_apps::app::RmsApp;
+use accordion_chip::chip::Chip;
+
+/// Per-benchmark summary line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppSummary {
+    /// Benchmark name.
+    pub app: String,
+    /// Best budget-respecting energy-efficiency ratio over STV among
+    /// operating points whose quality stays within
+    /// [`HeadlineReport::QUALITY_FLOOR`] of the STV default — the
+    /// paper's "achieve the STV execution time while operating more
+    /// energy efficiently" claim.
+    pub best_eff_norm: f64,
+    /// The mode family achieving it.
+    pub best_mode: Mode,
+    /// Best efficiency with no quality constraint (the leftmost
+    /// Spec-Compress points of Figures 6/7).
+    pub best_eff_unconstrained: f64,
+    /// Speculative frequency gain range (fractions).
+    pub spec_gain: Option<(f64, f64)>,
+}
+
+/// The headline report across benchmarks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeadlineReport {
+    /// One summary per benchmark.
+    pub apps: Vec<AppSummary>,
+}
+
+impl HeadlineReport {
+    /// Builds the report for `apps` on one fabricated chip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` is empty.
+    pub fn compute(chip: &Chip, apps: Vec<Box<dyn RmsApp>>) -> Self {
+        assert!(!apps.is_empty(), "report needs at least one benchmark");
+        let apps = apps
+            .into_iter()
+            .map(|app| {
+                let name = app.name().to_string();
+                let acc = Accordion::new(chip.clone(), app);
+                let best_eff_unconstrained = Mode::FIGURE_MODES
+                    .iter()
+                    .filter_map(|&m| acc.best_efficiency(m))
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let (best_eff_norm, best_mode) = acc
+                    .plan(Self::QUALITY_FLOOR)
+                    .map(|p| (p.eff_norm, p.mode))
+                    .unwrap_or((best_eff_unconstrained, Mode::FIGURE_MODES[0]));
+                AppSummary {
+                    app: name,
+                    best_eff_norm,
+                    best_mode,
+                    best_eff_unconstrained,
+                    spec_gain: acc.speculative_f_gain_range(),
+                }
+            })
+            .collect();
+        Self { apps }
+    }
+
+    /// Minimum normalized quality an operating point must retain to
+    /// count toward the headline efficiency claim.
+    pub const QUALITY_FLOOR: f64 = 0.95;
+
+    /// The headline band: `(min, max)` best efficiency ratio across
+    /// benchmarks (the paper's 1.61–1.87×).
+    pub fn efficiency_band(&self) -> (f64, f64) {
+        let lo = self
+            .apps
+            .iter()
+            .map(|a| a.best_eff_norm)
+            .fold(f64::INFINITY, f64::min);
+        let hi = self
+            .apps
+            .iter()
+            .map(|a| a.best_eff_norm)
+            .fold(f64::NEG_INFINITY, f64::max);
+        (lo, hi)
+    }
+
+    /// The speculative frequency-gain band across benchmarks (the
+    /// paper's 8–41 %), as fractions.
+    pub fn spec_gain_band(&self) -> Option<(f64, f64)> {
+        let gains: Vec<(f64, f64)> = self.apps.iter().filter_map(|a| a.spec_gain).collect();
+        if gains.is_empty() {
+            return None;
+        }
+        let lo = gains.iter().map(|g| g.0).fold(f64::INFINITY, f64::min);
+        let hi = gains.iter().map(|g| g.1).fold(f64::NEG_INFINITY, f64::max);
+        Some((lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accordion_apps::canneal::Canneal;
+    use accordion_apps::hotspot::Hotspot;
+
+    #[test]
+    fn report_over_two_benchmarks() {
+        let chip = Chip::fabricate_default(0).unwrap();
+        let report = HeadlineReport::compute(
+            &chip,
+            vec![
+                Box::new(Canneal::paper_default()),
+                Box::new(Hotspot::paper_default()),
+            ],
+        );
+        assert_eq!(report.apps.len(), 2);
+        let (lo, hi) = report.efficiency_band();
+        assert!(lo > 1.0, "every benchmark should beat STV, lo={lo}");
+        assert!(hi < 2.5, "band top {hi} implausible");
+        assert!(lo <= hi);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one benchmark")]
+    fn empty_report_rejected() {
+        let chip = Chip::fabricate_small(0).unwrap();
+        HeadlineReport::compute(&chip, vec![]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the Accordion framework layer.
+
+use accordion::mode::{FrequencyPolicy, Mode, ProblemScaling};
+use accordion::pareto::ParetoExtractor;
+use accordion_apps::harness::FrontSet;
+use accordion_apps::hotspot::Hotspot;
+use accordion_chip::chip::Chip;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+proptest! {
+    #[test]
+    fn scaling_classification_partitions_the_axis(ratio in 0.01f64..10.0, tol in 0.001f64..0.2) {
+        let c = Mode::classify_scaling(ratio, tol);
+        match c {
+            ProblemScaling::Compress => prop_assert!(ratio < 1.0 - tol),
+            ProblemScaling::Still => prop_assert!(ratio >= 1.0 - tol && ratio <= 1.0 + tol),
+            ProblemScaling::Expand => prop_assert!(ratio > 1.0 + tol),
+        }
+    }
+
+    #[test]
+    fn policy_classification_consistent(f in 0.01f64..3.0, fsafe in 0.01f64..3.0) {
+        let p = Mode::classify_policy(f, fsafe);
+        if f > fsafe * (1.0 + 1e-6) {
+            prop_assert_eq!(p, FrequencyPolicy::Speculative);
+        }
+        if f < fsafe {
+            prop_assert_eq!(p, FrequencyPolicy::Safe);
+        }
+    }
+}
+
+struct Fixture {
+    chip: Chip,
+    app: Hotspot,
+    set: FrontSet,
+}
+
+fn fixture() -> &'static Fixture {
+    static F: OnceLock<Fixture> = OnceLock::new();
+    F.get_or_init(|| {
+        let chip = Chip::fabricate_default(0).expect("chip");
+        let app = Hotspot::paper_default();
+        let set = FrontSet::measure(&app);
+        Fixture { chip, app, set }
+    })
+}
+
+proptest! {
+    // The iso-time solver is the heart of Figures 6/7; drive it with
+    // randomized sizes and check the contract on every output.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn solver_points_always_meet_iso_time(size in 0.2f64..1.4, spec in proptest::bool::ANY) {
+        let fx = fixture();
+        let extractor = ParetoExtractor::new(&fx.chip, &fx.app, &fx.set);
+        let flavor = Mode {
+            scaling: Mode::classify_scaling(size, 0.02),
+            policy: if spec { FrequencyPolicy::Speculative } else { FrequencyPolicy::Safe },
+        };
+        if let Some(p) = extractor.solve_point(flavor, size) {
+            let t0 = extractor.baseline().exec_time_s;
+            prop_assert!(p.exec_time_s <= t0 * (1.0 + 1e-6));
+            prop_assert!(p.n_ntv >= 8 && p.n_ntv <= 288);
+            prop_assert!(p.n_ntv % 8 == 0, "cluster granularity");
+            prop_assert!(p.f_ntv_ghz > 0.0 && p.f_ntv_ghz < 1.6);
+            prop_assert!(p.power_w > 0.0);
+            prop_assert!(p.quality_norm >= 0.0);
+            prop_assert!(p.mips_per_w > 0.0);
+            if !spec {
+                prop_assert!((p.f_ntv_ghz - p.f_safe_ghz).abs() < 1e-12);
+            }
+            // Minimality: one fewer cluster must miss iso-time (checked
+            // indirectly — the solver scans upward from 1 cluster).
+        }
+    }
+
+    #[test]
+    fn bigger_problems_never_need_fewer_clusters(s1 in 0.2f64..1.2, ds in 0.05f64..0.3) {
+        let fx = fixture();
+        let extractor = ParetoExtractor::new(&fx.chip, &fx.app, &fx.set);
+        let flavor = Mode { scaling: ProblemScaling::Expand, policy: FrequencyPolicy::Safe };
+        let a = extractor.solve_point(flavor, s1);
+        let b = extractor.solve_point(flavor, s1 + ds);
+        if let (Some(a), Some(b)) = (a, b) {
+            prop_assert!(b.clusters >= a.clusters);
+        }
+    }
+}

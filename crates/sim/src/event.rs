@@ -1,0 +1,164 @@
+//! A minimal discrete-event engine for the CC/DC protocol simulation.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled event carrying a payload of type `E`.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    time: u64,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on (time, seq); seq breaks ties
+        // deterministically in insertion order.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic future-event queue keyed by cycle count.
+///
+/// # Example
+///
+/// ```
+/// use accordion_sim::event::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(10, "b");
+/// q.schedule(5, "a");
+/// assert_eq!(q.pop(), Some((5, "a")));
+/// assert_eq!(q.pop(), Some((10, "b")));
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0,
+        }
+    }
+
+    /// Current simulation time (the timestamp of the last popped
+    /// event).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Schedules `payload` at absolute `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past.
+    pub fn schedule(&mut self, time: u64, payload: E) {
+        assert!(time >= self.now, "cannot schedule into the past");
+        self.heap.push(Scheduled {
+            time,
+            seq: self.next_seq,
+            payload,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Schedules `payload` `delay` cycles from now.
+    pub fn schedule_in(&mut self, delay: u64, payload: E) {
+        self.schedule(self.now + delay, payload);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        self.heap.pop().map(|s| {
+            self.now = s.time;
+            (s.time, s.payload)
+        })
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, 3);
+        q.schedule(10, 1);
+        q.schedule(20, 2);
+        assert_eq!(q.pop(), Some((10, 1)));
+        assert_eq!(q.pop(), Some((20, 2)));
+        assert_eq!(q.pop(), Some((30, 3)));
+    }
+
+    #[test]
+    fn ties_break_in_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5, "first");
+        q.schedule(5, "second");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(7, ());
+        assert_eq!(q.now(), 0);
+        q.pop();
+        assert_eq!(q.now(), 7);
+        q.schedule_in(3, ());
+        assert_eq!(q.pop(), Some((10, ())));
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn rejects_past_scheduling() {
+        let mut q = EventQueue::new();
+        q.schedule(5, ());
+        q.pop();
+        q.schedule(3, ());
+    }
+}

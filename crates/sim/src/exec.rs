@@ -1,0 +1,159 @@
+//! Analytic execution-time and throughput model.
+//!
+//! Each core is a single-issue engine where memory accesses can be
+//! overlapped with computation (paper Section 5.1). The effective
+//! cycles-per-instruction is
+//!
+//! `CPI = 1 + (1 − overlap) · accesses/instr · latency(f)`
+//!
+//! where the memory latency is fixed in nanoseconds (Table 2) and thus
+//! costs *fewer* cycles at lower clock — one of the reasons NTC's
+//! frequency loss hurts less than linearly on memory-bound codes.
+
+use crate::workload::Workload;
+use accordion_chip::memory::MemoryParams;
+
+/// Analytic timing model over the Table 2 memory hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecModel {
+    memory: MemoryParams,
+    /// Fraction of memory latency hidden under compute (0 = fully
+    /// exposed, 1 = perfectly overlapped).
+    overlap: f64,
+}
+
+impl ExecModel {
+    /// Paper-consistent defaults: Table 2 memory and a 0.5 overlap
+    /// factor for the "accesses can be overlapped" single-issue core.
+    pub fn paper_default() -> Self {
+        Self {
+            memory: MemoryParams::paper_default(),
+            overlap: 0.5,
+        }
+    }
+
+    /// Builds a model with explicit memory parameters and overlap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `overlap` is outside `[0, 1]`.
+    pub fn new(memory: MemoryParams, overlap: f64) -> Self {
+        assert!((0.0..=1.0).contains(&overlap), "overlap in [0,1]");
+        Self { memory, overlap }
+    }
+
+    /// Effective cycles per instruction at core frequency `f_ghz`.
+    pub fn cpi(&self, w: &Workload, f_ghz: f64) -> f64 {
+        assert!(f_ghz > 0.0, "frequency must be positive");
+        let lat_ns = self
+            .memory
+            .avg_latency_ns(w.private_hit_rate, w.cluster_hit_rate);
+        let lat_cycles = lat_ns * f_ghz;
+        1.0 + (1.0 - self.overlap) * w.mem_accesses_per_instr * lat_cycles
+    }
+
+    /// Millions of instructions per second one core sustains.
+    pub fn core_mips(&self, w: &Workload, f_ghz: f64) -> f64 {
+        1000.0 * f_ghz / self.cpi(w, f_ghz)
+    }
+
+    /// Wall-clock execution time in seconds of workload `w` split
+    /// evenly across `n_cores` cores at `f_ghz` (equal-progress
+    /// cluster-frequency semantics, Section 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cores` is zero.
+    pub fn execution_time_s(&self, w: &Workload, n_cores: usize, f_ghz: f64) -> f64 {
+        assert!(n_cores > 0, "need at least one core");
+        let instr_per_core = w.total_instructions() / n_cores as f64;
+        let cycles = instr_per_core * self.cpi(w, f_ghz);
+        cycles / (f_ghz * 1e9)
+    }
+
+    /// Aggregate MIPS of `n_cores` cores on workload `w`.
+    pub fn total_mips(&self, w: &Workload, n_cores: usize, f_ghz: f64) -> f64 {
+        n_cores as f64 * self.core_mips(w, f_ghz)
+    }
+
+    /// Cycles a single thread spends executing `work_units` of `w` at
+    /// `f_ghz` — the `e` of the paper's speculative error-rate
+    /// analysis (`Perr = 1/e`).
+    pub fn thread_cycles(&self, w: &Workload, work_units: f64, f_ghz: f64) -> f64 {
+        work_units * w.instructions_per_unit * self.cpi(w, f_ghz)
+    }
+}
+
+impl Default for ExecModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_bound_cpi_is_one() {
+        let e = ExecModel::paper_default();
+        let w = Workload::compute_bound(1.0);
+        assert_eq!(e.cpi(&w, 1.0), 1.0);
+        assert_eq!(e.core_mips(&w, 1.0), 1000.0);
+    }
+
+    #[test]
+    fn memory_bound_cpi_shrinks_at_lower_clock() {
+        // Fixed-ns latency costs fewer cycles at NTV clocks.
+        let e = ExecModel::paper_default();
+        let w = Workload::rms_default(1.0);
+        assert!(e.cpi(&w, 0.5) < e.cpi(&w, 3.3));
+    }
+
+    #[test]
+    fn execution_time_scales_inversely_with_cores() {
+        let e = ExecModel::paper_default();
+        let w = Workload::compute_bound(1e9);
+        let t8 = e.execution_time_s(&w, 8, 1.0);
+        let t16 = e.execution_time_s(&w, 16, 1.0);
+        assert!((t8 / t16 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn execution_time_scales_inversely_with_frequency_when_compute_bound() {
+        let e = ExecModel::paper_default();
+        let w = Workload::compute_bound(1e9);
+        let t1 = e.execution_time_s(&w, 8, 1.0);
+        let t2 = e.execution_time_s(&w, 8, 2.0);
+        assert!((t1 / t2 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sublinear_speedup_with_frequency_when_memory_bound() {
+        let e = ExecModel::paper_default();
+        let mut w = Workload::rms_default(1e9);
+        w.private_hit_rate = 0.5;
+        w.cluster_hit_rate = 0.5;
+        let t1 = e.execution_time_s(&w, 8, 1.0);
+        let t2 = e.execution_time_s(&w, 8, 2.0);
+        let speedup = t1 / t2;
+        assert!(speedup < 1.95, "memory wall should cap speedup, got {speedup}");
+        assert!(speedup > 1.0);
+    }
+
+    #[test]
+    fn thread_cycles_match_time() {
+        let e = ExecModel::paper_default();
+        let w = Workload::rms_default(1000.0);
+        let per_thread_units = w.work_units / 64.0;
+        let cycles = e.thread_cycles(&w, per_thread_units, 1.0);
+        let t = e.execution_time_s(&w, 64, 1.0);
+        assert!((cycles / 1e9 - t).abs() / t < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap in [0,1]")]
+    fn overlap_validated() {
+        ExecModel::new(MemoryParams::paper_default(), 1.5);
+    }
+}

@@ -1,0 +1,246 @@
+//! Variation-induced fault injection (paper Section 6.2).
+//!
+//! Timing errors strike data-intensive threads at a per-cycle rate
+//! `Perr`; a thread executing `e` cycles is *infected* with probability
+//! `1 − (1 − Perr)^e`. The paper's **Drop** model conservatively
+//! discards infected threads' entire contribution; the corruption
+//! modes keep the contribution but mangle the per-thread end result —
+//! the validation experiment showing Drop is close-to-worst-case.
+
+use accordion_stats::rng::StreamRng;
+use rand::Rng;
+
+/// End-result corruption modes applied to infected threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorruptionMode {
+    /// Ignore the thread's result entirely (the paper's Drop model).
+    Drop,
+    /// All bits stuck at 0.
+    StuckAt0All,
+    /// All bits stuck at 1.
+    StuckAt1All,
+    /// High-order half of the bits stuck at 0.
+    StuckAt0High,
+    /// High-order half of the bits stuck at 1.
+    StuckAt1High,
+    /// Low-order half of the bits stuck at 0.
+    StuckAt0Low,
+    /// Low-order half of the bits stuck at 1.
+    StuckAt1Low,
+    /// Every bit flipped independently with probability ½.
+    FlipRandom,
+    /// All bits inverted.
+    Invert,
+}
+
+impl CorruptionMode {
+    /// Every mode, for sweep experiments.
+    pub const ALL: [CorruptionMode; 9] = [
+        CorruptionMode::Drop,
+        CorruptionMode::StuckAt0All,
+        CorruptionMode::StuckAt1All,
+        CorruptionMode::StuckAt0High,
+        CorruptionMode::StuckAt1High,
+        CorruptionMode::StuckAt0Low,
+        CorruptionMode::StuckAt1Low,
+        CorruptionMode::FlipRandom,
+        CorruptionMode::Invert,
+    ];
+
+    /// Applies the corruption to a 64-bit payload (the bit pattern of
+    /// a thread's end result). `Drop` returns `None` — the result is
+    /// discarded rather than altered.
+    pub fn corrupt_bits(&self, bits: u64, rng: &mut StreamRng) -> Option<u64> {
+        const HIGH: u64 = 0xFFFF_FFFF_0000_0000;
+        const LOW: u64 = 0x0000_0000_FFFF_FFFF;
+        match self {
+            CorruptionMode::Drop => None,
+            CorruptionMode::StuckAt0All => Some(0),
+            CorruptionMode::StuckAt1All => Some(u64::MAX),
+            CorruptionMode::StuckAt0High => Some(bits & !HIGH),
+            CorruptionMode::StuckAt1High => Some(bits | HIGH),
+            CorruptionMode::StuckAt0Low => Some(bits & !LOW),
+            CorruptionMode::StuckAt1Low => Some(bits | LOW),
+            CorruptionMode::FlipRandom => Some(bits ^ rng.random::<u64>()),
+            CorruptionMode::Invert => Some(!bits),
+        }
+    }
+
+    /// Applies the corruption to an `f64` end result, returning `None`
+    /// for `Drop`. Non-finite corrupted values are mapped to 0 so the
+    /// application layer observes a (wildly wrong) number rather than
+    /// a NaN that would poison reductions — matching the "termination
+    /// with degraded quality" bin of Section 6.2.
+    pub fn corrupt_f64(&self, value: f64, rng: &mut StreamRng) -> Option<f64> {
+        self.corrupt_bits(value.to_bits(), rng).map(|b| {
+            let v = f64::from_bits(b);
+            if v.is_finite() {
+                v
+            } else {
+                0.0
+            }
+        })
+    }
+}
+
+/// Samples which threads a given per-cycle error rate infects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultInjector {
+    /// Per-cycle timing-error probability.
+    pub perr_per_cycle: f64,
+}
+
+impl FaultInjector {
+    /// Creates an injector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perr_per_cycle` is outside `[0, 1]`.
+    pub fn new(perr_per_cycle: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&perr_per_cycle),
+            "per-cycle error rate in [0,1]"
+        );
+        Self { perr_per_cycle }
+    }
+
+    /// Probability that a thread running `cycles` cycles is infected.
+    pub fn infection_probability(&self, cycles: f64) -> f64 {
+        assert!(cycles >= 0.0, "cycle count must be non-negative");
+        -f64::exp_m1(cycles * f64::ln_1p(-self.perr_per_cycle))
+    }
+
+    /// Samples the infected subset of `threads` threads of `cycles`
+    /// cycles each, returning a boolean mask.
+    pub fn sample_infections(
+        &self,
+        threads: usize,
+        cycles: f64,
+        rng: &mut StreamRng,
+    ) -> Vec<bool> {
+        let p = self.infection_probability(cycles);
+        (0..threads).map(|_| rng.random::<f64>() < p).collect()
+    }
+
+    /// The per-cycle rate at which a thread of `cycles` cycles is
+    /// infected with probability ≈1 − 1/e ("practically we observe an
+    /// error at the end of the execution of each infected thread",
+    /// Section 6.3): `Perr = 1/e_cycles`.
+    pub fn perr_for_one_error_per_thread(cycles: f64) -> f64 {
+        assert!(cycles > 0.0, "cycle count must be positive");
+        (1.0 / cycles).min(1.0)
+    }
+}
+
+/// Deterministically marks a uniform fraction of threads as dropped —
+/// the paper's "uniformly dropped" Drop 1/4 and Drop 1/2 scenarios.
+/// Thread `i` is dropped when `floor(i·fraction) > floor((i−1)·fraction)`
+/// evenly spreading drops across the index space.
+pub fn uniform_drop_mask(threads: usize, fraction: f64) -> Vec<bool> {
+    assert!((0.0..=1.0).contains(&fraction), "drop fraction in [0,1]");
+    let mut mask = vec![false; threads];
+    let mut acc = 0.0;
+    for m in mask.iter_mut() {
+        acc += fraction;
+        if acc >= 1.0 {
+            *m = true;
+            acc -= 1.0;
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accordion_stats::rng::SeedStream;
+
+    #[test]
+    fn infection_probability_limits() {
+        let f = FaultInjector::new(1e-9);
+        assert_eq!(f.infection_probability(0.0), 0.0);
+        // 1e9 cycles at 1e-9/cycle ⇒ ≈ 1 − 1/e.
+        let p = f.infection_probability(1e9);
+        assert!((p - (1.0 - (-1.0f64).exp())).abs() < 1e-6);
+    }
+
+    #[test]
+    fn perr_for_one_error_matches_paper_rule() {
+        assert_eq!(FaultInjector::perr_for_one_error_per_thread(1e12), 1e-12);
+        assert_eq!(FaultInjector::perr_for_one_error_per_thread(0.5), 1.0);
+    }
+
+    #[test]
+    fn uniform_drop_quarters() {
+        let mask = uniform_drop_mask(64, 0.25);
+        assert_eq!(mask.iter().filter(|&&b| b).count(), 16);
+        // Uniform spread: every window of 4 has exactly one drop.
+        for w in mask.chunks(4) {
+            assert_eq!(w.iter().filter(|&&b| b).count(), 1);
+        }
+    }
+
+    #[test]
+    fn uniform_drop_half() {
+        let mask = uniform_drop_mask(64, 0.5);
+        assert_eq!(mask.iter().filter(|&&b| b).count(), 32);
+    }
+
+    #[test]
+    fn uniform_drop_extremes() {
+        assert!(uniform_drop_mask(8, 0.0).iter().all(|&b| !b));
+        assert!(uniform_drop_mask(8, 1.0).iter().all(|&b| b));
+    }
+
+    #[test]
+    fn drop_mode_discards() {
+        let mut rng = SeedStream::new(0).stream("c", 0);
+        assert_eq!(CorruptionMode::Drop.corrupt_bits(42, &mut rng), None);
+    }
+
+    #[test]
+    fn stuck_and_invert_semantics() {
+        let mut rng = SeedStream::new(0).stream("c", 0);
+        let bits = 0x0123_4567_89AB_CDEFu64;
+        assert_eq!(
+            CorruptionMode::StuckAt0All.corrupt_bits(bits, &mut rng),
+            Some(0)
+        );
+        assert_eq!(
+            CorruptionMode::Invert.corrupt_bits(bits, &mut rng),
+            Some(!bits)
+        );
+        assert_eq!(
+            CorruptionMode::StuckAt1Low.corrupt_bits(bits, &mut rng),
+            Some(bits | 0xFFFF_FFFF)
+        );
+    }
+
+    #[test]
+    fn corrupt_f64_never_returns_non_finite() {
+        let mut rng = SeedStream::new(7).stream("c", 0);
+        for mode in CorruptionMode::ALL {
+            for &v in &[0.0, 1.5, -3.25e10, f64::MIN_POSITIVE] {
+                if let Some(c) = mode.corrupt_f64(v, &mut rng) {
+                    assert!(c.is_finite(), "{mode:?} on {v} gave {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_infections_match_rate() {
+        let inj = FaultInjector::new(1e-6);
+        let mut rng = SeedStream::new(3).stream("inf", 0);
+        let mask = inj.sample_infections(20_000, 1e6, &mut rng);
+        let rate = mask.iter().filter(|&&b| b).count() as f64 / 20_000.0;
+        let expect = inj.infection_probability(1e6);
+        assert!((rate - expect).abs() < 0.02, "rate={rate} expect={expect}");
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0,1]")]
+    fn bad_perr_rejected() {
+        FaultInjector::new(1.5);
+    }
+}

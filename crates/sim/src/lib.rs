@@ -1,0 +1,54 @@
+//! Execution model for Accordion's decoupled Control-Core / Data-Core
+//! architecture (paper Section 4).
+//!
+//! Two complementary layers:
+//!
+//! * an **analytic timing model** ([`workload`], [`exec`]) in the
+//!   spirit of the paper's ESESC-based evaluation — single-issue cores
+//!   with memory overlap, cluster frequency domains, per-benchmark
+//!   work scaling — used by the iso-execution-time arithmetic of the
+//!   Accordion core crate;
+//! * a **discrete-event protocol simulation** ([`event`], [`ccdc`],
+//!   [`mailbox`]) of the CC/DC master–slave semantics: reliable
+//!   Control Cores coordinating error-prone Data Cores through
+//!   dedicated memory locations, with watchdog timers, reset/restart,
+//!   and strict fault containment.
+//!
+//! Barrier-synchronization accounting ([`sync`]) quantifies the
+//! Section 4 equal-frequency argument; checkpoint-recovery accounting
+//! ([`checkpoint`]) quantifies the
+//! claim that the speculative safety net is cheap while errors stay
+//! rare.
+//!
+//! Fault injection ([`fault`]) implements the paper's Section 6.2
+//! error semantics: *Drop* (infected threads' results ignored) and the
+//! end-result corruption modes used to validate Drop as a
+//! close-to-worst-case model.
+//!
+//! # Example
+//!
+//! ```
+//! use accordion_sim::workload::Workload;
+//! use accordion_sim::exec::ExecModel;
+//!
+//! let exec = ExecModel::paper_default();
+//! let w = Workload::compute_bound(1.0e9); // 1 G work-units
+//! let t64 = exec.execution_time_s(&w, 64, 1.0);
+//! let t128 = exec.execution_time_s(&w, 128, 1.0);
+//! assert!((t64 / t128 - 2.0).abs() < 1e-9); // perfect weak-scaling substrate
+//! ```
+
+pub mod ccdc;
+pub mod checkpoint;
+pub mod event;
+pub mod exec;
+pub mod fault;
+pub mod mailbox;
+pub mod phases;
+pub mod sync;
+pub mod workload;
+
+pub use ccdc::{CcDcConfig, CcDcReport, DcOutcome};
+pub use exec::ExecModel;
+pub use fault::{CorruptionMode, FaultInjector};
+pub use workload::Workload;

@@ -1,0 +1,203 @@
+//! Fault-containment memory semantics (paper Section 4.1).
+//!
+//! The CC/DC architecture enforces, in hardware, that
+//!
+//! * CCs never rely on data produced by DCs *for control* — DC results
+//!   flow only into data reductions;
+//! * DCs can read, but not modify, data produced by master CCs;
+//! * DCs cannot write the private space of CCs or of other DCs; a
+//!   dedicated memory location serves intra-DC communication.
+//!
+//! This module models those protection domains as typed channels whose
+//! APIs make the allowed data flows representable and the forbidden
+//! ones either unrepresentable or dynamically rejected.
+
+/// Identifier of a data core within one CC's slave set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DcIndex(pub usize);
+
+/// Error raised when a protection-domain rule would be violated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtectionError {
+    /// A DC attempted to write shared (CC-owned) data.
+    DcWroteSharedData { dc: DcIndex },
+    /// A DC attempted to write another DC's result slot.
+    DcWroteForeignSlot { dc: DcIndex, target: DcIndex },
+    /// A DC index was out of range for the channel.
+    UnknownDc { dc: DcIndex },
+}
+
+impl std::fmt::Display for ProtectionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtectionError::DcWroteSharedData { dc } => {
+                write!(f, "data core {} attempted to modify CC-owned shared data", dc.0)
+            }
+            ProtectionError::DcWroteForeignSlot { dc, target } => write!(
+                f,
+                "data core {} attempted to write the result slot of data core {}",
+                dc.0, target.0
+            ),
+            ProtectionError::UnknownDc { dc } => {
+                write!(f, "data core index {} out of range", dc.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtectionError {}
+
+/// The dedicated memory region a master CC shares with its slave DCs.
+///
+/// The CC writes task descriptors and shared inputs; DCs get read-only
+/// access and publish results into per-DC slots the CC later reduces.
+#[derive(Debug, Clone)]
+pub struct CcDcMailbox {
+    shared_input: Vec<f64>,
+    result_slots: Vec<Option<f64>>,
+    done_flags: Vec<bool>,
+}
+
+impl CcDcMailbox {
+    /// Creates a mailbox for `num_dcs` slave data cores.
+    pub fn new(num_dcs: usize) -> Self {
+        Self {
+            shared_input: Vec::new(),
+            result_slots: vec![None; num_dcs],
+            done_flags: vec![false; num_dcs],
+        }
+    }
+
+    /// Number of slave DCs this mailbox serves.
+    pub fn num_dcs(&self) -> usize {
+        self.result_slots.len()
+    }
+
+    /// CC-side: publish shared input data for the DCs to read.
+    pub fn cc_publish_input(&mut self, data: Vec<f64>) {
+        self.shared_input = data;
+    }
+
+    /// DC-side: read-only view of the shared input.
+    pub fn dc_read_input(&self, dc: DcIndex) -> Result<&[f64], ProtectionError> {
+        self.check_dc(dc)?;
+        Ok(&self.shared_input)
+    }
+
+    /// DC-side: publish the end result of this DC's computation into
+    /// its own slot and raise its done flag.
+    ///
+    /// # Errors
+    ///
+    /// Rejects writes into another DC's slot — modelling the hardware
+    /// protection that contains error propagation.
+    pub fn dc_publish_result(
+        &mut self,
+        dc: DcIndex,
+        target: DcIndex,
+        value: f64,
+    ) -> Result<(), ProtectionError> {
+        self.check_dc(dc)?;
+        self.check_dc(target)?;
+        if dc != target {
+            return Err(ProtectionError::DcWroteForeignSlot { dc, target });
+        }
+        self.result_slots[dc.0] = Some(value);
+        self.done_flags[dc.0] = true;
+        Ok(())
+    }
+
+    /// DC-side: any attempt to mutate shared data is rejected.
+    pub fn dc_write_input(&mut self, dc: DcIndex) -> Result<(), ProtectionError> {
+        self.check_dc(dc)?;
+        Err(ProtectionError::DcWroteSharedData { dc })
+    }
+
+    /// CC-side: poll whether a DC has signalled completion (the
+    /// periodic "are the DCs done" check of Section 4.1).
+    pub fn cc_poll_done(&self, dc: DcIndex) -> Result<bool, ProtectionError> {
+        self.check_dc(dc)?;
+        Ok(self.done_flags[dc.0])
+    }
+
+    /// CC-side: collect a completed DC's result for the data
+    /// reduction. Returns `None` if the DC never published (crashed,
+    /// hung, or was dropped).
+    pub fn cc_collect_result(&self, dc: DcIndex) -> Result<Option<f64>, ProtectionError> {
+        self.check_dc(dc)?;
+        Ok(self.result_slots[dc.0])
+    }
+
+    /// CC-side: reset a DC's slot before a restart.
+    pub fn cc_reset_slot(&mut self, dc: DcIndex) -> Result<(), ProtectionError> {
+        self.check_dc(dc)?;
+        self.result_slots[dc.0] = None;
+        self.done_flags[dc.0] = false;
+        Ok(())
+    }
+
+    fn check_dc(&self, dc: DcIndex) -> Result<(), ProtectionError> {
+        if dc.0 < self.result_slots.len() {
+            Ok(())
+        } else {
+            Err(ProtectionError::UnknownDc { dc })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_reads_cc_input() {
+        let mut mb = CcDcMailbox::new(2);
+        mb.cc_publish_input(vec![1.0, 2.0]);
+        assert_eq!(mb.dc_read_input(DcIndex(1)).unwrap(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn dc_cannot_write_shared_data() {
+        let mut mb = CcDcMailbox::new(2);
+        assert_eq!(
+            mb.dc_write_input(DcIndex(0)).unwrap_err(),
+            ProtectionError::DcWroteSharedData { dc: DcIndex(0) }
+        );
+    }
+
+    #[test]
+    fn dc_cannot_write_foreign_slot() {
+        let mut mb = CcDcMailbox::new(3);
+        let err = mb.dc_publish_result(DcIndex(0), DcIndex(2), 1.0).unwrap_err();
+        assert_eq!(
+            err,
+            ProtectionError::DcWroteForeignSlot {
+                dc: DcIndex(0),
+                target: DcIndex(2)
+            }
+        );
+        // The victim slot stays clean.
+        assert_eq!(mb.cc_collect_result(DcIndex(2)).unwrap(), None);
+    }
+
+    #[test]
+    fn publish_poll_collect_cycle() {
+        let mut mb = CcDcMailbox::new(2);
+        assert!(!mb.cc_poll_done(DcIndex(0)).unwrap());
+        mb.dc_publish_result(DcIndex(0), DcIndex(0), 3.5).unwrap();
+        assert!(mb.cc_poll_done(DcIndex(0)).unwrap());
+        assert_eq!(mb.cc_collect_result(DcIndex(0)).unwrap(), Some(3.5));
+        mb.cc_reset_slot(DcIndex(0)).unwrap();
+        assert!(!mb.cc_poll_done(DcIndex(0)).unwrap());
+        assert_eq!(mb.cc_collect_result(DcIndex(0)).unwrap(), None);
+    }
+
+    #[test]
+    fn unknown_dc_rejected() {
+        let mb = CcDcMailbox::new(1);
+        assert!(matches!(
+            mb.cc_poll_done(DcIndex(5)),
+            Err(ProtectionError::UnknownDc { .. })
+        ));
+    }
+}

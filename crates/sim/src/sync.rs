@@ -1,0 +1,189 @@
+//! Barrier-synchronization overhead under heterogeneous frequencies.
+//!
+//! Accordion "runs all cores engaged in computation at the same f to
+//! ensure that parallel tasks make similar progress. This typically
+//! leads to faster overall execution, and eliminates any
+//! synchronization overhead that would be incurred if cores operated
+//! at different speeds" (Section 4). This module quantifies that
+//! claim: data-parallel phases hand out work in *task quanta*; at each
+//! phase barrier the fast clusters wait for the stragglers. Unequal
+//! frequencies with speed-proportional task counts still straggle
+//! because task counts are integral.
+
+/// A barrier-synchronized phase execution model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BarrierModel {
+    /// Work units per task (the scheduling quantum).
+    pub task_quantum: f64,
+    /// Fixed barrier cost per phase, in seconds (network round +
+    /// arrival bookkeeping).
+    pub barrier_cost_s: f64,
+}
+
+impl BarrierModel {
+    /// A plausible configuration: coarse RMS tasks, a ~1 µs barrier.
+    pub fn paper_default() -> Self {
+        Self {
+            task_quantum: 10_000.0,
+            barrier_cost_s: 1e-6,
+        }
+    }
+
+    /// Time of one phase of `work` units under a *common* frequency:
+    /// tasks are dealt evenly; everyone finishes within one task of
+    /// each other.
+    ///
+    /// `groups` lists `(cores, f_ghz)` per cluster; under equal-f all
+    /// entries share `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no group is supplied or any frequency is non-positive.
+    pub fn phase_time_s(&self, work: f64, groups: &[(usize, f64)], proportional: bool) -> f64 {
+        assert!(!groups.is_empty(), "need at least one cluster");
+        for &(_, f) in groups {
+            assert!(f > 0.0, "frequencies must be positive");
+        }
+        let tasks_total = (work / self.task_quantum).ceil().max(1.0);
+        // Capacity of each group in work-units per second (1 GHz core
+        // retires 1e9 units/s of this abstract work measure).
+        let caps: Vec<f64> = groups.iter().map(|&(c, f)| c as f64 * f * 1e9).collect();
+        let total_cap: f64 = caps.iter().sum();
+        // Integral task assignment.
+        let mut assigned = Vec::with_capacity(groups.len());
+        if proportional {
+            // Largest-remainder apportionment by capacity.
+            let exact: Vec<f64> = caps.iter().map(|c| tasks_total * c / total_cap).collect();
+            let mut tasks: Vec<f64> = exact.iter().map(|e| e.floor()).collect();
+            let mut leftover = tasks_total - tasks.iter().sum::<f64>();
+            let mut order: Vec<usize> = (0..groups.len()).collect();
+            order.sort_by(|&a, &b| {
+                (exact[b] - exact[b].floor())
+                    .partial_cmp(&(exact[a] - exact[a].floor()))
+                    .expect("finite")
+            });
+            for &i in &order {
+                if leftover < 0.5 {
+                    break;
+                }
+                tasks[i] += 1.0;
+                leftover -= 1.0;
+            }
+            assigned = tasks;
+        } else {
+            // Even split (the equal-f discipline needs no speed
+            // awareness).
+            let per = tasks_total / groups.len() as f64;
+            for _ in groups {
+                assigned.push(per.ceil());
+            }
+        }
+        // Phase ends when the slowest group drains its queue.
+        let mut t_max = 0.0f64;
+        for (tasks, cap) in assigned.iter().zip(&caps) {
+            let t = tasks * self.task_quantum / cap;
+            t_max = t_max.max(t);
+        }
+        t_max + self.barrier_cost_s
+    }
+
+    /// Total time of `phases` identical barrier-separated phases.
+    pub fn run_time_s(
+        &self,
+        work_per_phase: f64,
+        groups: &[(usize, f64)],
+        proportional: bool,
+        phases: usize,
+    ) -> f64 {
+        self.phase_time_s(work_per_phase, groups, proportional) * phases as f64
+    }
+
+    /// The ideal (quantization-free, barrier-free) phase time.
+    pub fn ideal_phase_time_s(&self, work: f64, groups: &[(usize, f64)]) -> f64 {
+        let total_cap: f64 = groups.iter().map(|&(c, f)| c as f64 * f * 1e9).sum();
+        work / total_cap
+    }
+}
+
+impl Default for BarrierModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heterogeneous() -> Vec<(usize, f64)> {
+        vec![(8, 0.7), (8, 0.5), (8, 0.4), (8, 0.35)]
+    }
+
+    #[test]
+    fn equal_frequency_needs_no_speed_awareness() {
+        // With identical frequencies, even and proportional splits
+        // coincide.
+        let m = BarrierModel::paper_default();
+        let groups = vec![(8, 0.5); 4];
+        let even = m.phase_time_s(1e8, &groups, false);
+        let prop = m.phase_time_s(1e8, &groups, true);
+        assert!((even - prop).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proportional_beats_even_under_heterogeneous_f() {
+        let m = BarrierModel::paper_default();
+        let groups = heterogeneous();
+        let even = m.phase_time_s(1e9, &groups, false);
+        let prop = m.phase_time_s(1e9, &groups, true);
+        assert!(prop < even, "proportional {prop} vs even {even}");
+    }
+
+    #[test]
+    fn coarse_tasks_erode_the_proportional_advantage() {
+        // With few tasks per phase, integral apportionment straggles:
+        // the overhead over ideal grows as the quantum coarsens.
+        let groups = heterogeneous();
+        let fine = BarrierModel {
+            task_quantum: 1_000.0,
+            barrier_cost_s: 0.0,
+        };
+        let coarse = BarrierModel {
+            task_quantum: 3e7,
+            barrier_cost_s: 0.0,
+        };
+        let work = 1e8;
+        let fine_over = fine.phase_time_s(work, &groups, true) / fine.ideal_phase_time_s(work, &groups);
+        let coarse_over =
+            coarse.phase_time_s(work, &groups, true) / coarse.ideal_phase_time_s(work, &groups);
+        assert!(coarse_over > fine_over * 1.05, "{coarse_over} vs {fine_over}");
+    }
+
+    #[test]
+    fn barrier_cost_accumulates_per_phase() {
+        let m = BarrierModel {
+            task_quantum: 1e4,
+            barrier_cost_s: 1e-3,
+        };
+        let groups = vec![(8, 0.5); 2];
+        let one = m.run_time_s(1e7, &groups, false, 1);
+        let ten = m.run_time_s(1e7, &groups, false, 10);
+        assert!((ten - 10.0 * one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_time_at_least_ideal() {
+        let m = BarrierModel::paper_default();
+        let groups = heterogeneous();
+        for &prop in &[false, true] {
+            let t = m.phase_time_s(5e8, &groups, prop);
+            assert!(t >= m.ideal_phase_time_s(5e8, &groups));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn empty_groups_rejected() {
+        BarrierModel::paper_default().phase_time_s(1.0, &[], false);
+    }
+}

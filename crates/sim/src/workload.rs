@@ -1,0 +1,97 @@
+//! Data-parallel workload descriptors.
+//!
+//! Accordion's analysis only needs a workload's aggregate behaviour:
+//! how many abstract work units it contains (proportional to the
+//! problem size), how many instructions each unit costs, and how
+//! memory-intensive those instructions are. The RMS kernels in
+//! `accordion-apps` measure these quantities; the framework scales
+//! them with the problem-size knob.
+
+/// A data-parallel phase to be executed across Data Cores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// Total work units (scales with problem size).
+    pub work_units: f64,
+    /// Instructions per work unit.
+    pub instructions_per_unit: f64,
+    /// Memory accesses per instruction that leave the core (after the
+    /// private cache filters the stream).
+    pub mem_accesses_per_instr: f64,
+    /// Private-memory hit rate of those accesses.
+    pub private_hit_rate: f64,
+    /// Cluster-memory hit rate for private misses.
+    pub cluster_hit_rate: f64,
+}
+
+impl Workload {
+    /// A purely compute-bound workload (no off-core memory traffic).
+    pub fn compute_bound(work_units: f64) -> Self {
+        Self {
+            work_units,
+            instructions_per_unit: 1.0,
+            mem_accesses_per_instr: 0.0,
+            private_hit_rate: 1.0,
+            cluster_hit_rate: 1.0,
+        }
+    }
+
+    /// A representative RMS data-parallel phase: largely
+    /// compute-intensive (paper Section 1, citing Bhadauria et al.)
+    /// with a modest memory-access stream that mostly hits the private
+    /// memory.
+    pub fn rms_default(work_units: f64) -> Self {
+        Self {
+            work_units,
+            instructions_per_unit: 100.0,
+            mem_accesses_per_instr: 0.05,
+            private_hit_rate: 0.90,
+            cluster_hit_rate: 0.85,
+        }
+    }
+
+    /// Total instruction count of the phase.
+    pub fn total_instructions(&self) -> f64 {
+        self.work_units * self.instructions_per_unit
+    }
+
+    /// Returns a copy with the work scaled by `factor` (problem-size
+    /// modulation; Compress uses `factor < 1`, Expand `> 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor > 0.0, "work scale factor must be positive");
+        Self {
+            work_units: self.work_units * factor,
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_bound_has_no_traffic() {
+        let w = Workload::compute_bound(10.0);
+        assert_eq!(w.mem_accesses_per_instr, 0.0);
+        assert_eq!(w.total_instructions(), 10.0);
+    }
+
+    #[test]
+    fn scaling_multiplies_work_only() {
+        let w = Workload::rms_default(100.0);
+        let s = w.scaled(2.5);
+        assert_eq!(s.work_units, 250.0);
+        assert_eq!(s.instructions_per_unit, w.instructions_per_unit);
+        assert_eq!(s.total_instructions(), 2.5 * w.total_instructions());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_scale_rejected() {
+        Workload::compute_bound(1.0).scaled(0.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the execution model.
+
+use accordion_sim::ccdc::{run_round, CcDcConfig};
+use accordion_sim::event::EventQueue;
+use accordion_sim::exec::ExecModel;
+use accordion_sim::fault::{uniform_drop_mask, FaultInjector};
+use accordion_sim::workload::Workload;
+use accordion_stats::rng::SeedStream;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn execution_time_scales_with_work(units in 1.0f64..1e9, k in 1.1f64..10.0, n in 1usize..256, f in 0.1f64..3.3) {
+        let e = ExecModel::paper_default();
+        let w = Workload::rms_default(units);
+        let t1 = e.execution_time_s(&w, n, f);
+        let t2 = e.execution_time_s(&w.scaled(k), n, f);
+        prop_assert!((t2 / t1 - k).abs() < 1e-9 * k);
+    }
+
+    #[test]
+    fn more_cores_never_slow_down(units in 1.0f64..1e9, n in 1usize..128, f in 0.1f64..3.3) {
+        let e = ExecModel::paper_default();
+        let w = Workload::rms_default(units);
+        prop_assert!(e.execution_time_s(&w, n + 1, f) <= e.execution_time_s(&w, n, f));
+    }
+
+    #[test]
+    fn higher_frequency_never_slows_down(units in 1.0f64..1e9, f in 0.1f64..3.0, df in 0.01f64..0.5) {
+        let e = ExecModel::paper_default();
+        let w = Workload::rms_default(units);
+        prop_assert!(e.execution_time_s(&w, 8, f + df) < e.execution_time_s(&w, 8, f));
+    }
+
+    #[test]
+    fn cpi_at_least_one(units in 1.0f64..100.0, f in 0.05f64..3.5, ma in 0.0f64..0.5, h1 in 0.0f64..1.0, h2 in 0.0f64..1.0) {
+        let e = ExecModel::paper_default();
+        let w = Workload {
+            work_units: units,
+            instructions_per_unit: 10.0,
+            mem_accesses_per_instr: ma,
+            private_hit_rate: h1,
+            cluster_hit_rate: h2,
+        };
+        prop_assert!(e.cpi(&w, f) >= 1.0);
+    }
+
+    #[test]
+    fn infection_probability_monotone_in_cycles(p in 1e-12f64..1e-3, c1 in 0.0f64..1e9, dc in 1.0f64..1e9) {
+        let inj = FaultInjector::new(p);
+        prop_assert!(inj.infection_probability(c1 + dc) >= inj.infection_probability(c1));
+        prop_assert!((0.0..=1.0).contains(&inj.infection_probability(c1)));
+    }
+
+    #[test]
+    fn uniform_drop_mask_count_is_floor_exact(threads in 1usize..512, quarters in 0u8..5) {
+        let fraction = quarters as f64 / 4.0;
+        let mask = uniform_drop_mask(threads, fraction);
+        let dropped = mask.iter().filter(|&&b| b).count();
+        let expect = (threads as f64 * fraction).floor() as usize;
+        prop_assert!(dropped.abs_diff(expect) <= 1);
+    }
+
+    #[test]
+    fn event_queue_pops_sorted(times in proptest::collection::vec(0u64..1_000_000, 1..64)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        let mut prev = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn ccdc_rounds_account_for_every_dc(ndcs in 1usize..64, perr_exp in 3i32..9, seed in 0u64..50) {
+        let cfg = CcDcConfig::default_round(ndcs, 10f64.powi(-perr_exp));
+        let mut rng = SeedStream::new(seed).stream("prop-ccdc", 0);
+        let report = run_round(&cfg, &mut rng);
+        prop_assert_eq!(report.outcomes.len(), ndcs);
+        // Merged results = non-abandoned DCs.
+        let abandoned = report
+            .outcomes
+            .iter()
+            .filter(|o| **o == accordion_sim::ccdc::DcOutcome::Abandoned)
+            .count();
+        prop_assert_eq!(report.merged_results.len(), ndcs - abandoned);
+    }
+
+    #[test]
+    fn thread_cycles_proportional_to_work(units in 1.0f64..1e6, k in 1.5f64..10.0, f in 0.2f64..3.0) {
+        let e = ExecModel::paper_default();
+        let w = Workload::rms_default(1e9);
+        let c1 = e.thread_cycles(&w, units, f);
+        let c2 = e.thread_cycles(&w, units * k, f);
+        prop_assert!((c2 / c1 - k).abs() < 1e-9 * k);
+    }
+}

@@ -1,0 +1,217 @@
+//! Dense Cholesky factorization of symmetric positive-definite matrices.
+//!
+//! Used to sample spatially correlated Gaussian vectors: if `Σ = L·Lᵀ`
+//! and `z` is i.i.d. standard normal, then `L·z` has covariance `Σ`.
+//! Correlation matrices built from empirical variograms can be very
+//! slightly indefinite due to rounding, so the factorization supports a
+//! diagonal jitter retry.
+
+/// A lower-triangular Cholesky factor `L` with `Σ = L·Lᵀ`.
+///
+/// # Example
+///
+/// ```
+/// use accordion_stats::cholesky::Cholesky;
+///
+/// let sigma = vec![4.0, 2.0, 2.0, 3.0]; // 2×2 row-major
+/// let ch = Cholesky::factor(&sigma, 2).unwrap();
+/// let y = ch.mul_vec(&[1.0, 0.0]);
+/// assert!((y[0] - 2.0).abs() < 1e-12); // L[0][0] = √4
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    n: usize,
+    /// Row-major lower-triangular factor (upper part zero).
+    l: Vec<f64>,
+}
+
+/// Error returned when a matrix cannot be factored even with jitter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NotPositiveDefinite {
+    /// Index of the first pivot that failed.
+    pub pivot: usize,
+    /// Value of the failing pivot.
+    pub value: f64,
+}
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "matrix is not positive definite (pivot {} = {:.3e})",
+            self.pivot, self.value
+        )
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+impl Cholesky {
+    /// Factors the `n × n` row-major symmetric matrix `a`.
+    ///
+    /// Retries with exponentially growing diagonal jitter (starting at
+    /// `1e-10 · max_diag`) up to 6 times before giving up, which makes
+    /// numerically semi-definite correlation matrices usable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotPositiveDefinite`] if the matrix remains indefinite
+    /// after the jitter retries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n * n`.
+    pub fn factor(a: &[f64], n: usize) -> Result<Self, NotPositiveDefinite> {
+        assert_eq!(a.len(), n * n, "matrix size mismatch");
+        let max_diag = (0..n).map(|i| a[i * n + i]).fold(0.0_f64, f64::max);
+        let mut jitter = 0.0;
+        let mut last_err = NotPositiveDefinite { pivot: 0, value: 0.0 };
+        for attempt in 0..7 {
+            match Self::try_factor(a, n, jitter) {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    last_err = e;
+                    jitter = if attempt == 0 {
+                        1e-10 * max_diag.max(1.0)
+                    } else {
+                        jitter * 100.0
+                    };
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    fn try_factor(a: &[f64], n: usize, jitter: f64) -> Result<Self, NotPositiveDefinite> {
+        let mut l = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[i * n + j];
+                if i == j {
+                    sum += jitter;
+                }
+                for k in 0..j {
+                    sum -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(NotPositiveDefinite { pivot: i, value: sum });
+                    }
+                    l[i * n + j] = sum.sqrt();
+                } else {
+                    l[i * n + j] = sum / l[j * n + j];
+                }
+            }
+        }
+        Ok(Self { n, l })
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Computes `L · z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z.len()` differs from the matrix dimension.
+    pub fn mul_vec(&self, z: &[f64]) -> Vec<f64> {
+        assert_eq!(z.len(), self.n, "vector length mismatch");
+        let mut out = vec![0.0; self.n];
+        for i in 0..self.n {
+            let row = &self.l[i * self.n..i * self.n + i + 1];
+            let mut acc = 0.0;
+            for (lik, zk) in row.iter().zip(z.iter()) {
+                acc += lik * zk;
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Reconstructs `Σ[i][j] = Σₖ L[i][k]·L[j][k]` (for testing and
+    /// diagnostics).
+    pub fn reconstruct(&self) -> Vec<f64> {
+        let n = self.n;
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..=i.min(j) {
+                    s += self.l[i * n + k] * self.l[j * n + k];
+                }
+                a[i * n + j] = s;
+            }
+        }
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn factor_identity() {
+        let n = 4;
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            a[i * n + i] = 1.0;
+        }
+        let ch = Cholesky::factor(&a, n).unwrap();
+        assert!(max_abs_diff(&ch.reconstruct(), &a) < 1e-14);
+    }
+
+    #[test]
+    fn factor_known_matrix() {
+        // A = [[25, 15, -5], [15, 18, 0], [-5, 0, 11]]
+        // L = [[5,0,0],[3,3,0],[-1,1,3]]
+        let a = vec![25.0, 15.0, -5.0, 15.0, 18.0, 0.0, -5.0, 0.0, 11.0];
+        let ch = Cholesky::factor(&a, 3).unwrap();
+        let y = ch.mul_vec(&[1.0, 0.0, 0.0]);
+        assert!((y[0] - 5.0).abs() < 1e-12);
+        assert!((y[1] - 3.0).abs() < 1e-12);
+        assert!((y[2] + 1.0).abs() < 1e-12);
+        assert!(max_abs_diff(&ch.reconstruct(), &a) < 1e-12);
+    }
+
+    #[test]
+    fn jitter_rescues_semidefinite() {
+        // Rank-1 correlation-ish matrix (perfect correlation) is PSD but
+        // not PD; jitter should rescue it.
+        let a = vec![1.0, 1.0, 1.0, 1.0];
+        let ch = Cholesky::factor(&a, 2).unwrap();
+        let r = ch.reconstruct();
+        assert!(max_abs_diff(&r, &a) < 1e-6);
+    }
+
+    #[test]
+    fn rejects_negative_definite() {
+        let a = vec![-1.0, 0.0, 0.0, -1.0];
+        assert!(Cholesky::factor(&a, 2).is_err());
+    }
+
+    #[test]
+    fn mul_vec_produces_target_covariance_statistically() {
+        use crate::rng::{sample_std_normal, SeedStream};
+        let a = vec![1.0, 0.6, 0.6, 1.0];
+        let ch = Cholesky::factor(&a, 2).unwrap();
+        let mut rng = SeedStream::new(5).stream("chol", 0);
+        let n = 100_000;
+        let (mut sxy, mut sx2, mut sy2) = (0.0, 0.0, 0.0);
+        for _ in 0..n {
+            let z = [sample_std_normal(&mut rng), sample_std_normal(&mut rng)];
+            let y = ch.mul_vec(&z);
+            sxy += y[0] * y[1];
+            sx2 += y[0] * y[0];
+            sy2 += y[1] * y[1];
+        }
+        let corr = sxy / (sx2.sqrt() * sy2.sqrt());
+        assert!((corr - 0.6).abs() < 0.02, "corr={corr}");
+    }
+}

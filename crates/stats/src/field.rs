@@ -1,0 +1,257 @@
+//! Spatially correlated Gaussian random fields.
+//!
+//! VARIUS-style process-variation models describe the *systematic*
+//! component of parameter variation (threshold voltage `Vth`, effective
+//! channel length `Leff`) as a zero-mean, unit-variance Gaussian random
+//! field over the die with an isotropic correlation that decays with
+//! distance and vanishes beyond a correlation range `φ` (expressed as a
+//! fraction of the chip width). This module samples such fields at an
+//! arbitrary set of points via Cholesky factorization of the correlation
+//! matrix.
+
+use crate::cholesky::Cholesky;
+use crate::rng::sample_std_normal;
+use rand::RngCore;
+
+/// Isotropic spatial correlation models `ρ(d)` for distance `d`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CorrelationModel {
+    /// The spherical variogram used by VARIUS: correlation decays
+    /// smoothly from 1 at `d = 0` to 0 at `d ≥ range`:
+    /// `ρ(d) = 1 − 1.5 (d/r) + 0.5 (d/r)³`.
+    Spherical {
+        /// Correlation range in the same units as the point coordinates.
+        range: f64,
+    },
+    /// Exponential decay `ρ(d) = exp(−3 d / r)` (reaches ≈0.05 at `r`).
+    Exponential {
+        /// Practical correlation range.
+        range: f64,
+    },
+    /// No spatial correlation (pure random component).
+    Independent,
+}
+
+impl CorrelationModel {
+    /// Evaluates `ρ(d)`.
+    pub fn rho(&self, d: f64) -> f64 {
+        match *self {
+            CorrelationModel::Spherical { range } => {
+                if d <= 0.0 {
+                    1.0
+                } else if d >= range {
+                    0.0
+                } else {
+                    let h = d / range;
+                    1.0 - 1.5 * h + 0.5 * h * h * h
+                }
+            }
+            CorrelationModel::Exponential { range } => {
+                if d <= 0.0 {
+                    1.0
+                } else {
+                    (-3.0 * d / range).exp()
+                }
+            }
+            CorrelationModel::Independent => {
+                if d <= 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// Error constructing a correlated field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldError {
+    /// The point set was empty.
+    NoPoints,
+    /// The correlation matrix could not be factored.
+    Factorization(crate::cholesky::NotPositiveDefinite),
+}
+
+impl std::fmt::Display for FieldError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldError::NoPoints => write!(f, "cannot build a field over zero points"),
+            FieldError::Factorization(e) => write!(f, "correlation matrix: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FieldError {}
+
+/// A sampler of zero-mean, unit-variance Gaussian fields over a fixed
+/// point set.
+///
+/// Construction factors the correlation matrix once (`O(n³)`); each
+/// sample is then an `O(n²)` matrix-vector product, so one factorization
+/// serves an entire chip population.
+///
+/// # Example
+///
+/// ```
+/// use accordion_stats::field::{CorrelatedField, CorrelationModel};
+/// use accordion_stats::rng::SeedStream;
+///
+/// let pts: Vec<(f64, f64)> = (0..16).map(|i| ((i % 4) as f64, (i / 4) as f64)).collect();
+/// let field = CorrelatedField::new(&pts, CorrelationModel::Spherical { range: 2.0 })?;
+/// let mut rng = SeedStream::new(1).stream("field", 0);
+/// let sample = field.sample(&mut rng);
+/// assert_eq!(sample.len(), 16);
+/// # Ok::<(), accordion_stats::field::FieldError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CorrelatedField {
+    chol: Cholesky,
+    n: usize,
+}
+
+impl CorrelatedField {
+    /// Builds a field sampler over `points` with the given correlation
+    /// model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FieldError::NoPoints`] for an empty point set and
+    /// [`FieldError::Factorization`] if the correlation matrix cannot be
+    /// factored.
+    pub fn new(points: &[(f64, f64)], model: CorrelationModel) -> Result<Self, FieldError> {
+        if points.is_empty() {
+            return Err(FieldError::NoPoints);
+        }
+        let n = points.len();
+        let mut corr = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let dx = points[i].0 - points[j].0;
+                let dy = points[i].1 - points[j].1;
+                let d = (dx * dx + dy * dy).sqrt();
+                let r = model.rho(d);
+                corr[i * n + j] = r;
+                corr[j * n + i] = r;
+            }
+        }
+        let chol = Cholesky::factor(&corr, n).map_err(FieldError::Factorization)?;
+        Ok(Self { chol, n })
+    }
+
+    /// Number of sample points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the field has zero points (never true for a constructed
+    /// field; provided for `len`/`is_empty` API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Draws one field realization: a vector of `len()` correlated
+    /// standard-normal values.
+    pub fn sample<R: RngCore>(&self, rng: &mut R) -> Vec<f64> {
+        let z: Vec<f64> = (0..self.n).map(|_| sample_std_normal(rng)).collect();
+        self.chol.mul_vec(&z)
+    }
+}
+
+/// Builds a regular `nx × ny` grid of points covering a `w × h`
+/// rectangle, with points at cell centers. Convenience for placing
+/// per-core sample sites on a die.
+pub fn grid_points(nx: usize, ny: usize, w: f64, h: f64) -> Vec<(f64, f64)> {
+    let mut pts = Vec::with_capacity(nx * ny);
+    for j in 0..ny {
+        for i in 0..nx {
+            let x = (i as f64 + 0.5) / nx as f64 * w;
+            let y = (j as f64 + 0.5) / ny as f64 * h;
+            pts.push((x, y));
+        }
+    }
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeedStream;
+
+    #[test]
+    fn spherical_rho_boundaries() {
+        let m = CorrelationModel::Spherical { range: 2.0 };
+        assert_eq!(m.rho(0.0), 1.0);
+        assert_eq!(m.rho(2.0), 0.0);
+        assert_eq!(m.rho(5.0), 0.0);
+        let mid = m.rho(1.0);
+        assert!(mid > 0.0 && mid < 1.0);
+    }
+
+    #[test]
+    fn spherical_rho_monotone_decreasing() {
+        let m = CorrelationModel::Spherical { range: 1.0 };
+        let mut prev = 1.0;
+        for k in 1..=20 {
+            let r = m.rho(k as f64 / 20.0);
+            assert!(r <= prev + 1e-12);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn field_sample_statistics() {
+        let pts = grid_points(5, 5, 10.0, 10.0);
+        let field =
+            CorrelatedField::new(&pts, CorrelationModel::Spherical { range: 4.0 }).unwrap();
+        let mut rng = SeedStream::new(3).stream("f", 0);
+        let trials = 4000;
+        let n = pts.len();
+        let mut mean = vec![0.0; n];
+        let mut var = vec![0.0; n];
+        let mut cov01 = 0.0;
+        for _ in 0..trials {
+            let s = field.sample(&mut rng);
+            for i in 0..n {
+                mean[i] += s[i];
+                var[i] += s[i] * s[i];
+            }
+            cov01 += s[0] * s[1];
+        }
+        for i in 0..n {
+            mean[i] /= trials as f64;
+            var[i] = var[i] / trials as f64 - mean[i] * mean[i];
+            assert!(mean[i].abs() < 0.08, "mean[{i}]={}", mean[i]);
+            assert!((var[i] - 1.0).abs() < 0.1, "var[{i}]={}", var[i]);
+        }
+        // Neighbouring points (distance 2) under range 4 should correlate
+        // near ρ(2) = 1 − 1.5·0.5 + 0.5·0.125 = 0.3125.
+        let c = cov01 / trials as f64;
+        assert!((c - 0.3125).abs() < 0.08, "cov01={c}");
+    }
+
+    #[test]
+    fn independent_model_gives_identity() {
+        let pts = grid_points(3, 3, 1.0, 1.0);
+        let field = CorrelatedField::new(&pts, CorrelationModel::Independent).unwrap();
+        // With an identity correlation, L = I, so the sample equals z —
+        // two successive samples from distinct RNGs must differ.
+        let mut r1 = SeedStream::new(8).stream("a", 0);
+        let s = field.sample(&mut r1);
+        assert_eq!(s.len(), 9);
+    }
+
+    #[test]
+    fn empty_points_error() {
+        assert_eq!(
+            CorrelatedField::new(&[], CorrelationModel::Independent).unwrap_err(),
+            FieldError::NoPoints
+        );
+    }
+
+    #[test]
+    fn grid_points_layout() {
+        let pts = grid_points(2, 2, 4.0, 2.0);
+        assert_eq!(pts, vec![(1.0, 0.5), (3.0, 0.5), (1.0, 1.5), (3.0, 1.5)]);
+    }
+}

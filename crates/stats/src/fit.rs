@@ -1,0 +1,130 @@
+//! Least-squares line fitting, used by the benchmark characterization
+//! (Table 3) and ad-hoc analyses.
+
+/// A fitted line `y = intercept + slope·x` with its goodness of fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Slope of the least-squares line.
+    pub slope: f64,
+    /// Intercept of the least-squares line.
+    pub intercept: f64,
+    /// Coefficient of determination R² ∈ (−∞, 1].
+    pub r_squared: f64,
+}
+
+impl LineFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Fits a least-squares line of `y` on `x`.
+///
+/// A perfectly flat response (`y` all equal) fits perfectly with slope
+/// ≈ 0 and reports `r_squared = 1`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or hold fewer than two
+/// points.
+pub fn line_fit(x: &[f64], y: &[f64]) -> LineFit {
+    assert_eq!(x.len(), y.len(), "fit over mismatched lengths");
+    assert!(x.len() >= 2, "fit needs at least two points");
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let sxy: f64 = x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum();
+    let sxx: f64 = x.iter().map(|a| (a - mx) * (a - mx)).sum();
+    let slope = sxy / sxx.max(1e-300);
+    let intercept = my - slope * mx;
+    let ss_res: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(a, v)| {
+            let e = v - (intercept + slope * a);
+            e * e
+        })
+        .sum();
+    let ss_tot: f64 = y.iter().map(|v| (v - my) * (v - my)).sum();
+    let r_squared = if ss_tot < 1e-300 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    LineFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+/// Fits a power law `y = a·x^b` by a line fit in log-log space,
+/// returning the exponent `b` and the log-space R².
+///
+/// # Panics
+///
+/// Panics if any coordinate is non-positive, or on the `line_fit`
+/// conditions.
+pub fn power_fit(x: &[f64], y: &[f64]) -> LineFit {
+    assert!(
+        x.iter().chain(y).all(|v| *v > 0.0),
+        "power fit needs positive coordinates"
+    );
+    let lx: Vec<f64> = x.iter().map(|v| v.ln()).collect();
+    let ly: Vec<f64> = y.iter().map(|v| v.ln()).collect();
+    line_fit(&lx, &ly)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 3.0, 5.0, 7.0];
+        let f = line_fit(&x, &y);
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 1.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+        assert!((f.predict(10.0) - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_has_partial_r2() {
+        let x = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let y = [0.0, 1.5, 1.4, 3.6, 3.5];
+        let f = line_fit(&x, &y);
+        assert!(f.r_squared > 0.7 && f.r_squared < 1.0);
+    }
+
+    #[test]
+    fn flat_response_is_perfectly_linear() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [5.0, 5.0, 5.0];
+        let f = line_fit(&x, &y);
+        assert_eq!(f.r_squared, 1.0);
+        assert!(f.slope.abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_law_exponent_recovered() {
+        let x = [1.0, 2.0, 4.0, 8.0];
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v * v).collect();
+        let f = power_fit(&x, &y);
+        assert!((f.slope - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive coordinates")]
+    fn power_fit_rejects_zero() {
+        power_fit(&[0.0, 1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn single_point_rejected() {
+        line_fit(&[1.0], &[1.0]);
+    }
+}

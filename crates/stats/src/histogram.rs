@@ -1,0 +1,142 @@
+//! Fixed-bin histograms, used to reproduce distribution figures such as
+//! the per-cluster `VddMIN` histogram (paper Figure 5a).
+
+/// A histogram over `[lo, hi)` with equal-width bins.
+///
+/// Values below `lo` are clamped into the first bin and values at or
+/// above `hi` into the last bin, so `count()` always equals the number
+/// of `add` calls — convenient when the theoretical support is open.
+///
+/// # Example
+///
+/// ```
+/// use accordion_stats::histogram::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 1.0, 4);
+/// for v in [0.1, 0.3, 0.35, 0.9] {
+///     h.add(v);
+/// }
+/// assert_eq!(h.bin_counts(), &[1, 2, 0, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, v: f64) {
+        let bins = self.counts.len();
+        let t = (v - self.lo) / (self.hi - self.lo);
+        let idx = ((t * bins as f64).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+        self.counts[idx] += 1;
+    }
+
+    /// Adds every observation from an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.add(v);
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn bin_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(left_edge, right_edge)` of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + i as f64 * w, self.lo + (i + 1) as f64 * w)
+    }
+
+    /// Center of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let (l, r) = self.bin_edges(i);
+        0.5 * (l + r)
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Iterator over `(bin_center, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        (0..self.bins()).map(move |i| (self.bin_center(i), self.counts[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.extend([0.0, 0.5, 9.99, 5.0]);
+        assert_eq!(h.bin_counts()[0], 2);
+        assert_eq!(h.bin_counts()[9], 1);
+        assert_eq!(h.bin_counts()[5], 1);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-5.0);
+        h.add(99.0);
+        assert_eq!(h.bin_counts(), &[1, 1]);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn edges_and_centers() {
+        let h = Histogram::new(1.0, 3.0, 4);
+        assert_eq!(h.bin_edges(0), (1.0, 1.5));
+        assert_eq!(h.bin_center(3), 2.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn inverted_range_panics() {
+        Histogram::new(1.0, 0.0, 3);
+    }
+}

@@ -1,0 +1,198 @@
+//! Piecewise-linear interpolation of measured fronts.
+//!
+//! The Accordion framework characterizes each benchmark by running it at
+//! a handful of problem-size points and then interpolates quality and
+//! work between them when exploring operating points (paper Section 6.3
+//! builds pareto fronts on exactly such measured fronts).
+
+/// A monotone-x piecewise-linear function defined by sample points.
+///
+/// Evaluation clamps outside the sampled domain (constant
+/// extrapolation), which is the conservative choice for quality fronts.
+///
+/// # Example
+///
+/// ```
+/// use accordion_stats::interp::PiecewiseLinear;
+///
+/// let f = PiecewiseLinear::new(vec![(0.0, 0.0), (1.0, 2.0)]).unwrap();
+/// assert_eq!(f.eval(0.5), 1.0);
+/// assert_eq!(f.eval(-1.0), 0.0); // clamped
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseLinear {
+    pts: Vec<(f64, f64)>,
+}
+
+/// Error constructing a [`PiecewiseLinear`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterpError {
+    /// Fewer than one point was supplied.
+    Empty,
+    /// The x-coordinates were not strictly increasing.
+    NotStrictlyIncreasing,
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::Empty => write!(f, "interpolation needs at least one point"),
+            InterpError::NotStrictlyIncreasing => {
+                write!(f, "interpolation x-coordinates must be strictly increasing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+impl PiecewiseLinear {
+    /// Builds an interpolant from `(x, y)` samples with strictly
+    /// increasing `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpError::Empty`] for no points and
+    /// [`InterpError::NotStrictlyIncreasing`] if `x` values repeat or
+    /// decrease.
+    pub fn new(pts: Vec<(f64, f64)>) -> Result<Self, InterpError> {
+        if pts.is_empty() {
+            return Err(InterpError::Empty);
+        }
+        for w in pts.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(InterpError::NotStrictlyIncreasing);
+            }
+        }
+        Ok(Self { pts })
+    }
+
+    /// Builds an interpolant from unsorted samples, sorting by `x` and
+    /// averaging duplicate `x` values.
+    pub fn from_samples(mut pts: Vec<(f64, f64)>) -> Result<Self, InterpError> {
+        if pts.is_empty() {
+            return Err(InterpError::Empty);
+        }
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN x-coordinate"));
+        let mut merged: Vec<(f64, f64)> = Vec::with_capacity(pts.len());
+        let mut i = 0;
+        while i < pts.len() {
+            let x = pts[i].0;
+            let mut sum = 0.0;
+            let mut cnt = 0usize;
+            while i < pts.len() && pts[i].0 == x {
+                sum += pts[i].1;
+                cnt += 1;
+                i += 1;
+            }
+            merged.push((x, sum / cnt as f64));
+        }
+        Self::new(merged)
+    }
+
+    /// Evaluates the interpolant at `x`, clamping outside the domain.
+    pub fn eval(&self, x: f64) -> f64 {
+        let pts = &self.pts;
+        if x <= pts[0].0 {
+            return pts[0].1;
+        }
+        if x >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        // Binary search for the segment containing x.
+        let mut lo = 0;
+        let mut hi = pts.len() - 1;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if pts[mid].0 <= x {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let (x0, y0) = pts[lo];
+        let (x1, y1) = pts[hi];
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// Inverse evaluation: the smallest `x` in the domain with
+    /// `eval(x) = y`, assuming the front is monotone non-decreasing.
+    /// Returns `None` if `y` is outside the value range.
+    pub fn inverse_monotone(&self, y: f64) -> Option<f64> {
+        let pts = &self.pts;
+        let (ymin, ymax) = (pts[0].1, pts[pts.len() - 1].1);
+        if y < ymin.min(ymax) || y > ymin.max(ymax) {
+            return None;
+        }
+        for w in pts.windows(2) {
+            let ((x0, y0), (x1, y1)) = (w[0], w[1]);
+            let (lo, hi) = (y0.min(y1), y0.max(y1));
+            if y >= lo && y <= hi {
+                if (y1 - y0).abs() < 1e-300 {
+                    return Some(x0);
+                }
+                return Some(x0 + (x1 - x0) * (y - y0) / (y1 - y0));
+            }
+        }
+        Some(pts[pts.len() - 1].0)
+    }
+
+    /// The sampled domain `(x_min, x_max)`.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.pts[0].0, self.pts[self.pts.len() - 1].0)
+    }
+
+    /// The underlying sample points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.pts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_interpolates_and_clamps() {
+        let f = PiecewiseLinear::new(vec![(0.0, 1.0), (2.0, 3.0), (4.0, 2.0)]).unwrap();
+        assert_eq!(f.eval(1.0), 2.0);
+        assert_eq!(f.eval(3.0), 2.5);
+        assert_eq!(f.eval(-10.0), 1.0);
+        assert_eq!(f.eval(10.0), 2.0);
+    }
+
+    #[test]
+    fn single_point_is_constant() {
+        let f = PiecewiseLinear::new(vec![(5.0, 7.0)]).unwrap();
+        assert_eq!(f.eval(0.0), 7.0);
+        assert_eq!(f.eval(100.0), 7.0);
+    }
+
+    #[test]
+    fn rejects_non_increasing() {
+        assert_eq!(
+            PiecewiseLinear::new(vec![(0.0, 0.0), (0.0, 1.0)]).unwrap_err(),
+            InterpError::NotStrictlyIncreasing
+        );
+        assert_eq!(
+            PiecewiseLinear::new(vec![]).unwrap_err(),
+            InterpError::Empty
+        );
+    }
+
+    #[test]
+    fn from_samples_sorts_and_merges() {
+        let f =
+            PiecewiseLinear::from_samples(vec![(2.0, 4.0), (0.0, 0.0), (2.0, 6.0)]).unwrap();
+        assert_eq!(f.points(), &[(0.0, 0.0), (2.0, 5.0)]);
+    }
+
+    #[test]
+    fn inverse_monotone_round_trip() {
+        let f = PiecewiseLinear::new(vec![(1.0, 10.0), (2.0, 20.0), (5.0, 50.0)]).unwrap();
+        let x = f.inverse_monotone(35.0).unwrap();
+        assert!((f.eval(x) - 35.0).abs() < 1e-12);
+        assert!(f.inverse_monotone(5.0).is_none());
+        assert!(f.inverse_monotone(60.0).is_none());
+    }
+}

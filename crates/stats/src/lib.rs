@@ -1,0 +1,47 @@
+//! Statistical substrate for the Accordion NTC reproduction.
+//!
+//! This crate provides the numerical building blocks that the variation
+//! model, the technology model, and the benchmark quality metrics are
+//! built on:
+//!
+//! * deterministic, forkable random-number streams ([`rng`]),
+//! * the standard normal distribution with accurate `erf`, CDF and
+//!   inverse-CDF implementations ([`normal`]),
+//! * dense Cholesky factorization for sampling correlated Gaussians
+//!   ([`cholesky`]),
+//! * spatially correlated Gaussian random fields with a spherical
+//!   correlation structure, as used by VARIUS-style process-variation
+//!   models ([`field`]),
+//! * histograms, descriptive statistics, piecewise-linear
+//!   interpolation and least-squares fitting ([`histogram`],
+//!   [`summary`], [`interp`], [`fit`]),
+//! * signal/image quality metrics — SSD, PSNR, SSIM and the distortion
+//!   metric of Misailovic et al. ([`metrics`]).
+//!
+//! # Example
+//!
+//! ```
+//! use accordion_stats::normal::StdNormal;
+//!
+//! let p = StdNormal.cdf(1.96);
+//! assert!((p - 0.975).abs() < 1e-3);
+//! ```
+
+pub mod cholesky;
+pub mod field;
+pub mod fit;
+pub mod histogram;
+pub mod interp;
+pub mod metrics;
+pub mod normal;
+pub mod rng;
+pub mod summary;
+
+pub use cholesky::Cholesky;
+pub use field::{CorrelatedField, CorrelationModel, FieldError};
+pub use fit::{line_fit, power_fit, LineFit};
+pub use histogram::Histogram;
+pub use interp::PiecewiseLinear;
+pub use normal::StdNormal;
+pub use rng::{SeedStream, StreamRng};
+pub use summary::Summary;

@@ -1,0 +1,193 @@
+//! Output-quality metrics for the RMS benchmarks.
+//!
+//! The paper (Section 5.2) measures quality as `1 − distortion`, where
+//! distortion is the average relative error per output value
+//! (Misailovic et al.), computed with an application-specific inner
+//! metric: SSD for `bodytrack`/`hotspot`, SSIM for `x264`, PSNR for
+//! `srad`, common-image count for `ferret`, and relative routing cost
+//! for `canneal`. The generic pieces live here.
+
+/// Sum of squared differences between two equally sized slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn ssd(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "ssd over mismatched lengths");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Mean squared error between two equally sized slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn mse(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty(), "mse of empty slices");
+    ssd(a, b) / a.len() as f64
+}
+
+/// Peak signal-to-noise ratio in dB for signals with the given peak
+/// value. Returns `f64::INFINITY` for identical inputs.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, are empty, or `peak <= 0`.
+pub fn psnr(a: &[f64], b: &[f64], peak: f64) -> f64 {
+    assert!(peak > 0.0, "psnr peak must be positive");
+    let m = mse(a, b);
+    if m == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (peak * peak / m).log10()
+    }
+}
+
+/// Average relative error per output value — the distortion metric of
+/// Misailovic et al. Output values whose reference magnitude is below
+/// `eps` contribute absolute error instead (avoids division blow-up).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn distortion(output: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(output.len(), reference.len(), "distortion over mismatched lengths");
+    assert!(!output.is_empty(), "distortion of empty outputs");
+    const EPS: f64 = 1e-9;
+    let mut acc = 0.0;
+    for (o, r) in output.iter().zip(reference) {
+        let err = (o - r).abs();
+        acc += if r.abs() > EPS { err / r.abs() } else { err };
+    }
+    acc / output.len() as f64
+}
+
+/// Quality of an execution outcome relative to a reference:
+/// `1 − distortion`, floored at 0.
+pub fn relative_quality(output: &[f64], reference: &[f64]) -> f64 {
+    (1.0 - distortion(output, reference)).max(0.0)
+}
+
+/// Mean structural-similarity index between two images stored row-major
+/// with dimensions `w × h` and dynamic range `peak`, computed over 8×8
+/// windows with the standard stabilizing constants
+/// `C1 = (0.01·peak)²`, `C2 = (0.03·peak)²`.
+///
+/// # Panics
+///
+/// Panics if the buffers do not match `w * h`, the image is smaller
+/// than one 8×8 window, or `peak <= 0`.
+pub fn ssim(a: &[f64], b: &[f64], w: usize, h: usize, peak: f64) -> f64 {
+    assert_eq!(a.len(), w * h, "image a size mismatch");
+    assert_eq!(b.len(), w * h, "image b size mismatch");
+    assert!(w >= 8 && h >= 8, "ssim needs at least one 8x8 window");
+    assert!(peak > 0.0, "ssim peak must be positive");
+    let c1 = (0.01 * peak) * (0.01 * peak);
+    let c2 = (0.03 * peak) * (0.03 * peak);
+    let mut total = 0.0;
+    let mut windows = 0usize;
+    let mut by = 0;
+    while by + 8 <= h {
+        let mut bx = 0;
+        while bx + 8 <= w {
+            let (mut sa, mut sb, mut saa, mut sbb, mut sab) = (0.0, 0.0, 0.0, 0.0, 0.0);
+            for y in by..by + 8 {
+                for x in bx..bx + 8 {
+                    let pa = a[y * w + x];
+                    let pb = b[y * w + x];
+                    sa += pa;
+                    sb += pb;
+                    saa += pa * pa;
+                    sbb += pb * pb;
+                    sab += pa * pb;
+                }
+            }
+            let n = 64.0;
+            let ma = sa / n;
+            let mb = sb / n;
+            let va = saa / n - ma * ma;
+            let vb = sbb / n - mb * mb;
+            let cov = sab / n - ma * mb;
+            let s = ((2.0 * ma * mb + c1) * (2.0 * cov + c2))
+                / ((ma * ma + mb * mb + c1) * (va + vb + c2));
+            total += s;
+            windows += 1;
+            bx += 8;
+        }
+        by += 8;
+    }
+    total / windows as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ssd_and_mse_basics() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 4.0, 3.0];
+        assert_eq!(ssd(&a, &b), 4.0);
+        assert!((mse(&a, &b) - 4.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn psnr_identity_is_infinite() {
+        let a = [0.5, 0.25];
+        assert!(psnr(&a, &a, 1.0).is_infinite());
+    }
+
+    #[test]
+    fn psnr_known_value() {
+        // MSE = 0.01, peak = 1 → PSNR = 20 dB.
+        let a = [0.0, 0.0];
+        let b = [0.1, 0.1];
+        assert!((psnr(&a, &b, 1.0) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distortion_relative_error() {
+        let reference = [2.0, 4.0];
+        let output = [1.0, 4.0];
+        // Relative errors: 0.5 and 0.0 → distortion 0.25.
+        assert!((distortion(&output, &reference) - 0.25).abs() < 1e-15);
+        assert!((relative_quality(&output, &reference) - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn distortion_near_zero_reference_uses_absolute() {
+        let reference = [0.0];
+        let output = [0.3];
+        assert!((distortion(&output, &reference) - 0.3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quality_floors_at_zero() {
+        let reference = [1.0];
+        let output = [5.0];
+        assert_eq!(relative_quality(&output, &reference), 0.0);
+    }
+
+    #[test]
+    fn ssim_identical_images_is_one() {
+        let img: Vec<f64> = (0..64).map(|i| (i % 9) as f64 / 8.0).collect();
+        let s = ssim(&img, &img, 8, 8, 1.0);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ssim_degrades_with_noise() {
+        let w = 16;
+        let h = 16;
+        let a: Vec<f64> = (0..w * h).map(|i| ((i * 7) % 255) as f64).collect();
+        let b: Vec<f64> = a.iter().map(|v| v + 30.0 * ((v % 2.0) - 0.5)).collect();
+        let s = ssim(&a, &b, w, h, 255.0);
+        assert!(s < 0.999 && s > 0.0, "s={s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "8x8 window")]
+    fn ssim_rejects_tiny_images() {
+        ssim(&[0.0; 16], &[0.0; 16], 4, 4, 1.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the statistical substrate.
+
+use accordion_stats::cholesky::Cholesky;
+use accordion_stats::field::{CorrelatedField, CorrelationModel};
+use accordion_stats::interp::PiecewiseLinear;
+use accordion_stats::metrics::{distortion, psnr, relative_quality, ssd};
+use accordion_stats::normal::StdNormal;
+use accordion_stats::rng::SeedStream;
+use accordion_stats::summary::{quantile, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn cdf_is_monotone(a in -8.0f64..8.0, b in -8.0f64..8.0) {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        prop_assert!(StdNormal.cdf(lo) <= StdNormal.cdf(hi) + 1e-15);
+    }
+
+    #[test]
+    fn cdf_inv_cdf_round_trip(p in 1e-10f64..0.9999999) {
+        let x = StdNormal.inv_cdf(p);
+        let back = StdNormal.cdf(x);
+        prop_assert!((back - p).abs() < 1e-8 * (1.0 + 1.0 / p.min(1.0 - p)));
+    }
+
+    #[test]
+    fn sf_complements_cdf(x in -10.0f64..10.0) {
+        prop_assert!((StdNormal.cdf(x) + StdNormal.sf(x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_reconstructs_random_spd(seed in 0u64..500, n in 1usize..8) {
+        // Build A = B·Bᵀ + I, guaranteed SPD.
+        let mut rng = SeedStream::new(seed).stream("spd", 0);
+        let b: Vec<f64> = (0..n * n)
+            .map(|_| accordion_stats::rng::sample_std_normal(&mut rng))
+            .collect();
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = if i == j { 1.0 } else { 0.0 };
+                for k in 0..n {
+                    s += b[i * n + k] * b[j * n + k];
+                }
+                a[i * n + j] = s;
+            }
+        }
+        let ch = Cholesky::factor(&a, n).expect("SPD factors");
+        let r = ch.reconstruct();
+        for (x, y) in a.iter().zip(&r) {
+            prop_assert!((x - y).abs() < 1e-8 * (1.0 + x.abs()));
+        }
+    }
+
+    #[test]
+    fn spherical_correlation_within_unit_interval(d in 0.0f64..100.0, range in 0.01f64..50.0) {
+        let rho = CorrelationModel::Spherical { range }.rho(d);
+        prop_assert!((0.0..=1.0).contains(&rho));
+    }
+
+    #[test]
+    fn field_samples_have_len_of_points(npts in 1usize..12, seed in 0u64..100) {
+        let pts: Vec<(f64, f64)> = (0..npts).map(|i| (i as f64 * 1.7, (i * i) as f64 * 0.3)).collect();
+        let f = CorrelatedField::new(&pts, CorrelationModel::Exponential { range: 3.0 }).unwrap();
+        let s = f.sample(&mut SeedStream::new(seed).stream("f", 0));
+        prop_assert_eq!(s.len(), npts);
+        prop_assert!(s.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn interp_eval_within_hull(ys in proptest::collection::vec(-100.0f64..100.0, 2..10), x in -5.0f64..15.0) {
+        let pts: Vec<(f64, f64)> = ys.iter().enumerate().map(|(i, &y)| (i as f64, y)).collect();
+        let f = PiecewiseLinear::new(pts).unwrap();
+        let v = f.eval(x);
+        let lo = ys.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+
+    #[test]
+    fn inverse_monotone_round_trips(ys in proptest::collection::vec(0.0f64..100.0, 2..8), t in 0.0f64..1.0) {
+        // Build a strictly increasing front by prefix sums.
+        let mut acc = 0.0;
+        let pts: Vec<(f64, f64)> = ys.iter().enumerate().map(|(i, &y)| {
+            acc += y + 0.001;
+            (i as f64, acc)
+        }).collect();
+        let f = PiecewiseLinear::new(pts.clone()).unwrap();
+        let (ylo, yhi) = (pts[0].1, pts[pts.len() - 1].1);
+        let y = ylo + t * (yhi - ylo);
+        let x = f.inverse_monotone(y).expect("in range");
+        prop_assert!((f.eval(x) - y).abs() < 1e-9 * (1.0 + y.abs()));
+    }
+
+    #[test]
+    fn quantile_is_monotone_and_bounded(xs in proptest::collection::vec(-1e6f64..1e6, 1..50), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo, hi) = if q1 < q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&xs, lo);
+        let b = quantile(&xs, hi);
+        prop_assert!(a <= b + 1e-9);
+        let s = Summary::of(&xs).unwrap();
+        prop_assert!(a >= s.min - 1e-9 && b <= s.max + 1e-9);
+    }
+
+    #[test]
+    fn ssd_is_a_semi_metric(xs in proptest::collection::vec(-10.0f64..10.0, 1..20)) {
+        prop_assert_eq!(ssd(&xs, &xs), 0.0);
+        let shifted: Vec<f64> = xs.iter().map(|v| v + 1.0).collect();
+        prop_assert!((ssd(&xs, &shifted) - xs.len() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quality_bounded_and_perfect_on_identity(xs in proptest::collection::vec(0.1f64..10.0, 1..20)) {
+        let q = relative_quality(&xs, &xs);
+        prop_assert_eq!(q, 1.0);
+        prop_assert_eq!(distortion(&xs, &xs), 0.0);
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise(xs in proptest::collection::vec(0.0f64..1.0, 8..32), eps in 0.01f64..0.2) {
+        let small: Vec<f64> = xs.iter().map(|v| v + eps).collect();
+        let big: Vec<f64> = xs.iter().map(|v| v + 2.0 * eps).collect();
+        prop_assert!(psnr(&xs, &small, 1.0) > psnr(&xs, &big, 1.0));
+    }
+}

@@ -1,0 +1,122 @@
+//! Die layout: where the systematic variation field is sampled.
+//!
+//! The variation model is deliberately decoupled from the
+//! `accordion-chip` topology types: it only needs *positions* (in mm)
+//! for every core and memory block. The chip crate builds a
+//! [`SitePlan`] from its floorplan; tests can build small ad-hoc plans.
+
+/// Kind of memory block at a sampled site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemKind {
+    /// A core-private memory (64 KB in Table 2).
+    CorePrivate,
+    /// A cluster-shared memory (2 MB in Table 2).
+    ClusterShared,
+}
+
+/// A memory block whose `VddMIN` the SRAM model will evaluate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemSite {
+    /// Position on the die in mm.
+    pub pos_mm: (f64, f64),
+    /// Block kind (sets the cell count).
+    pub kind: MemKind,
+    /// Index of the cluster this block belongs to.
+    pub cluster: usize,
+}
+
+/// Sample sites for one die.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SitePlan {
+    /// Die width in mm (paper: ≈20 mm).
+    pub chip_w_mm: f64,
+    /// Die height in mm (paper: ≈20 mm).
+    pub chip_h_mm: f64,
+    /// Core positions in mm, indexed by core id.
+    pub core_sites_mm: Vec<(f64, f64)>,
+    /// Cluster index of each core (parallel to `core_sites_mm`).
+    pub core_clusters: Vec<usize>,
+    /// Memory-block sites.
+    pub mem_sites: Vec<MemSite>,
+}
+
+impl SitePlan {
+    /// A minimal plan: `nx × ny` cores on a regular grid with one
+    /// private memory co-located with each core (single cluster).
+    /// Useful for tests and examples.
+    pub fn regular_grid(nx: usize, ny: usize, w_mm: f64, h_mm: f64) -> Self {
+        let core_sites_mm = accordion_stats::field::grid_points(nx, ny, w_mm, h_mm);
+        let core_clusters = vec![0; core_sites_mm.len()];
+        let mem_sites = core_sites_mm
+            .iter()
+            .map(|&pos_mm| MemSite {
+                pos_mm,
+                kind: MemKind::CorePrivate,
+                cluster: 0,
+            })
+            .collect();
+        Self {
+            chip_w_mm: w_mm,
+            chip_h_mm: h_mm,
+            core_sites_mm,
+            core_clusters,
+            mem_sites,
+        }
+    }
+
+    /// Number of clusters (1 + the highest cluster index referenced).
+    pub fn num_clusters(&self) -> usize {
+        let from_cores = self.core_clusters.iter().copied().max().map_or(0, |m| m + 1);
+        let from_mems = self.mem_sites.iter().map(|m| m.cluster).max().map_or(0, |m| m + 1);
+        from_cores.max(from_mems)
+    }
+
+    /// Number of core sites.
+    pub fn num_cores(&self) -> usize {
+        self.core_sites_mm.len()
+    }
+
+    /// Number of memory sites.
+    pub fn num_mem_sites(&self) -> usize {
+        self.mem_sites.len()
+    }
+
+    /// All sites (cores first, then memories) as one point list — the
+    /// order the variation sampler uses.
+    pub fn all_points_mm(&self) -> Vec<(f64, f64)> {
+        self.core_sites_mm
+            .iter()
+            .copied()
+            .chain(self.mem_sites.iter().map(|m| m.pos_mm))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_grid_counts() {
+        let p = SitePlan::regular_grid(4, 3, 20.0, 20.0);
+        assert_eq!(p.num_cores(), 12);
+        assert_eq!(p.num_mem_sites(), 12);
+        assert_eq!(p.all_points_mm().len(), 24);
+    }
+
+    #[test]
+    fn points_order_cores_then_mems() {
+        let p = SitePlan::regular_grid(2, 1, 10.0, 10.0);
+        let pts = p.all_points_mm();
+        assert_eq!(&pts[..2], p.core_sites_mm.as_slice());
+        assert_eq!(pts[2], p.mem_sites[0].pos_mm);
+    }
+
+    #[test]
+    fn grid_sites_inside_die() {
+        let p = SitePlan::regular_grid(6, 6, 20.0, 20.0);
+        for &(x, y) in &p.core_sites_mm {
+            assert!(x > 0.0 && x < 20.0 && y > 0.0 && y < 20.0);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Memory access-time variation.
+//!
+//! VARIUS-NTV models not only whether an SRAM block *functions* at a
+//! near-threshold supply (`VddMIN`, [`crate::sram`]) but also how fast
+//! it is: a block sitting in a slow (high-`Vth`) region of the die
+//! takes longer to decode, sense and drive its lines. The derating
+//! factor shares the logic path-delay physics, evaluated at the
+//! block's local systematic corner.
+
+use accordion_vlsi::freq::FreqModel;
+
+/// Access-time derating for memory blocks under variation.
+#[derive(Debug, Clone)]
+pub struct MemTiming<'a> {
+    fm: &'a FreqModel,
+    vdd_v: f64,
+}
+
+impl<'a> MemTiming<'a> {
+    /// Builds the model at an operating voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd_v` is not positive.
+    pub fn new(fm: &'a FreqModel, vdd_v: f64) -> Self {
+        assert!(vdd_v > 0.0, "supply voltage must be positive");
+        Self { fm, vdd_v }
+    }
+
+    /// Multiplicative access-time derate of a block whose local
+    /// systematic Vth deviation is `vth_delta_v`: 1.0 at the nominal
+    /// corner, above 1 for slow (high-Vth) regions, below 1 for fast
+    /// ones.
+    pub fn access_derate(&self, vth_delta_v: f64) -> f64 {
+        self.fm.path_delay_ns(self.vdd_v, vth_delta_v, 1.0)
+            / self.fm.path_delay_ns(self.vdd_v, 0.0, 1.0)
+    }
+
+    /// Derated access latency for a block with nominal latency
+    /// `base_ns`.
+    pub fn access_ns(&self, base_ns: f64, vth_delta_v: f64) -> f64 {
+        base_ns * self.access_derate(vth_delta_v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accordion_vlsi::tech::Technology;
+    use std::sync::OnceLock;
+
+    fn fm() -> &'static FreqModel {
+        static FM: OnceLock<FreqModel> = OnceLock::new();
+        FM.get_or_init(|| FreqModel::calibrate(&Technology::node_11nm()))
+    }
+
+    #[test]
+    fn nominal_corner_has_unit_derate() {
+        let m = MemTiming::new(fm(), 0.6);
+        assert!((m.access_derate(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slow_corners_are_slower() {
+        let m = MemTiming::new(fm(), 0.6);
+        assert!(m.access_derate(0.03) > 1.0);
+        assert!(m.access_derate(-0.03) < 1.0);
+    }
+
+    #[test]
+    fn derating_amplifies_at_lower_vdd() {
+        // The NTC story: the same Vth deviation costs more latency at
+        // near-threshold supplies.
+        let ntv = MemTiming::new(fm(), 0.55);
+        let stv = MemTiming::new(fm(), 1.0);
+        assert!(ntv.access_derate(0.03) > stv.access_derate(0.03));
+    }
+
+    #[test]
+    fn access_ns_scales_base_latency() {
+        let m = MemTiming::new(fm(), 0.6);
+        let d = m.access_derate(0.02);
+        assert!((m.access_ns(10.0, 0.02) - 10.0 * d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derate_monotone_in_vth() {
+        let m = MemTiming::new(fm(), 0.62);
+        let mut prev = 0.0;
+        for k in -5..=5 {
+            let d = m.access_derate(k as f64 * 0.01);
+            assert!(d > prev);
+            prev = d;
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Variation-model parameters (paper Table 2, "Variation Parameters").
+
+/// Parameters of the VARIUS-NTV style variation model.
+///
+/// Variance splits evenly between a spatially-correlated *systematic*
+/// component and an uncorrelated *random* component, the standard
+/// VARIUS decomposition. All sigmas are expressed relative to the
+/// nominal parameter value (σ/μ).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariationParams {
+    /// Correlation range φ of the systematic field, as a fraction of
+    /// the chip width (paper: 0.1).
+    pub phi: f64,
+    /// Fraction of total variance that is systematic (spatially
+    /// correlated); the remainder is random. VARIUS uses 0.5.
+    pub systematic_fraction: f64,
+    /// Number of critical paths per core competing for the cycle time
+    /// (drives how sharply `Perr(f)` rises).
+    pub critical_paths_per_core: usize,
+    /// Per-cycle timing-error probability regarded as "error-free"
+    /// (paper Section 6.1 uses the 1e-16..1e-12 band; we designate the
+    /// 1e-12 end as safe — one error every 1e12 cycles).
+    pub perr_safe_target: f64,
+    /// SRAM cell margin-vs-Vdd slope `s` in margin-volts per supply
+    /// volt (cells gain noise margin as Vdd rises).
+    pub sram_margin_slope: f64,
+    /// Supply voltage at which a nominal cell has zero margin.
+    pub sram_margin_v0: f64,
+    /// Coupling of the local systematic Vth deviation into cell margin
+    /// (margin-volts per Vth-volt; fast/slow regions shift VddMIN).
+    pub sram_vth_coupling: f64,
+    /// Random per-cell margin sigma in volts.
+    pub sram_cell_sigma_v: f64,
+    /// Acceptable probability that an entire memory block is
+    /// non-functional at its designated VddMIN (after repair).
+    pub sram_block_fail_target: f64,
+}
+
+impl Default for VariationParams {
+    /// The paper's Table 2 configuration, with SRAM constants
+    /// calibrated so per-cluster `VddMIN` spans ≈0.46–0.58 V
+    /// (Figure 5a).
+    fn default() -> Self {
+        Self {
+            phi: 0.1,
+            systematic_fraction: 0.5,
+            critical_paths_per_core: 10_000,
+            perr_safe_target: 1e-12,
+            sram_margin_slope: 1.0,
+            sram_margin_v0: 0.41,
+            sram_vth_coupling: 0.6,
+            sram_cell_sigma_v: 0.02,
+            sram_block_fail_target: 1e-3,
+        }
+    }
+}
+
+impl VariationParams {
+    /// Standard deviation of the systematic component for a parameter
+    /// whose total σ is `total_sigma`.
+    pub fn systematic_sigma(&self, total_sigma: f64) -> f64 {
+        total_sigma * self.systematic_fraction.sqrt()
+    }
+
+    /// Standard deviation of the random component for a parameter
+    /// whose total σ is `total_sigma`.
+    pub fn random_sigma(&self, total_sigma: f64) -> f64 {
+        total_sigma * (1.0 - self.systematic_fraction).sqrt()
+    }
+
+    /// Random component averaged along a critical path of `stages`
+    /// gates (independent per-gate contributions average out).
+    pub fn random_sigma_per_path(&self, total_sigma: f64, stages: usize) -> f64 {
+        assert!(stages > 0, "a path has at least one stage");
+        self.random_sigma(total_sigma) / (stages as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variance_decomposition_preserves_total() {
+        let p = VariationParams::default();
+        let total: f64 = 0.0495;
+        let sys = p.systematic_sigma(total);
+        let rnd = p.random_sigma(total);
+        assert!((sys * sys + rnd * rnd - total * total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_averaging_shrinks_random() {
+        let p = VariationParams::default();
+        let per_path = p.random_sigma_per_path(0.0495, 12);
+        assert!(per_path < p.random_sigma(0.0495));
+        assert!((per_path * 12f64.sqrt() - p.random_sigma(0.0495)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn defaults_match_table2() {
+        let p = VariationParams::default();
+        assert_eq!(p.phi, 0.1);
+        assert_eq!(p.systematic_fraction, 0.5);
+        assert_eq!(p.perr_safe_target, 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_stage_path_rejected() {
+        VariationParams::default().random_sigma_per_path(0.05, 0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Monte-Carlo chip populations.
+//!
+//! The paper evaluates variation effects over a sample of 100
+//! fabricated chips (Table 2, "Sample size"). A [`ChipPopulation`]
+//! draws that many variation instances over one layout and derives,
+//! per chip:
+//!
+//! * per-cluster `VddMIN` and the chip-wide `VddNTV` designation
+//!   (Figure 5a),
+//! * per-cluster timing models and safe frequencies at `VddNTV`
+//!   (Figure 5b).
+
+use crate::layout::SitePlan;
+use crate::params::VariationParams;
+use crate::sram::SramModel;
+use crate::timing::{ClusterTiming, CoreTiming};
+use crate::vmap::ChipVariation;
+use accordion_stats::field::FieldError;
+use accordion_stats::rng::SeedStream;
+use accordion_vlsi::freq::FreqModel;
+
+/// One fabricated chip with its derived variation-dependent data.
+#[derive(Debug, Clone)]
+pub struct ChipSample {
+    /// The raw variation realization.
+    pub variation: ChipVariation,
+    /// `VddMIN` of each cluster in volts.
+    pub cluster_vddmin_v: Vec<f64>,
+    /// The chip's designated near-threshold supply: the maximum
+    /// per-cluster `VddMIN`.
+    pub vdd_ntv_v: f64,
+    /// Timing of each cluster at `vdd_ntv_v`.
+    pub cluster_timing: Vec<ClusterTiming>,
+}
+
+impl ChipSample {
+    /// Safe frequency of every cluster at the chip's `VddNTV`.
+    pub fn cluster_safe_f_ghz(&self, params: &VariationParams) -> Vec<f64> {
+        self.cluster_timing
+            .iter()
+            .map(|t| t.safe_frequency_ghz(params))
+            .collect()
+    }
+}
+
+/// A seeded population of chip samples over one layout.
+#[derive(Debug, Clone)]
+pub struct ChipPopulation {
+    samples: Vec<ChipSample>,
+}
+
+impl ChipPopulation {
+    /// Generates `n` chips for `plan` under `params`, deriving timing
+    /// with the calibrated frequency model `fm`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FieldError`] if the layout's correlation matrix
+    /// cannot be factored.
+    pub fn generate(
+        plan: &SitePlan,
+        params: &VariationParams,
+        fm: &FreqModel,
+        n: usize,
+        seed: SeedStream,
+    ) -> Result<Self, FieldError> {
+        let sampler = ChipVariation::sampler_for_tech(plan, params, fm.technology())?;
+        let samples = (0..n)
+            .map(|i| {
+                let variation = sampler.sample(&mut seed.stream("chip", i as u64));
+                Self::derive(plan, params, fm, variation)
+            })
+            .collect();
+        Ok(Self { samples })
+    }
+
+    fn derive(
+        plan: &SitePlan,
+        params: &VariationParams,
+        fm: &FreqModel,
+        variation: ChipVariation,
+    ) -> ChipSample {
+        let sram = SramModel::new(params);
+        let nclusters = plan.num_clusters();
+
+        // Per-cluster VddMIN from the memory sites.
+        let mut cluster_blocks: Vec<Vec<(crate::layout::MemKind, f64)>> =
+            vec![Vec::new(); nclusters];
+        for (site, &dv) in plan.mem_sites.iter().zip(&variation.mem_vth_delta_v) {
+            cluster_blocks[site.cluster].push((site.kind, dv));
+        }
+        let cluster_vddmin_v: Vec<f64> = cluster_blocks
+            .iter()
+            .map(|blocks| sram.cluster_vddmin_v(blocks))
+            .collect();
+        let vdd_ntv_v = cluster_vddmin_v
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+
+        // Per-cluster timing at the designated VddNTV.
+        let mut cluster_cores: Vec<Vec<CoreTiming>> = vec![Vec::new(); nclusters];
+        for (core, &cluster) in plan.core_clusters.iter().enumerate() {
+            cluster_cores[cluster].push(CoreTiming::new(
+                fm,
+                params,
+                vdd_ntv_v,
+                variation.core_vth_delta_v[core],
+                variation.core_leff_mult[core],
+            ));
+        }
+        let cluster_timing = cluster_cores.into_iter().map(ClusterTiming::new).collect();
+
+        ChipSample {
+            variation,
+            cluster_vddmin_v,
+            vdd_ntv_v,
+            cluster_timing,
+        }
+    }
+
+    /// The chip samples.
+    pub fn samples(&self) -> &[ChipSample] {
+        &self.samples
+    }
+
+    /// Number of chips.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// All per-cluster `VddMIN` values across the population (the
+    /// Figure 5a data when restricted to one representative chip).
+    pub fn all_cluster_vddmin_v(&self) -> Vec<f64> {
+        self.samples
+            .iter()
+            .flat_map(|s| s.cluster_vddmin_v.iter().copied())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{MemKind, MemSite};
+    use accordion_vlsi::tech::Technology;
+
+    /// A small paper-like plan: 2×2 clusters of 2×2 cores each on a
+    /// 20 mm die, one shared memory per cluster plus per-core private
+    /// memories.
+    fn small_plan() -> SitePlan {
+        let mut core_sites = Vec::new();
+        let mut core_clusters = Vec::new();
+        let mut mem_sites = Vec::new();
+        for cy in 0..2 {
+            for cx in 0..2 {
+                let cluster = cy * 2 + cx;
+                let (ox, oy) = (cx as f64 * 10.0, cy as f64 * 10.0);
+                for k in 0..4 {
+                    let pos = (ox + 2.5 + 5.0 * (k % 2) as f64, oy + 2.5 + 5.0 * (k / 2) as f64);
+                    core_sites.push(pos);
+                    core_clusters.push(cluster);
+                    mem_sites.push(MemSite {
+                        pos_mm: pos,
+                        kind: MemKind::CorePrivate,
+                        cluster,
+                    });
+                }
+                mem_sites.push(MemSite {
+                    pos_mm: (ox + 5.0, oy + 5.0),
+                    kind: MemKind::ClusterShared,
+                    cluster,
+                });
+            }
+        }
+        SitePlan {
+            chip_w_mm: 20.0,
+            chip_h_mm: 20.0,
+            core_sites_mm: core_sites,
+            core_clusters,
+            mem_sites,
+        }
+    }
+
+    fn population(n: usize) -> ChipPopulation {
+        let fm = FreqModel::calibrate(&Technology::node_11nm());
+        ChipPopulation::generate(
+            &small_plan(),
+            &VariationParams::default(),
+            &fm,
+            n,
+            SeedStream::new(2014),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn population_size_and_shape() {
+        let pop = population(5);
+        assert_eq!(pop.len(), 5);
+        for s in pop.samples() {
+            assert_eq!(s.cluster_vddmin_v.len(), 4);
+            assert_eq!(s.cluster_timing.len(), 4);
+            assert_eq!(s.cluster_timing[0].cores().len(), 4);
+        }
+    }
+
+    #[test]
+    fn vdd_ntv_is_max_cluster_vddmin() {
+        let pop = population(3);
+        for s in pop.samples() {
+            let max = s
+                .cluster_vddmin_v
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max);
+            assert_eq!(s.vdd_ntv_v, max);
+        }
+    }
+
+    #[test]
+    fn vddmin_spread_matches_figure5a_band() {
+        // Figure 5a: per-cluster VddMIN spans ≈0.46–0.58 V.
+        let pop = population(30);
+        let all = pop.all_cluster_vddmin_v();
+        let lo = all.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = all.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(lo > 0.42 && lo < 0.52, "lo={lo}");
+        assert!(hi > 0.52 && hi < 0.64, "hi={hi}");
+    }
+
+    #[test]
+    fn safe_frequencies_show_figure5b_spread() {
+        // At VddNTV, per-cluster safe frequencies must sit well below
+        // the 1 GHz nominal and vary substantially across clusters.
+        let params = VariationParams::default();
+        let pop = population(20);
+        let mut all = Vec::new();
+        for s in pop.samples() {
+            all.extend(s.cluster_safe_f_ghz(&params));
+        }
+        let lo = all.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = all.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(hi < 1.0, "even the best cluster is below nominal, hi={hi}");
+        assert!(lo > 0.1, "slowest cluster {lo} implausible");
+        assert!(hi / lo > 1.15, "cross-cluster spread {} too small", hi / lo);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let a = population(2);
+        let b = population(2);
+        assert_eq!(
+            a.samples()[1].cluster_vddmin_v,
+            b.samples()[1].cluster_vddmin_v
+        );
+    }
+}

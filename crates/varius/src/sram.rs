@@ -1,0 +1,156 @@
+//! SRAM minimum operating voltage (`VddMIN`) under variation.
+//!
+//! At near-threshold voltages, SRAM cells lose noise margin; a memory
+//! block stays functional only above the supply at which its worst
+//! cells can still hold and flip state. VARIUS-NTV extracts a `VddMIN`
+//! per memory block; the chip-wide near-threshold operating voltage
+//! `VddNTV` is the maximum per-cluster `VddMIN` (paper Section 6.1,
+//! Figure 5a: per-cluster values span ≈0.46–0.58 V).
+//!
+//! Model: a cell's margin at supply `Vdd` is
+//! `M = s·(Vdd − V0) − g·ΔVth,sys + N(0, σ_cell)`;
+//! the cell fails when `M < 0`. A block of `C` cells fails when any
+//! cell fails (post-repair tolerance folded into the block failure
+//! target), so `VddMIN` solves `1 − (1 − p_cell(Vdd))^C = target`.
+
+use crate::layout::MemKind;
+use crate::params::VariationParams;
+use accordion_stats::normal::StdNormal;
+
+/// Cells per block for each memory kind (bytes × 8 bits).
+fn cells(kind: MemKind) -> f64 {
+    match kind {
+        MemKind::CorePrivate => 64.0 * 1024.0 * 8.0,
+        MemKind::ClusterShared => 2.0 * 1024.0 * 1024.0 * 8.0,
+    }
+}
+
+/// SRAM `VddMIN` model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SramModel {
+    params: VariationParams,
+}
+
+impl SramModel {
+    /// Creates the model from variation parameters.
+    pub fn new(params: &VariationParams) -> Self {
+        Self {
+            params: params.clone(),
+        }
+    }
+
+    /// Per-cell failure probability at `vdd_v` for a block whose local
+    /// systematic Vth deviation is `vth_delta_v`.
+    pub fn cell_fail_probability(&self, vdd_v: f64, vth_delta_v: f64) -> f64 {
+        let p = &self.params;
+        let margin_mean = p.sram_margin_slope * (vdd_v - p.sram_margin_v0)
+            - p.sram_vth_coupling * vth_delta_v;
+        StdNormal.cdf(-margin_mean / p.sram_cell_sigma_v)
+    }
+
+    /// The minimum supply at which a block of `kind` with local
+    /// systematic deviation `vth_delta_v` meets the block failure
+    /// target. Solved in closed form from the Gaussian cell model.
+    pub fn block_vddmin_v(&self, kind: MemKind, vth_delta_v: f64) -> f64 {
+        let p = &self.params;
+        let c = cells(kind);
+        // Block survives iff (1 − p_cell)^C ≥ 1 − target
+        // ⇒ p_cell ≤ 1 − (1 − target)^(1/C) ≈ target / C.
+        let p_cell_max = -f64::exp_m1(f64::ln_1p(-p.sram_block_fail_target) / c);
+        let z = StdNormal.inv_cdf(p_cell_max.clamp(1e-300, 0.5));
+        // p_cell(Vdd) = Φ(−m/σ) ≤ p_max ⇒ −m/σ ≤ z ⇒ m ≥ −z·σ.
+        let margin_needed = -z * p.sram_cell_sigma_v;
+        p.sram_margin_v0
+            + (margin_needed + p.sram_vth_coupling * vth_delta_v) / p.sram_margin_slope
+    }
+
+    /// `VddMIN` of a cluster: the maximum over its blocks' `VddMIN`s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is empty.
+    pub fn cluster_vddmin_v(&self, blocks: &[(MemKind, f64)]) -> f64 {
+        assert!(!blocks.is_empty(), "cluster has no memory blocks");
+        blocks
+            .iter()
+            .map(|&(kind, dv)| self.block_vddmin_v(kind, dv))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> SramModel {
+        SramModel::new(&VariationParams::default())
+    }
+
+    #[test]
+    fn cell_failure_decreases_with_vdd() {
+        let m = model();
+        let hi = m.cell_fail_probability(0.45, 0.0);
+        let lo = m.cell_fail_probability(0.60, 0.0);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn nominal_block_vddmin_in_figure5a_band() {
+        let m = model();
+        let v_priv = m.block_vddmin_v(MemKind::CorePrivate, 0.0);
+        let v_shared = m.block_vddmin_v(MemKind::ClusterShared, 0.0);
+        assert!(v_priv > 0.44 && v_priv < 0.58, "private {v_priv}");
+        assert!(v_shared > 0.44 && v_shared < 0.58, "shared {v_shared}");
+    }
+
+    #[test]
+    fn bigger_blocks_need_more_voltage() {
+        // More cells ⇒ deeper worst-case tail ⇒ higher VddMIN.
+        let m = model();
+        assert!(
+            m.block_vddmin_v(MemKind::ClusterShared, 0.0)
+                > m.block_vddmin_v(MemKind::CorePrivate, 0.0)
+        );
+    }
+
+    #[test]
+    fn high_vth_regions_need_more_voltage() {
+        let m = model();
+        assert!(m.block_vddmin_v(MemKind::CorePrivate, 0.03) > m.block_vddmin_v(MemKind::CorePrivate, -0.03));
+    }
+
+    #[test]
+    fn vddmin_is_consistent_with_cell_model() {
+        // At the computed VddMIN, the block failure probability should
+        // be at (or below) the target.
+        let m = model();
+        let p = VariationParams::default();
+        let v = m.block_vddmin_v(MemKind::CorePrivate, 0.01);
+        let p_cell = m.cell_fail_probability(v, 0.01);
+        let block_fail = -f64::exp_m1(cells(MemKind::CorePrivate) * f64::ln_1p(-p_cell));
+        assert!(
+            block_fail < 3.0 * p.sram_block_fail_target,
+            "block failure {block_fail}"
+        );
+    }
+
+    #[test]
+    fn cluster_vddmin_is_max_over_blocks() {
+        let m = model();
+        let blocks = vec![
+            (MemKind::CorePrivate, -0.02),
+            (MemKind::CorePrivate, 0.02),
+            (MemKind::ClusterShared, 0.0),
+        ];
+        let v = m.cluster_vddmin_v(&blocks);
+        let worst = m.block_vddmin_v(MemKind::CorePrivate, 0.02)
+            .max(m.block_vddmin_v(MemKind::ClusterShared, 0.0));
+        assert!((v - worst).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no memory blocks")]
+    fn empty_cluster_rejected() {
+        model().cluster_vddmin_v(&[]);
+    }
+}

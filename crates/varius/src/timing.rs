@@ -1,0 +1,295 @@
+//! Per-core timing under variation: path-delay distributions, the
+//! per-cycle timing-error rate `Perr(f)` and frequency solvers.
+//!
+//! This is the model behind Figure 5b: each core has `Ncp` critical
+//! paths whose delays are normally distributed around the systematic
+//! (core-specific) mean; clocking faster than the slow tail can settle
+//! produces timing errors at a per-cycle rate
+//!
+//! `Perr(f) = 1 − Φ((1/f − μ)/σ)^Ncp`
+//!
+//! which rises from "never" (1e-16) to "every cycle" within a narrow
+//! frequency band — the knee shape of the paper's per-cluster curves.
+
+use crate::params::VariationParams;
+use accordion_stats::normal::StdNormal;
+use accordion_vlsi::freq::FreqModel;
+
+/// Timing model of one core at a fixed supply voltage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreTiming {
+    /// Mean critical-path delay in ns.
+    mu_ns: f64,
+    /// Path-delay standard deviation in ns (random variation averaged
+    /// over the path's logic depth).
+    sigma_ns: f64,
+    /// Number of critical paths competing each cycle.
+    ncp: usize,
+}
+
+impl CoreTiming {
+    /// Builds the timing model of a core whose systematic deviations
+    /// are `vth_delta_v` / `leff_mult`, operating at `vdd_v`.
+    ///
+    /// The random component's effect on delay is obtained by
+    /// finite-difference propagation through the calibrated frequency
+    /// model, which keeps the (strong) nonlinearity of delay-vs-Vth
+    /// near threshold.
+    pub fn new(
+        fm: &FreqModel,
+        params: &VariationParams,
+        vdd_v: f64,
+        vth_delta_v: f64,
+        leff_mult: f64,
+    ) -> Self {
+        let tech = fm.technology();
+        let mu_ns = fm.path_delay_ns(vdd_v, vth_delta_v, leff_mult);
+        let s_vth = params.random_sigma_per_path(tech.vth_sigma_v(), tech.critical_path_stages);
+        let s_leff =
+            params.random_sigma_per_path(tech.leff_sigma_over_mu, tech.critical_path_stages);
+        // One-sided differences toward the slow corner: delay is convex
+        // in Vth near threshold, and the slow tail is what matters.
+        let d_vth = fm.path_delay_ns(vdd_v, vth_delta_v + s_vth, leff_mult) - mu_ns;
+        let d_leff = fm.path_delay_ns(vdd_v, vth_delta_v, leff_mult * (1.0 + s_leff)) - mu_ns;
+        let sigma_ns = (d_vth * d_vth + d_leff * d_leff).sqrt().max(1e-9 * mu_ns);
+        Self {
+            mu_ns,
+            sigma_ns,
+            ncp: params.critical_paths_per_core,
+        }
+    }
+
+    /// Mean critical-path delay in ns.
+    pub fn mean_delay_ns(&self) -> f64 {
+        self.mu_ns
+    }
+
+    /// Path-delay sigma in ns.
+    pub fn sigma_delay_ns(&self) -> f64 {
+        self.sigma_ns
+    }
+
+    /// Per-cycle timing-error probability when clocked at `f_ghz`.
+    pub fn perr(&self, f_ghz: f64) -> f64 {
+        assert!(f_ghz > 0.0, "frequency must be positive");
+        let t_ns = 1.0 / f_ghz;
+        let z = (t_ns - self.mu_ns) / self.sigma_ns;
+        let p_path = StdNormal.sf(z);
+        if p_path <= 0.0 {
+            return 0.0;
+        }
+        if p_path >= 1.0 {
+            return 1.0;
+        }
+        // 1 − (1 − p)^N, computed stably for tiny p and huge N.
+        -f64::ln_1p(-p_path).mul_add(self.ncp as f64, 0.0).exp_m1()
+    }
+
+    /// The highest frequency whose per-cycle error rate does not
+    /// exceed `perr_target` — `f_NTV,Safe` when the target is the
+    /// "error-free" rate of [`VariationParams::perr_safe_target`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perr_target` is not in `(0, 1)`.
+    pub fn frequency_for_perr(&self, perr_target: f64) -> f64 {
+        assert!(
+            perr_target > 0.0 && perr_target < 1.0,
+            "error-rate target must be in (0,1)"
+        );
+        // Invert analytically: Perr = 1 − (1−p)^N  ⇒
+        // p = 1 − (1−Perr)^(1/N), then z = Φ̄⁻¹(p), t = μ + zσ.
+        let n = self.ncp as f64;
+        // ln(1−p) = ln(1−Perr)/N; for tiny Perr this is −Perr/N.
+        let ln_1m_p = f64::ln_1p(-perr_target) / n;
+        let p_path = -f64::exp_m1(ln_1m_p);
+        let z = -StdNormal.inv_cdf(p_path.clamp(1e-300, 1.0 - 1e-16));
+        let t_ns = self.mu_ns + z * self.sigma_ns;
+        1.0 / t_ns
+    }
+
+    /// Convenience: the safe frequency under `params`.
+    pub fn safe_frequency_ghz(&self, params: &VariationParams) -> f64 {
+        self.frequency_for_perr(params.perr_safe_target)
+    }
+}
+
+/// Timing of a cluster: the slowest member core bounds the cluster's
+/// frequency domain (paper Section 6.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterTiming {
+    cores: Vec<CoreTiming>,
+}
+
+impl ClusterTiming {
+    /// Builds cluster timing from its member cores' timing models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is empty.
+    pub fn new(cores: Vec<CoreTiming>) -> Self {
+        assert!(!cores.is_empty(), "cluster needs at least one core");
+        Self { cores }
+    }
+
+    /// The member whose safe frequency is lowest (most error-prone).
+    pub fn slowest_core(&self, params: &VariationParams) -> &CoreTiming {
+        self.cores
+            .iter()
+            .min_by(|a, b| {
+                a.safe_frequency_ghz(params)
+                    .partial_cmp(&b.safe_frequency_ghz(params))
+                    .expect("frequencies are finite")
+            })
+            .expect("cluster is non-empty")
+    }
+
+    /// Cluster safe frequency: the minimum over member cores.
+    pub fn safe_frequency_ghz(&self, params: &VariationParams) -> f64 {
+        self.cores
+            .iter()
+            .map(|c| c.safe_frequency_ghz(params))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Frequency at which the *cluster* (i.e. its slowest core) sees
+    /// the given per-cycle error rate.
+    pub fn frequency_for_perr(&self, perr_target: f64) -> f64 {
+        self.cores
+            .iter()
+            .map(|c| c.frequency_for_perr(perr_target))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Per-cycle error rate of the slowest member at `f_ghz`.
+    pub fn perr(&self, f_ghz: f64) -> f64 {
+        self.cores
+            .iter()
+            .map(|c| c.perr(f_ghz))
+            .fold(0.0, f64::max)
+    }
+
+    /// Member timing models.
+    pub fn cores(&self) -> &[CoreTiming] {
+        &self.cores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accordion_vlsi::tech::Technology;
+
+    fn fixture() -> (FreqModel, VariationParams) {
+        (
+            FreqModel::calibrate(&Technology::node_11nm()),
+            VariationParams::default(),
+        )
+    }
+
+    fn nominal_core() -> (CoreTiming, VariationParams) {
+        let (fm, p) = fixture();
+        (CoreTiming::new(&fm, &p, 0.55, 0.0, 1.0), p)
+    }
+
+    #[test]
+    fn perr_monotone_in_frequency() {
+        let (ct, _) = nominal_core();
+        let mut prev = 0.0;
+        for k in 1..=40 {
+            let f = 0.05 * k as f64;
+            let p = ct.perr(f);
+            assert!(p >= prev - 1e-18, "perr must not decrease (f={f})");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn perr_saturates_at_one_beyond_mean_delay() {
+        let (ct, _) = nominal_core();
+        let f_at_mu = 1.0 / ct.mean_delay_ns();
+        assert!(ct.perr(1.5 * f_at_mu) > 0.999999);
+    }
+
+    #[test]
+    fn safe_frequency_hits_target_rate() {
+        let (ct, p) = nominal_core();
+        let f_safe = ct.safe_frequency_ghz(&p);
+        let perr = ct.perr(f_safe);
+        // Within an order of magnitude at these extreme quantiles.
+        assert!(
+            perr < 10.0 * p.perr_safe_target && perr > 0.01 * p.perr_safe_target,
+            "perr at safe f = {perr}"
+        );
+    }
+
+    #[test]
+    fn safe_frequency_below_nominal() {
+        // Guardbanding for 1e-16 must cost frequency vs the nominal
+        // (variation-free) 1 GHz point.
+        let (ct, p) = nominal_core();
+        let f_safe = ct.safe_frequency_ghz(&p);
+        assert!(f_safe < 1.0, "safe f = {f_safe}");
+        assert!(f_safe > 0.3, "safe f = {f_safe} is implausibly low");
+    }
+
+    #[test]
+    fn speculative_frequency_exceeds_safe() {
+        // Tolerating 1e-9 errors/cycle buys frequency over 1e-16.
+        let (ct, p) = nominal_core();
+        let f_safe = ct.safe_frequency_ghz(&p);
+        let f_spec = ct.frequency_for_perr(1e-9);
+        assert!(f_spec > f_safe);
+        // Paper Section 6.3 reports 8–41 % speculative f gain; a single
+        // nominal core at a mild target should land in single digits to
+        // tens of percent.
+        let gain = f_spec / f_safe - 1.0;
+        assert!(gain > 0.005 && gain < 0.6, "gain={gain}");
+    }
+
+    #[test]
+    fn slow_core_has_lower_safe_frequency() {
+        let (fm, p) = fixture();
+        let nominal = CoreTiming::new(&fm, &p, 0.55, 0.0, 1.0);
+        let slow = CoreTiming::new(&fm, &p, 0.55, 0.05, 1.05);
+        assert!(slow.safe_frequency_ghz(&p) < nominal.safe_frequency_ghz(&p));
+    }
+
+    #[test]
+    fn higher_vdd_speeds_up_and_tightens() {
+        let (fm, p) = fixture();
+        let ntv = CoreTiming::new(&fm, &p, 0.55, 0.0, 1.0);
+        let stv = CoreTiming::new(&fm, &p, 1.0, 0.0, 1.0);
+        assert!(stv.safe_frequency_ghz(&p) > 2.0 * ntv.safe_frequency_ghz(&p));
+        // Relative sigma shrinks at STV (variation is amplified at NTV).
+        let rel_ntv = ntv.sigma_delay_ns() / ntv.mean_delay_ns();
+        let rel_stv = stv.sigma_delay_ns() / stv.mean_delay_ns();
+        assert!(rel_ntv > 2.0 * rel_stv);
+    }
+
+    #[test]
+    fn cluster_is_bound_by_slowest() {
+        let (fm, p) = fixture();
+        let fast = CoreTiming::new(&fm, &p, 0.55, -0.03, 0.98);
+        let slow = CoreTiming::new(&fm, &p, 0.55, 0.04, 1.03);
+        let f_slow = slow.safe_frequency_ghz(&p);
+        let cluster = ClusterTiming::new(vec![fast, slow]);
+        assert!((cluster.safe_frequency_ghz(&p) - f_slow).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure5b_knee_is_narrow() {
+        // The climb from 1e-16 to ~1 should span well under 2× in f.
+        let (ct, p) = nominal_core();
+        let f_lo = ct.safe_frequency_ghz(&p);
+        let f_hi = ct.frequency_for_perr(0.5);
+        assert!(f_hi / f_lo < 2.0, "knee width {}", f_hi / f_lo);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0,1)")]
+    fn perr_target_validated() {
+        let (ct, _) = nominal_core();
+        ct.frequency_for_perr(0.0);
+    }
+}

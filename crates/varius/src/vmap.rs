@@ -1,0 +1,192 @@
+//! Per-chip realizations of the correlated variation fields.
+//!
+//! One [`VariationSampler`] factors the spatial correlation structure
+//! of a [`SitePlan`] once; each [`ChipVariation`] drawn from it is one
+//! "fabricated chip" with concrete systematic `Vth` and `Leff`
+//! deviations at every core and memory site.
+
+use crate::layout::SitePlan;
+use crate::params::VariationParams;
+use accordion_stats::field::{CorrelatedField, CorrelationModel, FieldError};
+use accordion_stats::rng::StreamRng;
+use accordion_vlsi::tech::Technology;
+
+/// Reusable sampler of chip-variation instances over a fixed layout.
+#[derive(Debug, Clone)]
+pub struct VariationSampler {
+    field: CorrelatedField,
+    num_cores: usize,
+    vth_sigma_sys_v: f64,
+    leff_sigma_sys: f64,
+}
+
+/// One fabricated chip: systematic parameter deviations at every site.
+///
+/// `Leff` deviations are expressed as multiplicative factors around 1;
+/// `Vth` deviations as additive volts around the nominal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipVariation {
+    /// Additive systematic Vth deviation per core, in volts.
+    pub core_vth_delta_v: Vec<f64>,
+    /// Multiplicative systematic Leff factor per core.
+    pub core_leff_mult: Vec<f64>,
+    /// Additive systematic Vth deviation per memory site, in volts
+    /// (indexed like `SitePlan::mem_sites`).
+    pub mem_vth_delta_v: Vec<f64>,
+}
+
+impl ChipVariation {
+    /// Builds a sampler for `plan` under `params`, using the default
+    /// 11 nm technology's variation magnitudes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FieldError`] if the correlation matrix over the
+    /// plan's sites cannot be factored.
+    pub fn sampler(plan: &SitePlan, params: &VariationParams) -> Result<VariationSampler, FieldError> {
+        Self::sampler_for_tech(plan, params, &Technology::node_11nm())
+    }
+
+    /// Builds a sampler with explicit technology variation magnitudes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FieldError`] if the correlation matrix over the
+    /// plan's sites cannot be factored.
+    pub fn sampler_for_tech(
+        plan: &SitePlan,
+        params: &VariationParams,
+        tech: &Technology,
+    ) -> Result<VariationSampler, FieldError> {
+        let range = params.phi * plan.chip_w_mm;
+        let field = CorrelatedField::new(
+            &plan.all_points_mm(),
+            CorrelationModel::Spherical { range },
+        )?;
+        Ok(VariationSampler {
+            field,
+            num_cores: plan.num_cores(),
+            vth_sigma_sys_v: params.systematic_sigma(tech.vth_sigma_v()),
+            leff_sigma_sys: params.systematic_sigma(tech.leff_sigma_over_mu),
+        })
+    }
+}
+
+impl VariationSampler {
+    /// Draws one chip instance. `Vth` and `Leff` fields use independent
+    /// draws of the same spatial structure (VARIUS models them as
+    /// independent parameters with their own magnitudes).
+    pub fn sample(&self, rng: &mut StreamRng) -> ChipVariation {
+        let vth_field = self.field.sample(rng);
+        let leff_field = self.field.sample(rng);
+        let nc = self.num_cores;
+        let core_vth_delta_v = vth_field[..nc]
+            .iter()
+            .map(|z| z * self.vth_sigma_sys_v)
+            .collect();
+        // Leff factor floor guards against non-physical (≤0) channel
+        // lengths at extreme field draws.
+        let core_leff_mult = leff_field[..nc]
+            .iter()
+            .map(|z| (1.0 + z * self.leff_sigma_sys).max(0.5))
+            .collect();
+        let mem_vth_delta_v = vth_field[nc..]
+            .iter()
+            .map(|z| z * self.vth_sigma_sys_v)
+            .collect();
+        ChipVariation {
+            core_vth_delta_v,
+            core_leff_mult,
+            mem_vth_delta_v,
+        }
+    }
+
+    /// Systematic Vth sigma baked into this sampler, in volts.
+    pub fn vth_sigma_sys_v(&self) -> f64 {
+        self.vth_sigma_sys_v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accordion_stats::rng::SeedStream;
+
+    fn sampler() -> VariationSampler {
+        let plan = SitePlan::regular_grid(6, 6, 20.0, 20.0);
+        ChipVariation::sampler(&plan, &VariationParams::default()).unwrap()
+    }
+
+    #[test]
+    fn sample_dimensions() {
+        let s = sampler();
+        let chip = s.sample(&mut SeedStream::new(1).stream("c", 0));
+        assert_eq!(chip.core_vth_delta_v.len(), 36);
+        assert_eq!(chip.core_leff_mult.len(), 36);
+        assert_eq!(chip.mem_vth_delta_v.len(), 36);
+    }
+
+    #[test]
+    fn chips_differ_but_are_reproducible() {
+        let s = sampler();
+        let root = SeedStream::new(9);
+        let a = s.sample(&mut root.stream("chip", 0));
+        let b = s.sample(&mut root.stream("chip", 1));
+        let a2 = s.sample(&mut root.stream("chip", 0));
+        assert_ne!(a.core_vth_delta_v, b.core_vth_delta_v);
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn vth_deviations_have_expected_magnitude() {
+        let s = sampler();
+        let root = SeedStream::new(17);
+        let mut all = Vec::new();
+        for i in 0..200 {
+            let chip = s.sample(&mut root.stream("chip", i));
+            all.extend(chip.core_vth_delta_v);
+        }
+        let sum: f64 = all.iter().sum();
+        let mean = sum / all.len() as f64;
+        let var: f64 = all.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / all.len() as f64;
+        let sigma_target = VariationParams::default()
+            .systematic_sigma(Technology::node_11nm().vth_sigma_v());
+        assert!(mean.abs() < 0.004, "mean={mean}");
+        assert!(
+            (var.sqrt() - sigma_target).abs() < 0.1 * sigma_target,
+            "sigma={} target={sigma_target}",
+            var.sqrt()
+        );
+    }
+
+    #[test]
+    fn nearby_cores_correlate() {
+        // Correlation range is 2 mm (φ·20); adjacent grid cores are
+        // ~3.3 mm apart, so use a denser plan to see correlation.
+        let plan = SitePlan::regular_grid(20, 20, 20.0, 20.0);
+        let s = ChipVariation::sampler(&plan, &VariationParams::default()).unwrap();
+        let root = SeedStream::new(4);
+        let (mut c01, mut v0, mut v1) = (0.0, 0.0, 0.0);
+        let n = 1500;
+        for i in 0..n {
+            let chip = s.sample(&mut root.stream("chip", i));
+            // Cores 0 and 1 are 1 mm apart (20 mm / 20 cols).
+            let (a, b) = (chip.core_vth_delta_v[0], chip.core_vth_delta_v[1]);
+            c01 += a * b;
+            v0 += a * a;
+            v1 += b * b;
+        }
+        let corr = c01 / (v0.sqrt() * v1.sqrt());
+        assert!(corr > 0.2, "adjacent-core correlation {corr}");
+    }
+
+    #[test]
+    fn leff_mult_stays_positive() {
+        let s = sampler();
+        let root = SeedStream::new(23);
+        for i in 0..100 {
+            let chip = s.sample(&mut root.stream("chip", i));
+            assert!(chip.core_leff_mult.iter().all(|&m| m > 0.0));
+        }
+    }
+}

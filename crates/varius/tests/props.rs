@@ -1,0 +1,117 @@
+//! Property-based tests for the variation model.
+
+use accordion_varius::layout::MemKind;
+use accordion_varius::params::VariationParams;
+use accordion_varius::sram::SramModel;
+use accordion_varius::timing::CoreTiming;
+use accordion_vlsi::freq::FreqModel;
+use accordion_vlsi::tech::Technology;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn fm() -> &'static FreqModel {
+    static FM: OnceLock<FreqModel> = OnceLock::new();
+    FM.get_or_init(|| FreqModel::calibrate(&Technology::node_11nm()))
+}
+
+proptest! {
+    #[test]
+    fn perr_monotone_in_frequency(
+        vdd in 0.5f64..0.75,
+        dv in -0.04f64..0.04,
+        f1 in 0.05f64..2.0,
+        df in 0.01f64..0.5,
+    ) {
+        let params = VariationParams::default();
+        let ct = CoreTiming::new(fm(), &params, vdd, dv, 1.0);
+        prop_assert!(ct.perr(f1 + df) >= ct.perr(f1) - 1e-15);
+    }
+
+    #[test]
+    fn perr_bounded(vdd in 0.5f64..0.75, f in 0.01f64..3.0) {
+        let params = VariationParams::default();
+        let ct = CoreTiming::new(fm(), &params, vdd, 0.0, 1.0);
+        let p = ct.perr(f);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn frequency_for_perr_inverts_perr(
+        vdd in 0.52f64..0.72,
+        dv in -0.03f64..0.03,
+        exp in 2i32..14,
+    ) {
+        let params = VariationParams::default();
+        let ct = CoreTiming::new(fm(), &params, vdd, dv, 1.0);
+        let target = 10f64.powi(-exp);
+        let f = ct.frequency_for_perr(target);
+        let achieved = ct.perr(f);
+        // Inversion within an order of magnitude at extreme quantiles.
+        prop_assert!(achieved < 30.0 * target, "achieved {achieved} target {target}");
+        prop_assert!(achieved > target / 30.0, "achieved {achieved} target {target}");
+    }
+
+    #[test]
+    fn higher_error_tolerance_buys_frequency(
+        vdd in 0.52f64..0.72,
+        e1 in 4i32..14,
+        de in 1i32..6,
+    ) {
+        let params = VariationParams::default();
+        let ct = CoreTiming::new(fm(), &params, vdd, 0.0, 1.0);
+        let f_strict = ct.frequency_for_perr(10f64.powi(-(e1 + de)));
+        let f_loose = ct.frequency_for_perr(10f64.powi(-e1));
+        prop_assert!(f_loose > f_strict);
+    }
+
+    #[test]
+    fn slower_systematic_corner_has_lower_safe_f(
+        vdd in 0.52f64..0.72,
+        dv in 0.005f64..0.05,
+        lm in 0.0f64..0.15,
+    ) {
+        let params = VariationParams::default();
+        let fast = CoreTiming::new(fm(), &params, vdd, -dv, 1.0 - lm * 0.5);
+        let slow = CoreTiming::new(fm(), &params, vdd, dv, 1.0 + lm);
+        prop_assert!(slow.safe_frequency_ghz(&params) < fast.safe_frequency_ghz(&params));
+    }
+
+    #[test]
+    fn cell_failure_monotone_in_vdd(v in 0.4f64..0.7, dv in 0.005f64..0.1, corner in -0.05f64..0.05) {
+        let sram = SramModel::new(&VariationParams::default());
+        prop_assert!(
+            sram.cell_fail_probability(v + dv, corner) <= sram.cell_fail_probability(v, corner) + 1e-15
+        );
+    }
+
+    #[test]
+    fn vddmin_monotone_in_vth_corner(a in -0.05f64..0.05, d in 0.001f64..0.05) {
+        let sram = SramModel::new(&VariationParams::default());
+        for kind in [MemKind::CorePrivate, MemKind::ClusterShared] {
+            prop_assert!(sram.block_vddmin_v(kind, a + d) > sram.block_vddmin_v(kind, a));
+        }
+    }
+
+    #[test]
+    fn stricter_block_target_needs_more_voltage(corner in -0.04f64..0.04, exp in 1i32..5) {
+        let loose = VariationParams {
+            sram_block_fail_target: 10f64.powi(-exp),
+            ..VariationParams::default()
+        };
+        let strict = VariationParams {
+            sram_block_fail_target: 10f64.powi(-(exp + 2)),
+            ..VariationParams::default()
+        };
+        let v_loose = SramModel::new(&loose).block_vddmin_v(MemKind::CorePrivate, corner);
+        let v_strict = SramModel::new(&strict).block_vddmin_v(MemKind::CorePrivate, corner);
+        prop_assert!(v_strict > v_loose);
+    }
+
+    #[test]
+    fn variance_split_is_total_preserving(total in 0.001f64..0.5, frac in 0.0f64..1.0) {
+        let p = VariationParams { systematic_fraction: frac, ..VariationParams::default() };
+        let sys = p.systematic_sigma(total);
+        let rnd = p.random_sigma(total);
+        prop_assert!((sys * sys + rnd * rnd - total * total).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,120 @@
+//! Worst-case timing guardband versus supply voltage (Figure 1c).
+//!
+//! Guardbanding covers variation by clocking at the delay of a
+//! `k·σ`-slow device instead of the nominal one. The guardband grows
+//! explosively as `Vdd` approaches `Vth` because delay sensitivity to
+//! `Vth` diverges there — the paper's argument for why worst-case
+//! margining cannot reach the near-threshold region and error
+//! *tolerance* is required instead.
+
+use crate::freq::FreqModel;
+use crate::tech::Technology;
+
+/// Effective per-path threshold-voltage sigma: the systematic half of
+/// the variation applies in full, while the random half averages over
+/// the path's logic depth.
+pub fn effective_path_sigma_v(tech: &Technology) -> f64 {
+    let total = tech.vth_sigma_v();
+    let sys = total / 2f64.sqrt();
+    let rand = total / 2f64.sqrt() / (tech.critical_path_stages as f64).sqrt();
+    (sys * sys + rand * rand).sqrt()
+}
+
+/// Timing guardband in percent at `vdd_v`, margining for a `k_sigma`
+/// slow corner: `100 · (delay(+kσ) − delay(0)) / delay(0)`.
+///
+/// # Panics
+///
+/// Panics if `k_sigma` is negative.
+pub fn guardband_pct(freq_model: &FreqModel, vdd_v: f64, k_sigma: f64) -> f64 {
+    assert!(k_sigma >= 0.0, "sigma multiplier must be non-negative");
+    let tech = freq_model.technology();
+    let sigma = effective_path_sigma_v(tech);
+    let d0 = freq_model.path_delay_ns(vdd_v, 0.0, 1.0);
+    let dk = freq_model.path_delay_ns(vdd_v, k_sigma * sigma, 1.0);
+    100.0 * (dk - d0) / d0
+}
+
+/// A `(vdd, guardband%)` series over a voltage sweep — the raw data of
+/// Figure 1c for one node.
+pub fn guardband_curve(
+    freq_model: &FreqModel,
+    vdd_lo_v: f64,
+    vdd_hi_v: f64,
+    steps: usize,
+    k_sigma: f64,
+) -> Vec<(f64, f64)> {
+    assert!(steps >= 2, "a curve needs at least two points");
+    assert!(vdd_hi_v > vdd_lo_v, "empty voltage range");
+    (0..steps)
+        .map(|i| {
+            let v = vdd_lo_v + (vdd_hi_v - vdd_lo_v) * i as f64 / (steps - 1) as f64;
+            (v, guardband_pct(freq_model, v, k_sigma))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guardband_grows_toward_threshold() {
+        let fm = FreqModel::calibrate(&Technology::node_11nm());
+        let gb_ntv = guardband_pct(&fm, 0.45, 3.0);
+        let gb_mid = guardband_pct(&fm, 0.7, 3.0);
+        let gb_stv = guardband_pct(&fm, 1.1, 3.0);
+        assert!(gb_ntv > gb_mid && gb_mid > gb_stv);
+    }
+
+    #[test]
+    fn eleven_nm_needs_more_margin_than_22nm() {
+        // Figure 1c: the 11 nm curve sits above the 22 nm curve.
+        let f11 = FreqModel::calibrate(&Technology::node_11nm());
+        let f22 = FreqModel::calibrate(&Technology::node_22nm());
+        for &v in &[0.5, 0.6, 0.8, 1.0, 1.2] {
+            assert!(
+                guardband_pct(&f11, v, 3.0) > guardband_pct(&f22, v, 3.0),
+                "at Vdd={v}"
+            );
+        }
+    }
+
+    #[test]
+    fn figure1c_magnitudes() {
+        // Paper Figure 1c shows guardbands reaching the hundreds of
+        // percent near threshold and tens of percent at STV for 11 nm.
+        let fm = FreqModel::calibrate(&Technology::node_11nm());
+        let near = guardband_pct(&fm, 0.45, 3.0);
+        let stv = guardband_pct(&fm, 1.0, 3.0);
+        assert!(near > 100.0, "near-threshold guardband {near}%");
+        assert!(stv < 60.0, "STV guardband {stv}%");
+    }
+
+    #[test]
+    fn zero_sigma_needs_no_guardband() {
+        let fm = FreqModel::calibrate(&Technology::node_11nm());
+        assert_eq!(guardband_pct(&fm, 0.6, 0.0), 0.0);
+    }
+
+    #[test]
+    fn curve_has_requested_shape() {
+        let fm = FreqModel::calibrate(&Technology::node_11nm());
+        let c = guardband_curve(&fm, 0.4, 1.2, 9, 3.0);
+        assert_eq!(c.len(), 9);
+        assert_eq!(c[0].0, 0.4);
+        assert_eq!(c[8].0, 1.2);
+        // Monotone decreasing guardband across the sweep.
+        for w in c.windows(2) {
+            assert!(w[1].1 <= w[0].1);
+        }
+    }
+
+    #[test]
+    fn effective_sigma_below_total() {
+        let t = Technology::node_11nm();
+        let eff = effective_path_sigma_v(&t);
+        assert!(eff < t.vth_sigma_v());
+        assert!(eff > t.vth_sigma_v() / 2.0);
+    }
+}

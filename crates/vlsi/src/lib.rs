@@ -1,0 +1,39 @@
+//! Technology model for near-threshold voltage computing (NTC).
+//!
+//! Implements the device-level substrate of the Accordion paper
+//! (HPCA 2014, Section 2.1 and Figure 1):
+//!
+//! * [`tech`] — technology parameter sets (11 nm and 22 nm, following
+//!   the paper's Table 2 / ITRS-style projections),
+//! * [`device`] — an EKV-based drain-current model that is smooth from
+//!   sub-threshold through super-threshold operation, plus
+//!   DIBL-corrected sub-threshold leakage,
+//! * [`freq`] — the frequency-versus-`Vdd` model, calibrated so the
+//!   paper's anchors hold (1.0 GHz at the 0.55 V near-threshold nominal
+//!   and ≈3.3 GHz at the 1.0 V super-threshold nominal),
+//! * [`power`] — dynamic/static core power, energy per operation and
+//!   the NTV/STV efficiency ratios of Figure 1a,
+//! * [`guardband`] — worst-case timing-guardband-versus-`Vdd` curves of
+//!   Figure 1c.
+//!
+//! # Example
+//!
+//! ```
+//! use accordion_vlsi::tech::Technology;
+//! use accordion_vlsi::freq::FreqModel;
+//!
+//! let tech = Technology::node_11nm();
+//! let f = FreqModel::calibrate(&tech);
+//! let ghz = f.frequency_ghz(tech.vdd_nom_v, 0.0, 1.0);
+//! assert!((ghz - 1.0).abs() < 1e-6);
+//! ```
+
+pub mod device;
+pub mod freq;
+pub mod guardband;
+pub mod power;
+pub mod tech;
+
+pub use freq::FreqModel;
+pub use power::CorePowerModel;
+pub use tech::Technology;

@@ -1,0 +1,239 @@
+//! Core power and energy-per-operation model (McPAT-lite).
+//!
+//! The paper evaluates power with McPAT scaled to 11 nm; Accordion only
+//! consumes *relative* power across operating points, so this model
+//! keeps the two components that drive those relations:
+//!
+//! * dynamic power `P_dyn = Ceff · Vdd² · f` (per-core effective
+//!   switched capacitance),
+//! * static power `P_stat = Vdd · I_leak(Vth_eff, T)` with DIBL, so the
+//!   static share grows at NTV exactly as Section 6.2 argues ("the
+//!   share of static power is higher at NTV").
+//!
+//! Calibration: at the NTV nominal point a core (with its private
+//! memory) draws [`CorePowerModel::NTV_CORE_POWER_W`] with a
+//! [`CorePowerModel::NTV_STATIC_SHARE`] static fraction, sized so 288
+//! cores plus uncore fit the 100 W budget of Table 2.
+
+use crate::device::leakage_current;
+use crate::tech::Technology;
+
+/// Power breakdown of one core at an operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerBreakdown {
+    /// Dynamic component in watts.
+    pub dynamic_w: f64,
+    /// Static (leakage) component in watts.
+    pub static_w: f64,
+}
+
+impl PowerBreakdown {
+    /// Total power in watts.
+    pub fn total_w(&self) -> f64 {
+        self.dynamic_w + self.static_w
+    }
+
+    /// Static fraction of total power.
+    pub fn static_share(&self) -> f64 {
+        self.static_w / self.total_w()
+    }
+}
+
+/// Calibrated per-core power model for a technology node.
+///
+/// # Example
+///
+/// ```
+/// use accordion_vlsi::{CorePowerModel, Technology};
+///
+/// let tech = Technology::node_11nm();
+/// let pm = CorePowerModel::calibrate(&tech);
+/// let ntv = pm.core_power(tech.vdd_nom_v, tech.f_nom_ghz, 0.0, 1.0);
+/// let stv = pm.core_power(tech.vdd_stv_v, tech.f_stv_ghz, 0.0, 1.0);
+/// assert!(stv.total_w() > 5.0 * ntv.total_w()); // NTV saves big
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorePowerModel {
+    tech: Technology,
+    /// Effective switched capacitance in nF (so `Ceff·V²·f[GHz]` is W).
+    ceff_nf: f64,
+    /// Scale factor mapping normalized leakage current to watts per
+    /// volt of supply.
+    k_leak: f64,
+}
+
+impl CorePowerModel {
+    /// Per-core (plus private memory) power at the NTV nominal point.
+    ///
+    /// 288 cores × 0.28 W ≈ 81 W, leaving ≈19 W of the 100 W budget for
+    /// cluster memories and the network.
+    pub const NTV_CORE_POWER_W: f64 = 0.28;
+
+    /// Static share of core power at the NTV nominal point.
+    pub const NTV_STATIC_SHARE: f64 = 0.45;
+
+    /// Calibrates the model for `tech` using the NTV anchor point.
+    pub fn calibrate(tech: &Technology) -> Self {
+        let p_dyn = Self::NTV_CORE_POWER_W * (1.0 - Self::NTV_STATIC_SHARE);
+        let p_stat = Self::NTV_CORE_POWER_W * Self::NTV_STATIC_SHARE;
+        let ceff_nf = p_dyn / (tech.vdd_nom_v * tech.vdd_nom_v * tech.f_nom_ghz);
+        let i0 = leakage_current(tech, tech.vdd_nom_v, 0.0, 1.0);
+        let k_leak = p_stat / (tech.vdd_nom_v * i0);
+        Self {
+            tech: tech.clone(),
+            ceff_nf,
+            k_leak,
+        }
+    }
+
+    /// The technology this model was calibrated for.
+    pub fn technology(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// A model with the same calibrated constants evaluated under a
+    /// different technology record — for sensitivity sweeps (e.g.
+    /// operating temperature) where re-anchoring would hide the very
+    /// effect being studied.
+    pub fn with_technology(&self, tech: &Technology) -> CorePowerModel {
+        CorePowerModel {
+            tech: tech.clone(),
+            ceff_nf: self.ceff_nf,
+            k_leak: self.k_leak,
+        }
+    }
+
+    /// Power of one core running at `vdd_v` / `f_ghz` whose local
+    /// threshold deviates by `vth_delta_v` and channel length by
+    /// `leff_mult` (fast, low-Vth cores leak more).
+    pub fn core_power(
+        &self,
+        vdd_v: f64,
+        f_ghz: f64,
+        vth_delta_v: f64,
+        leff_mult: f64,
+    ) -> PowerBreakdown {
+        assert!(vdd_v >= 0.0 && f_ghz >= 0.0, "operating point must be non-negative");
+        let dynamic_w = self.ceff_nf * vdd_v * vdd_v * f_ghz;
+        let static_w = self.k_leak * vdd_v * leakage_current(&self.tech, vdd_v, vth_delta_v, leff_mult);
+        PowerBreakdown { dynamic_w, static_w }
+    }
+
+    /// Static power of an idle (clock-gated but powered) core.
+    pub fn idle_power_w(&self, vdd_v: f64, vth_delta_v: f64, leff_mult: f64) -> f64 {
+        self.core_power(vdd_v, 0.0, vth_delta_v, leff_mult).static_w
+    }
+
+    /// Energy per operation in nanojoules for a single-issue core
+    /// executing one operation per cycle: `P / f`.
+    pub fn energy_per_op_nj(&self, vdd_v: f64, f_ghz: f64) -> f64 {
+        assert!(f_ghz > 0.0, "energy per op undefined at zero frequency");
+        self.core_power(vdd_v, f_ghz, 0.0, 1.0).total_w() / f_ghz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freq::FreqModel;
+
+    fn setup() -> (Technology, CorePowerModel, FreqModel) {
+        let t = Technology::node_11nm();
+        let p = CorePowerModel::calibrate(&t);
+        let f = FreqModel::calibrate(&t);
+        (t, p, f)
+    }
+
+    #[test]
+    fn ntv_anchor_reproduced() {
+        let (t, p, _) = setup();
+        let b = p.core_power(t.vdd_nom_v, t.f_nom_ghz, 0.0, 1.0);
+        assert!((b.total_w() - CorePowerModel::NTV_CORE_POWER_W).abs() < 1e-12);
+        assert!((b.static_share() - CorePowerModel::NTV_STATIC_SHARE).abs() < 1e-12);
+    }
+
+    #[test]
+    fn static_share_higher_at_ntv_than_stv() {
+        let (t, p, _) = setup();
+        let ntv = p.core_power(t.vdd_nom_v, t.f_nom_ghz, 0.0, 1.0);
+        let stv = p.core_power(t.vdd_stv_v, t.f_stv_ghz, 0.0, 1.0);
+        assert!(
+            ntv.static_share() > stv.static_share(),
+            "ntv={} stv={}",
+            ntv.static_share(),
+            stv.static_share()
+        );
+    }
+
+    #[test]
+    fn power_reduction_in_paper_band() {
+        // Figure 1a: 10–50× power reduction going STV → NTV. Our
+        // conservative anchors (0.55 V vs 1.0 V) land at the low end;
+        // require at least 5× and sanity-cap at 60×.
+        let (t, p, _) = setup();
+        let ntv = p.core_power(t.vdd_nom_v, t.f_nom_ghz, 0.0, 1.0).total_w();
+        let stv = p.core_power(t.vdd_stv_v, t.f_stv_ghz, 0.0, 1.0).total_w();
+        let ratio = stv / ntv;
+        assert!(ratio > 5.0 && ratio < 60.0, "power ratio {ratio}");
+    }
+
+    #[test]
+    fn energy_per_op_improves_at_ntv() {
+        // Figure 1a: 2–5× energy/operation improvement at NTV.
+        let (t, p, _) = setup();
+        let e_ntv = p.energy_per_op_nj(t.vdd_nom_v, t.f_nom_ghz);
+        let e_stv = p.energy_per_op_nj(t.vdd_stv_v, t.f_stv_ghz);
+        let ratio = e_stv / e_ntv;
+        assert!(ratio > 2.0 && ratio < 5.0, "energy ratio {ratio}");
+    }
+
+    #[test]
+    fn energy_per_op_minimum_is_near_threshold() {
+        // Figure 1a puts the min-energy point at/below Vth (idealized
+        // literature curves with aggressive leakage control). With the
+        // paper's own "static share is higher at NTV" calibration the
+        // minimum lands just above Vth; we assert it falls in the
+        // near-threshold neighbourhood, far below the STV nominal.
+        let (t, p, f) = setup();
+        let mut best_v = 0.0;
+        let mut best_e = f64::INFINITY;
+        let mut v = 0.20;
+        while v <= 1.2 {
+            let freq = f.frequency_ghz(v, 0.0, 1.0);
+            if freq > 1e-6 {
+                let e = p.energy_per_op_nj(v, freq);
+                if e < best_e {
+                    best_e = e;
+                    best_v = v;
+                }
+            }
+            v += 0.01;
+        }
+        assert!(
+            best_v < t.vth_nom_v + 0.16,
+            "min-energy Vdd {best_v} should sit in the near-threshold region (Vth = {})",
+            t.vth_nom_v
+        );
+        assert!(
+            best_v < 0.6 * t.vdd_stv_v,
+            "min-energy Vdd {best_v} should sit far below the STV nominal"
+        );
+    }
+
+    #[test]
+    fn fast_cores_leak_more() {
+        let (t, p, _) = setup();
+        let slow = p.core_power(t.vdd_nom_v, 1.0, 0.05, 1.05);
+        let fast = p.core_power(t.vdd_nom_v, 1.0, -0.05, 0.95);
+        assert!(fast.static_w > slow.static_w);
+        assert_eq!(fast.dynamic_w, slow.dynamic_w);
+    }
+
+    #[test]
+    fn idle_power_is_static_only() {
+        let (t, p, _) = setup();
+        let idle = p.idle_power_w(t.vdd_nom_v, 0.0, 1.0);
+        let full = p.core_power(t.vdd_nom_v, t.f_nom_ghz, 0.0, 1.0);
+        assert!((idle - full.static_w).abs() < 1e-15);
+    }
+}

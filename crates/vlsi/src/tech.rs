@@ -1,0 +1,144 @@
+//! Technology parameter sets.
+//!
+//! The 11 nm set mirrors the paper's Table 2 ("Technology Parameters",
+//! ITRS-derived, fine-tuned toward industry 11 nm projections); the
+//! 22 nm set is used only for the guardband comparison of Figure 1c.
+
+/// Boltzmann constant over elementary charge, in volts per kelvin.
+const K_OVER_Q: f64 = 8.617_333e-5;
+
+/// A CMOS technology node with the parameters the frequency, power and
+/// variation models need.
+///
+/// All voltages are in volts, frequencies in GHz, temperatures in
+/// kelvin. Fields are public by design: this is a passive parameter
+/// record that experiments are expected to tweak (e.g. the φ-sweep
+/// ablation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Technology {
+    /// Human-readable node name ("11nm").
+    pub name: &'static str,
+    /// Feature size in nanometers.
+    pub node_nm: f64,
+    /// Nominal near-threshold supply voltage (paper: 0.55 V at 11 nm).
+    pub vdd_nom_v: f64,
+    /// Nominal super-threshold supply voltage (paper: ≈1.0 V).
+    pub vdd_stv_v: f64,
+    /// Nominal threshold voltage (paper: 0.33 V).
+    pub vth_nom_v: f64,
+    /// Nominal frequency at `vdd_nom_v` (paper: 1.0 GHz).
+    pub f_nom_ghz: f64,
+    /// Frequency at `vdd_stv_v` (paper: ≈3.3 GHz for the same logic).
+    pub f_stv_ghz: f64,
+    /// Network (uncore) frequency at nominal NTV (paper: 0.8 GHz).
+    pub f_network_ghz: f64,
+    /// Operating temperature (paper: TMIN = 80 °C = 353.15 K).
+    pub temperature_k: f64,
+    /// Sub-threshold slope factor `n` of the EKV model.
+    pub subthreshold_n: f64,
+    /// DIBL coefficient λ: `Vth,eff = Vth − λ·Vdd` (V/V).
+    pub dibl_lambda: f64,
+    /// Total threshold-voltage variation σ/μ (paper: 15 % at 11 nm).
+    pub vth_sigma_over_mu: f64,
+    /// Total effective-channel-length variation σ/μ (paper: 7.5 %).
+    pub leff_sigma_over_mu: f64,
+    /// Logic depth of a representative critical path, in gates — used
+    /// to average the random variation component along a path.
+    pub critical_path_stages: usize,
+}
+
+impl Technology {
+    /// The paper's 11 nm node (Table 2).
+    pub fn node_11nm() -> Self {
+        Self {
+            name: "11nm",
+            node_nm: 11.0,
+            vdd_nom_v: 0.55,
+            vdd_stv_v: 1.0,
+            vth_nom_v: 0.33,
+            f_nom_ghz: 1.0,
+            f_stv_ghz: 3.3,
+            f_network_ghz: 0.8,
+            temperature_k: 353.15,
+            subthreshold_n: 1.5,
+            dibl_lambda: 0.08,
+            vth_sigma_over_mu: 0.15,
+            leff_sigma_over_mu: 0.075,
+            critical_path_stages: 24,
+        }
+    }
+
+    /// A 22 nm node for the Figure 1c guardband comparison: less
+    /// variation, slightly higher threshold, same qualitative model.
+    pub fn node_22nm() -> Self {
+        Self {
+            name: "22nm",
+            node_nm: 22.0,
+            vdd_nom_v: 0.60,
+            vdd_stv_v: 1.0,
+            vth_nom_v: 0.35,
+            f_nom_ghz: 0.9,
+            f_stv_ghz: 2.8,
+            f_network_ghz: 0.7,
+            temperature_k: 353.15,
+            subthreshold_n: 1.5,
+            dibl_lambda: 0.06,
+            vth_sigma_over_mu: 0.10,
+            leff_sigma_over_mu: 0.05,
+            critical_path_stages: 24,
+        }
+    }
+
+    /// Thermal voltage `φt = kT/q` at the operating temperature.
+    pub fn thermal_voltage_v(&self) -> f64 {
+        K_OVER_Q * self.temperature_k
+    }
+
+    /// Absolute threshold-voltage standard deviation `σ(Vth)`.
+    pub fn vth_sigma_v(&self) -> f64 {
+        self.vth_sigma_over_mu * self.vth_nom_v
+    }
+}
+
+impl Default for Technology {
+    /// The default node is the paper's 11 nm evaluation node.
+    fn default() -> Self {
+        Self::node_11nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermal_voltage_at_80c() {
+        let t = Technology::node_11nm();
+        let phi = t.thermal_voltage_v();
+        assert!((phi - 0.03043).abs() < 1e-4, "phi_t={phi}");
+    }
+
+    #[test]
+    fn table2_values() {
+        let t = Technology::node_11nm();
+        assert_eq!(t.vdd_nom_v, 0.55);
+        assert_eq!(t.vth_nom_v, 0.33);
+        assert_eq!(t.f_nom_ghz, 1.0);
+        assert_eq!(t.f_network_ghz, 0.8);
+        assert_eq!(t.vth_sigma_over_mu, 0.15);
+        assert_eq!(t.leff_sigma_over_mu, 0.075);
+    }
+
+    #[test]
+    fn smaller_node_has_more_variation() {
+        let a = Technology::node_11nm();
+        let b = Technology::node_22nm();
+        assert!(a.vth_sigma_over_mu > b.vth_sigma_over_mu);
+        assert!(a.leff_sigma_over_mu > b.leff_sigma_over_mu);
+    }
+
+    #[test]
+    fn default_is_11nm() {
+        assert_eq!(Technology::default(), Technology::node_11nm());
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the technology model.
+
+use accordion_vlsi::device::{drain_current, leakage_current};
+use accordion_vlsi::freq::FreqModel;
+use accordion_vlsi::guardband::guardband_pct;
+use accordion_vlsi::power::CorePowerModel;
+use accordion_vlsi::tech::Technology;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn models() -> &'static (Technology, FreqModel, CorePowerModel) {
+    static M: OnceLock<(Technology, FreqModel, CorePowerModel)> = OnceLock::new();
+    M.get_or_init(|| {
+        let t = Technology::node_11nm();
+        (t.clone(), FreqModel::calibrate(&t), CorePowerModel::calibrate(&t))
+    })
+}
+
+proptest! {
+    #[test]
+    fn frequency_monotone_in_vdd(v in 0.2f64..1.15, dv in 0.005f64..0.05) {
+        let (_, fm, _) = models();
+        prop_assert!(fm.frequency_ghz(v + dv, 0.0, 1.0) > fm.frequency_ghz(v, 0.0, 1.0));
+    }
+
+    #[test]
+    fn frequency_decreases_with_vth(v in 0.35f64..1.2, d in 0.001f64..0.08) {
+        let (_, fm, _) = models();
+        prop_assert!(fm.frequency_ghz(v, d, 1.0) < fm.frequency_ghz(v, -d, 1.0));
+    }
+
+    #[test]
+    fn frequency_decreases_with_leff(v in 0.35f64..1.2, m in 1.01f64..1.3) {
+        let (_, fm, _) = models();
+        prop_assert!(fm.frequency_ghz(v, 0.0, m) < fm.frequency_ghz(v, 0.0, 1.0));
+    }
+
+    #[test]
+    fn current_positive_and_finite(v in 0.05f64..1.3, dv in -0.1f64..0.1, m in 0.7f64..1.3) {
+        let (t, fm, _) = models();
+        let i = drain_current(t, v, dv, m, fm.theta());
+        prop_assert!(i > 0.0 && i.is_finite());
+    }
+
+    #[test]
+    fn leakage_positive_below_supply_sweep(v in 0.05f64..1.3, dv in -0.1f64..0.1) {
+        let (t, _, _) = models();
+        let i = leakage_current(t, v, dv, 1.0);
+        prop_assert!(i > 0.0 && i.is_finite());
+    }
+
+    #[test]
+    fn power_components_positive(v in 0.3f64..1.2, f in 0.05f64..3.5) {
+        let (_, _, pm) = models();
+        let p = pm.core_power(v, f, 0.0, 1.0);
+        prop_assert!(p.dynamic_w > 0.0);
+        prop_assert!(p.static_w > 0.0);
+        prop_assert!(p.static_share() > 0.0 && p.static_share() < 1.0);
+    }
+
+    #[test]
+    fn dynamic_power_scales_linearly_with_frequency(v in 0.3f64..1.2, f in 0.1f64..2.0) {
+        let (_, _, pm) = models();
+        let p1 = pm.core_power(v, f, 0.0, 1.0);
+        let p2 = pm.core_power(v, 2.0 * f, 0.0, 1.0);
+        prop_assert!((p2.dynamic_w / p1.dynamic_w - 2.0).abs() < 1e-9);
+        prop_assert!((p2.static_w - p1.static_w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_per_op_has_interior_minimum_left_of_stv(_x in 0u8..1) {
+        // The energy/op curve along the calibrated f(Vdd) must not be
+        // monotone: it rises again at very low Vdd.
+        let (_, fm, pm) = models();
+        let e = |v: f64| pm.energy_per_op_nj(v, fm.frequency_ghz(v, 0.0, 1.0));
+        prop_assert!(e(0.25) > e(0.45));
+        prop_assert!(e(1.0) > e(0.5));
+    }
+
+    #[test]
+    fn guardband_positive_and_monotone_in_sigma(v in 0.4f64..1.2, k1 in 0.5f64..2.0, k2 in 2.0f64..4.0) {
+        let (_, fm, _) = models();
+        let g1 = guardband_pct(fm, v, k1);
+        let g2 = guardband_pct(fm, v, k2);
+        prop_assert!(g1 > 0.0);
+        prop_assert!(g2 > g1);
+    }
+
+    #[test]
+    fn delay_sensitivity_monotone_toward_threshold(v in 0.45f64..0.9, dv in 0.02f64..0.2) {
+        let (_, fm, _) = models();
+        let near = fm.delay_vth_sensitivity(v).abs();
+        let far = fm.delay_vth_sensitivity(v + dv).abs();
+        prop_assert!(near >= far * 0.999, "sensitivity must grow toward Vth");
+    }
+}

@@ -1,0 +1,65 @@
+//! Related-work baselines demo (paper Section 8): Booster's dual-rail
+//! frequency equalization and EnergySmart's speed-proportional
+//! scheduling, against Accordion's equal-frequency discipline and
+//! against Accordion's full problem-size modulation.
+//!
+//! ```text
+//! cargo run --release --example baselines_demo
+//! ```
+
+use accordion::baselines::{compare_at, Booster};
+use accordion::framework::Accordion;
+use accordion_apps::hotspot::Hotspot;
+use accordion_chip::chip::Chip;
+use accordion_sim::exec::ExecModel;
+use accordion_sim::workload::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let chip = Chip::fabricate_default(0)?;
+    let exec = ExecModel::paper_default();
+    let w = Workload::rms_default(1e6);
+
+    println!("mechanism comparison at matched cluster counts (chip 0):\n");
+    println!(
+        "{:>8} {:>28} {:>10} {:>10} {:>8}",
+        "clusters", "mechanism", "core-GHz", "power(W)", "MIPS/W"
+    );
+    for n in [4usize, 9, 18, 36] {
+        for plan in compare_at(&chip, n) {
+            println!(
+                "{:>8} {:>28} {:>10.1} {:>10.1} {:>8.0}",
+                n,
+                plan.mechanism,
+                plan.core_ghz,
+                plan.power_w,
+                plan.mips_per_w(&exec, &w)
+            );
+        }
+    }
+
+    // Booster's rail-tax sensitivity.
+    println!("\nBooster MIPS/W vs dual-rail overhead (9 clusters):");
+    for overhead in [0.0, 0.1, 0.15, 0.25, 0.4] {
+        let b = Booster {
+            rail_boost_v: 0.10,
+            rail_overhead: overhead,
+        };
+        let plan = b.plan(&chip, 9);
+        println!(
+            "  rail tax {:>4.0}% -> {:>5.0} MIPS/W",
+            overhead * 100.0,
+            plan.mips_per_w(&exec, &w)
+        );
+    }
+
+    // What neither baseline has: the problem-size knob.
+    let acc = Accordion::new(chip, Box::new(Hotspot::paper_default()));
+    if let Some(p) = acc.plan(0.95) {
+        println!(
+            "\nAccordion with problem-size modulation (quality >= 0.95):\n  \
+             {} at {} cores -> {:.2}x the STV energy efficiency",
+            p.mode, p.n_ntv, p.eff_norm
+        );
+    }
+    Ok(())
+}

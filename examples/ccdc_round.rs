@@ -1,0 +1,43 @@
+//! Control-Core / Data-Core protocol demo (paper Section 4.1): a CC
+//! dispatches work to error-prone DCs, polls their mailbox done flags,
+//! fires watchdogs on hangs, restarts, and finally merges survivors —
+//! sweeping the per-cycle timing-error rate to show how the protocol
+//! degrades gracefully from error-free to error-saturated operation.
+//!
+//! ```text
+//! cargo run --release --example ccdc_round
+//! ```
+
+use accordion_sim::ccdc::{run_round, CcDcConfig, DcOutcome};
+use accordion_stats::rng::SeedStream;
+
+fn main() {
+    let seed = SeedStream::new(42);
+    println!(
+        "{:>10} {:>9} {:>9} {:>9} {:>10} {:>9} {:>12}",
+        "Perr", "clean", "infected", "dropped", "watchdogs", "restarts", "makespan(cy)"
+    );
+    for (i, perr) in [0.0, 1e-9, 1e-8, 1e-7, 1e-6, 1e-5]
+        .into_iter()
+        .enumerate()
+    {
+        let cfg = CcDcConfig::default_round(64, perr);
+        let report = run_round(&cfg, &mut seed.stream("round", i as u64));
+        let count = |o: DcOutcome| report.outcomes.iter().filter(|x| **x == o).count();
+        println!(
+            "{:>10.0e} {:>9} {:>9} {:>9} {:>10} {:>9} {:>12}",
+            perr,
+            count(DcOutcome::Completed),
+            count(DcOutcome::CompletedInfected),
+            count(DcOutcome::Abandoned),
+            report.watchdog_fires,
+            report.restarts,
+            report.makespan_cycles,
+        );
+    }
+    println!(
+        "\nDCs never write each other's result slots and never touch CC\n\
+         data; the CC uses only done flags and watchdog timers for\n\
+         control — fault containment by construction (Section 4.1)."
+    );
+}

@@ -1,0 +1,60 @@
+//! Mode planner: for every benchmark, pick the best Accordion
+//! operating point under a user-supplied quality floor, and show how
+//! the choice shifts as the floor tightens.
+//!
+//! ```text
+//! cargo run --release --example mode_planner -- [quality_floor]
+//! ```
+
+use accordion::framework::Accordion;
+use accordion_apps::app::all_apps;
+use accordion_chip::chip::Chip;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let floor: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(0.95);
+    let chip = Chip::fabricate_default(0)?;
+
+    println!("planning with quality floor {floor:.2} (normalized to the STV default)\n");
+    println!(
+        "{:>10} {:>16} {:>6} {:>9} {:>9} {:>9} {:>9}",
+        "benchmark", "mode", "cores", "f (GHz)", "MIPS/W x", "power W", "quality"
+    );
+    for app in all_apps() {
+        let name = app.name();
+        let acc = Accordion::new(chip.clone(), app);
+        match acc.plan(floor) {
+            Some(p) => println!(
+                "{:>10} {:>16} {:>6} {:>9.2} {:>9.2} {:>9.1} {:>9.2}",
+                name,
+                p.mode.to_string(),
+                p.n_ntv,
+                p.f_ntv_ghz,
+                p.eff_norm,
+                p.power_w,
+                p.quality_norm
+            ),
+            None => println!("{name:>10}  no feasible mode satisfies the floor"),
+        }
+    }
+
+    // How the best efficiency degrades as the floor rises, for one
+    // representative benchmark.
+    println!("\nhotspot: best efficiency ratio vs quality floor");
+    let acc = Accordion::new(
+        chip,
+        Box::new(accordion_apps::hotspot::Hotspot::paper_default()),
+    );
+    for floor10 in 5..=10 {
+        let floor = floor10 as f64 / 10.0;
+        let eff = acc.plan(floor).map(|p| p.eff_norm);
+        match eff {
+            Some(e) => println!("  floor {floor:.1}: {e:.2}x"),
+            None => println!("  floor {floor:.1}: infeasible"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Quickstart: fabricate a variation-afflicted NTC chip, bind a
+//! benchmark, and read off the Accordion trade-off.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use accordion::framework::Accordion;
+use accordion::mode::FrequencyPolicy;
+use accordion_apps::hotspot::Hotspot;
+use accordion_chip::chip::Chip;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Fabricate chip 0 of the Monte-Carlo population: 288 cores in
+    //    36 clusters at 11 nm, afflicted by correlated Vth/Leff
+    //    variation (Table 2 of the paper).
+    let chip = Chip::fabricate_default(0)?;
+    println!("fabricated {} cores in {} clusters", chip.topology().num_cores(), chip.topology().num_clusters());
+    println!("designated VddNTV = {:.3} V (max per-cluster VddMIN)", chip.vdd_ntv_v());
+    println!("N_STV (cores fitting 100 W at STV) = {}", chip.n_stv());
+
+    // 2. Bind a benchmark. Construction measures the quality-versus-
+    //    problem-size fronts under Default / Drop 1/4 / Drop 1/2.
+    let acc = Accordion::new(chip, Box::new(Hotspot::paper_default()));
+    println!("\nSTV baseline: {:.3} s at {:.0} MIPS/W", acc.baseline().exec_time_s, acc.baseline().mips_per_w());
+
+    // 3. Extract the iso-execution-time pareto fronts (Figures 6/7).
+    for front in acc.iso_time_fronts() {
+        let Some(best) = front.points.iter().max_by(|a, b| {
+            a.eff_norm.partial_cmp(&b.eff_norm).expect("finite")
+        }) else {
+            continue;
+        };
+        println!(
+            "{:15} {} points; best MIPS/W ratio {:.2} at N={} (f={:.2} GHz, quality {:.2})",
+            front.flavor.to_string(),
+            front.points.len(),
+            best.eff_norm,
+            best.n_ntv,
+            best.f_ntv_ghz,
+            best.quality_norm,
+        );
+    }
+
+    // 4. Plan an operating point under a quality floor.
+    if let Some(p) = acc.plan(0.95) {
+        println!(
+            "\nplanned point: {} | {} cores at {:.2} GHz, {:.2}x more efficient than STV, quality {:.2}",
+            p.mode, p.n_ntv, p.f_ntv_ghz, p.eff_norm, p.quality_norm
+        );
+    }
+
+    // 5. Speculation: how much frequency do timing errors buy?
+    if let Some((lo, hi)) = acc.speculative_f_gain_range() {
+        println!(
+            "speculative frequency gain across the fronts: {:.0}%-{:.0}%",
+            lo * 100.0,
+            hi * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,20 @@
+//! Umbrella crate for the Accordion reproduction.
+//!
+//! Re-exports the workspace crates under one roof so examples and
+//! integration tests can reach every layer:
+//!
+//! * [`stats`] — math substrate (fields, normal math, metrics),
+//! * [`vlsi`] — technology model (frequency, power, guardband),
+//! * [`varius`] — VARIUS-NTV style process variation,
+//! * [`chip`] — the 288-core / 36-cluster evaluation chip,
+//! * [`sim`] — CC/DC execution model and fault injection,
+//! * [`apps`] — the six RMS benchmark kernels,
+//! * [`accordion`] — the framework: modes, baselines, pareto fronts.
+
+pub use accordion;
+pub use accordion_apps as apps;
+pub use accordion_chip as chip;
+pub use accordion_sim as sim;
+pub use accordion_stats as stats;
+pub use accordion_varius as varius;
+pub use accordion_vlsi as vlsi;

@@ -1,0 +1,147 @@
+//! End-to-end integration: fabricate the paper's chip, bind
+//! benchmarks, extract fronts, and verify the paper's headline story
+//! holds across the whole stack.
+
+use accordion::framework::Accordion;
+use accordion::mode::{FrequencyPolicy, Mode, ProblemScaling};
+use accordion_apps::app::all_apps;
+use accordion_apps::srad::Srad;
+use accordion_chip::chip::Chip;
+use std::sync::OnceLock;
+
+fn chip() -> &'static Chip {
+    static CHIP: OnceLock<Chip> = OnceLock::new();
+    CHIP.get_or_init(|| Chip::fabricate_default(0).expect("fabrication"))
+}
+
+#[test]
+fn paper_chip_matches_table2() {
+    let chip = chip();
+    assert_eq!(chip.topology().num_cores(), 288);
+    assert_eq!(chip.topology().num_clusters(), 36);
+    assert_eq!(chip.topology().cores_per_cluster, 8);
+    assert_eq!(chip.memory().private_kb, 64);
+    assert_eq!(chip.memory().cluster_mb, 2);
+    assert!((chip.network().f_network_ghz - 0.8).abs() < 1e-12);
+    assert!((chip.power_model().budget_w() - 100.0).abs() < 1e-12);
+}
+
+#[test]
+fn ntc_premise_holds() {
+    // The dark-silicon premise the paper opens with: all 288 cores fit
+    // the budget at NTV; only a fraction fits at STV.
+    let chip = chip();
+    let tech = chip.freq_model().technology().clone();
+    let p_ntv = chip.power_model().chip_power(
+        chip.topology(),
+        288,
+        36,
+        tech.vdd_nom_v,
+        tech.f_nom_ghz,
+    );
+    assert!(p_ntv.total_w() <= 100.0);
+    let n_stv = chip.n_stv();
+    assert!(n_stv < 288 / 4, "N_STV = {n_stv} must be a small fraction");
+}
+
+#[test]
+fn accordion_beats_stv_for_every_benchmark() {
+    // The headline: iso-execution-time NTV operation is more energy
+    // efficient than STV, below the ideal 2-5x of Figure 1a.
+    for app in all_apps() {
+        let name = app.name();
+        let acc = Accordion::new(chip().clone(), app);
+        let best = Mode::FIGURE_MODES
+            .iter()
+            .filter_map(|&m| acc.best_efficiency(m))
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(best > 1.0, "{name}: best efficiency ratio {best} must beat STV");
+        // The paper caps the figure-level ratio just under 2x; our
+        // leftmost Compress extremes (one cherry-picked best cluster
+        // at a deeply compressed problem) can overshoot slightly. The
+        // quality-constrained headline band asserts the tighter
+        // 1.5-1.9x paper range separately.
+        assert!(best < 2.5, "{name}: ratio {best} far exceeds the paper's <2x story");
+    }
+}
+
+#[test]
+fn still_point_requires_core_growth() {
+    // Table 1: Still mode needs N_NTV to grow by at least f_STV/f_NTV.
+    let acc = Accordion::new(chip().clone(), Box::new(Srad::paper_default()));
+    let fronts = acc.iso_time_fronts();
+    let tech = acc.chip().freq_model().technology().clone();
+    for front in &fronts {
+        for p in front.points.iter().filter(|p| (p.size_norm - 1.0).abs() < 0.02) {
+            let min_growth = tech.f_stv_ghz / p.f_ntv_ghz;
+            // The memory-latency CPI advantage at NTV slightly relaxes
+            // the bound; allow 10%.
+            assert!(
+                p.n_ratio >= min_growth * 0.9,
+                "{}: Still at n_ratio {} < f ratio {min_growth}",
+                front.flavor,
+                p.n_ratio
+            );
+        }
+    }
+}
+
+#[test]
+fn compress_only_mode_with_fewer_cores_than_stv() {
+    // Table 1: only Compress may use N_NTV < N_STV.
+    let acc = Accordion::new(chip().clone(), Box::new(Srad::paper_default()));
+    for front in acc.iso_time_fronts() {
+        for p in &front.points {
+            if p.n_ratio < 1.0 {
+                assert_eq!(
+                    p.mode.scaling,
+                    ProblemScaling::Compress,
+                    "{}: point with n_ratio {} must be Compress",
+                    front.flavor,
+                    p.n_ratio
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn speculative_points_carry_errors_and_safe_points_do_not() {
+    let acc = Accordion::new(chip().clone(), Box::new(Srad::paper_default()));
+    for front in acc.iso_time_fronts() {
+        for p in &front.points {
+            match front.flavor.policy {
+                FrequencyPolicy::Safe => assert_eq!(p.perr, 0.0),
+                FrequencyPolicy::Speculative => {
+                    assert!(p.perr > 0.0);
+                    assert!(p.f_ntv_ghz >= p.f_safe_ghz - 1e-12);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn quality_floor_planning_is_monotone() {
+    let acc = Accordion::new(chip().clone(), Box::new(Srad::paper_default()));
+    let mut prev = f64::INFINITY;
+    for floor in [0.5, 0.7, 0.9, 0.99] {
+        let eff = acc.plan(floor).map_or(0.0, |p| p.eff_norm);
+        assert!(
+            eff <= prev + 1e-9,
+            "tightening the floor must not raise efficiency"
+        );
+        prev = eff;
+    }
+}
+
+#[test]
+fn different_chips_give_different_but_sane_results() {
+    let a = Chip::fabricate_default(1).expect("chip 1");
+    let b = Chip::fabricate_default(2).expect("chip 2");
+    assert_ne!(a.cluster_vddmin_v(), b.cluster_vddmin_v());
+    for c in [&a, &b] {
+        assert!(c.vdd_ntv_v() > 0.5 && c.vdd_ntv_v() < 0.7);
+        assert!(c.n_stv() >= 8);
+    }
+}

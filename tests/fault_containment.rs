@@ -1,0 +1,106 @@
+//! Integration: the CC/DC fault-containment contract (paper
+//! Section 4.1) holds through the protocol simulation and the
+//! error-injection stack.
+
+use accordion_sim::ccdc::{run_round, CcDcConfig, DcOutcome};
+use accordion_sim::fault::{CorruptionMode, FaultInjector};
+use accordion_sim::mailbox::{CcDcMailbox, DcIndex, ProtectionError};
+use accordion_stats::rng::SeedStream;
+
+#[test]
+fn dc_writes_are_contained_to_own_slots() {
+    let mut mb = CcDcMailbox::new(8);
+    mb.cc_publish_input((0..10).map(f64::from).collect());
+    // Every DC may read shared input and write its own slot…
+    for i in 0..8 {
+        assert!(mb.dc_read_input(DcIndex(i)).is_ok());
+        assert!(mb.dc_publish_result(DcIndex(i), DcIndex(i), i as f64).is_ok());
+    }
+    // …and nothing else.
+    for i in 0..8 {
+        assert!(matches!(
+            mb.dc_write_input(DcIndex(i)),
+            Err(ProtectionError::DcWroteSharedData { .. })
+        ));
+        let other = DcIndex((i + 1) % 8);
+        assert!(matches!(
+            mb.dc_publish_result(DcIndex(i), other, 0.0),
+            Err(ProtectionError::DcWroteForeignSlot { .. })
+        ));
+    }
+    // The contained writes never clobbered anyone: each slot holds its
+    // owner's value.
+    for i in 0..8 {
+        assert_eq!(mb.cc_collect_result(DcIndex(i)).unwrap(), Some(i as f64));
+    }
+}
+
+#[test]
+fn watchdogs_bound_the_makespan() {
+    // Even when every DC hangs on every attempt, the round terminates
+    // within (max_restarts + 1) watchdog windows plus merge time.
+    let mut cfg = CcDcConfig::default_round(16, 1.0);
+    cfg.hang_fraction = 1.0;
+    cfg.max_restarts = 2;
+    let mut rng = SeedStream::new(5).stream("wd", 0);
+    let report = run_round(&cfg, &mut rng);
+    let bound = (cfg.max_restarts as u64 + 1) * cfg.watchdog_timeout_cycles
+        + 16 * cfg.merge_cycles_per_dc;
+    assert!(report.makespan_cycles <= bound);
+    assert!(report.outcomes.iter().all(|o| *o == DcOutcome::Abandoned));
+}
+
+#[test]
+fn infected_results_surface_as_data_never_as_control() {
+    // Infected DCs publish corrupted values; the CC merges them as
+    // data but its control flow (how many merges, when the round
+    // ends) is identical to a clean round with the same timings.
+    let mut cfg = CcDcConfig::default_round(32, 1.0);
+    cfg.hang_fraction = 0.0; // all infections terminate
+    let mut rng = SeedStream::new(6).stream("inf", 0);
+    let infected_round = run_round(&cfg, &mut rng);
+    let clean_cfg = CcDcConfig::default_round(32, 0.0);
+    let mut rng2 = SeedStream::new(6).stream("inf", 1);
+    let clean_round = run_round(&clean_cfg, &mut rng2);
+    // Same merge count and identical makespan: corruption never
+    // altered control.
+    assert_eq!(
+        infected_round.merged_results.len(),
+        clean_round.merged_results.len()
+    );
+    assert_eq!(infected_round.makespan_cycles, clean_round.makespan_cycles);
+    assert_eq!(infected_round.watchdog_fires, 0);
+}
+
+#[test]
+fn drop_fraction_tracks_infection_probability() {
+    // With hangs only (no corrupting terminations) and no restarts,
+    // the dropped fraction should approach the per-thread infection
+    // probability.
+    let mut cfg = CcDcConfig::default_round(2000, 0.0);
+    cfg.perr_per_cycle = FaultInjector::perr_for_one_error_per_thread(cfg.work_cycles as f64);
+    cfg.hang_fraction = 1.0;
+    cfg.max_restarts = 0;
+    let mut rng = SeedStream::new(7).stream("frac", 0);
+    let report = run_round(&cfg, &mut rng);
+    let expect = FaultInjector::new(cfg.perr_per_cycle)
+        .infection_probability(cfg.work_cycles as f64);
+    assert!(
+        (report.dropped_fraction() - expect).abs() < 0.04,
+        "dropped {} vs infection probability {expect}",
+        report.dropped_fraction()
+    );
+}
+
+#[test]
+fn corruption_modes_are_deterministic_per_seed() {
+    let root = SeedStream::new(8);
+    for mode in CorruptionMode::ALL {
+        let mut a = root.stream("corr", 0);
+        let mut b = root.stream("corr", 0);
+        assert_eq!(
+            mode.corrupt_bits(0xDEAD_BEEF_0123_4567, &mut a),
+            mode.corrupt_bits(0xDEAD_BEEF_0123_4567, &mut b),
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Integration: every artifact in the reproduction registry generates
+//! a well-formed report (`repro all` can never silently rot).
+//!
+//! This is the workspace's most end-to-end test — it exercises the
+//! full stack behind each paper figure/table and each extension
+//! experiment. Kept in one test to share the cached chip fabrication.
+
+use accordion_bench::registry::{generate, ARTIFACTS};
+
+#[test]
+fn every_artifact_generates_a_report() {
+    for &id in ARTIFACTS {
+        // A 1-chip headline population keeps the slowest artifact
+        // tractable; everything else ignores the parameter.
+        let report = generate(id, 1).unwrap_or_else(|| panic!("unknown artifact {id}"));
+        assert!(
+            report.len() > 120,
+            "{id}: report suspiciously short ({} bytes)",
+            report.len()
+        );
+        assert!(
+            report.lines().count() >= 5,
+            "{id}: report has too few lines"
+        );
+        // Every report leads with a human-readable heading.
+        let head = report.lines().next().unwrap_or_default();
+        assert!(
+            head.contains("Figure")
+                || head.contains("Table")
+                || head.contains("Headline")
+                || head.contains("Error-model")
+                || head.contains("Ablation")
+                || head.contains("Extension"),
+            "{id}: unexpected heading {head:?}"
+        );
+    }
+}
+
+#[test]
+fn artifact_ids_cover_every_paper_artifact() {
+    // The paper's evaluation artifacts must all be present by id.
+    for required in [
+        "fig1a", "fig1b", "fig1c", "fig2", "fig4", "fig5a", "fig5b", "fig6", "fig7", "tab1",
+        "tab2", "tab3", "headline", "errmodel",
+    ] {
+        assert!(ARTIFACTS.contains(&required), "missing {required}");
+    }
+}
