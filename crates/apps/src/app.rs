@@ -136,7 +136,11 @@ mod tests {
     #[test]
     fn default_knob_is_inside_the_sweep_range() {
         for app in all_apps() {
-            let sizes: Vec<f64> = app.knob_sweep().iter().map(|&k| app.problem_size(k)).collect();
+            let sizes: Vec<f64> = app
+                .knob_sweep()
+                .iter()
+                .map(|&k| app.problem_size(k))
+                .collect();
             let d = app.problem_size(app.default_knob());
             let lo = sizes.first().copied().unwrap();
             let hi = sizes.last().copied().unwrap();

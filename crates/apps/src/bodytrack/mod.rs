@@ -155,7 +155,8 @@ impl RmsApp for Bodytrack {
             for layer in 0..layers {
                 // Annealing schedule: weights sharpen and diffusion
                 // shrinks as layers progress.
-                let beta = 0.5 * 2f64.powi(layer as i32) / (self.obs_noise * self.obs_noise * d as f64);
+                let beta =
+                    0.5 * 2f64.powi(layer as i32) / (self.obs_noise * self.obs_noise * d as f64);
                 let sigma = self.process_noise * 0.5f64.powi(layer as i32 + 1);
 
                 // Weight computation, partitioned across threads.

@@ -239,8 +239,7 @@ mod tests {
         let a = app();
         let cfg = RunConfig::default_run(16);
         let infected = accordion_sim::fault::uniform_drop_mask(16, 0.5);
-        let dropped =
-            a.run_with_error_mode(24.0, &cfg, CannealErrorMode::DropSwaps, &infected)[0];
+        let dropped = a.run_with_error_mode(24.0, &cfg, CannealErrorMode::DropSwaps, &infected)[0];
         let inverted =
             a.run_with_error_mode(24.0, &cfg, CannealErrorMode::InvertDecision, &infected)[0];
         assert!(

@@ -97,7 +97,10 @@ pub fn characterize(app: &dyn RmsApp) -> CharacterizationRow {
 /// Characterizes every registered benchmark (the Table 3
 /// reproduction).
 pub fn characterize_all() -> Vec<CharacterizationRow> {
-    crate::all_apps().iter().map(|a| characterize(a.as_ref())).collect()
+    crate::all_apps()
+        .iter()
+        .map(|a| characterize(a.as_ref()))
+        .collect()
 }
 
 #[cfg(test)]

@@ -66,7 +66,12 @@ impl RunConfig {
     /// Applies the configured corruption to thread `t`'s end-result
     /// values in place. Returns `false` if the thread's results should
     /// instead be discarded entirely (Drop-style corruption mode).
-    pub fn corrupt_thread_results(&self, t: usize, values: &mut [f64], rng: &mut StreamRng) -> bool {
+    pub fn corrupt_thread_results(
+        &self,
+        t: usize,
+        values: &mut [f64],
+        rng: &mut StreamRng,
+    ) -> bool {
         match &self.corruption {
             Some((mode, infected)) if infected[t] => {
                 for v in values.iter_mut() {
@@ -139,11 +144,11 @@ mod tests {
         let c = RunConfig::with_corruption(4, 0.5, CorruptionMode::Invert);
         let mut rng = c.seed_stream().stream("t", 0);
         let infected = c.corruption.as_ref().unwrap().1.clone();
-        for t in 0..4 {
+        for (t, &was_infected) in infected.iter().enumerate() {
             let mut vals = [1.0, 2.0];
             let keep = c.corrupt_thread_results(t, &mut vals, &mut rng);
             assert!(keep);
-            if infected[t] {
+            if was_infected {
                 assert_ne!(vals, [1.0, 2.0]);
             } else {
                 assert_eq!(vals, [1.0, 2.0]);

@@ -97,7 +97,7 @@ pub fn run_pipeline(app: &Ferret, knob: f64, cfg: &RunConfig) -> PipelineRun {
             let dropped = cfg.is_dropped(t);
             for (c, cand) in db.iter().enumerate().take(c1).skip(c0) {
                 let d = if dropped {
-                    rank_work += (query.len() * 1) as f64 * dims;
+                    rank_work += query.len() as f64 * dims;
                     Ferret::set_distance_public(query, &cand[..1])
                 } else {
                     rank_work += (query.len() * cand.len()) as f64 * dims;
@@ -142,7 +142,10 @@ pub fn run_pipeline(app: &Ferret, knob: f64, cfg: &RunConfig) -> PipelineRun {
         work_units: out.len() as f64,
     });
 
-    PipelineRun { stages, output: out }
+    PipelineRun {
+        stages,
+        output: out,
+    }
 }
 
 #[cfg(test)]
@@ -186,7 +189,9 @@ mod tests {
                 .expect("stage exists")
                 .work_units
         };
-        assert!(stage(&fine, "segment+extract (queries)") > stage(&coarse, "segment+extract (queries)"));
+        assert!(
+            stage(&fine, "segment+extract (queries)") > stage(&coarse, "segment+extract (queries)")
+        );
         assert!(stage(&fine, "rank") > stage(&coarse, "rank"));
         // The offline database index does not depend on the knob.
         assert_eq!(
@@ -200,7 +205,13 @@ mod tests {
         let a = app();
         let full = run_pipeline(&a, 1.0, &RunConfig::default_run(8));
         let half = run_pipeline(&a, 1.0, &RunConfig::with_drop(8, 0.5));
-        let rank = |r: &PipelineRun| r.stages.iter().find(|s| s.name == "rank").unwrap().work_units;
+        let rank = |r: &PipelineRun| {
+            r.stages
+                .iter()
+                .find(|s| s.name == "rank")
+                .unwrap()
+                .work_units
+        };
         assert!(rank(&half) < rank(&full));
     }
 }

@@ -189,8 +189,14 @@ mod tests {
         }
         // Allow occasional nondeterministic-looking crossings as the
         // paper itself observes for bodytrack, but the trend must hold.
-        assert!(below_4 >= d0.points.len() - 1, "Drop 1/4 must sit below Default");
-        assert!(below_2 >= d0.points.len() - 2, "Drop 1/2 must sit below Drop 1/4");
+        assert!(
+            below_4 >= d0.points.len() - 1,
+            "Drop 1/4 must sit below Default"
+        );
+        assert!(
+            below_2 >= d0.points.len() - 2,
+            "Drop 1/2 must sit below Drop 1/4"
+        );
     }
 
     #[test]

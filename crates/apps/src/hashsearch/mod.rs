@@ -168,7 +168,10 @@ mod tests {
         let a = app();
         let reference = a.run(1.0, &RunConfig::default_run(16));
         let q = a.quality(&a.run(1.0, &RunConfig::with_drop(16, 0.5)), &reference);
-        assert!((q - 0.5).abs() < 0.12, "Drop 1/2 keeps ≈ half the gold, got {q}");
+        assert!(
+            (q - 0.5).abs() < 0.12,
+            "Drop 1/2 keeps ≈ half the gold, got {q}"
+        );
     }
 
     #[test]

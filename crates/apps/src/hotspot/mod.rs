@@ -83,9 +83,17 @@ impl Hotspot {
             for x in 0..n {
                 let c = temp[self.idx(x, y)];
                 let up = if y > 0 { temp[self.idx(x, y - 1)] } else { c };
-                let down = if y + 1 < n { temp[self.idx(x, y + 1)] } else { c };
+                let down = if y + 1 < n {
+                    temp[self.idx(x, y + 1)]
+                } else {
+                    c
+                };
                 let left = if x > 0 { temp[self.idx(x - 1, y)] } else { c };
-                let right = if x + 1 < n { temp[self.idx(x + 1, y)] } else { c };
+                let right = if x + 1 < n {
+                    temp[self.idx(x + 1, y)]
+                } else {
+                    c
+                };
                 let lap = up + down + left + right - 4.0 * c;
                 let leak = 0.01 * (self.ambient - c);
                 next[self.idx(x, y)] =
@@ -266,7 +274,10 @@ mod tests {
         let hyper = a.run(a.hyper_knob(), &RunConfig::default_run(8));
         let clean = a.quality(&a.run(64.0, &RunConfig::default_run(8)), &hyper);
         let corrupted = a.quality(
-            &a.run(64.0, &RunConfig::with_corruption(8, 0.25, CorruptionMode::StuckAt1All)),
+            &a.run(
+                64.0,
+                &RunConfig::with_corruption(8, 0.25, CorruptionMode::StuckAt1All),
+            ),
             &hyper,
         );
         assert!(corrupted < clean);

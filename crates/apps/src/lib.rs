@@ -36,8 +36,8 @@ pub mod canneal;
 pub mod characterize;
 pub mod config;
 pub mod ferret;
-pub mod hashsearch;
 pub mod harness;
+pub mod hashsearch;
 pub mod hotspot;
 pub mod srad;
 pub mod x264;

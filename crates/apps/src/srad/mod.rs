@@ -138,9 +138,17 @@ impl RmsApp for Srad {
                     for x in 0..n {
                         let c = img[self.idx(x, y)];
                         let north = if y > 0 { img[self.idx(x, y - 1)] } else { c };
-                        let south = if y + 1 < n { img[self.idx(x, y + 1)] } else { c };
+                        let south = if y + 1 < n {
+                            img[self.idx(x, y + 1)]
+                        } else {
+                            c
+                        };
                         let west = if x > 0 { img[self.idx(x - 1, y)] } else { c };
-                        let east = if x + 1 < n { img[self.idx(x + 1, y)] } else { c };
+                        let east = if x + 1 < n {
+                            img[self.idx(x + 1, y)]
+                        } else {
+                            c
+                        };
                         let i = self.idx(x, y);
                         dn[i] = north - c;
                         ds[i] = south - c;
@@ -169,8 +177,16 @@ impl RmsApp for Srad {
                 for y in r0..r1 {
                     for x in 0..n {
                         let i = self.idx(x, y);
-                        let c_s = if y + 1 < n { coeff[self.idx(x, y + 1)] } else { coeff[i] };
-                        let c_e = if x + 1 < n { coeff[self.idx(x + 1, y)] } else { coeff[i] };
+                        let c_s = if y + 1 < n {
+                            coeff[self.idx(x, y + 1)]
+                        } else {
+                            coeff[i]
+                        };
+                        let c_e = if x + 1 < n {
+                            coeff[self.idx(x + 1, y)]
+                        } else {
+                            coeff[i]
+                        };
                         let div = coeff[i] * dn[i] + c_s * ds[i] + coeff[i] * dw[i] + c_e * de[i];
                         img[i] += 0.25 * self.lambda * div;
                     }

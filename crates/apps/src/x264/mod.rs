@@ -20,11 +20,10 @@ pub mod transform;
 
 use crate::app::RmsApp;
 use crate::config::{thread_range, RunConfig};
+use accordion_sim::fault::CorruptionMode;
 use accordion_sim::workload::Workload;
 use accordion_stats::metrics::ssim;
-use accordion_sim::fault::CorruptionMode;
 use transform::{dct2, dequantize, idct2, quantize};
-
 
 const MB: usize = 8;
 
@@ -43,7 +42,10 @@ impl X264 {
 
     /// Paper-like defaults: a short 64×64 clip.
     pub fn paper_default() -> Self {
-        Self { side: 64, frames: 6 }
+        Self {
+            side: 64,
+            frames: 6,
+        }
     }
 
     /// Synthetic source video: a moving bright disc over a drifting
@@ -279,7 +281,10 @@ mod tests {
         let recon = a.run(2.0, &RunConfig::default_run(8));
         let src: Vec<f64> = (0..a.frames).flat_map(|f| a.source_frame(f)).collect();
         let q = a.quality(&recon, &src);
-        assert!(q > 0.95, "near-lossless encode should match source, ssim={q}");
+        assert!(
+            q > 0.95,
+            "near-lossless encode should match source, ssim={q}"
+        );
     }
 
     #[test]
@@ -289,7 +294,10 @@ mod tests {
         let q_full = a.quality(&a.run(16.0, &RunConfig::default_run(8)), &hyper);
         let q_half = a.quality(&a.run(16.0, &RunConfig::with_drop(8, 0.5)), &hyper);
         assert!(q_half < q_full);
-        assert!(q_half > 0.2, "previous-frame concealment keeps some quality");
+        assert!(
+            q_half > 0.2,
+            "previous-frame concealment keeps some quality"
+        );
     }
 
     #[test]

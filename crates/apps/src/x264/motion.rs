@@ -50,6 +50,7 @@ pub fn sad(a: &[f64], b: &[f64]) -> f64 {
 /// # Panics
 ///
 /// Panics if `range` is negative.
+#[allow(clippy::too_many_arguments)]
 pub fn search(
     src: &[f64],
     reference: &[f64],
@@ -151,10 +152,7 @@ mod tests {
         let w = 24;
         let h = 24;
         let prev = gradient_frame(w, h, 1);
-        let cur: Vec<f64> = gradient_frame(w, h, 0)
-            .iter()
-            .map(|v| v + 5.0)
-            .collect();
+        let cur: Vec<f64> = gradient_frame(w, h, 0).iter().map(|v| v + 5.0).collect();
         let p = search(&cur, &prev, w, h, 8, 8, 8, 2);
         let zero_sad = sad(
             &block_at(&cur, w, h, 8, 8, 8),

@@ -17,8 +17,7 @@ fn basis() -> &'static [[f64; N]; N] {
             };
             for (x, v) in row.iter_mut().enumerate() {
                 *v = cu
-                    * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI
-                        / (2.0 * N as f64))
+                    * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / (2.0 * N as f64))
                         .cos();
             }
         }

@@ -1,0 +1,84 @@
+//! Micro-benchmarks of the telemetry layer's hot-path costs.
+//!
+//! The instrumentation in the simulation stack is compiled in
+//! unconditionally, so these numbers are the per-event tax every run
+//! pays: a counter increment and a disabled span must both stay at
+//! nanosecond scale (single relaxed atomic operations), and the gated
+//! `trace_event!` must cost one load when nothing listens.
+
+use accordion_telemetry::registry::{exponential_bounds, global};
+use accordion_telemetry::sink;
+use accordion_telemetry::{counter, gauge, histogram, span, trace_event, Level};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_counters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry/counter");
+    group.bench_function("inc_cached_macro", |b| {
+        b.iter(|| counter!("bench.telemetry.counter").inc())
+    });
+    let handle = global().counter("bench.telemetry.counter_handle");
+    group.bench_function("inc_held_handle", |b| b.iter(|| handle.inc()));
+    group.bench_function("gauge_set", |b| {
+        b.iter(|| gauge!("bench.telemetry.gauge").set(black_box(1.5)))
+    });
+    group.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry/histogram");
+    group.bench_function("record", |b| {
+        let mut v = 0.0f64;
+        b.iter(|| {
+            v = (v + 17.3) % 5e7;
+            histogram!("bench.telemetry.hist", exponential_bounds(10.0, 10.0, 7))
+                .record(black_box(v))
+        })
+    });
+    group.finish();
+}
+
+fn bench_spans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry/span");
+    // No sink installed, timing off: the guard must be near-free —
+    // this is the number that justifies spans in hot loops.
+    sink::set_timing(false);
+    group.bench_function("disabled", |b| {
+        b.iter(|| {
+            let _span = span!("bench.telemetry.span_disabled");
+        })
+    });
+    // Timing on (repro's --manifest mode): clock reads + registry add.
+    sink::set_timing(true);
+    group.bench_function("timing_enabled", |b| {
+        b.iter(|| {
+            let _span = span!("bench.telemetry.span_timed");
+        })
+    });
+    sink::set_timing(false);
+    group.finish();
+}
+
+fn bench_events(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry/event");
+    // No sink: the level gate must skip field construction entirely.
+    group.bench_function("disabled", |b| {
+        b.iter(|| {
+            trace_event!(
+                Level::Debug,
+                "bench.telemetry.event",
+                value = black_box(42u64),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_counters,
+    bench_histogram,
+    bench_spans,
+    bench_events
+);
+criterion_main!(benches);

@@ -2,22 +2,49 @@
 //! paper's evaluation, plus the extension experiments.
 //!
 //! ```text
-//! repro <artifact> [--chips N] [--csv DIR]
+//! repro <artifact> [--chips N] [--csv DIR] [--trace LEVEL]
+//!                  [--trace-json FILE] [--manifest FILE]
 //! repro all
 //! ```
 //!
 //! Artifact ids: see `accordion_bench::registry::ARTIFACTS` (printed
 //! by running with no arguments).
+//!
+//! Tracing defaults come from the environment (`ACCORDION_TRACE`,
+//! `ACCORDION_TRACE_JSON`); the flags override it. `--manifest` writes
+//! a provenance document (seeds, parameters, per-artifact wall times,
+//! full metric dump) after the run.
 
 use accordion_bench::figures::fig5;
 use accordion_bench::registry::{generate, ARTIFACTS};
+use accordion_telemetry::json::Json;
+use accordion_telemetry::sink::{self, JsonlSink, Level, StderrSink};
+use accordion_telemetry::RunManifest;
 use std::io::Write;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+/// Population seed shared by every artifact generator (`SeedStream::
+/// new(2014)` throughout the figure modules — the paper's year).
+const POPULATION_SEED: u64 = 2014;
+
+struct Cli {
+    artifact: String,
+    chips: usize,
+    csv_dir: Option<String>,
+    trace: Option<Level>,
+    trace_json: Option<String>,
+    manifest: Option<String>,
+}
+
+fn parse_cli(args: &[String]) -> Cli {
     let mut artifact = None;
     let mut chips = 5usize;
-    let mut csv_dir: Option<String> = None;
+    let mut csv_dir = None;
+    let mut trace = None;
+    let mut trace_json = None;
+    let mut manifest = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -34,32 +61,124 @@ fn main() {
                         .unwrap_or_else(|| die("--csv needs a directory")),
                 );
             }
+            "--trace" => {
+                let v = it.next().unwrap_or_else(|| die("--trace needs a level"));
+                trace = Some(Level::parse(v).unwrap_or_else(|| {
+                    die(&format!(
+                        "unknown trace level {v:?}; use off, info or debug"
+                    ))
+                }));
+            }
+            "--trace-json" => {
+                trace_json = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--trace-json needs a file path")),
+                );
+            }
+            "--manifest" => {
+                manifest = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--manifest needs a file path")),
+                );
+            }
+            "--help" | "-h" => {
+                usage();
+                std::process::exit(0);
+            }
+            // Anything else dash-prefixed is a flag we do not know.
+            // Accepting it as an artifact name would silently produce
+            // the "unknown artifact" path or, worse, swallow a typo of
+            // a real flag, so reject it loudly.
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown flag {other}");
+                usage();
+                std::process::exit(2);
+            }
             other if artifact.is_none() => artifact = Some(other.to_string()),
             other => die(&format!("unexpected argument: {other}")),
         }
     }
     let artifact = artifact.unwrap_or_else(|| {
-        eprintln!("usage: repro <artifact|all> [--chips N] [--csv DIR]");
-        eprintln!("artifacts: {}", ARTIFACTS.join(" "));
+        usage();
         std::process::exit(2);
     });
+    Cli {
+        artifact,
+        chips,
+        csv_dir,
+        trace,
+        trace_json,
+        manifest,
+    }
+}
 
-    let ids: Vec<&str> = if artifact == "all" {
+fn usage() {
+    eprintln!(
+        "usage: repro <artifact|all> [--chips N] [--csv DIR] [--trace off|info|debug]\n\
+         \x20             [--trace-json FILE] [--manifest FILE]"
+    );
+    eprintln!("artifacts: {}", ARTIFACTS.join(" "));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = parse_cli(&args);
+
+    // Flags override the environment defaults; the env path covers
+    // instrumented callers that cannot pass flags (tests, harnesses).
+    match (cli.trace, &cli.trace_json) {
+        (None, None) => sink::init_from_env(),
+        (trace, trace_json) => {
+            if let Some(level) = trace {
+                if level > Level::Off {
+                    sink::install(level, Arc::new(StderrSink));
+                }
+            }
+            if let Some(path) = trace_json {
+                match JsonlSink::create(Path::new(path)) {
+                    Ok(s) => sink::install(Level::Debug, Arc::new(s)),
+                    Err(e) => die(&format!("cannot open {path}: {e}")),
+                }
+            }
+        }
+    }
+
+    let mut manifest = cli.manifest.as_ref().map(|_| {
+        // Span wall-clock accounting feeds the manifest's metric dump
+        // even when no sink is listening.
+        sink::set_timing(true);
+        let mut m = RunManifest::new("repro");
+        m.record_seed("population", POPULATION_SEED);
+        m.record_param("chips", Json::Num(cli.chips as f64));
+        m.record_param("artifact", Json::str(&cli.artifact));
+        if let Some(dir) = &cli.csv_dir {
+            m.record_param("csv_dir", Json::str(dir));
+        }
+        m
+    });
+
+    let ids: Vec<&str> = if cli.artifact == "all" {
         ARTIFACTS.to_vec()
     } else {
-        vec![artifact.as_str()]
+        vec![cli.artifact.as_str()]
     };
 
     for id in ids {
-        let report = generate(id, chips).unwrap_or_else(|| {
+        let started = Instant::now();
+        let report = generate(id, cli.chips).unwrap_or_else(|| {
             die(&format!(
                 "unknown artifact {id}; known: {}",
                 ARTIFACTS.join(" ")
             ))
         });
+        if let Some(m) = manifest.as_mut() {
+            m.record_artifact(id, started.elapsed(), report.len());
+        }
         println!("==== {id} ====");
         println!("{report}");
-        if let Some(dir) = &csv_dir {
+        if let Some(dir) = &cli.csv_dir {
             std::fs::create_dir_all(dir).expect("create csv dir");
             let path = format!("{dir}/{id}.txt");
             let mut f = std::fs::File::create(&path).expect("create report file");
@@ -70,6 +189,12 @@ fn main() {
             }
         }
     }
+
+    if let (Some(m), Some(path)) = (&manifest, &cli.manifest) {
+        m.write(Path::new(path))
+            .unwrap_or_else(|e| die(&format!("cannot write manifest {path}: {e}")));
+    }
+    sink::flush();
 }
 
 fn die(msg: &str) -> ! {

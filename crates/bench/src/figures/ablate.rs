@@ -45,7 +45,13 @@ pub fn selection_ablation() -> Vec<(String, usize, f64, f64, f64)> {
 
 /// Renders the selection-policy ablation.
 pub fn selection_report() -> String {
-    let mut t = TextTable::new(["policy", "clusters", "safe f (GHz)", "power (W)", "core-GHz/W"]);
+    let mut t = TextTable::new([
+        "policy",
+        "clusters",
+        "safe f (GHz)",
+        "power (W)",
+        "core-GHz/W",
+    ]);
     for (name, n, f_ghz, p, eff) in selection_ablation() {
         t.row([name, n.to_string(), f(f_ghz), f(p), f(eff)]);
     }

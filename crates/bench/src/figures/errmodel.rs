@@ -8,9 +8,9 @@
 //! and 69 % (half), where Drop retains 98 % and 96 %.
 
 use crate::output::{f, TextTable};
+use accordion_apps::app::RmsApp;
 use accordion_apps::canneal::{Canneal, CannealErrorMode};
 use accordion_apps::config::RunConfig;
-use accordion_apps::app::RmsApp;
 use accordion_apps::hotspot::Hotspot;
 use accordion_sim::fault::{uniform_drop_mask, CorruptionMode};
 
@@ -21,7 +21,12 @@ pub fn canneal_quality_under(mode: CannealErrorMode, fraction: f64) -> f64 {
     let threads = 64;
     let cfg = RunConfig::default_run(threads);
     let knob = app.default_knob();
-    let clean = app.run_with_error_mode(knob, &cfg, CannealErrorMode::DropSwaps, &vec![false; threads]);
+    let clean = app.run_with_error_mode(
+        knob,
+        &cfg,
+        CannealErrorMode::DropSwaps,
+        &vec![false; threads],
+    );
     let infected = uniform_drop_mask(threads, fraction);
     let bad = app.run_with_error_mode(knob, &cfg, mode, &infected);
     app.quality(&bad, &clean)

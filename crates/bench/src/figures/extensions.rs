@@ -7,10 +7,10 @@ use crate::chip0;
 use crate::output::{f, TextTable};
 use accordion::baselines::compare_at;
 use accordion::mode::{FrequencyPolicy, Mode, ProblemScaling};
-use accordion::quality::QualityModel;
-use accordion::validation::validate_point;
 use accordion::pareto::ParetoExtractor;
+use accordion::quality::QualityModel;
 use accordion::runtime::RuntimeController;
+use accordion::validation::validate_point;
 use accordion_apps::app::extension_apps;
 use accordion_apps::harness::FrontSet;
 use accordion_chip::organization::{chip_yield, CcDcOrganization};
@@ -36,7 +36,11 @@ pub fn organization_rows() -> Vec<(String, f64, f64)> {
 
 /// Renders the organization comparison.
 pub fn organization_report() -> String {
-    let mut t = TextTable::new(["organization", "DC throughput (core-GHz)", "control power (W)"]);
+    let mut t = TextTable::new([
+        "organization",
+        "DC throughput (core-GHz)",
+        "control power (W)",
+    ]);
     for (label, core_ghz, control_w) in organization_rows() {
         t.row([label, f(core_ghz), f(control_w)]);
     }
@@ -123,13 +127,7 @@ pub fn baselines_report() -> String {
     let chip = chip0();
     let exec = accordion_sim::exec::ExecModel::paper_default();
     let w = Workload::rms_default(1e6);
-    let mut t = TextTable::new([
-        "clusters",
-        "mechanism",
-        "core-GHz",
-        "power (W)",
-        "MIPS/W",
-    ]);
+    let mut t = TextTable::new(["clusters", "mechanism", "core-GHz", "power (W)", "MIPS/W"]);
     for n in [4usize, 9, 18, 36] {
         for plan in compare_at(chip, n) {
             t.row([
@@ -217,8 +215,7 @@ pub fn vdd_report() -> String {
             for core in chip.topology().cores_of(ClusterId(c)) {
                 let dv = chip.sample().variation.core_vth_delta_v[core.0];
                 let lm = chip.sample().variation.core_leff_mult[core.0];
-                let timing =
-                    accordion_varius::timing::CoreTiming::new(fm, &params, vdd, dv, lm);
+                let timing = accordion_varius::timing::CoreTiming::new(fm, &params, vdd, dv, lm);
                 f_cluster = f_cluster.min(timing.safe_frequency_ghz(&params));
             }
             for core in chip.topology().cores_of(ClusterId(c)) {
@@ -252,7 +249,10 @@ pub fn vdddomains_report() -> String {
     let core_model = chip.power_model().core_model();
     let tech = fm.technology();
     let mut rows: Vec<(&str, f64, f64)> = Vec::new();
-    for &(label, per_cluster) in &[("chip-wide VddNTV (paper)", false), ("per-cluster Vdd domains", true)] {
+    for &(label, per_cluster) in &[
+        ("chip-wide VddNTV (paper)", false),
+        ("per-cluster Vdd domains", true),
+    ] {
         let mut core_ghz = 0.0;
         let mut power = 0.0;
         for c in 0..36 {
@@ -273,7 +273,9 @@ pub fn vdddomains_report() -> String {
                 let lm = chip.sample().variation.core_leff_mult[core.0];
                 power += core_model.core_power(vdd, f_cluster, dv, lm).total_w();
             }
-            power += chip.power_model().cluster_uncore_w(vdd, f_cluster / tech.f_nom_ghz);
+            power += chip
+                .power_model()
+                .cluster_uncore_w(vdd, f_cluster / tech.f_nom_ghz);
             core_ghz += 8.0 * f_cluster;
         }
         rows.push((label, core_ghz, power));
@@ -346,7 +348,12 @@ pub fn thermal_report() -> String {
                 ]);
             }
             ThermalSolution::Runaway => {
-                t.row([f(r), "RUNAWAY".to_string(), "-".to_string(), "-".to_string()]);
+                t.row([
+                    f(r),
+                    "RUNAWAY".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                ]);
             }
         }
     }
@@ -479,11 +486,7 @@ mod tests {
     fn checkpoint_dilation_grows_with_escalation() {
         let rows = checkpoint_rows();
         // Fix Perr = 1e-6; dilation must grow with escalation.
-        let d_rare: f64 = rows
-            .iter()
-            .find(|r| r.0 == 1e-6 && r.1 == 1e-6)
-            .unwrap()
-            .2;
+        let d_rare: f64 = rows.iter().find(|r| r.0 == 1e-6 && r.1 == 1e-6).unwrap().2;
         let d_all: f64 = rows.iter().find(|r| r.0 == 1e-6 && r.1 == 1.0).unwrap().2;
         assert!(d_all > d_rare);
         assert!(d_rare < 1.01, "rare escalation is near-free: {d_rare}");
@@ -515,6 +518,9 @@ mod tests {
         let static_line = lines.iter().find(|l| l.starts_with("static")).unwrap();
         let dynamic_line = lines.iter().find(|l| l.starts_with("dynamic")).unwrap();
         assert!(static_line.contains("NO"), "static misses: {static_line}");
-        assert!(dynamic_line.contains("yes"), "dynamic recovers: {dynamic_line}");
+        assert!(
+            dynamic_line.contains("yes"),
+            "dynamic recovers: {dynamic_line}"
+        );
     }
 }

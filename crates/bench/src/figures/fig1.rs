@@ -60,7 +60,10 @@ pub fn fig1a_report() -> String {
     for r in fig1a_rows() {
         t.row([f(r.vdd_v), f(r.power_rel), f(r.freq_rel), f(r.energy_rel)]);
     }
-    format!("Figure 1a — power, frequency, energy/op vs Vdd (11nm)\n{}", t.render())
+    format!(
+        "Figure 1a — power, frequency, energy/op vs Vdd (11nm)\n{}",
+        t.render()
+    )
 }
 
 /// One row of the Figure 1b sweep: timing error rate at the nominal
@@ -103,9 +106,11 @@ pub fn fig1b_report() -> String {
     )
 }
 
-/// Generates the Figure 1c guardband curves for both nodes:
-/// `(vdd, guardband%)` series.
-pub fn fig1c_curves() -> (Vec<(f64, f64)>, Vec<(f64, f64)>) {
+/// A `(vdd, guardband%)` series for one technology node.
+pub type GuardbandCurve = Vec<(f64, f64)>;
+
+/// Generates the Figure 1c guardband curves for both nodes.
+pub fn fig1c_curves() -> (GuardbandCurve, GuardbandCurve) {
     let f22 = FreqModel::calibrate(&Technology::node_22nm());
     let f11 = FreqModel::calibrate(&Technology::node_11nm());
     (

@@ -74,8 +74,16 @@ pub fn fig5b_report() -> String {
     let mut t = TextTable::new(["cluster", "safe f (GHz)", "Perr@0.8GHz", "Perr@1.0GHz"]);
     let curves = fig5b_curves();
     for (c, curve) in curves.iter().enumerate() {
-        let p08 = curve.iter().find(|(f, _)| (*f - 0.8).abs() < 1e-9).unwrap().1;
-        let p10 = curve.iter().find(|(f, _)| (*f - 1.0).abs() < 1e-9).unwrap().1;
+        let p08 = curve
+            .iter()
+            .find(|(f, _)| (*f - 0.8).abs() < 1e-9)
+            .unwrap()
+            .1;
+        let p10 = curve
+            .iter()
+            .find(|(f, _)| (*f - 1.0).abs() < 1e-9)
+            .unwrap()
+            .1;
         t.row([c.to_string(), f(fs[c]), sci(p08), sci(p10)]);
     }
     let lo = fs.iter().copied().fold(f64::INFINITY, f64::min);

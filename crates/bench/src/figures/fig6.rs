@@ -84,7 +84,11 @@ mod tests {
         CACHE.get_or_init(|| fronts_for("hotspot"))
     }
 
-    fn by_flavor(fronts: &[ParetoFront], scaling: ProblemScaling, policy: FrequencyPolicy) -> &ParetoFront {
+    fn by_flavor(
+        fronts: &[ParetoFront],
+        scaling: ProblemScaling,
+        policy: FrequencyPolicy,
+    ) -> &ParetoFront {
         fronts
             .iter()
             .find(|f| f.flavor == Mode { scaling, policy })
@@ -141,7 +145,10 @@ mod tests {
                 wins += 1;
             }
         }
-        assert!(wins * 2 >= total, "speculative should win mostly: {wins}/{total}");
+        assert!(
+            wins * 2 >= total,
+            "speculative should win mostly: {wins}/{total}"
+        );
     }
 
     #[test]

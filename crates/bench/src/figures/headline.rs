@@ -127,7 +127,7 @@ mod tests {
     #[test]
     fn spec_gain_band_overlaps_paper() {
         let (lo, hi) = headline().spec_gain_band_pct();
-        assert!(lo >= 0.0 && lo < 25.0, "gain low {lo}%");
+        assert!((0.0..25.0).contains(&lo), "gain low {lo}%");
         assert!(hi > 5.0 && hi < 80.0, "gain high {hi}%");
     }
 

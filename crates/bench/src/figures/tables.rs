@@ -19,12 +19,30 @@ pub fn tab1_report() -> String {
         "quality can degrade",
     ]);
     let all = [
-        Mode { scaling: ProblemScaling::Still, policy: FrequencyPolicy::Safe },
-        Mode { scaling: ProblemScaling::Still, policy: FrequencyPolicy::Speculative },
-        Mode { scaling: ProblemScaling::Compress, policy: FrequencyPolicy::Safe },
-        Mode { scaling: ProblemScaling::Compress, policy: FrequencyPolicy::Speculative },
-        Mode { scaling: ProblemScaling::Expand, policy: FrequencyPolicy::Safe },
-        Mode { scaling: ProblemScaling::Expand, policy: FrequencyPolicy::Speculative },
+        Mode {
+            scaling: ProblemScaling::Still,
+            policy: FrequencyPolicy::Safe,
+        },
+        Mode {
+            scaling: ProblemScaling::Still,
+            policy: FrequencyPolicy::Speculative,
+        },
+        Mode {
+            scaling: ProblemScaling::Compress,
+            policy: FrequencyPolicy::Safe,
+        },
+        Mode {
+            scaling: ProblemScaling::Compress,
+            policy: FrequencyPolicy::Speculative,
+        },
+        Mode {
+            scaling: ProblemScaling::Expand,
+            policy: FrequencyPolicy::Safe,
+        },
+        Mode {
+            scaling: ProblemScaling::Expand,
+            policy: FrequencyPolicy::Speculative,
+        },
     ];
     for m in all {
         let size = match m.scaling {
@@ -35,11 +53,19 @@ pub fn tab1_report() -> String {
         t.row([
             m.to_string(),
             size.to_string(),
-            if m.requires_core_growth() { "yes" } else { "no" }.to_string(),
+            if m.requires_core_growth() {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
             if m.can_degrade_quality() { "yes" } else { "no" }.to_string(),
         ]);
     }
-    format!("Table 1 — basic Accordion modes of operation\n{}", t.render())
+    format!(
+        "Table 1 — basic Accordion modes of operation\n{}",
+        t.render()
+    )
 }
 
 /// Renders Table 2: technology, variation and architecture parameters
@@ -55,7 +81,12 @@ pub fn tab2_report() -> String {
     t.row(["cores", topo.num_cores().to_string().as_str()]);
     t.row([
         "clusters",
-        format!("{} ({} cores/cluster)", topo.num_clusters(), topo.cores_per_cluster).as_str(),
+        format!(
+            "{} ({} cores/cluster)",
+            topo.num_clusters(),
+            topo.cores_per_cluster
+        )
+        .as_str(),
     ]);
     t.row(["P_MAX (W)", "100"]);
     t.row(["chip area (mm)", "20 x 20"]);
@@ -98,11 +129,11 @@ pub fn tab2_report() -> String {
         )
         .as_str(),
     ]);
-    t.row([
-        "avg mem round trip (ns)",
-        f(mem.mem_round_trip_ns).as_str(),
-    ]);
-    format!("Table 2 — technology and architecture parameters\n{}", t.render())
+    t.row(["avg mem round trip (ns)", f(mem.mem_round_trip_ns).as_str()]);
+    format!(
+        "Table 2 — technology and architecture parameters\n{}",
+        t.render()
+    )
 }
 
 /// Renders Table 3: benchmark knobs and measured dependency types.

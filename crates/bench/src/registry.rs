@@ -3,6 +3,7 @@
 //! silently rot).
 
 use crate::figures::{ablate, errmodel, extensions, fig1, fig2, fig5, fig6, headline, tables};
+use accordion_telemetry::{counter, trace_event, Level};
 
 /// Every reproducible artifact id, in report order.
 pub const ARTIFACTS: &[&str] = &[
@@ -40,7 +41,16 @@ pub const ARTIFACTS: &[&str] = &[
 /// Generates the report for `artifact`; `chips` sizes the Monte-Carlo
 /// population where applicable. Returns `None` for unknown ids.
 pub fn generate(artifact: &str, chips: usize) -> Option<String> {
-    Some(match artifact {
+    // Artifact ids are a small fixed set, so interpolating them into
+    // the span name keeps metric cardinality bounded.
+    let _span = accordion_telemetry::span::SpanGuard::enter(&format!("bench.artifact.{artifact}"));
+    trace_event!(
+        Level::Info,
+        "bench.artifact.start",
+        artifact = artifact,
+        chips = chips,
+    );
+    let report = match artifact {
         "fig1a" => fig1::fig1a_report(),
         "fig1b" => fig1::fig1b_report(),
         "fig1c" => fig1::fig1c_report(),
@@ -71,7 +81,10 @@ pub fn generate(artifact: &str, chips: usize) -> Option<String> {
         "ext-temperature" => extensions::temperature_report(),
         "ext-thermal" => extensions::thermal_report(),
         _ => return None,
-    })
+    };
+    counter!("bench.artifacts_generated").inc();
+    counter!("bench.report_bytes").add(report.len() as u64);
+    Some(report)
 }
 
 #[cfg(test)]
@@ -87,7 +100,15 @@ mod tests {
     fn cheap_artifacts_all_generate() {
         // The quick artifacts (no chip population, no full kernel
         // sweeps) must render non-empty reports.
-        for id in ["fig1a", "fig1b", "fig1c", "tab1", "tab2", "ablate-ncp", "ext-checkpoint"] {
+        for id in [
+            "fig1a",
+            "fig1b",
+            "fig1c",
+            "tab1",
+            "tab2",
+            "ablate-ncp",
+            "ext-checkpoint",
+        ] {
             let r = generate(id, 1).expect("known id");
             assert!(r.len() > 100, "{id} report suspiciously short");
         }

@@ -8,6 +8,7 @@ use crate::power::ChipPowerModel;
 use crate::topology::{ClusterId, Topology};
 use accordion_stats::field::FieldError;
 use accordion_stats::rng::SeedStream;
+use accordion_telemetry::{counter, span};
 use accordion_varius::params::VariationParams;
 use accordion_varius::population::{ChipPopulation, ChipSample};
 use accordion_varius::timing::ClusterTiming;
@@ -102,18 +103,14 @@ impl Chip {
         first: u64,
         count: usize,
     ) -> Result<Vec<Self>, FieldError> {
+        let _span = span!("chip.fabricate_population");
+        counter!("chip.fabricated").add(count as u64);
         let tech = Technology::node_11nm();
         let fm = FreqModel::calibrate(&tech);
         let plan = Floorplan::paper_default().site_plan(&topo);
         // Generate `first + count` then keep the tail so that chip
         // `index` is identical regardless of how it is requested.
-        let pop = ChipPopulation::generate(
-            &plan,
-            vparams,
-            &fm,
-            first as usize + count,
-            seed,
-        )?;
+        let pop = ChipPopulation::generate(&plan, vparams, &fm, first as usize + count, seed)?;
         let power = ChipPowerModel::paper_default(&tech);
         Ok(pop
             .samples()
@@ -253,8 +250,7 @@ impl Chip {
     pub fn cluster_mem_latency_ns(&self, cluster: ClusterId) -> f64 {
         use accordion_varius::layout::MemKind;
         let plan = crate::floorplan::Floorplan::paper_default().site_plan(&self.topo);
-        let timing =
-            accordion_varius::mem_timing::MemTiming::new(&self.fm, self.vdd_ntv_v());
+        let timing = accordion_varius::mem_timing::MemTiming::new(&self.fm, self.vdd_ntv_v());
         // The cluster's shared-memory site carries its local corner.
         let dv = plan
             .mem_sites

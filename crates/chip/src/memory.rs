@@ -49,8 +49,7 @@ impl MemoryParams {
         assert!((0.0..=1.0).contains(&cluster_hit), "hit rate in [0,1]");
         let miss1 = 1.0 - private_hit;
         let miss2 = 1.0 - cluster_hit;
-        self.private_access_ns
-            + miss1 * (self.cluster_access_ns + miss2 * self.mem_round_trip_ns)
+        self.private_access_ns + miss1 * (self.cluster_access_ns + miss2 * self.mem_round_trip_ns)
     }
 }
 

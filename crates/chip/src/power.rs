@@ -153,7 +153,11 @@ mod tests {
         let tech = Technology::node_11nm();
         let p = m.chip_power(&t, 288, 36, tech.vdd_nom_v, tech.f_nom_ghz);
         assert!(p.total_w() <= 100.0, "NTV full chip draws {}", p.total_w());
-        assert!(p.total_w() > 80.0, "NTV full chip {} implausibly low", p.total_w());
+        assert!(
+            p.total_w() > 80.0,
+            "NTV full chip {} implausibly low",
+            p.total_w()
+        );
     }
 
     #[test]
@@ -163,7 +167,7 @@ mod tests {
         // up to ≈10-18) imply N_STV in the tens.
         let (m, t) = model();
         let n = m.n_stv(&t);
-        assert!(n >= 16 && n <= 64, "N_STV = {n}");
+        assert!((16..=64).contains(&n), "N_STV = {n}");
         assert_eq!(n % t.cores_per_cluster, 0, "cluster granularity");
     }
 

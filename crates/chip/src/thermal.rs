@@ -80,7 +80,10 @@ pub fn solve(
     vdd_v: f64,
     f_ghz: f64,
 ) -> ThermalSolution {
-    assert!(thermal.r_th_k_per_w > 0.0, "thermal resistance must be positive");
+    assert!(
+        thermal.r_th_k_per_w > 0.0,
+        "thermal resistance must be positive"
+    );
     let base_tech = power.technology().clone();
     let chip_power_at = |t_k: f64| -> f64 {
         let tech = Technology {
@@ -93,8 +96,7 @@ pub fn solve(
         let idle_cores = active_clusters * topo.cores_per_cluster - active_cores;
         // Uncore share approximated with the NTV calibration constant
         // (memory leakage also grows, folded into the core term).
-        let uncore =
-            active_clusters as f64 * crate::power::ChipPowerModel::UNCORE_NTV_W;
+        let uncore = active_clusters as f64 * crate::power::ChipPowerModel::UNCORE_NTV_W;
         active_cores as f64 * per_core + idle_cores as f64 * idle + uncore
     };
 
@@ -153,7 +155,10 @@ mod tests {
             ambient_k: 318.15,
             r_th_k_per_w: 5.0,
         };
-        assert_eq!(solve(&pm, &topo, &weak, 288, 36, 0.55, 1.0), ThermalSolution::Runaway);
+        assert_eq!(
+            solve(&pm, &topo, &weak, 288, 36, 0.55, 1.0),
+            ThermalSolution::Runaway
+        );
     }
 
     #[test]
@@ -196,15 +201,7 @@ mod tests {
     #[test]
     fn stv_operation_of_few_cores_is_stable() {
         let (pm, topo) = fixture();
-        let sol = solve(
-            &pm,
-            &topo,
-            &ThermalParams::paper_default(),
-            32,
-            4,
-            1.0,
-            3.3,
-        );
+        let sol = solve(&pm, &topo, &ThermalParams::paper_default(), 32, 4, 1.0, 3.3);
         assert!(sol.temperature_k().is_some());
     }
 }

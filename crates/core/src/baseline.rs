@@ -67,7 +67,11 @@ mod tests {
 
     fn baseline() -> StvBaseline {
         let chip = Chip::fabricate_small(0).unwrap();
-        StvBaseline::compute(&chip, &Hotspot::paper_default(), &ExecModel::paper_default())
+        StvBaseline::compute(
+            &chip,
+            &Hotspot::paper_default(),
+            &ExecModel::paper_default(),
+        )
     }
 
     #[test]

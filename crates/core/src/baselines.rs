@@ -116,7 +116,9 @@ impl Booster {
                 ((f_tgt - f_lo) / (f_hi - f_lo).max(1e-9)).clamp(0.0, 1.0)
             };
             let p_hi = core_model.core_power(v_hi, f_hi, dv, lm).total_w();
-            let p_lo = core_model.core_power(v_lo, f_lo.min(f_tgt), dv, lm).total_w();
+            let p_lo = core_model
+                .core_power(v_lo, f_lo.min(f_tgt), dv, lm)
+                .total_w();
             power_w += (duty * p_hi + (1.0 - duty) * p_lo) * (1.0 + self.rail_overhead);
         }
         // Uncore for the engaged clusters (dual rails do not change
@@ -243,10 +245,7 @@ mod tests {
         for n in [9usize, 18] {
             let es = EnergySmart.plan(chip(), n);
             let bo = Booster::paper_default().plan(chip(), n);
-            assert!(
-                es.mips_per_w(&exec, &w) > bo.mips_per_w(&exec, &w),
-                "n={n}"
-            );
+            assert!(es.mips_per_w(&exec, &w) > bo.mips_per_w(&exec, &w), "n={n}");
         }
     }
 

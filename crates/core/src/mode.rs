@@ -132,7 +132,10 @@ mod tests {
     fn classification_by_frequency() {
         assert_eq!(Mode::classify_policy(0.5, 0.6), FrequencyPolicy::Safe);
         assert_eq!(Mode::classify_policy(0.6, 0.6), FrequencyPolicy::Safe);
-        assert_eq!(Mode::classify_policy(0.7, 0.6), FrequencyPolicy::Speculative);
+        assert_eq!(
+            Mode::classify_policy(0.7, 0.6),
+            FrequencyPolicy::Speculative
+        );
     }
 
     #[test]

@@ -201,7 +201,8 @@ impl<'a> ParetoExtractor<'a> {
         let topo = self.chip.topology();
         let w = self.baseline.workload.scaled(size_norm);
         for clusters in 1..=topo.num_clusters() {
-            let sel = ClusterSelection::select(self.chip, clusters, SelectionPolicy::EnergyEfficiency);
+            let sel =
+                ClusterSelection::select(self.chip, clusters, SelectionPolicy::EnergyEfficiency);
             let n_ntv = sel.num_cores(self.chip);
             let f_safe = sel.safe_f_ghz();
             let (f, perr) = match flavor.policy {
@@ -210,7 +211,9 @@ impl<'a> ParetoExtractor<'a> {
             };
             let time = self.exec.execution_time_s(&w, n_ntv, f);
             if time <= self.baseline.exec_time_s * (1.0 + 1e-9) {
-                return Some(self.make_point(flavor, size_norm, sel, n_ntv, f, f_safe, perr, time, &w));
+                return Some(
+                    self.make_point(flavor, size_norm, sel, n_ntv, f, f_safe, perr, time, &w),
+                );
             }
         }
         None

@@ -16,6 +16,7 @@ use accordion_chip::chip::Chip;
 use accordion_chip::topology::ClusterId;
 use accordion_sim::exec::ExecModel;
 use accordion_sim::workload::Workload;
+use accordion_telemetry::{counter, gauge, histogram, span, trace_event, Level};
 
 /// Per-epoch account of a dynamically orchestrated execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,7 +101,13 @@ impl<'a> RuntimeController<'a> {
     /// Returns the chosen cluster list, or `None` if even the full
     /// chip cannot make the deadline (the controller then engages
     /// everything and runs best-effort).
-    pub fn replan(&self, remaining_work: f64, remaining_s: f64, derate: &[f64]) -> Option<Vec<usize>> {
+    pub fn replan(
+        &self,
+        remaining_work: f64,
+        remaining_s: f64,
+        derate: &[f64],
+    ) -> Option<Vec<usize>> {
+        counter!("runtime.replans").inc();
         let order = self.ordered_clusters(derate);
         let cores_per = self.chip.topology().cores_per_cluster;
         let mut w = self.workload;
@@ -129,12 +136,13 @@ impl<'a> RuntimeController<'a> {
     /// paper's static policy).
     pub fn run(&self, derate_schedule: &[Vec<f64>], dynamic: bool) -> DriftRun {
         assert!(!derate_schedule.is_empty(), "need at least one epoch");
+        let _span = span!("runtime.drift_run");
         let epochs = derate_schedule.len();
         let epoch_s = self.deadline_s / epochs as f64;
         let cores_per = self.chip.topology().cores_per_cluster;
         let total_work = self.workload.work_units;
         let mut remaining = total_work;
-        let mut reports = Vec::with_capacity(epochs);
+        let mut reports: Vec<EpochReport> = Vec::with_capacity(epochs);
         let mut energy_j = 0.0;
         let mut elapsed_s = 0.0;
         let mut static_plan: Option<Vec<usize>> = None;
@@ -168,11 +176,44 @@ impl<'a> RuntimeController<'a> {
             let done = remaining * step_s / t_full;
             let power: f64 = plan
                 .iter()
-                .map(|&c| self.chip.cluster_power_w(ClusterId(c), self.derated_f(c, derate)))
+                .map(|&c| {
+                    self.chip
+                        .cluster_power_w(ClusterId(c), self.derated_f(c, derate))
+                })
                 .sum();
             energy_j += power * step_s;
             elapsed_s += step_s;
             remaining -= done;
+            counter!("runtime.epochs").inc();
+            if let Some(prev) = reports.last() {
+                if prev.clusters != plan.len() {
+                    counter!("runtime.cluster_count_changes").inc();
+                    trace_event!(
+                        Level::Info,
+                        "runtime.cluster_count_change",
+                        epoch = e,
+                        from = prev.clusters,
+                        to = plan.len(),
+                    );
+                }
+            }
+            gauge!("runtime.clusters_engaged").set(plan.len() as f64);
+            // Deadline slack after this epoch: time left at the current
+            // pace minus time needed for the remaining work (negative =
+            // behind schedule). Recorded as a fraction of the deadline.
+            let slack_frac = if remaining > 0.0 {
+                let mut wr = self.workload;
+                wr.work_units = remaining;
+                let need_s = self.exec.execution_time_s(&wr, n_cores, f);
+                (self.deadline_s - elapsed_s - need_s) / self.deadline_s
+            } else {
+                (self.deadline_s - elapsed_s) / self.deadline_s
+            };
+            histogram!(
+                "runtime.deadline_slack_frac",
+                [-0.5, -0.2, -0.1, -0.05, 0.0, 0.05, 0.1, 0.2, 0.5, 1.0]
+            )
+            .record(slack_frac);
             reports.push(EpochReport {
                 epoch: e,
                 clusters: plan.len(),
@@ -245,7 +286,10 @@ mod tests {
         }
         let fixed = c.run(&schedule, false);
         let dynamic = c.run(&schedule, true);
-        assert!(!fixed.met_deadline, "static plan should miss under derating");
+        assert!(
+            !fixed.met_deadline,
+            "static plan should miss under derating"
+        );
         assert!(dynamic.met_deadline, "dynamic re-planning should recover");
         // Recovery costs energy: more clusters engaged.
         assert!(dynamic.epochs.last().unwrap().clusters > fixed.epochs[0].clusters);

@@ -17,8 +17,8 @@
 use crate::pareto::ParetoPoint;
 use crate::quality::QualityModel;
 use accordion_apps::app::RmsApp;
-use accordion_apps::harness::Scenario;
 use accordion_apps::config::RunConfig;
+use accordion_apps::harness::Scenario;
 use accordion_sim::ccdc::{run_round, CcDcConfig, DcOutcome};
 use accordion_sim::exec::ExecModel;
 use accordion_stats::rng::SeedStream;
@@ -196,7 +196,11 @@ mod tests {
                     1.0,
                 )
                 .expect("speculative Still point");
-            Fx { app, quality, point }
+            Fx {
+                app,
+                quality,
+                point,
+            }
         })
     }
 

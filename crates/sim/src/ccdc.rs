@@ -11,6 +11,7 @@ use crate::event::EventQueue;
 use crate::fault::FaultInjector;
 use crate::mailbox::{CcDcMailbox, DcIndex};
 use accordion_stats::rng::StreamRng;
+use accordion_telemetry::{counter, histogram, span, trace_event, Level};
 use rand::Rng;
 
 /// Configuration of one CC/DC execution round.
@@ -97,7 +98,11 @@ enum Event {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum DcState {
-    Running { attempt: u32, will_hang: bool, infected: bool },
+    Running {
+        attempt: u32,
+        will_hang: bool,
+        infected: bool,
+    },
     Done,
     Abandoned,
 }
@@ -115,6 +120,7 @@ enum DcState {
 /// Panics if the configuration has zero DCs.
 pub fn run_round(cfg: &CcDcConfig, rng: &mut StreamRng) -> CcDcReport {
     assert!(cfg.num_dcs > 0, "a round needs at least one data core");
+    let _span = span!("sim.ccdc.round");
     let injector = FaultInjector::new(cfg.perr_per_cycle);
     let mut mailbox = CcDcMailbox::new(cfg.num_dcs);
     mailbox.cc_publish_input(vec![1.0]);
@@ -124,16 +130,19 @@ pub fn run_round(cfg: &CcDcConfig, rng: &mut StreamRng) -> CcDcReport {
     let mut restarts = 0;
 
     let dispatch = |dc: DcIndex,
-                        attempt: u32,
-                        queue: &mut EventQueue<Event>,
-                        rng: &mut StreamRng|
+                    attempt: u32,
+                    queue: &mut EventQueue<Event>,
+                    rng: &mut StreamRng|
      -> DcState {
         let infected = rng.random::<f64>() < injector.infection_probability(cfg.work_cycles as f64);
         let will_hang = infected && rng.random::<f64>() < cfg.hang_fraction;
         if !will_hang {
             queue.schedule_in(cfg.work_cycles, Event::DcFinished(dc));
         }
-        queue.schedule_in(cfg.watchdog_timeout_cycles, Event::WatchdogCheck(dc, attempt));
+        queue.schedule_in(
+            cfg.watchdog_timeout_cycles,
+            Event::WatchdogCheck(dc, attempt),
+        );
         DcState::Running {
             attempt,
             will_hang,
@@ -173,6 +182,13 @@ pub fn run_round(cfg: &CcDcConfig, rng: &mut StreamRng) -> CcDcReport {
                         continue;
                     }
                     watchdog_fires += 1;
+                    trace_event!(
+                        Level::Debug,
+                        "sim.ccdc.watchdog_fire",
+                        dc = dc.0,
+                        attempt = attempt,
+                        time = time,
+                    );
                     if attempt < cfg.max_restarts {
                         restarts += 1;
                         mailbox.cc_reset_slot(dc).expect("dc in range");
@@ -210,11 +226,27 @@ pub fn run_round(cfg: &CcDcConfig, rng: &mut StreamRng) -> CcDcReport {
         }
     }
 
+    let abandoned = outcomes
+        .iter()
+        .filter(|o| **o == DcOutcome::Abandoned)
+        .count();
+    counter!("sim.ccdc.rounds").inc();
+    counter!("sim.ccdc.dcs_dispatched").add(cfg.num_dcs as u64);
+    counter!("sim.ccdc.watchdog_fires").add(u64::from(watchdog_fires));
+    counter!("sim.ccdc.restarts").add(u64::from(restarts));
+    counter!("sim.ccdc.dcs_abandoned").add(abandoned as u64);
+    let makespan_cycles = last_resolution + merge_cost;
+    histogram!(
+        "sim.ccdc.makespan_cycles",
+        accordion_telemetry::registry::exponential_bounds(1e4, 4.0, 12)
+    )
+    .record(makespan_cycles as f64);
+
     CcDcReport {
         outcomes,
         watchdog_fires,
         restarts,
-        makespan_cycles: last_resolution + merge_cost,
+        makespan_cycles,
         merged_results,
     }
 }
@@ -236,7 +268,10 @@ mod tests {
         assert_eq!(r.watchdog_fires, 0);
         assert_eq!(r.merged_results.len(), 16);
         assert_eq!(r.dropped_fraction(), 0.0);
-        assert_eq!(r.makespan_cycles, cfg.work_cycles + 16 * cfg.merge_cycles_per_dc);
+        assert_eq!(
+            r.makespan_cycles,
+            cfg.work_cycles + 16 * cfg.merge_cycles_per_dc
+        );
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! execution-time dilation as a function of the rate of
 //! *net-triggering* failures.
 
+use accordion_telemetry::{counter, trace_event, Level};
+
 /// Checkpoint/restore cost parameters, in cycles.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CheckpointParams {
@@ -40,7 +42,26 @@ impl CheckpointParams {
     /// Panics if `mtbf_cycles` is not positive.
     pub fn optimal_interval_cycles(&self, mtbf_cycles: f64) -> f64 {
         assert!(mtbf_cycles > 0.0, "MTBF must be positive");
-        (2.0 * self.checkpoint_cycles * mtbf_cycles).sqrt()
+        let tau = (2.0 * self.checkpoint_cycles * mtbf_cycles).sqrt();
+        counter!("sim.checkpoint.plans").inc();
+        trace_event!(
+            Level::Debug,
+            "sim.checkpoint.plan",
+            mtbf_cycles = mtbf_cycles,
+            interval_cycles = tau,
+        );
+        tau
+    }
+
+    /// Expected number of checkpoints taken over a `work_cycles`-long
+    /// execution at the optimal interval for `mtbf_cycles` — the
+    /// quantity the paper predicts shrinks dramatically under
+    /// application-level fault absorption.
+    pub fn expected_checkpoints(&self, work_cycles: f64, mtbf_cycles: f64) -> f64 {
+        assert!(work_cycles >= 0.0, "work must be non-negative");
+        let n = work_cycles / self.optimal_interval_cycles(mtbf_cycles);
+        counter!("sim.checkpoint.taken").add(n.round().max(0.0) as u64);
+        n
     }
 
     /// Expected execution-time dilation factor (≥ 1) when running with
@@ -128,6 +149,18 @@ mod tests {
         for exp in 6..14 {
             assert!(p.dilation_factor(10f64.powi(exp)) > 1.0);
         }
+    }
+
+    #[test]
+    fn expected_checkpoints_scale_with_work() {
+        let p = CheckpointParams {
+            checkpoint_cycles: 100.0,
+            restore_cycles: 0.0,
+        };
+        // Interval is 20_000 cycles (see young_daly_interval); 1e8
+        // cycles of work therefore takes 5_000 checkpoints.
+        assert!((p.expected_checkpoints(1e8, 2e6) - 5_000.0).abs() < 1e-9);
+        assert_eq!(p.expected_checkpoints(0.0, 2e6), 0.0);
     }
 
     #[test]

@@ -137,7 +137,10 @@ mod tests {
         let t1 = e.execution_time_s(&w, 8, 1.0);
         let t2 = e.execution_time_s(&w, 8, 2.0);
         let speedup = t1 / t2;
-        assert!(speedup < 1.95, "memory wall should cap speedup, got {speedup}");
+        assert!(
+            speedup < 1.95,
+            "memory wall should cap speedup, got {speedup}"
+        );
         assert!(speedup > 1.0);
     }
 

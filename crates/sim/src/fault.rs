@@ -8,7 +8,10 @@
 //! the validation experiment showing Drop is close-to-worst-case.
 
 use accordion_stats::rng::StreamRng;
+use accordion_telemetry::counter;
+use accordion_telemetry::registry::{global, Counter};
 use rand::Rng;
+use std::sync::OnceLock;
 
 /// End-result corruption modes applied to infected threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -47,12 +50,44 @@ impl CorruptionMode {
         CorruptionMode::Invert,
     ];
 
+    /// Stable lower-case identifier, used in telemetry metric names
+    /// and sweep reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CorruptionMode::Drop => "drop",
+            CorruptionMode::StuckAt0All => "stuck0_all",
+            CorruptionMode::StuckAt1All => "stuck1_all",
+            CorruptionMode::StuckAt0High => "stuck0_high",
+            CorruptionMode::StuckAt1High => "stuck1_high",
+            CorruptionMode::StuckAt0Low => "stuck0_low",
+            CorruptionMode::StuckAt1Low => "stuck1_low",
+            CorruptionMode::FlipRandom => "flip_random",
+            CorruptionMode::Invert => "invert",
+        }
+    }
+
+    /// Telemetry counter of corruptions applied in this mode
+    /// (`sim.fault.corrupt.<mode>`), resolved once per mode.
+    fn telemetry_counter(&self) -> &'static Counter {
+        static COUNTERS: OnceLock<[&'static Counter; 9]> = OnceLock::new();
+        let all = COUNTERS.get_or_init(|| {
+            CorruptionMode::ALL
+                .map(|m| global().counter(&format!("sim.fault.corrupt.{}", m.name())))
+        });
+        let idx = CorruptionMode::ALL
+            .iter()
+            .position(|m| m == self)
+            .expect("ALL covers every mode");
+        all[idx]
+    }
+
     /// Applies the corruption to a 64-bit payload (the bit pattern of
     /// a thread's end result). `Drop` returns `None` — the result is
     /// discarded rather than altered.
     pub fn corrupt_bits(&self, bits: u64, rng: &mut StreamRng) -> Option<u64> {
         const HIGH: u64 = 0xFFFF_FFFF_0000_0000;
         const LOW: u64 = 0x0000_0000_FFFF_FFFF;
+        self.telemetry_counter().inc();
         match self {
             CorruptionMode::Drop => None,
             CorruptionMode::StuckAt0All => Some(0),
@@ -112,14 +147,12 @@ impl FaultInjector {
 
     /// Samples the infected subset of `threads` threads of `cycles`
     /// cycles each, returning a boolean mask.
-    pub fn sample_infections(
-        &self,
-        threads: usize,
-        cycles: f64,
-        rng: &mut StreamRng,
-    ) -> Vec<bool> {
+    pub fn sample_infections(&self, threads: usize, cycles: f64, rng: &mut StreamRng) -> Vec<bool> {
         let p = self.infection_probability(cycles);
-        (0..threads).map(|_| rng.random::<f64>() < p).collect()
+        let mask: Vec<bool> = (0..threads).map(|_| rng.random::<f64>() < p).collect();
+        counter!("sim.fault.perr_draws").add(threads as u64);
+        counter!("sim.fault.infected").add(mask.iter().filter(|&&b| b).count() as u64);
+        mask
     }
 
     /// The per-cycle rate at which a thread of `cycles` cycles is

@@ -31,7 +31,11 @@ impl std::fmt::Display for ProtectionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ProtectionError::DcWroteSharedData { dc } => {
-                write!(f, "data core {} attempted to modify CC-owned shared data", dc.0)
+                write!(
+                    f,
+                    "data core {} attempted to modify CC-owned shared data",
+                    dc.0
+                )
             }
             ProtectionError::DcWroteForeignSlot { dc, target } => write!(
                 f,
@@ -168,7 +172,9 @@ mod tests {
     #[test]
     fn dc_cannot_write_foreign_slot() {
         let mut mb = CcDcMailbox::new(3);
-        let err = mb.dc_publish_result(DcIndex(0), DcIndex(2), 1.0).unwrap_err();
+        let err = mb
+            .dc_publish_result(DcIndex(0), DcIndex(2), 1.0)
+            .unwrap_err();
         assert_eq!(
             err,
             ProtectionError::DcWroteForeignSlot {

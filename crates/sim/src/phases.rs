@@ -11,6 +11,7 @@
 
 use crate::ccdc::{run_round, CcDcConfig, CcDcReport, DcOutcome};
 use accordion_stats::rng::SeedStream;
+use accordion_telemetry::{counter, span, trace_event, Level};
 
 /// One application phase.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,14 +47,17 @@ pub struct AppRun {
 /// # Panics
 ///
 /// Panics if `phases` is empty or `num_dcs` is zero.
-pub fn run_app(
-    phases: &[Phase],
-    num_dcs: usize,
-    perr_per_cycle: f64,
-    seed: SeedStream,
-) -> AppRun {
+pub fn run_app(phases: &[Phase], num_dcs: usize, perr_per_cycle: f64, seed: SeedStream) -> AppRun {
     assert!(!phases.is_empty(), "an application has at least one phase");
     assert!(num_dcs > 0, "need at least one data core");
+    let _span = span!("sim.phases.app");
+    trace_event!(
+        Level::Info,
+        "sim.phases.app.start",
+        phases = phases.len(),
+        num_dcs = num_dcs,
+        perr_per_cycle = perr_per_cycle,
+    );
     let mut makespan = 0u64;
     let mut rounds = Vec::new();
     let mut dropped = 0usize;
@@ -65,6 +69,8 @@ pub fn run_app(
                 // CCs are protected by design (robust transistors /
                 // higher Vdd): control work is error-free, purely
                 // sequential.
+                counter!("sim.phases.control").inc();
+                counter!("sim.phases.control_cycles").add(cycles);
                 makespan += cycles;
             }
             Phase::Data { work_cycles } => {
@@ -72,7 +78,12 @@ pub fn run_app(
                     work_cycles,
                     ..CcDcConfig::default_round(num_dcs, perr_per_cycle)
                 };
+                counter!("sim.phases.data").inc();
                 let report = run_round(&cfg, &mut seed.stream("phase", i as u64));
+                // The CC blocks at the end of every fan-out until all
+                // DCs resolve — the round's makespan IS the barrier
+                // wait from the application's point of view.
+                counter!("sim.phases.barrier_wait_cycles").add(report.makespan_cycles);
                 makespan += report.makespan_cycles;
                 dropped += report
                     .outcomes

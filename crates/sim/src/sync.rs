@@ -153,10 +153,14 @@ mod tests {
             barrier_cost_s: 0.0,
         };
         let work = 1e8;
-        let fine_over = fine.phase_time_s(work, &groups, true) / fine.ideal_phase_time_s(work, &groups);
+        let fine_over =
+            fine.phase_time_s(work, &groups, true) / fine.ideal_phase_time_s(work, &groups);
         let coarse_over =
             coarse.phase_time_s(work, &groups, true) / coarse.ideal_phase_time_s(work, &groups);
-        assert!(coarse_over > fine_over * 1.05, "{coarse_over} vs {fine_over}");
+        assert!(
+            coarse_over > fine_over * 1.05,
+            "{coarse_over} vs {fine_over}"
+        );
     }
 
     #[test]

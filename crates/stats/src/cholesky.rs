@@ -65,7 +65,10 @@ impl Cholesky {
         assert_eq!(a.len(), n * n, "matrix size mismatch");
         let max_diag = (0..n).map(|i| a[i * n + i]).fold(0.0_f64, f64::max);
         let mut jitter = 0.0;
-        let mut last_err = NotPositiveDefinite { pivot: 0, value: 0.0 };
+        let mut last_err = NotPositiveDefinite {
+            pivot: 0,
+            value: 0.0,
+        };
         for attempt in 0..7 {
             match Self::try_factor(a, n, jitter) {
                 Ok(c) => return Ok(c),
@@ -95,7 +98,10 @@ impl Cholesky {
                 }
                 if i == j {
                     if sum <= 0.0 {
-                        return Err(NotPositiveDefinite { pivot: i, value: sum });
+                        return Err(NotPositiveDefinite {
+                            pivot: i,
+                            value: sum,
+                        });
                     }
                     l[i * n + j] = sum.sqrt();
                 } else {
@@ -118,16 +124,12 @@ impl Cholesky {
     /// Panics if `z.len()` differs from the matrix dimension.
     pub fn mul_vec(&self, z: &[f64]) -> Vec<f64> {
         assert_eq!(z.len(), self.n, "vector length mismatch");
-        let mut out = vec![0.0; self.n];
-        for i in 0..self.n {
-            let row = &self.l[i * self.n..i * self.n + i + 1];
-            let mut acc = 0.0;
-            for (lik, zk) in row.iter().zip(z.iter()) {
-                acc += lik * zk;
-            }
-            out[i] = acc;
-        }
-        out
+        (0..self.n)
+            .map(|i| {
+                let row = &self.l[i * self.n..i * self.n + i + 1];
+                row.iter().zip(z).map(|(lik, zk)| lik * zk).sum()
+            })
+            .collect()
     }
 
     /// Reconstructs `Σ[i][j] = Σₖ L[i][k]·L[j][k]` (for testing and
@@ -153,7 +155,10 @@ mod tests {
     use super::*;
 
     fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]

@@ -202,8 +202,7 @@ mod tests {
     #[test]
     fn field_sample_statistics() {
         let pts = grid_points(5, 5, 10.0, 10.0);
-        let field =
-            CorrelatedField::new(&pts, CorrelationModel::Spherical { range: 4.0 }).unwrap();
+        let field = CorrelatedField::new(&pts, CorrelationModel::Spherical { range: 4.0 }).unwrap();
         let mut rng = SeedStream::new(3).stream("f", 0);
         let trials = 4000;
         let n = pts.len();

@@ -182,8 +182,7 @@ mod tests {
 
     #[test]
     fn from_samples_sorts_and_merges() {
-        let f =
-            PiecewiseLinear::from_samples(vec![(2.0, 4.0), (0.0, 0.0), (2.0, 6.0)]).unwrap();
+        let f = PiecewiseLinear::from_samples(vec![(2.0, 4.0), (0.0, 0.0), (2.0, 6.0)]).unwrap();
         assert_eq!(f.points(), &[(0.0, 0.0), (2.0, 5.0)]);
     }
 

@@ -51,7 +51,11 @@ pub fn psnr(a: &[f64], b: &[f64], peak: f64) -> f64 {
 ///
 /// Panics if the slices differ in length or are empty.
 pub fn distortion(output: &[f64], reference: &[f64]) -> f64 {
-    assert_eq!(output.len(), reference.len(), "distortion over mismatched lengths");
+    assert_eq!(
+        output.len(),
+        reference.len(),
+        "distortion over mismatched lengths"
+    );
     assert!(!output.is_empty(), "distortion of empty outputs");
     const EPS: f64 = 1e-9;
     let mut acc = 0.0;

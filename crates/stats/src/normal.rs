@@ -41,7 +41,10 @@ impl StdNormal {
     ///
     /// Panics if `p` is not in `(0, 1)`.
     pub fn inv_cdf(&self, p: f64) -> f64 {
-        assert!(p > 0.0 && p < 1.0, "quantile argument must be in (0,1), got {p}");
+        assert!(
+            p > 0.0 && p < 1.0,
+            "quantile argument must be in (0,1), got {p}"
+        );
         let x = acklam_inv_cdf(p);
         // One Halley refinement step using the accurate cdf.
         let e = self.cdf(x) - p;
@@ -87,9 +90,9 @@ pub fn erfc(x: f64) -> f64 {
 /// Chebyshev coefficients for erfc on x ≥ 0 (Numerical Recipes 3rd ed.).
 const ERFC_COF: [f64; 28] = [
     -1.3026537197817094,
-    6.4196979235649026e-1,
+    6.419_697_923_564_902e-1,
     1.9476473204185836e-2,
-    -9.561514786808631e-3,
+    -9.561_514_786_808_63e-3,
     -9.46595344482036e-4,
     3.66839497852761e-4,
     4.2523324806907e-5,
@@ -136,7 +139,7 @@ fn acklam_inv_cdf(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -226,7 +229,10 @@ mod tests {
         let n = StdNormal;
         for &p in &[1e-12, 1e-6, 0.01, 0.3, 0.5, 0.8, 0.99, 1.0 - 1e-9] {
             let x = n.inv_cdf(p);
-            assert!((n.cdf(x) - p).abs() / p.min(1.0 - p).max(1e-300) < 1e-6, "p={p}");
+            assert!(
+                (n.cdf(x) - p).abs() / p.min(1.0 - p).max(1e-300) < 1e-6,
+                "p={p}"
+            );
         }
     }
 

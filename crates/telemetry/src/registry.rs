@@ -1,0 +1,441 @@
+//! Global, thread-safe metrics registry: counters, gauges,
+//! fixed-bucket histograms, and per-span wall-clock accounting.
+//!
+//! Handles are `&'static` references to leaked atomics, so the hot
+//! path — `counter!("x").inc()` — is a single relaxed `fetch_add`
+//! with no locking; the registry lock is only taken on first lookup
+//! per call-site (the `counter!`/`gauge!`/`histogram!` macros cache
+//! the handle in a `OnceLock`).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::json::Json;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins floating-point gauge.
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram of `f64` observations.
+///
+/// `bounds` are the inclusive upper edges of the first `bounds.len()`
+/// buckets; one final overflow bucket catches everything above the
+/// last bound, so `record` never drops an observation.
+#[derive(Debug)]
+pub struct HistogramMetric {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+/// Point-in-time view of a [`HistogramMetric`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper edges of the finite buckets.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts (`bounds.len() + 1` entries; last = overflow).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (`None` when empty).
+    pub min: Option<f64>,
+    /// Largest observation (`None` when empty).
+    pub max: Option<f64>,
+}
+
+impl HistogramMetric {
+    /// Creates a standalone (unregistered) histogram with the given
+    /// inclusive upper bucket edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: f64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_update(&self.sum_bits, |s| s + v);
+        atomic_f64_update(&self.min_bits, |m| m.min(v));
+        atomic_f64_update(&self.max_bits, |m| m.max(v));
+    }
+
+    /// Point-in-time snapshot. Bucket counts are read without a global
+    /// lock, so a concurrent `record` may be partially visible; totals
+    /// are consistent once writers quiesce.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count,
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            min: (count > 0).then(|| f64::from_bits(self.min_bits.load(Ordering::Relaxed))),
+            max: (count > 0).then(|| f64::from_bits(self.max_bits.load(Ordering::Relaxed))),
+        }
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`) estimated from bucket counts:
+    /// the upper edge of the bucket containing the `q`-th observation
+    /// (clamped to the observed max; `min`/`max` are exact). Returns
+    /// `None` when the histogram is empty.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        self.snapshot().percentile(q)
+    }
+}
+
+impl HistogramSnapshot {
+    /// See [`HistogramMetric::percentile`].
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile in [0,1]");
+        if self.count == 0 {
+            return None;
+        }
+        let (min, max) = (self.min.expect("non-empty"), self.max.expect("non-empty"));
+        if q == 0.0 {
+            return Some(min);
+        }
+        // Rank of the target observation, 1-based.
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let edge = self.bounds.get(i).copied().unwrap_or(max);
+                return Some(edge.clamp(min, max));
+            }
+        }
+        Some(max)
+    }
+
+    /// Mean of all observations (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+}
+
+fn atomic_f64_update(bits: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut current = bits.load(Ordering::Relaxed);
+    loop {
+        let next = f(f64::from_bits(current)).to_bits();
+        match bits.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+/// Wall-clock accounting for one span name.
+#[derive(Debug, Default)]
+pub struct SpanStats {
+    calls: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl SpanStats {
+    /// Records one completed span.
+    pub fn record_ns(&self, elapsed_ns: u64) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(elapsed_ns, Ordering::Relaxed);
+    }
+
+    /// Number of completed spans.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Total nanoseconds across completed spans.
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns.load(Ordering::Relaxed)
+    }
+
+    /// Longest single span in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns.load(Ordering::Relaxed)
+    }
+}
+
+/// Geometric bucket bounds `start, start·factor, …` (`n` edges) for
+/// histograms over quantities spanning orders of magnitude (latency
+/// in ns, makespans in cycles).
+pub fn exponential_bounds(start: f64, factor: f64, n: usize) -> Vec<f64> {
+    assert!(start > 0.0 && factor > 1.0 && n > 0, "bad bucket spec");
+    let mut bounds = Vec::with_capacity(n);
+    let mut edge = start;
+    for _ in 0..n {
+        bounds.push(edge);
+        edge *= factor;
+    }
+    bounds
+}
+
+#[derive(Default)]
+struct State {
+    counters: BTreeMap<String, &'static Counter>,
+    gauges: BTreeMap<String, &'static Gauge>,
+    histograms: BTreeMap<String, &'static HistogramMetric>,
+    spans: BTreeMap<String, &'static SpanStats>,
+}
+
+/// The process-wide metric namespace.
+pub struct Registry {
+    state: Mutex<State>,
+}
+
+/// The global registry.
+pub fn global() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        state: Mutex::new(State::default()),
+    })
+}
+
+impl Registry {
+    /// Finds or creates the counter `name`.
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        let mut state = self.state.lock().expect("registry lock");
+        if let Some(c) = state.counters.get(name) {
+            return c;
+        }
+        let leaked: &'static Counter = Box::leak(Box::default());
+        state.counters.insert(name.to_string(), leaked);
+        leaked
+    }
+
+    /// Finds or creates the gauge `name`.
+    pub fn gauge(&self, name: &str) -> &'static Gauge {
+        let mut state = self.state.lock().expect("registry lock");
+        if let Some(g) = state.gauges.get(name) {
+            return g;
+        }
+        let leaked: &'static Gauge = Box::leak(Box::default());
+        state.gauges.insert(name.to_string(), leaked);
+        leaked
+    }
+
+    /// Finds or creates the histogram `name`. The first registration
+    /// fixes the bucket bounds; later callers receive the existing
+    /// histogram regardless of the bounds they pass.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> &'static HistogramMetric {
+        let mut state = self.state.lock().expect("registry lock");
+        if let Some(h) = state.histograms.get(name) {
+            return h;
+        }
+        let leaked: &'static HistogramMetric = Box::leak(Box::new(HistogramMetric::new(bounds)));
+        state.histograms.insert(name.to_string(), leaked);
+        leaked
+    }
+
+    /// Finds or creates span accounting for `name`.
+    pub fn span_stats(&self, name: &str) -> &'static SpanStats {
+        let mut state = self.state.lock().expect("registry lock");
+        if let Some(s) = state.spans.get(name) {
+            return s;
+        }
+        let leaked: &'static SpanStats = Box::leak(Box::default());
+        state.spans.insert(name.to_string(), leaked);
+        leaked
+    }
+
+    /// Renders every metric to a JSON object:
+    ///
+    /// ```json
+    /// {
+    ///   "counters": {"sim.fault.infected": 12},
+    ///   "gauges": {"runtime.clusters": 9},
+    ///   "histograms": {"x": {"count": 3, "sum": 1.5, "min": ..., "p50": ...}},
+    ///   "spans": {"varius.population.generate": {"calls": 1, "total_ms": 12.3, ...}}
+    /// }
+    /// ```
+    pub fn snapshot_json(&self) -> Json {
+        let state = self.state.lock().expect("registry lock");
+        let counters = state
+            .counters
+            .iter()
+            .map(|(k, c)| (k.clone(), Json::Num(c.get() as f64)))
+            .collect();
+        let gauges = state
+            .gauges
+            .iter()
+            .map(|(k, g)| (k.clone(), Json::Num(g.get())))
+            .collect();
+        let histograms = state
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let s = h.snapshot();
+                (
+                    k.clone(),
+                    Json::obj(vec![
+                        ("count", Json::Num(s.count as f64)),
+                        ("sum", Json::Num(s.sum)),
+                        ("min", s.min.map_or(Json::Null, Json::Num)),
+                        ("max", s.max.map_or(Json::Null, Json::Num)),
+                        ("mean", s.mean().map_or(Json::Null, Json::Num)),
+                        ("p50", s.percentile(0.50).map_or(Json::Null, Json::Num)),
+                        ("p95", s.percentile(0.95).map_or(Json::Null, Json::Num)),
+                        ("p99", s.percentile(0.99).map_or(Json::Null, Json::Num)),
+                    ]),
+                )
+            })
+            .collect();
+        let spans = state
+            .spans
+            .iter()
+            .map(|(k, s)| {
+                let calls = s.calls();
+                (
+                    k.clone(),
+                    Json::obj(vec![
+                        ("calls", Json::Num(calls as f64)),
+                        ("total_ms", Json::Num(s.total_ns() as f64 / 1e6)),
+                        (
+                            "mean_ms",
+                            if calls > 0 {
+                                Json::Num(s.total_ns() as f64 / calls as f64 / 1e6)
+                            } else {
+                                Json::Null
+                            },
+                        ),
+                        ("max_ms", Json::Num(s.max_ns() as f64 / 1e6)),
+                    ]),
+                )
+            })
+            .collect();
+        Json::Obj(vec![
+            ("counters".to_string(), Json::Obj(counters)),
+            ("gauges".to_string(), Json::Obj(gauges)),
+            ("histograms".to_string(), Json::Obj(histograms)),
+            ("spans".to_string(), Json::Obj(spans)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_once() {
+        let a = global().counter("test.registry.counter");
+        let b = global().counter("test.registry.counter");
+        assert!(std::ptr::eq(a, b));
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+
+        let g = global().gauge("test.registry.gauge");
+        g.set(2.5);
+        assert_eq!(global().gauge("test.registry.gauge").get(), 2.5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let h = HistogramMetric::new(&[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.5, 1.6, 3.0, 100.0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![1, 2, 1, 1]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, Some(0.5));
+        assert_eq!(s.max, Some(100.0));
+        // p50: rank 3 of 5 falls in the (1,2] bucket → edge 2.
+        assert_eq!(h.percentile(0.5), Some(2.0));
+        // p100 clamps to the observed max.
+        assert_eq!(h.percentile(1.0), Some(100.0));
+        assert_eq!(h.percentile(0.0), Some(0.5));
+    }
+
+    #[test]
+    fn exponential_bounds_grow() {
+        let b = exponential_bounds(1.0, 10.0, 4);
+        assert_eq!(b, vec![1.0, 10.0, 100.0, 1000.0]);
+    }
+
+    #[test]
+    fn span_stats_accumulate() {
+        let s = SpanStats::default();
+        s.record_ns(100);
+        s.record_ns(300);
+        assert_eq!(s.calls(), 2);
+        assert_eq!(s.total_ns(), 400);
+        assert_eq!(s.max_ns(), 300);
+    }
+}

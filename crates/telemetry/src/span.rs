@@ -1,0 +1,144 @@
+//! Scoped wall-clock spans with nesting.
+//!
+//! `let _guard = span!("varius.generate_chip");` times the enclosing
+//! scope. When telemetry is inactive (no sink installed, no timing
+//! requested) the guard is an empty `Option` and entering/dropping it
+//! costs one relaxed atomic load — nanosecond-scale, verified by the
+//! `telemetry_overhead` bench — so spans are safe in hot loops.
+
+use std::cell::Cell;
+use std::time::Instant;
+
+use crate::sink::{self, Event, EventKind, Level};
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Current span nesting depth on this thread.
+pub fn current_depth() -> usize {
+    DEPTH.with(Cell::get)
+}
+
+/// RAII timer for one scope; created by the [`crate::span!`] macro.
+#[must_use = "binding the guard to `_` drops it immediately; use `let _span = span!(..)`"]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+struct ActiveSpan {
+    name: String,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// Enters a span named `name` if telemetry is active; otherwise
+    /// returns an inert guard without reading the clock.
+    pub fn enter(name: &str) -> SpanGuard {
+        if !sink::active() {
+            return SpanGuard { active: None };
+        }
+        let depth = DEPTH.with(|d| {
+            let depth = d.get();
+            d.set(depth + 1);
+            depth
+        });
+        if sink::level_enabled(Level::Debug) {
+            let thread = std::thread::current();
+            sink::emit(&Event {
+                seq: sink::next_seq(),
+                kind: EventKind::SpanStart,
+                level: Level::Debug,
+                name,
+                depth,
+                elapsed_ns: None,
+                thread: thread.name().unwrap_or("?"),
+                fields: &[],
+            });
+        }
+        SpanGuard {
+            active: Some(ActiveSpan {
+                name: name.to_string(),
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// The span's name, when active.
+    pub fn name(&self) -> Option<&str> {
+        self.active.as_ref().map(|a| a.name.as_str())
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let elapsed_ns = active.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let depth = DEPTH.with(|d| {
+            let depth = d.get().saturating_sub(1);
+            d.set(depth);
+            depth
+        });
+        crate::registry::global()
+            .span_stats(&active.name)
+            .record_ns(elapsed_ns);
+        if sink::level_enabled(Level::Info) {
+            let thread = std::thread::current();
+            sink::emit(&Event {
+                seq: sink::next_seq(),
+                kind: EventKind::SpanEnd,
+                level: Level::Info,
+                name: &active.name,
+                depth,
+                elapsed_ns: Some(elapsed_ns),
+                thread: thread.name().unwrap_or("?"),
+                fields: &[],
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test body: `set_timing` flips process-global state, so the
+    // inert and active behaviors must be checked in a fixed order.
+    #[test]
+    fn span_lifecycle() {
+        // No sink, no timing: the guard must not touch the registry.
+        let guard = SpanGuard::enter("test.span.inert");
+        assert!(guard.name().is_none());
+        drop(guard);
+        assert_eq!(
+            crate::registry::global()
+                .span_stats("test.span.inert")
+                .calls(),
+            0
+        );
+
+        sink::set_timing(true);
+        {
+            let _a = SpanGuard::enter("test.span.outer");
+            assert_eq!(current_depth(), 1);
+            {
+                let _b = SpanGuard::enter("test.span.inner");
+                assert_eq!(current_depth(), 2);
+            }
+            assert_eq!(current_depth(), 1);
+        }
+        assert_eq!(current_depth(), 0);
+        sink::set_timing(false);
+        let stats = crate::registry::global().span_stats("test.span.outer");
+        assert_eq!(stats.calls(), 1);
+        assert!(stats.total_ns() > 0);
+        assert_eq!(
+            crate::registry::global()
+                .span_stats("test.span.inner")
+                .calls(),
+            1
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Integration tests exercising the telemetry crate the way the
+//! simulation stack uses it: many threads hammering one counter,
+//! histogram percentiles at their edge cases, and the JSONL event
+//! stream round-tripping through the crate's own parser.
+
+use accordion_telemetry::json::{self, Json};
+use accordion_telemetry::registry::{global, HistogramMetric};
+use accordion_telemetry::sink::{Event, EventKind, FieldVal, Level};
+use std::sync::Arc;
+use std::thread;
+
+#[test]
+fn concurrent_counter_increments_land_exactly() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 50_000;
+    let counter = global().counter("itest.concurrent.counter");
+    let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                // Handles resolve to the same &'static atomic in every
+                // thread; re-looking it up exercises the registry lock.
+                let c = global().counter("itest.concurrent.counter");
+                barrier.wait();
+                for _ in 0..PER_THREAD {
+                    c.inc();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("counter thread");
+    }
+    assert_eq!(counter.get(), THREADS as u64 * PER_THREAD);
+}
+
+#[test]
+fn concurrent_histogram_count_is_exact() {
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 20_000;
+    let h = global().histogram("itest.concurrent.hist", &[0.25, 0.5, 0.75]);
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            thread::spawn(move || {
+                let h = global().histogram("itest.concurrent.hist", &[0.25, 0.5, 0.75]);
+                for i in 0..PER_THREAD {
+                    h.record((i % 100) as f64 / 100.0 + t as f64 * 1e-4);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("hist thread");
+    }
+    let s = h.snapshot();
+    assert_eq!(s.count, (THREADS * PER_THREAD) as u64);
+    assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+}
+
+#[test]
+fn empty_histogram_has_no_percentiles() {
+    let h = HistogramMetric::new(&[1.0, 2.0]);
+    assert_eq!(h.percentile(0.5), None);
+    assert_eq!(h.percentile(0.99), None);
+    let s = h.snapshot();
+    assert_eq!(s.count, 0);
+    assert_eq!(s.min, None);
+    assert_eq!(s.max, None);
+    assert_eq!(s.mean(), None);
+}
+
+#[test]
+fn single_sample_dominates_every_percentile() {
+    let h = HistogramMetric::new(&[10.0, 100.0, 1000.0]);
+    h.record(42.0);
+    // Whatever the bucket edges say, one observation bounds every
+    // quantile to itself via the min/max clamp.
+    for q in [0.0, 0.01, 0.5, 0.95, 0.99, 1.0] {
+        assert_eq!(h.percentile(q), Some(42.0), "q={q}");
+    }
+}
+
+#[test]
+fn saturating_overflow_bucket_percentiles_clamp_to_max() {
+    let h = HistogramMetric::new(&[1.0]);
+    // Every observation overshoots the last bound → all land in the
+    // overflow bucket, which has no upper edge.
+    for v in [50.0, 75.0, 300.0] {
+        h.record(v);
+    }
+    let s = h.snapshot();
+    assert_eq!(s.buckets, vec![0, 3]);
+    assert_eq!(h.percentile(0.5), Some(300.0), "overflow clamps to max");
+    assert_eq!(h.percentile(1.0), Some(300.0));
+    assert_eq!(h.percentile(0.0), Some(50.0));
+}
+
+#[test]
+fn jsonl_event_line_round_trips_through_parser() {
+    let fields = [
+        ("artifact", FieldVal::from("fig5b")),
+        ("chips", FieldVal::from(100u32)),
+        ("ratio", FieldVal::from(0.25f64)),
+        ("path", FieldVal::from("dir\\\"quoted\"\nname")),
+        ("ok", FieldVal::from(true)),
+    ];
+    let event = Event {
+        seq: 41,
+        kind: EventKind::SpanEnd,
+        level: Level::Info,
+        name: "bench.artifact.fig5b",
+        depth: 3,
+        elapsed_ns: Some(1_234_567),
+        thread: "main",
+        fields: &fields,
+    };
+    // Exactly what JsonlSink writes: one compact-rendered object.
+    let line = event.to_json().render();
+    assert!(!line.contains('\n'), "a JSONL record is a single line");
+
+    let parsed = json::parse(&line).expect("line parses");
+    assert_eq!(parsed.get("seq").and_then(Json::as_f64), Some(41.0));
+    assert_eq!(parsed.get("kind").and_then(Json::as_str), Some("span_end"));
+    assert_eq!(
+        parsed.get("name").and_then(Json::as_str),
+        Some("bench.artifact.fig5b")
+    );
+    assert_eq!(
+        parsed.get("elapsed_ns").and_then(Json::as_f64),
+        Some(1_234_567.0)
+    );
+    let f = parsed.get("fields").expect("fields object");
+    assert_eq!(f.get("chips").and_then(Json::as_f64), Some(100.0));
+    assert_eq!(f.get("ratio").and_then(Json::as_f64), Some(0.25));
+    assert_eq!(
+        f.get("path").and_then(Json::as_str),
+        Some("dir\\\"quoted\"\nname"),
+        "escaping survives the round trip"
+    );
+    assert_eq!(
+        parsed.get("fields").and_then(|f| f.get("ok")),
+        Some(&Json::Bool(true))
+    );
+}
+
+#[test]
+fn registry_snapshot_is_valid_json() {
+    global().counter("itest.snapshot.counter").add(7);
+    global().gauge("itest.snapshot.gauge").set(-1.25);
+    global()
+        .histogram("itest.snapshot.hist", &[1.0, 10.0])
+        .record(3.0);
+    let rendered = global().snapshot_json().render_pretty();
+    let parsed = json::parse(&rendered).expect("snapshot parses");
+    assert_eq!(
+        parsed
+            .get("counters")
+            .and_then(|c| c.get("itest.snapshot.counter"))
+            .and_then(Json::as_f64),
+        Some(7.0)
+    );
+    assert_eq!(
+        parsed
+            .get("gauges")
+            .and_then(|g| g.get("itest.snapshot.gauge"))
+            .and_then(Json::as_f64),
+        Some(-1.25)
+    );
+}

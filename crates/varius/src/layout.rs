@@ -66,8 +66,18 @@ impl SitePlan {
 
     /// Number of clusters (1 + the highest cluster index referenced).
     pub fn num_clusters(&self) -> usize {
-        let from_cores = self.core_clusters.iter().copied().max().map_or(0, |m| m + 1);
-        let from_mems = self.mem_sites.iter().map(|m| m.cluster).max().map_or(0, |m| m + 1);
+        let from_cores = self
+            .core_clusters
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |m| m + 1);
+        let from_mems = self
+            .mem_sites
+            .iter()
+            .map(|m| m.cluster)
+            .max()
+            .map_or(0, |m| m + 1);
         from_cores.max(from_mems)
     }
 

@@ -17,6 +17,7 @@ use crate::timing::{ClusterTiming, CoreTiming};
 use crate::vmap::ChipVariation;
 use accordion_stats::field::FieldError;
 use accordion_stats::rng::SeedStream;
+use accordion_telemetry::{counter, span, trace_event, Level};
 use accordion_vlsi::freq::FreqModel;
 
 /// One fabricated chip with its derived variation-dependent data.
@@ -64,6 +65,14 @@ impl ChipPopulation {
         n: usize,
         seed: SeedStream,
     ) -> Result<Self, FieldError> {
+        let _span = span!("varius.population.generate");
+        trace_event!(
+            Level::Info,
+            "varius.population.start",
+            chips = n,
+            seed = seed.seed(),
+            sites = plan.mem_sites.len() + plan.core_sites_mm.len(),
+        );
         let sampler = ChipVariation::sampler_for_tech(plan, params, fm.technology())?;
         let samples = (0..n)
             .map(|i| {
@@ -71,6 +80,7 @@ impl ChipPopulation {
                 Self::derive(plan, params, fm, variation)
             })
             .collect();
+        counter!("varius.chips_generated").add(n as u64);
         Ok(Self { samples })
     }
 
@@ -162,7 +172,10 @@ mod tests {
                 let cluster = cy * 2 + cx;
                 let (ox, oy) = (cx as f64 * 10.0, cy as f64 * 10.0);
                 for k in 0..4 {
-                    let pos = (ox + 2.5 + 5.0 * (k % 2) as f64, oy + 2.5 + 5.0 * (k / 2) as f64);
+                    let pos = (
+                        ox + 2.5 + 5.0 * (k % 2) as f64,
+                        oy + 2.5 + 5.0 * (k / 2) as f64,
+                    );
                     core_sites.push(pos);
                     core_clusters.push(cluster);
                     mem_sites.push(MemSite {

@@ -43,8 +43,8 @@ impl SramModel {
     /// systematic Vth deviation is `vth_delta_v`.
     pub fn cell_fail_probability(&self, vdd_v: f64, vth_delta_v: f64) -> f64 {
         let p = &self.params;
-        let margin_mean = p.sram_margin_slope * (vdd_v - p.sram_margin_v0)
-            - p.sram_vth_coupling * vth_delta_v;
+        let margin_mean =
+            p.sram_margin_slope * (vdd_v - p.sram_margin_v0) - p.sram_vth_coupling * vth_delta_v;
         StdNormal.cdf(-margin_mean / p.sram_cell_sigma_v)
     }
 
@@ -60,8 +60,7 @@ impl SramModel {
         let z = StdNormal.inv_cdf(p_cell_max.clamp(1e-300, 0.5));
         // p_cell(Vdd) = Φ(−m/σ) ≤ p_max ⇒ −m/σ ≤ z ⇒ m ≥ −z·σ.
         let margin_needed = -z * p.sram_cell_sigma_v;
-        p.sram_margin_v0
-            + (margin_needed + p.sram_vth_coupling * vth_delta_v) / p.sram_margin_slope
+        p.sram_margin_v0 + (margin_needed + p.sram_vth_coupling * vth_delta_v) / p.sram_margin_slope
     }
 
     /// `VddMIN` of a cluster: the maximum over its blocks' `VddMIN`s.
@@ -116,7 +115,10 @@ mod tests {
     #[test]
     fn high_vth_regions_need_more_voltage() {
         let m = model();
-        assert!(m.block_vddmin_v(MemKind::CorePrivate, 0.03) > m.block_vddmin_v(MemKind::CorePrivate, -0.03));
+        assert!(
+            m.block_vddmin_v(MemKind::CorePrivate, 0.03)
+                > m.block_vddmin_v(MemKind::CorePrivate, -0.03)
+        );
     }
 
     #[test]
@@ -143,7 +145,8 @@ mod tests {
             (MemKind::ClusterShared, 0.0),
         ];
         let v = m.cluster_vddmin_v(&blocks);
-        let worst = m.block_vddmin_v(MemKind::CorePrivate, 0.02)
+        let worst = m
+            .block_vddmin_v(MemKind::CorePrivate, 0.02)
             .max(m.block_vddmin_v(MemKind::ClusterShared, 0.0));
         assert!((v - worst).abs() < 1e-12);
     }

@@ -163,10 +163,7 @@ impl ClusterTiming {
 
     /// Per-cycle error rate of the slowest member at `f_ghz`.
     pub fn perr(&self, f_ghz: f64) -> f64 {
-        self.cores
-            .iter()
-            .map(|c| c.perr(f_ghz))
-            .fold(0.0, f64::max)
+        self.cores.iter().map(|c| c.perr(f_ghz)).fold(0.0, f64::max)
     }
 
     /// Member timing models.

@@ -9,6 +9,7 @@ use crate::layout::SitePlan;
 use crate::params::VariationParams;
 use accordion_stats::field::{CorrelatedField, CorrelationModel, FieldError};
 use accordion_stats::rng::StreamRng;
+use accordion_telemetry::{counter, span};
 use accordion_vlsi::tech::Technology;
 
 /// Reusable sampler of chip-variation instances over a fixed layout.
@@ -43,7 +44,10 @@ impl ChipVariation {
     ///
     /// Propagates [`FieldError`] if the correlation matrix over the
     /// plan's sites cannot be factored.
-    pub fn sampler(plan: &SitePlan, params: &VariationParams) -> Result<VariationSampler, FieldError> {
+    pub fn sampler(
+        plan: &SitePlan,
+        params: &VariationParams,
+    ) -> Result<VariationSampler, FieldError> {
         Self::sampler_for_tech(plan, params, &Technology::node_11nm())
     }
 
@@ -58,11 +62,13 @@ impl ChipVariation {
         params: &VariationParams,
         tech: &Technology,
     ) -> Result<VariationSampler, FieldError> {
+        // Factoring the site-correlation matrix (Cholesky over all
+        // core+memory sites) dominates sampler construction; the span
+        // makes that cost visible per layout.
+        let _span = span!("varius.field.factor");
         let range = params.phi * plan.chip_w_mm;
-        let field = CorrelatedField::new(
-            &plan.all_points_mm(),
-            CorrelationModel::Spherical { range },
-        )?;
+        let field =
+            CorrelatedField::new(&plan.all_points_mm(), CorrelationModel::Spherical { range })?;
         Ok(VariationSampler {
             field,
             num_cores: plan.num_cores(),
@@ -77,6 +83,8 @@ impl VariationSampler {
     /// draws of the same spatial structure (VARIUS models them as
     /// independent parameters with their own magnitudes).
     pub fn sample(&self, rng: &mut StreamRng) -> ChipVariation {
+        let _span = span!("varius.variation.sample");
+        counter!("varius.chip_samples").inc();
         let vth_field = self.field.sample(rng);
         let leff_field = self.field.sample(rng);
         let nc = self.num_cores;
@@ -149,8 +157,8 @@ mod tests {
         let sum: f64 = all.iter().sum();
         let mean = sum / all.len() as f64;
         let var: f64 = all.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / all.len() as f64;
-        let sigma_target = VariationParams::default()
-            .systematic_sigma(Technology::node_11nm().vth_sigma_v());
+        let sigma_target =
+            VariationParams::default().systematic_sigma(Technology::node_11nm().vth_sigma_v());
         assert!(mean.abs() < 0.004, "mean={mean}");
         assert!(
             (var.sqrt() - sigma_target).abs() < 0.1 * sigma_target,

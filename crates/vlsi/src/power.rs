@@ -113,10 +113,17 @@ impl CorePowerModel {
         vth_delta_v: f64,
         leff_mult: f64,
     ) -> PowerBreakdown {
-        assert!(vdd_v >= 0.0 && f_ghz >= 0.0, "operating point must be non-negative");
+        assert!(
+            vdd_v >= 0.0 && f_ghz >= 0.0,
+            "operating point must be non-negative"
+        );
         let dynamic_w = self.ceff_nf * vdd_v * vdd_v * f_ghz;
-        let static_w = self.k_leak * vdd_v * leakage_current(&self.tech, vdd_v, vth_delta_v, leff_mult);
-        PowerBreakdown { dynamic_w, static_w }
+        let static_w =
+            self.k_leak * vdd_v * leakage_current(&self.tech, vdd_v, vth_delta_v, leff_mult);
+        PowerBreakdown {
+            dynamic_w,
+            static_w,
+        }
     }
 
     /// Static power of an idle (clock-gated but powered) core.

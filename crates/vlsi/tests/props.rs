@@ -12,7 +12,11 @@ fn models() -> &'static (Technology, FreqModel, CorePowerModel) {
     static M: OnceLock<(Technology, FreqModel, CorePowerModel)> = OnceLock::new();
     M.get_or_init(|| {
         let t = Technology::node_11nm();
-        (t.clone(), FreqModel::calibrate(&t), CorePowerModel::calibrate(&t))
+        (
+            t.clone(),
+            FreqModel::calibrate(&t),
+            CorePowerModel::calibrate(&t),
+        )
     })
 }
 

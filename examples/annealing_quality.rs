@@ -6,10 +6,10 @@
 //! cargo run --release --example annealing_quality
 //! ```
 
+use accordion_apps::app::RmsApp;
 use accordion_apps::canneal::{Canneal, CannealErrorMode};
 use accordion_apps::config::RunConfig;
 use accordion_apps::harness::{FrontSet, Scenario};
-use accordion_apps::app::RmsApp;
 use accordion_sim::fault::uniform_drop_mask;
 
 fn main() {
@@ -18,7 +18,10 @@ fn main() {
     // The Figure 2 fronts: Default vs Drop 1/4 vs Drop 1/2.
     println!("canneal quality vs problem size (normalized to the default input):");
     let set = FrontSet::measure(&app);
-    println!("{:>10} {:>10} {:>10} {:>10}", "size_norm", "Default", "Drop 1/4", "Drop 1/2");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10}",
+        "size_norm", "Default", "Drop 1/4", "Drop 1/2"
+    );
     let default = set.front(Scenario::Default).expect("front");
     let d4 = set.front(Scenario::Drop(0.25)).expect("front");
     let d2 = set.front(Scenario::Drop(0.5)).expect("front");

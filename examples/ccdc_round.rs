@@ -17,10 +17,7 @@ fn main() {
         "{:>10} {:>9} {:>9} {:>9} {:>10} {:>9} {:>12}",
         "Perr", "clean", "infected", "dropped", "watchdogs", "restarts", "makespan(cy)"
     );
-    for (i, perr) in [0.0, 1e-9, 1e-8, 1e-7, 1e-6, 1e-5]
-        .into_iter()
-        .enumerate()
-    {
+    for (i, perr) in [0.0, 1e-9, 1e-8, 1e-7, 1e-6, 1e-5].into_iter().enumerate() {
         let cfg = CcDcConfig::default_round(64, perr);
         let report = run_round(&cfg, &mut seed.stream("round", i as u64));
         let count = |o: DcOutcome| report.outcomes.iter().filter(|x| **x == o).count();

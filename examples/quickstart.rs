@@ -6,7 +6,6 @@
 //! ```
 
 use accordion::framework::Accordion;
-use accordion::mode::FrequencyPolicy;
 use accordion_apps::hotspot::Hotspot;
 use accordion_chip::chip::Chip;
 
@@ -15,20 +14,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    36 clusters at 11 nm, afflicted by correlated Vth/Leff
     //    variation (Table 2 of the paper).
     let chip = Chip::fabricate_default(0)?;
-    println!("fabricated {} cores in {} clusters", chip.topology().num_cores(), chip.topology().num_clusters());
-    println!("designated VddNTV = {:.3} V (max per-cluster VddMIN)", chip.vdd_ntv_v());
+    println!(
+        "fabricated {} cores in {} clusters",
+        chip.topology().num_cores(),
+        chip.topology().num_clusters()
+    );
+    println!(
+        "designated VddNTV = {:.3} V (max per-cluster VddMIN)",
+        chip.vdd_ntv_v()
+    );
     println!("N_STV (cores fitting 100 W at STV) = {}", chip.n_stv());
 
     // 2. Bind a benchmark. Construction measures the quality-versus-
     //    problem-size fronts under Default / Drop 1/4 / Drop 1/2.
     let acc = Accordion::new(chip, Box::new(Hotspot::paper_default()));
-    println!("\nSTV baseline: {:.3} s at {:.0} MIPS/W", acc.baseline().exec_time_s, acc.baseline().mips_per_w());
+    println!(
+        "\nSTV baseline: {:.3} s at {:.0} MIPS/W",
+        acc.baseline().exec_time_s,
+        acc.baseline().mips_per_w()
+    );
 
     // 3. Extract the iso-execution-time pareto fronts (Figures 6/7).
     for front in acc.iso_time_fronts() {
-        let Some(best) = front.points.iter().max_by(|a, b| {
-            a.eff_norm.partial_cmp(&b.eff_norm).expect("finite")
-        }) else {
+        let Some(best) = front
+            .points
+            .iter()
+            .max_by(|a, b| a.eff_norm.partial_cmp(&b.eff_norm).expect("finite"))
+        else {
             continue;
         };
         println!(

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Repo-wide hygiene gate: formatting, lints, tests.
+#
+#   scripts/check.sh          # run everything
+#   scripts/check.sh --fast   # skip the test suite (format + lints only)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+for arg in "$@"; do
+    case "$arg" in
+        --fast) fast=1 ;;
+        *) echo "usage: scripts/check.sh [--fast]" >&2; exit 2 ;;
+    esac
+done
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [ "$fast" -eq 0 ]; then
+    echo "==> cargo test -q"
+    cargo test -q
+fi
+
+echo "All checks passed."

@@ -32,13 +32,9 @@ fn ntc_premise_holds() {
     // the budget at NTV; only a fraction fits at STV.
     let chip = chip();
     let tech = chip.freq_model().technology().clone();
-    let p_ntv = chip.power_model().chip_power(
-        chip.topology(),
-        288,
-        36,
-        tech.vdd_nom_v,
-        tech.f_nom_ghz,
-    );
+    let p_ntv =
+        chip.power_model()
+            .chip_power(chip.topology(), 288, 36, tech.vdd_nom_v, tech.f_nom_ghz);
     assert!(p_ntv.total_w() <= 100.0);
     let n_stv = chip.n_stv();
     assert!(n_stv < 288 / 4, "N_STV = {n_stv} must be a small fraction");
@@ -55,13 +51,19 @@ fn accordion_beats_stv_for_every_benchmark() {
             .iter()
             .filter_map(|&m| acc.best_efficiency(m))
             .fold(f64::NEG_INFINITY, f64::max);
-        assert!(best > 1.0, "{name}: best efficiency ratio {best} must beat STV");
+        assert!(
+            best > 1.0,
+            "{name}: best efficiency ratio {best} must beat STV"
+        );
         // The paper caps the figure-level ratio just under 2x; our
         // leftmost Compress extremes (one cherry-picked best cluster
         // at a deeply compressed problem) can overshoot slightly. The
         // quality-constrained headline band asserts the tighter
         // 1.5-1.9x paper range separately.
-        assert!(best < 2.5, "{name}: ratio {best} far exceeds the paper's <2x story");
+        assert!(
+            best < 2.5,
+            "{name}: ratio {best} far exceeds the paper's <2x story"
+        );
     }
 }
 
@@ -72,7 +74,11 @@ fn still_point_requires_core_growth() {
     let fronts = acc.iso_time_fronts();
     let tech = acc.chip().freq_model().technology().clone();
     for front in &fronts {
-        for p in front.points.iter().filter(|p| (p.size_norm - 1.0).abs() < 0.02) {
+        for p in front
+            .points
+            .iter()
+            .filter(|p| (p.size_norm - 1.0).abs() < 0.02)
+        {
             let min_growth = tech.f_stv_ghz / p.f_ntv_ghz;
             // The memory-latency CPI advantage at NTV slightly relaxes
             // the bound; allow 10%.

@@ -14,7 +14,9 @@ fn dc_writes_are_contained_to_own_slots() {
     // Every DC may read shared input and write its own slot…
     for i in 0..8 {
         assert!(mb.dc_read_input(DcIndex(i)).is_ok());
-        assert!(mb.dc_publish_result(DcIndex(i), DcIndex(i), i as f64).is_ok());
+        assert!(mb
+            .dc_publish_result(DcIndex(i), DcIndex(i), i as f64)
+            .is_ok());
     }
     // …and nothing else.
     for i in 0..8 {
@@ -44,8 +46,8 @@ fn watchdogs_bound_the_makespan() {
     cfg.max_restarts = 2;
     let mut rng = SeedStream::new(5).stream("wd", 0);
     let report = run_round(&cfg, &mut rng);
-    let bound = (cfg.max_restarts as u64 + 1) * cfg.watchdog_timeout_cycles
-        + 16 * cfg.merge_cycles_per_dc;
+    let bound =
+        (cfg.max_restarts as u64 + 1) * cfg.watchdog_timeout_cycles + 16 * cfg.merge_cycles_per_dc;
     assert!(report.makespan_cycles <= bound);
     assert!(report.outcomes.iter().all(|o| *o == DcOutcome::Abandoned));
 }
@@ -83,8 +85,8 @@ fn drop_fraction_tracks_infection_probability() {
     cfg.max_restarts = 0;
     let mut rng = SeedStream::new(7).stream("frac", 0);
     let report = run_round(&cfg, &mut rng);
-    let expect = FaultInjector::new(cfg.perr_per_cycle)
-        .infection_probability(cfg.work_cycles as f64);
+    let expect =
+        FaultInjector::new(cfg.perr_per_cycle).infection_probability(cfg.work_cycles as f64);
     assert!(
         (report.dropped_fraction() - expect).abs() < 0.04,
         "dropped {} vs infection probability {expect}",

@@ -31,8 +31,8 @@ fn default_quality_grows_monotonically_with_problem_size() {
                 w[1].quality_norm
             );
         }
-        let span = front.points.last().unwrap().quality_norm
-            - front.points.first().unwrap().quality_norm;
+        let span =
+            front.points.last().unwrap().quality_norm - front.points.first().unwrap().quality_norm;
         assert!(span > 0.0, "{}: the front must actually rise", set.app);
     }
 }
@@ -56,8 +56,16 @@ fn drop_fronts_ordered_default_quarter_half() {
         }
         // The paper notes occasional non-monotonicity (bodytrack); the
         // trend must hold at almost every point.
-        assert!(ok4 >= n - 1, "{}: Drop 1/4 below Default ({ok4}/{n})", set.app);
-        assert!(ok2 >= n - 2, "{}: Drop 1/2 below Drop 1/4 ({ok2}/{n})", set.app);
+        assert!(
+            ok4 >= n - 1,
+            "{}: Drop 1/4 below Default ({ok4}/{n})",
+            set.app
+        );
+        assert!(
+            ok2 >= n - 2,
+            "{}: Drop 1/2 below Drop 1/4 ({ok2}/{n})",
+            set.app
+        );
     }
 }
 
@@ -105,10 +113,17 @@ fn bodytrack_is_the_drop_sensitive_outlier() {
             worst_app = set.app.clone();
         }
         if set.app != "bodytrack" {
-            assert!(q > 0.5, "{}: Drop 1/2 must not be excessive, q={q}", set.app);
+            assert!(
+                q > 0.5,
+                "{}: Drop 1/2 must not be excessive, q={q}",
+                set.app
+            );
         }
     }
-    assert_eq!(worst_app, "bodytrack", "bodytrack must be the most sensitive");
+    assert_eq!(
+        worst_app, "bodytrack",
+        "bodytrack must be the most sensitive"
+    );
 }
 
 #[test]

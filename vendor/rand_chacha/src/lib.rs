@@ -1,0 +1,150 @@
+//! Offline vendored ChaCha8 random number generator.
+//!
+//! Implements the real ChaCha stream cipher keyed by a 32-byte seed
+//! (8 double-round reduced variant, 64-bit block counter), exposing it
+//! through the vendored [`rand`] traits. Like upstream `ChaCha8Rng`
+//! it is seedable, portable, and has a fixed, documented algorithm —
+//! the property `accordion_stats::rng` relies on. Bit-streams are not
+//! guaranteed identical to crates.io `rand_chacha` (word-consumption
+//! order differs); the workspace only requires seeded determinism.
+
+use rand::{RngCore, SeedableRng};
+
+const ROUNDS: usize = 8;
+/// "expand 32-byte k" — the standard ChaCha constants.
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// A ChaCha stream cipher with 8 rounds used as an RNG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    /// Cipher input block: constants, key, counter, nonce.
+    state: [u32; 16],
+    /// Current keystream block.
+    buf: [u32; 16],
+    /// Next unread word in `buf`; 16 forces a refill.
+    idx: usize,
+}
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (w, s) in working.iter_mut().zip(self.state.iter()) {
+            *w = w.wrapping_add(*s);
+        }
+        self.buf = working;
+        self.idx = 0;
+        // 64-bit block counter in words 12–13.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        // Counter and nonce start at zero.
+        Self {
+            state,
+            buf: [0; 16],
+            idx: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = ChaCha8Rng::from_seed([7; 32]);
+        let mut b = ChaCha8Rng::from_seed([7; 32]);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha8Rng::from_seed([1; 32]);
+        let mut b = ChaCha8Rng::from_seed([2; 32]);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn counter_advances_across_blocks() {
+        let mut rng = ChaCha8Rng::from_seed([3; 32]);
+        let first_block: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let second_block: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(first_block, second_block);
+    }
+
+    #[test]
+    fn seed_from_u64_works() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let _ = c.next_u64();
+    }
+
+    #[test]
+    fn output_looks_uniform() {
+        // Crude balance check: bit population over 64k words near 50 %.
+        let mut rng = ChaCha8Rng::from_seed([9; 32]);
+        let ones: u32 = (0..1024).map(|_| rng.next_u32().count_ones()).sum();
+        let frac = ones as f64 / (1024.0 * 32.0);
+        assert!((frac - 0.5).abs() < 0.02, "bit balance {frac}");
+    }
+}
