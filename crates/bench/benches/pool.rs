@@ -1,0 +1,94 @@
+//! Criterion benchmarks of the parallel Monte-Carlo engine: population
+//! fabrication at `--jobs 1` (the sequential baseline) versus fixed
+//! worker counts, plus the raw `par_map_indexed` scheduling overhead.
+//!
+//! The speedup these benches exist to demonstrate only materializes on
+//! multi-core hosts (the issue's target is ≥2× at `--jobs 4`); the
+//! harness therefore prints the sequential/parallel ratio instead of
+//! asserting it, so single-core CI stays green while a workstation run
+//! still shows the number.
+
+use accordion_chip::chip::Chip;
+use accordion_chip::topology::Topology;
+use accordion_stats::rng::SeedStream;
+use accordion_varius::params::VariationParams;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Chips per fabricated population. Large enough that per-chip work
+/// (field sample + timing/SRAM solves per site) dominates the shared
+/// one-off Cholesky factorization the population reuses.
+const CHIPS: usize = 16;
+
+fn fabricate(jobs: usize) -> Vec<Chip> {
+    accordion_pool::set_jobs(Some(jobs));
+    let pop = Chip::fabricate_population(
+        Topology::paper_default(),
+        &VariationParams::default(),
+        SeedStream::new(2014),
+        0,
+        CHIPS,
+    )
+    .expect("fabrication");
+    accordion_pool::set_jobs(None);
+    pop
+}
+
+fn bench_population_fabrication(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool/fabricate_16_chips");
+    group.sample_size(5);
+    for jobs in [1usize, 2, 4] {
+        group.bench_function(&format!("jobs_{jobs}"), |b| {
+            b.iter(|| black_box(fabricate(black_box(jobs))))
+        });
+    }
+    group.finish();
+
+    // One direct wall-clock comparison so the speedup is a single
+    // greppable line (`pool.speedup`) rather than a ratio the reader
+    // computes from two bench rows.
+    let t1 = {
+        let start = Instant::now();
+        black_box(fabricate(1));
+        start.elapsed()
+    };
+    let t4 = {
+        let start = Instant::now();
+        black_box(fabricate(4));
+        start.elapsed()
+    };
+    println!(
+        "pool.speedup fabricate_{CHIPS}_chips jobs 1 -> 4: {:.2}x \
+         ({:.0} ms -> {:.0} ms, host parallelism {})",
+        t1.as_secs_f64() / t4.as_secs_f64().max(1e-9),
+        t1.as_secs_f64() * 1e3,
+        t4.as_secs_f64() * 1e3,
+        std::thread::available_parallelism().map_or(1, usize::from),
+    );
+}
+
+fn bench_scheduling_overhead(c: &mut Criterion) {
+    // Tiny tasks expose the pool's fixed cost per scope + per task;
+    // useful for spotting regressions in the queueing protocol.
+    let mut group = c.benchmark_group("pool/overhead");
+    group.sample_size(10);
+    group.bench_function("par_map_indexed_64_trivial_tasks", |b| {
+        accordion_pool::set_jobs(Some(4));
+        b.iter(|| black_box(accordion_pool::par_map_indexed(64, |i| i * i)));
+        accordion_pool::set_jobs(None);
+    });
+    group.bench_function("sequential_64_trivial_tasks", |b| {
+        accordion_pool::set_jobs(Some(1));
+        b.iter(|| black_box(accordion_pool::par_map_indexed(64, |i| i * i)));
+        accordion_pool::set_jobs(None);
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_population_fabrication,
+    bench_scheduling_overhead
+);
+criterion_main!(benches);

@@ -32,6 +32,7 @@ const POPULATION_SEED: u64 = 2014;
 struct Cli {
     artifact: String,
     chips: usize,
+    jobs: Option<usize>,
     csv_dir: Option<String>,
     trace: Option<Level>,
     trace_json: Option<String>,
@@ -41,6 +42,7 @@ struct Cli {
 fn parse_cli(args: &[String]) -> Cli {
     let mut artifact = None;
     let mut chips = 5usize;
+    let mut jobs = None;
     let mut csv_dir = None;
     let mut trace = None;
     let mut trace_json = None;
@@ -53,6 +55,16 @@ fn parse_cli(args: &[String]) -> Cli {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--chips needs a number"));
+            }
+            "--jobs" => {
+                let n: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--jobs needs a number"));
+                if n == 0 {
+                    die("--jobs must be at least 1");
+                }
+                jobs = Some(n);
             }
             "--csv" => {
                 csv_dir = Some(
@@ -107,6 +119,7 @@ fn parse_cli(args: &[String]) -> Cli {
     Cli {
         artifact,
         chips,
+        jobs,
         csv_dir,
         trace,
         trace_json,
@@ -116,8 +129,13 @@ fn parse_cli(args: &[String]) -> Cli {
 
 fn usage() {
     eprintln!(
-        "usage: repro <artifact|all> [--chips N] [--csv DIR] [--trace off|info|debug]\n\
-         \x20             [--trace-json FILE] [--manifest FILE]"
+        "usage: repro <artifact|all> [--chips N] [--jobs N] [--csv DIR]\n\
+         \x20             [--trace off|info|debug] [--trace-json FILE] [--manifest FILE]"
+    );
+    eprintln!(
+        "  --jobs N   worker threads for the Monte-Carlo hot paths (default:\n\
+         \x20           ACCORDION_JOBS or available parallelism; 1 = sequential;\n\
+         \x20           output is byte-identical at every job count)"
     );
     eprintln!("artifacts: {}", ARTIFACTS.join(" "));
 }
@@ -125,6 +143,12 @@ fn usage() {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = parse_cli(&args);
+
+    // `--jobs` overrides ACCORDION_JOBS, which overrides auto-detect.
+    // `--jobs 1` forces the sequential path (same bytes, one thread).
+    if let Some(n) = cli.jobs {
+        accordion_pool::set_jobs(Some(n));
+    }
 
     // Flags override the environment defaults; the env path covers
     // instrumented callers that cannot pass flags (tests, harnesses).
@@ -152,6 +176,7 @@ fn main() {
         let mut m = RunManifest::new("repro");
         m.record_seed("population", POPULATION_SEED);
         m.record_param("chips", Json::Num(cli.chips as f64));
+        m.record_param("jobs", Json::Num(accordion_pool::jobs() as f64));
         m.record_param("artifact", Json::str(&cli.artifact));
         if let Some(dir) = &cli.csv_dir {
             m.record_param("csv_dir", Json::str(dir));

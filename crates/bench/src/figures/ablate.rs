@@ -65,34 +65,34 @@ pub fn selection_report() -> String {
 /// per-cluster `VddMIN` and safe frequency over a few chips. Returns
 /// `(phi, vddmin_std, safe_f_std)`.
 pub fn phi_ablation() -> Vec<(f64, f64, f64)> {
-    [0.05, 0.1, 0.2, 0.4]
-        .iter()
-        .map(|&phi| {
-            let params = VariationParams {
-                phi,
-                ..VariationParams::default()
-            };
-            let chips = Chip::fabricate_population(
-                Topology::paper_default(),
-                &params,
-                SeedStream::new(77),
-                0,
-                3,
-            )
-            .expect("fabrication");
-            let mut vddmins = Vec::new();
-            let mut fs = Vec::new();
-            for chip in &chips {
-                vddmins.extend_from_slice(chip.cluster_vddmin_v());
-                for c in 0..36 {
-                    fs.push(chip.cluster_safe_f_ghz(accordion_chip::topology::ClusterId(c)));
-                }
+    // Each φ fabricates its own 3-chip population (fresh correlation
+    // factorization); the design points are independent, so sweep them
+    // in parallel — population generation nests its own pool tasks.
+    accordion_pool::par_map(vec![0.05, 0.1, 0.2, 0.4], |phi| {
+        let params = VariationParams {
+            phi,
+            ..VariationParams::default()
+        };
+        let chips = Chip::fabricate_population(
+            Topology::paper_default(),
+            &params,
+            SeedStream::new(77),
+            0,
+            3,
+        )
+        .expect("fabrication");
+        let mut vddmins = Vec::new();
+        let mut fs = Vec::new();
+        for chip in &chips {
+            vddmins.extend_from_slice(chip.cluster_vddmin_v());
+            for c in 0..36 {
+                fs.push(chip.cluster_safe_f_ghz(accordion_chip::topology::ClusterId(c)));
             }
-            let sv = Summary::of(&vddmins).expect("non-empty");
-            let sf = Summary::of(&fs).expect("non-empty");
-            (phi, sv.std, sf.std)
-        })
-        .collect()
+        }
+        let sv = Summary::of(&vddmins).expect("non-empty");
+        let sf = Summary::of(&fs).expect("non-empty");
+        (phi, sv.std, sf.std)
+    })
 }
 
 /// Renders the φ ablation.

@@ -35,16 +35,13 @@ pub fn canneal_quality_under(mode: CannealErrorMode, fraction: f64) -> f64 {
 /// The canneal decision-inversion experiment rows:
 /// `(fraction, drop_quality, inversion_quality)`.
 pub fn canneal_rows() -> Vec<(f64, f64, f64)> {
-    [0.25, 0.5]
-        .iter()
-        .map(|&fr| {
-            (
-                fr,
-                canneal_quality_under(CannealErrorMode::DropSwaps, fr),
-                canneal_quality_under(CannealErrorMode::InvertDecision, fr),
-            )
-        })
-        .collect()
+    accordion_pool::par_map(vec![0.25, 0.5], |fr| {
+        (
+            fr,
+            canneal_quality_under(CannealErrorMode::DropSwaps, fr),
+            canneal_quality_under(CannealErrorMode::InvertDecision, fr),
+        )
+    })
 }
 
 /// Generic end-result corruption sweep on hotspot: quality relative to
@@ -55,37 +52,31 @@ pub fn corruption_sweep() -> Vec<(CorruptionMode, f64)> {
     let threads = 64;
     let knob = app.default_knob();
     let clean = app.run(knob, &RunConfig::default_run(threads));
-    CorruptionMode::ALL
-        .iter()
-        .map(|&mode| {
-            let cfg = RunConfig::with_corruption(threads, 0.25, mode);
-            let out = app.run(knob, &cfg);
-            (mode, app.quality(&out, &clean))
-        })
-        .collect()
+    accordion_pool::par_map(CorruptionMode::ALL.to_vec(), |mode| {
+        let cfg = RunConfig::with_corruption(threads, 0.25, mode);
+        let out = app.run(knob, &cfg);
+        (mode, app.quality(&out, &clean))
+    })
 }
 
 /// Corruption sweep across every benchmark: quality relative to the
 /// clean run for each end-result corruption mode, a quarter of
 /// threads infected.
 pub fn corruption_matrix() -> Vec<(String, Vec<(CorruptionMode, f64)>)> {
-    accordion_apps::app::all_apps()
-        .iter()
-        .map(|app| {
-            let threads = 16; // reduced thread count keeps the sweep fast
-            let knob = app.default_knob();
-            let clean = app.run(knob, &RunConfig::default_run(threads));
-            let rows = CorruptionMode::ALL
-                .iter()
-                .map(|&mode| {
-                    let cfg = RunConfig::with_corruption(threads, 0.25, mode);
-                    let out = app.run(knob, &cfg);
-                    (mode, app.quality(&out, &clean))
-                })
-                .collect();
-            (app.name().to_string(), rows)
-        })
-        .collect()
+    accordion_pool::par_map(accordion_apps::app::all_apps(), |app| {
+        let threads = 16; // reduced thread count keeps the sweep fast
+        let knob = app.default_knob();
+        let clean = app.run(knob, &RunConfig::default_run(threads));
+        let rows = CorruptionMode::ALL
+            .iter()
+            .map(|&mode| {
+                let cfg = RunConfig::with_corruption(threads, 0.25, mode);
+                let out = app.run(knob, &cfg);
+                (mode, app.quality(&out, &clean))
+            })
+            .collect();
+        (app.name().to_string(), rows)
+    })
 }
 
 /// Renders the error-model validation report.

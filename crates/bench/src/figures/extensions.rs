@@ -388,27 +388,31 @@ pub fn validate_report() -> String {
         "dropped",
         "infected",
     ]);
-    for app in accordion_apps::app::all_apps() {
+    // Per-benchmark validation (front measurement + protocol-driven
+    // kernel run) is independent work; compute rows in parallel, then
+    // render them in the fixed benchmark order.
+    let rows = accordion_pool::par_map(accordion_apps::app::all_apps(), |app| {
         let set = FrontSet::measure(app.as_ref());
         let quality = QualityModel::from_front_set(&set);
         let extractor = ParetoExtractor::new(chip, app.as_ref(), &set);
-        let Some(point) = extractor.solve_point(
+        let point = extractor.solve_point(
             Mode {
                 scaling: ProblemScaling::Still,
                 policy: FrequencyPolicy::Speculative,
             },
             1.0,
-        ) else {
-            continue;
-        };
+        )?;
         let v = validate_point(app.as_ref(), &quality, &point, 2014);
-        t.row([
+        Some([
             app.name().to_string(),
             f(v.estimated_quality),
             f(v.measured_quality),
             f(v.dropped_fraction),
             f(v.infected_fraction),
-        ]);
+        ])
+    });
+    for row in rows.into_iter().flatten() {
+        t.row(row);
     }
     format!(
         "Extension — end-to-end validation of the speculative quality model\n\

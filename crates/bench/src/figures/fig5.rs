@@ -42,19 +42,18 @@ pub fn fig5b_curves() -> Vec<Vec<(f64, f64)>> {
     let chip = chip0();
     let params = VariationParams::default();
     let n = chip.topology().num_clusters();
-    (0..n)
-        .map(|c| {
-            let timing = chip.cluster_timing(accordion_chip::topology::ClusterId(c));
-            let slowest = timing.slowest_core(&params);
-            let mut curve = Vec::new();
-            let mut f_ghz = 0.05;
-            while f_ghz <= 1.5001 {
-                curve.push((f_ghz, slowest.perr(f_ghz)));
-                f_ghz += 0.05;
-            }
-            curve
-        })
-        .collect()
+    // One task per cluster curve; cluster order is preserved.
+    accordion_pool::par_map_indexed(n, |c| {
+        let timing = chip.cluster_timing(accordion_chip::topology::ClusterId(c));
+        let slowest = timing.slowest_core(&params);
+        let mut curve = Vec::new();
+        let mut f_ghz = 0.05;
+        while f_ghz <= 1.5001 {
+            curve.push((f_ghz, slowest.perr(f_ghz)));
+            f_ghz += 0.05;
+        }
+        curve
+    })
 }
 
 /// Per-cluster safe frequencies at `VddNTV` — the slowdown summary the

@@ -58,8 +58,10 @@ fn render_app(name: &str) -> String {
 pub fn fig6_report() -> String {
     let mut out =
         "Figure 6 — iso-execution-time fronts (canneal, ferret, bodytrack, x264)".to_string();
-    for name in FIG6_APPS {
-        out.push_str(&render_app(name));
+    // Front extraction per benchmark is the expensive part; render in
+    // parallel and concatenate in the figure's benchmark order.
+    for section in accordion_pool::par_map(FIG6_APPS.to_vec(), render_app) {
+        out.push_str(&section);
     }
     out
 }
@@ -67,8 +69,8 @@ pub fn fig6_report() -> String {
 /// Renders Figure 7.
 pub fn fig7_report() -> String {
     let mut out = "Figure 7 — iso-execution-time fronts (hotspot, srad)".to_string();
-    for name in FIG7_APPS {
-        out.push_str(&render_app(name));
+    for section in accordion_pool::par_map(FIG7_APPS.to_vec(), render_app) {
+        out.push_str(&section);
     }
     out
 }

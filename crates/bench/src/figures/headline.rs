@@ -34,10 +34,11 @@ impl Headline {
             chips,
         )
         .expect("population fabrication");
-        let reports = population
-            .iter()
-            .map(|chip| HeadlineReport::compute(chip, all_apps()))
-            .collect();
+        // One task per Monte-Carlo chip instance; per-chip reports are
+        // independent and the ordered map keeps chip order stable.
+        let reports = accordion_pool::par_map(population, |chip| {
+            HeadlineReport::compute(&chip, all_apps())
+        });
         Self { reports }
     }
 

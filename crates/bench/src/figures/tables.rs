@@ -69,8 +69,11 @@ pub fn tab1_report() -> String {
 }
 
 /// Renders Table 2: technology, variation and architecture parameters
-/// as configured in this reproduction.
-pub fn tab2_report() -> String {
+/// as configured in this reproduction. `chips` is the Monte-Carlo
+/// sample size actually in effect (the paper's Table 2 uses 100; the
+/// `repro --chips N` flag overrides it and must be reported
+/// truthfully).
+pub fn tab2_report(chips: usize) -> String {
     let tech = Technology::node_11nm();
     let var = VariationParams::default();
     let topo = Topology::paper_default();
@@ -104,7 +107,7 @@ pub fn tab2_report() -> String {
         "total sigma/mu (Leff)",
         format!("{}%", tech.leff_sigma_over_mu * 100.0).as_str(),
     ]);
-    t.row(["sample size (chips)", "100"]);
+    t.row(["sample size (chips)", chips.to_string().as_str()]);
     t.row([
         "core-private mem",
         format!(
@@ -172,11 +175,25 @@ mod tests {
 
     #[test]
     fn tab2_lists_core_parameters() {
-        let r = tab2_report();
+        let r = tab2_report(100);
         assert!(r.contains("288"));
         assert!(r.contains("0.550"));
         assert!(r.contains("15%"));
         assert!(r.contains("2D torus"));
+    }
+
+    #[test]
+    fn tab2_reports_the_actual_sample_size() {
+        // `repro --chips N` must show up in the report instead of the
+        // paper's hardcoded 100.
+        let r = tab2_report(7);
+        assert!(r.contains("sample size (chips)"));
+        let line = r
+            .lines()
+            .find(|l| l.contains("sample size"))
+            .expect("sample-size row");
+        assert!(line.contains('7'), "line: {line}");
+        assert!(!line.contains("100"), "line: {line}");
     }
 
     #[test]

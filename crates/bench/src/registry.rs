@@ -61,7 +61,7 @@ pub fn generate(artifact: &str, chips: usize) -> Option<String> {
         "fig6" => fig6::fig6_report(),
         "fig7" => fig6::fig7_report(),
         "tab1" => tables::tab1_report(),
-        "tab2" => tables::tab2_report(),
+        "tab2" => tables::tab2_report(chips),
         "tab3" => tables::tab3_report(),
         "headline" => headline::Headline::compute(chips).report(),
         "errmodel" => errmodel::errmodel_report(),

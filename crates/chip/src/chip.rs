@@ -112,12 +112,13 @@ impl Chip {
         // `index` is identical regardless of how it is requested.
         let pop = ChipPopulation::generate(&plan, vparams, &fm, first as usize + count, seed)?;
         let power = ChipPowerModel::paper_default(&tech);
-        Ok(pop
-            .samples()
-            .iter()
-            .skip(first as usize)
-            .map(|sample| Self::from_sample(topo, vparams, &fm, &power, sample.clone()))
-            .collect())
+        // Deriving per-cluster operating limits is per-chip work with
+        // no cross-chip state; fan it out while preserving index order
+        // (the determinism contract of `accordion-pool`).
+        let tail: Vec<ChipSample> = pop.samples()[first as usize..].to_vec();
+        Ok(accordion_pool::par_map(tail, |sample| {
+            Self::from_sample(topo, vparams, &fm, &power, sample)
+        }))
     }
 
     fn from_sample(

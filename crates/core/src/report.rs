@@ -46,28 +46,29 @@ impl HeadlineReport {
     /// Panics if `apps` is empty.
     pub fn compute(chip: &Chip, apps: Vec<Box<dyn RmsApp>>) -> Self {
         assert!(!apps.is_empty(), "report needs at least one benchmark");
-        let apps = apps
-            .into_iter()
-            .map(|app| {
-                let name = app.name().to_string();
-                let acc = Accordion::new(chip.clone(), app);
-                let best_eff_unconstrained = Mode::FIGURE_MODES
-                    .iter()
-                    .filter_map(|&m| acc.best_efficiency(m))
-                    .fold(f64::NEG_INFINITY, f64::max);
-                let (best_eff_norm, best_mode) = acc
-                    .plan(Self::QUALITY_FLOOR)
-                    .map(|p| (p.eff_norm, p.mode))
-                    .unwrap_or((best_eff_unconstrained, Mode::FIGURE_MODES[0]));
-                AppSummary {
-                    app: name,
-                    best_eff_norm,
-                    best_mode,
-                    best_eff_unconstrained,
-                    spec_gain: acc.speculative_f_gain_range(),
-                }
-            })
-            .collect();
+        // Each benchmark binds its own Accordion instance (front
+        // measurement + baseline + pareto extraction) — independent,
+        // deterministic work; the ordered parallel map keeps the
+        // report rows in the callers' benchmark order.
+        let apps = accordion_pool::par_map(apps, |app| {
+            let name = app.name().to_string();
+            let acc = Accordion::new(chip.clone(), app);
+            let best_eff_unconstrained = Mode::FIGURE_MODES
+                .iter()
+                .filter_map(|&m| acc.best_efficiency(m))
+                .fold(f64::NEG_INFINITY, f64::max);
+            let (best_eff_norm, best_mode) = acc
+                .plan(Self::QUALITY_FLOOR)
+                .map(|p| (p.eff_norm, p.mode))
+                .unwrap_or((best_eff_unconstrained, Mode::FIGURE_MODES[0]));
+            AppSummary {
+                app: name,
+                best_eff_norm,
+                best_mode,
+                best_eff_unconstrained,
+                spec_gain: acc.speculative_f_gain_range(),
+            }
+        });
         Self { apps }
     }
 

@@ -1,0 +1,472 @@
+//! Zero-dependency work-stealing thread pool for the Monte-Carlo hot
+//! paths of the Accordion reproduction.
+//!
+//! The paper's evaluation is a Monte-Carlo study over a population of
+//! VARIUS-NTV chip instances. Every per-chip (and per-benchmark)
+//! computation draws from an independent [`SeedStream`] substream, so
+//! the work can be fanned out across threads with **bit-identical**
+//! output: each item's result depends only on its own derived seed,
+//! and the combinators below return results in input order, so any
+//! downstream reduction sees exactly the sequence the sequential code
+//! saw.
+//!
+//! [`SeedStream`]: https://docs.rs/accordion-stats — `accordion_stats::rng::SeedStream`
+//!
+//! Three entry points:
+//!
+//! * [`par_map`] / [`par_map_indexed`] — ordered-result parallel map
+//!   over owned items / index ranges, the workhorses of the population
+//!   and figure generators;
+//! * [`scope`] — a scoped spawn interface for heterogeneous task sets;
+//!   tasks may borrow from the enclosing environment and may freely
+//!   open nested scopes or nested `par_map`s.
+//!
+//! # Determinism contract
+//!
+//! For a pure `f` (no shared mutable state), `par_map_indexed(n, f)`
+//! returns exactly `(0..n).map(f).collect()` for **every** thread
+//! count, including 1. The repo's golden-value suite and the
+//! `--jobs 1` vs `--jobs 8` determinism tests enforce this end to end.
+//!
+//! # Thread count
+//!
+//! [`jobs`] resolves, in priority order: an explicit [`set_jobs`]
+//! override (the `repro --jobs N` flag), the `ACCORDION_JOBS`
+//! environment variable, then [`std::thread::available_parallelism`].
+//! `jobs() == 1` runs every combinator on the calling thread with no
+//! worker threads at all — the old sequential path.
+//!
+//! # Panics
+//!
+//! A panic inside a task is caught on the worker, the remaining work
+//! is abandoned (`par_map`) or drained unexecuted ([`scope`]), and the
+//! first payload is re-raised on the calling thread once the scope's
+//! threads have parked — the pool itself is never poisoned, and the
+//! next call starts clean.
+//!
+//! # Example
+//!
+//! ```
+//! let squares = accordion_pool::par_map_indexed(8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//!
+//! let doubled = accordion_pool::par_map(vec![1, 2, 3], |x| x * 2);
+//! assert_eq!(doubled, vec![2, 4, 6]);
+//! ```
+//!
+//! Every task opens a `pool.task` telemetry span, so `ACCORDION_TRACE`
+//! / `repro --trace` shows per-task timing, and `pool.tasks` /
+//! `pool.steals` counters land in run manifests.
+
+use accordion_telemetry::{counter, span};
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// `set_jobs` override; 0 means "no override".
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker-thread count for every subsequent pool
+/// operation (`Some(n)` clamps to at least 1; `None` restores the
+/// `ACCORDION_JOBS` / auto-detect default). Process-global: the
+/// `repro --jobs N` flag and the determinism tests are the intended
+/// callers.
+pub fn set_jobs(n: Option<usize>) {
+    JOBS_OVERRIDE.store(n.map_or(0, |v| v.max(1)), Ordering::Relaxed);
+}
+
+/// The worker-thread count pool operations will use: the [`set_jobs`]
+/// override if present, else a positive integer `ACCORDION_JOBS`, else
+/// the machine's available parallelism.
+pub fn jobs() -> usize {
+    let o = JOBS_OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    if let Ok(v) = std::env::var("ACCORDION_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs one task under the pool's telemetry envelope.
+fn run_one<R>(f: impl FnOnce() -> R) -> R {
+    let _span = span!("pool.task");
+    counter!("pool.tasks").inc();
+    f()
+}
+
+/// Parallel map over an index range with results in index order.
+///
+/// Equivalent to `(0..n).map(f).collect()` — bit-identical for pure
+/// `f` — but executed on [`jobs`] work-stealing workers. Each worker
+/// starts on its own contiguous block (cache-friendly) and steals from
+/// the tail of other blocks when it runs dry.
+///
+/// # Panics
+///
+/// Re-raises the first panic from `f` after abandoning remaining
+/// items; subsequent pool calls are unaffected.
+pub fn par_map_indexed<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = jobs().min(n);
+    if workers <= 1 {
+        return (0..n).map(|i| run_one(|| f(i))).collect();
+    }
+
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // Contiguous block per worker; stealing rebalances uneven costs.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| {
+            let lo = w * n / workers;
+            let hi = (w + 1) * n / workers;
+            Mutex::new((lo..hi).collect())
+        })
+        .collect();
+    let panicked: Mutex<Option<PanicPayload>> = Mutex::new(None);
+
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let (slots, queues, panicked, f) = (&slots, &queues, &panicked, &f);
+            s.spawn(move || loop {
+                let i = {
+                    let own = queues[w].lock().expect("pool queue lock").pop_front();
+                    match own.or_else(|| steal_index(queues, w)) {
+                        Some(i) => i,
+                        None => return, // every index claimed
+                    }
+                };
+                if panicked.lock().expect("pool panic lock").is_some() {
+                    return; // abandon remaining work after a panic
+                }
+                match catch_unwind(AssertUnwindSafe(|| run_one(|| f(i)))) {
+                    Ok(v) => *slots[i].lock().expect("pool slot lock") = Some(v),
+                    Err(p) => {
+                        let mut slot = panicked.lock().expect("pool panic lock");
+                        if slot.is_none() {
+                            *slot = Some(p);
+                        }
+                        return;
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(p) = panicked.into_inner().expect("pool panic lock") {
+        resume_unwind(p);
+    }
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("pool slot lock")
+                .expect("every index computed")
+        })
+        .collect()
+}
+
+/// Steals one index from the back of another worker's queue.
+fn steal_index(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+    let nq = queues.len();
+    for off in 1..nq {
+        let o = (w + off) % nq;
+        if let Some(i) = queues[o].lock().expect("pool queue lock").pop_back() {
+            counter!("pool.steals").inc();
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Parallel map over owned items with results in input order.
+///
+/// Equivalent to `items.into_iter().map(f).collect()` for pure `f`.
+///
+/// # Panics
+///
+/// Re-raises the first panic from `f`; see [`par_map_indexed`].
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    par_map_indexed(slots.len(), |i| {
+        let item = slots[i]
+            .lock()
+            .expect("pool item lock")
+            .take()
+            .expect("each index claimed exactly once");
+        f(item)
+    })
+}
+
+/// A task spawned into a [`scope`].
+type Task<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+struct ScopeState {
+    /// Tasks pushed but not yet reserved by a worker.
+    queued: usize,
+    /// The scope body has returned; drain and exit.
+    done: bool,
+}
+
+struct Shared<'env> {
+    /// One deque per worker; empty when `jobs() == 1` (inline mode).
+    queues: Vec<Mutex<VecDeque<Task<'env>>>>,
+    state: Mutex<ScopeState>,
+    cv: Condvar,
+    panicked: Mutex<Option<PanicPayload>>,
+    rr: AtomicUsize,
+}
+
+/// Handle for spawning tasks inside a [`scope`].
+pub struct Scope<'env, 'scope> {
+    shared: &'scope Shared<'env>,
+}
+
+impl<'env> Scope<'env, '_> {
+    /// Spawns `task` onto the scope's workers (round-robin placement,
+    /// work-stealing execution). With `jobs() == 1` the task runs
+    /// immediately on the calling thread.
+    ///
+    /// Tasks may borrow anything outliving the `scope` call and may
+    /// open nested [`scope`]s or [`par_map`]s; they cannot spawn onto
+    /// *this* scope (spawn from the scope body instead).
+    pub fn spawn<F>(&self, task: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        if self.shared.queues.is_empty() {
+            // Sequential mode: run inline, mirroring the workers'
+            // panic capture so `scope` re-raises at the end.
+            if self
+                .shared
+                .panicked
+                .lock()
+                .expect("pool panic lock")
+                .is_some()
+            {
+                return;
+            }
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| run_one(task))) {
+                let mut slot = self.shared.panicked.lock().expect("pool panic lock");
+                if slot.is_none() {
+                    *slot = Some(p);
+                }
+            }
+            return;
+        }
+        let i = self.shared.rr.fetch_add(1, Ordering::Relaxed) % self.shared.queues.len();
+        self.shared.queues[i]
+            .lock()
+            .expect("pool queue lock")
+            .push_back(Box::new(task));
+        let mut st = self.shared.state.lock().expect("pool state lock");
+        st.queued += 1;
+        self.shared.cv.notify_one();
+    }
+}
+
+/// Runs `f` with a [`Scope`] handle, waits for every spawned task, and
+/// returns `f`'s result. Workers are scoped threads: they are joined
+/// before `scope` returns, so tasks may borrow from the caller's
+/// stack.
+///
+/// # Panics
+///
+/// If `f` or any task panics, the payload is re-raised here after all
+/// workers have parked; unexecuted tasks are dropped. Nested calls
+/// (from inside a task) are independent scopes and compose freely.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&'scope Scope<'env, 'scope>) -> R,
+{
+    counter!("pool.scopes").inc();
+    let workers = jobs();
+    let shared = Shared {
+        queues: (0..if workers <= 1 { 0 } else { workers })
+            .map(|_| Mutex::new(VecDeque::new()))
+            .collect(),
+        state: Mutex::new(ScopeState {
+            queued: 0,
+            done: false,
+        }),
+        cv: Condvar::new(),
+        panicked: Mutex::new(None),
+        rr: AtomicUsize::new(0),
+    };
+
+    let result = std::thread::scope(|s| {
+        for w in 0..shared.queues.len() {
+            let shared = &shared;
+            s.spawn(move || worker_loop(shared, w));
+        }
+        let r = catch_unwind(AssertUnwindSafe(|| f(&Scope { shared: &shared })));
+        // The body returned (or unwound): no further spawns are
+        // possible. Wake every worker to drain the queues and exit.
+        let mut st = shared.state.lock().expect("pool state lock");
+        st.done = true;
+        shared.cv.notify_all();
+        drop(st);
+        r
+    });
+    // Workers are joined; re-raise the body's panic first, then the
+    // first task panic.
+    match result {
+        Ok(r) => {
+            if let Some(p) = shared.panicked.into_inner().expect("pool panic lock") {
+                resume_unwind(p);
+            }
+            r
+        }
+        Err(p) => resume_unwind(p),
+    }
+}
+
+fn worker_loop(shared: &Shared<'_>, w: usize) {
+    loop {
+        // Reserve one queued task, or exit once the scope is done and
+        // nothing is pending.
+        {
+            let mut st = shared.state.lock().expect("pool state lock");
+            loop {
+                if st.queued > 0 {
+                    st.queued -= 1;
+                    break;
+                }
+                if st.done {
+                    return;
+                }
+                st = shared.cv.wait(st).expect("pool state lock");
+            }
+        }
+        // The reservation guarantees a task exists in some queue
+        // (tasks are pushed before `queued` is incremented); scan own
+        // queue first, then steal.
+        let task = claim_task(shared, w);
+        if shared.panicked.lock().expect("pool panic lock").is_some() {
+            drop(task); // abort mode: drain without executing
+            continue;
+        }
+        if let Err(p) = catch_unwind(AssertUnwindSafe(|| run_one(task))) {
+            let mut slot = shared.panicked.lock().expect("pool panic lock");
+            if slot.is_none() {
+                *slot = Some(p);
+            }
+        }
+    }
+}
+
+fn claim_task<'env>(shared: &Shared<'env>, w: usize) -> Task<'env> {
+    loop {
+        if let Some(t) = shared.queues[w]
+            .lock()
+            .expect("pool queue lock")
+            .pop_front()
+        {
+            return t;
+        }
+        let nq = shared.queues.len();
+        for off in 1..nq {
+            let o = (w + off) % nq;
+            if let Some(t) = shared.queues[o].lock().expect("pool queue lock").pop_back() {
+                counter!("pool.steals").inc();
+                return t;
+            }
+        }
+        // Another claimant is mid-pop; the reserved task will appear.
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that touch the process-global jobs override.
+    static JOBS_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_jobs<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        let _guard = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_jobs(Some(n));
+        let r = f();
+        set_jobs(None);
+        r
+    }
+
+    #[test]
+    fn jobs_override_wins() {
+        let _guard = JOBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_jobs(Some(3));
+        assert_eq!(jobs(), 3);
+        set_jobs(Some(0)); // clamps to 1
+        assert_eq!(jobs(), 1);
+        set_jobs(None);
+        assert!(jobs() >= 1);
+    }
+
+    #[test]
+    fn par_map_indexed_matches_sequential() {
+        for n in [0usize, 1, 2, 7, 64, 257] {
+            let seq: Vec<u64> = (0..n)
+                .map(|i| (i as u64).wrapping_mul(2654435761))
+                .collect();
+            let par = with_jobs(8, || {
+                par_map_indexed(n, |i| (i as u64).wrapping_mul(2654435761))
+            });
+            assert_eq!(seq, par, "n={n}");
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order_under_uneven_cost() {
+        let items: Vec<usize> = (0..40).collect();
+        let out = with_jobs(4, || {
+            par_map(items, |i| {
+                // Make early items the slowest so stealing reorders
+                // execution but not results.
+                if i < 4 {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                i * 10
+            })
+        });
+        assert_eq!(out, (0..40).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scope_runs_all_tasks() {
+        let hits: Vec<AtomicUsize> = (0..32).map(|_| AtomicUsize::new(0)).collect();
+        with_jobs(4, || {
+            scope(|s| {
+                for h in &hits {
+                    s.spawn(move || {
+                        h.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            })
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn sequential_mode_uses_calling_thread() {
+        let caller = std::thread::current().id();
+        let ids = with_jobs(1, || par_map_indexed(3, |_| std::thread::current().id()));
+        assert!(ids.iter().all(|id| *id == caller));
+    }
+}

@@ -21,8 +21,13 @@ echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 if [ "$fast" -eq 0 ]; then
-    echo "==> cargo test -q"
-    cargo test -q
+    # Two passes pin the determinism contract of accordion-pool: the
+    # suite (golden snapshots included) must pass with the sequential
+    # path and with a saturated worker pool producing identical bytes.
+    echo "==> ACCORDION_JOBS=1 cargo test -q"
+    ACCORDION_JOBS=1 cargo test -q
+    echo "==> ACCORDION_JOBS=8 cargo test -q"
+    ACCORDION_JOBS=8 cargo test -q
 fi
 
 echo "All checks passed."

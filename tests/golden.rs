@@ -1,0 +1,97 @@
+//! Golden-value regression suite: every artifact in the reproduction
+//! registry is compared byte-for-byte against a checked-in snapshot.
+//!
+//! The generators are deterministic by construction (every random draw
+//! comes from a labelled `SeedStream` substream), so any diff here is a
+//! real behavioural change — either a bug or an intentional model
+//! change. For the latter, regenerate the snapshots with
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden
+//! ```
+//!
+//! and review the diff like any other code change.
+
+use accordion_bench::registry::{generate, ARTIFACTS};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Monte-Carlo population size for the snapshots. Two chips is the
+/// smallest count that still exercises the population machinery
+/// (cross-chip aggregation, parallel fabrication) without making the
+/// suite's slowest artifact dominate CI.
+const GOLDEN_CHIPS: usize = 2;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// First differing line as a readable report, or `None` if identical.
+fn diff_report(id: &str, expected: &str, got: &str) -> Option<String> {
+    if expected == got {
+        return None;
+    }
+    let mut msg = format!("artifact {id} diverged from its golden snapshot\n");
+    let exp_lines: Vec<&str> = expected.lines().collect();
+    let got_lines: Vec<&str> = got.lines().collect();
+    let n = exp_lines.len().max(got_lines.len());
+    for i in 0..n {
+        let e = exp_lines.get(i).copied();
+        let g = got_lines.get(i).copied();
+        if e != g {
+            let _ = writeln!(msg, "  first difference at line {}:", i + 1);
+            let _ = writeln!(msg, "    expected: {}", e.unwrap_or("<end of snapshot>"));
+            let _ = writeln!(msg, "    got:      {}", g.unwrap_or("<end of report>"));
+            break;
+        }
+    }
+    let _ = writeln!(
+        msg,
+        "  ({} snapshot lines, {} report lines)",
+        exp_lines.len(),
+        got_lines.len()
+    );
+    let _ = writeln!(
+        msg,
+        "  if the change is intentional: UPDATE_GOLDEN=1 cargo test --test golden"
+    );
+    Some(msg)
+}
+
+#[test]
+fn every_artifact_matches_its_golden_snapshot() {
+    let update = std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1");
+    let dir = golden_dir();
+    if update {
+        std::fs::create_dir_all(&dir).expect("create golden dir");
+    }
+    let mut failures = Vec::new();
+    for &id in ARTIFACTS {
+        let report = generate(id, GOLDEN_CHIPS).unwrap_or_else(|| panic!("unknown artifact {id}"));
+        let path = dir.join(format!("{id}.txt"));
+        if update {
+            std::fs::write(&path, &report).expect("write golden snapshot");
+            continue;
+        }
+        let expected = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(_) => {
+                failures.push(format!(
+                    "artifact {id}: no golden snapshot at {}\n  \
+                     run UPDATE_GOLDEN=1 cargo test --test golden to create it",
+                    path.display()
+                ));
+                continue;
+            }
+        };
+        if let Some(msg) = diff_report(id, &expected, &report) {
+            failures.push(msg);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} golden mismatch(es):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
