@@ -55,6 +55,13 @@ fn parse_cli(args: &[String]) -> Cli {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--chips needs a number"));
+                // Monte-Carlo artifacts aggregate over the population
+                // (`reports[0]`, means over chips); zero chips would
+                // panic deep inside an artifact generator instead of
+                // failing usefully here.
+                if chips == 0 {
+                    die("--chips must be at least 1");
+                }
             }
             "--jobs" => {
                 let n: usize = it

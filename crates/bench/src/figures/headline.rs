@@ -45,8 +45,13 @@ impl Headline {
     /// The efficiency band aggregated across chips: for each
     /// benchmark, the mean best ratio over chips; the band is the
     /// (min, max) across benchmarks — the paper's 1.61–1.87×.
+    /// An empty population yields a `(NaN, NaN)` band rather than a
+    /// panic (the CLI rejects `--chips 0` before getting here).
     pub fn efficiency_band(&self) -> (f64, f64) {
-        let napps = self.reports[0].apps.len();
+        let Some(head) = self.reports.first() else {
+            return (f64::NAN, f64::NAN);
+        };
+        let napps = head.apps.len();
         let mut band = (f64::INFINITY, f64::NEG_INFINITY);
         for a in 0..napps {
             let mean: f64 = self
@@ -77,6 +82,9 @@ impl Headline {
 
     /// Renders the headline report.
     pub fn report(&self) -> String {
+        if self.reports.is_empty() {
+            return "Headline — no chips in the population\n".to_string();
+        }
         let mut t = TextTable::new(["benchmark", "mean best MIPS/W ratio", "best mode"]);
         let napps = self.reports[0].apps.len();
         for a in 0..napps {
@@ -130,6 +138,16 @@ mod tests {
         let (lo, hi) = headline().spec_gain_band_pct();
         assert!((0.0..25.0).contains(&lo), "gain low {lo}%");
         assert!(hi > 5.0 && hi < 80.0, "gain high {hi}%");
+    }
+
+    #[test]
+    fn empty_population_reports_without_panicking() {
+        // The CLI rejects `--chips 0`, but the library type must still
+        // degrade gracefully if constructed empty.
+        let empty = Headline { reports: vec![] };
+        let (lo, hi) = empty.efficiency_band();
+        assert!(lo.is_nan() && hi.is_nan());
+        assert!(empty.report().contains("no chips"));
     }
 
     #[test]

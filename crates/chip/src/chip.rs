@@ -41,6 +41,9 @@ pub struct Chip {
     vparams: VariationParams,
     sample: ChipSample,
     cluster_safe_f_ghz: Vec<f64>,
+    /// Vth corner of each cluster's shared-memory site, precomputed at
+    /// fabrication so latency queries never rebuild the floorplan.
+    cluster_shared_mem_dv: Vec<f64>,
 }
 
 impl Chip {
@@ -117,7 +120,7 @@ impl Chip {
         // (the determinism contract of `accordion-pool`).
         let tail: Vec<ChipSample> = pop.samples()[first as usize..].to_vec();
         Ok(accordion_pool::par_map(tail, |sample| {
-            Self::from_sample(topo, vparams, &fm, &power, sample)
+            Self::from_sample(topo, vparams, &fm, &power, &plan, sample)
         }))
     }
 
@@ -126,9 +129,21 @@ impl Chip {
         vparams: &VariationParams,
         fm: &FreqModel,
         power: &ChipPowerModel,
+        plan: &accordion_varius::layout::SitePlan,
         sample: ChipSample,
     ) -> Self {
+        use accordion_varius::layout::MemKind;
         let cluster_safe_f_ghz = sample.cluster_safe_f_ghz(vparams);
+        // The cluster's first shared-memory site carries its local
+        // corner; keep it per cluster so `cluster_mem_latency_ns` is a
+        // lookup instead of a floorplan rebuild + scan.
+        let mut shared_dv: Vec<Option<f64>> = vec![None; plan.num_clusters()];
+        for (site, &dv) in plan.mem_sites.iter().zip(&sample.variation.mem_vth_delta_v) {
+            if site.kind == MemKind::ClusterShared && shared_dv[site.cluster].is_none() {
+                shared_dv[site.cluster] = Some(dv);
+            }
+        }
+        let cluster_shared_mem_dv = shared_dv.into_iter().map(|d| d.unwrap_or(0.0)).collect();
         Self {
             topo,
             memory: MemoryParams::paper_default(),
@@ -138,6 +153,7 @@ impl Chip {
             vparams: vparams.clone(),
             sample,
             cluster_safe_f_ghz,
+            cluster_shared_mem_dv,
         }
     }
 
@@ -249,18 +265,11 @@ impl Chip {
     ///
     /// Panics if the cluster id is out of range.
     pub fn cluster_mem_latency_ns(&self, cluster: ClusterId) -> f64 {
-        use accordion_varius::layout::MemKind;
-        let plan = crate::floorplan::Floorplan::paper_default().site_plan(&self.topo);
         let timing = accordion_varius::mem_timing::MemTiming::new(&self.fm, self.vdd_ntv_v());
-        // The cluster's shared-memory site carries its local corner.
-        let dv = plan
-            .mem_sites
-            .iter()
-            .zip(&self.sample.variation.mem_vth_delta_v)
-            .find(|(site, _)| site.cluster == cluster.0 && site.kind == MemKind::ClusterShared)
-            .map(|(_, &dv)| dv)
-            .unwrap_or(0.0);
-        timing.access_ns(self.memory.cluster_access_ns, dv)
+        timing.access_ns(
+            self.memory.cluster_access_ns,
+            self.cluster_shared_mem_dv[cluster.0],
+        )
     }
 }
 

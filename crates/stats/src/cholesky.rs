@@ -117,19 +117,62 @@ impl Cholesky {
         self.n
     }
 
+    /// Reads `L[i][j]` from the lower triangle (`j <= i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range or above the diagonal.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(
+            i < self.n && j <= i,
+            "index ({i},{j}) not in lower triangle"
+        );
+        self.l[i * self.n + j]
+    }
+
     /// Computes `L · z`.
     ///
     /// # Panics
     ///
     /// Panics if `z.len()` differs from the matrix dimension.
     pub fn mul_vec(&self, z: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.n];
+        self.mul_vec_into(z, &mut out);
+        out
+    }
+
+    /// Computes `L · z` into `out` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z.len()` or `out.len()` differ from the matrix
+    /// dimension.
+    pub fn mul_vec_into(&self, z: &[f64], out: &mut [f64]) {
         assert_eq!(z.len(), self.n, "vector length mismatch");
-        (0..self.n)
-            .map(|i| {
-                let row = &self.l[i * self.n..i * self.n + i + 1];
-                row.iter().zip(z).map(|(lik, zk)| lik * zk).sum()
-            })
-            .collect()
+        assert_eq!(out.len(), self.n, "output length mismatch");
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.row_dot(i, z);
+        }
+    }
+
+    /// Computes `L · z` in place. Rows are evaluated bottom-up:
+    /// `y[i]` depends only on `z[..=i]`, so overwriting `z[i]` after
+    /// computing row `i` never corrupts a later (lower-index) row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z.len()` differs from the matrix dimension.
+    pub fn mul_in_place(&self, z: &mut [f64]) {
+        assert_eq!(z.len(), self.n, "vector length mismatch");
+        for i in (0..self.n).rev() {
+            z[i] = self.row_dot(i, z);
+        }
+    }
+
+    #[inline]
+    fn row_dot(&self, i: usize, z: &[f64]) -> f64 {
+        let row = &self.l[i * self.n..i * self.n + i + 1];
+        row.iter().zip(z).map(|(lik, zk)| lik * zk).sum()
     }
 
     /// Reconstructs `Σ[i][j] = Σₖ L[i][k]·L[j][k]` (for testing and

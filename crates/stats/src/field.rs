@@ -8,10 +8,31 @@
 //! fraction of the chip width). This module samples such fields at an
 //! arbitrary set of points via Cholesky factorization of the correlation
 //! matrix.
+//!
+//! # Sparsity
+//!
+//! The spherical variogram has *compact support*: `ρ(d) = 0` exactly
+//! for `d ≥ range`, so on a large die most site pairs are uncorrelated
+//! and the correlation matrix is mostly zeros. For such models the
+//! field is built sparsity-aware end to end:
+//!
+//! * candidate neighbor pairs come from a spatial-bin grid instead of
+//!   an all-pairs sweep,
+//! * sites are reordered internally (reverse Cuthill–McKee) whenever
+//!   that tightens the factor's row envelope,
+//! * assembly, factorization and per-sample evaluation all run on the
+//!   row envelope ([`crate::envelope`]) instead of dense `n × n`
+//!   kernels.
+//!
+//! Models with unbounded support (the exponential variogram) fall back
+//! to the dense [`Cholesky`] path. Either engine samples without
+//! allocating via [`CorrelatedField::sample_into`].
 
 use crate::cholesky::Cholesky;
+use crate::envelope::{EnvelopeCholesky, EnvelopeMatrix};
 use crate::rng::sample_std_normal;
 use rand::RngCore;
+use std::cell::RefCell;
 
 /// Isotropic spatial correlation models `ρ(d)` for distance `d`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,6 +83,16 @@ impl CorrelationModel {
             }
         }
     }
+
+    /// The support radius beyond which `ρ` is exactly zero, or `None`
+    /// for models with unbounded support.
+    fn support_radius(&self) -> Option<f64> {
+        match *self {
+            CorrelationModel::Spherical { range } => Some(range.max(0.0)),
+            CorrelationModel::Exponential { .. } => None,
+            CorrelationModel::Independent => Some(0.0),
+        }
+    }
 }
 
 /// Error constructing a correlated field.
@@ -84,12 +115,33 @@ impl std::fmt::Display for FieldError {
 
 impl std::error::Error for FieldError {}
 
+// Per-thread scratch for the permuted-envelope sampling path; sized
+// lazily to the largest field sampled on this thread.
+thread_local! {
+    static SAMPLE_SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
+#[derive(Debug, Clone)]
+enum Engine {
+    /// Dense factor over the points in their original order.
+    Dense(Cholesky),
+    /// Envelope factor over internally reordered points; `order[p]`
+    /// is the original index of the site at factor position `p`
+    /// (`None` = identity).
+    Envelope {
+        chol: EnvelopeCholesky,
+        order: Option<Vec<u32>>,
+    },
+}
+
 /// A sampler of zero-mean, unit-variance Gaussian fields over a fixed
 /// point set.
 ///
-/// Construction factors the correlation matrix once (`O(n³)`); each
-/// sample is then an `O(n²)` matrix-vector product, so one factorization
-/// serves an entire chip population.
+/// Construction factors the correlation matrix once; each sample is
+/// then one matrix–vector product, so one factorization serves an
+/// entire chip population. Compact-support models factor on the row
+/// envelope (`O(Σ wᵢ²)` instead of `O(n³)`) and sample in `O(Σ wᵢ)`
+/// instead of `O(n²)`.
 ///
 /// # Example
 ///
@@ -106,20 +158,38 @@ impl std::error::Error for FieldError {}
 /// ```
 #[derive(Debug, Clone)]
 pub struct CorrelatedField {
-    chol: Cholesky,
+    engine: Engine,
     n: usize,
 }
 
 impl CorrelatedField {
     /// Builds a field sampler over `points` with the given correlation
-    /// model.
+    /// model, picking the sparse envelope engine when the model has
+    /// compact support.
     ///
     /// # Errors
     ///
     /// Returns [`FieldError::NoPoints`] for an empty point set and
-    /// [`FieldError::Factorization`] if the correlation matrix cannot be
-    /// factored.
+    /// [`FieldError::Factorization`] if the correlation matrix cannot
+    /// be factored.
     pub fn new(points: &[(f64, f64)], model: CorrelationModel) -> Result<Self, FieldError> {
+        if points.is_empty() {
+            return Err(FieldError::NoPoints);
+        }
+        match model.support_radius() {
+            Some(radius) => Self::new_envelope(points, model, radius),
+            None => Self::new_dense(points, model),
+        }
+    }
+
+    /// Builds a field sampler on the dense Cholesky engine regardless
+    /// of the model's support (reference path for equivalence tests
+    /// and benchmarks).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CorrelatedField::new`].
+    pub fn new_dense(points: &[(f64, f64)], model: CorrelationModel) -> Result<Self, FieldError> {
         if points.is_empty() {
             return Err(FieldError::NoPoints);
         }
@@ -127,16 +197,51 @@ impl CorrelatedField {
         let mut corr = vec![0.0; n * n];
         for i in 0..n {
             for j in 0..=i {
-                let dx = points[i].0 - points[j].0;
-                let dy = points[i].1 - points[j].1;
-                let d = (dx * dx + dy * dy).sqrt();
-                let r = model.rho(d);
+                let r = pair_rho(points, model, i, j);
                 corr[i * n + j] = r;
                 corr[j * n + i] = r;
             }
         }
         let chol = Cholesky::factor(&corr, n).map_err(FieldError::Factorization)?;
-        Ok(Self { chol, n })
+        Ok(Self {
+            engine: Engine::Dense(chol),
+            n,
+        })
+    }
+
+    fn new_envelope(
+        points: &[(f64, f64)],
+        model: CorrelationModel,
+        radius: f64,
+    ) -> Result<Self, FieldError> {
+        let n = points.len();
+        let adj = neighbor_lists(points, model, radius);
+
+        // Identity-order envelope vs reverse Cuthill–McKee: keep
+        // whichever stores less. The choice is a pure function of the
+        // point set, so it is deterministic across runs and job counts.
+        let first_id = envelope_first_identity(&adj);
+        let rcm = rcm_order(&adj);
+        let first_rcm = envelope_first_ordered(&adj, &rcm);
+        let (order, first) = if envelope_len(&first_rcm) < envelope_len(&first_id) {
+            (Some(rcm), first_rcm)
+        } else {
+            (None, first_id)
+        };
+
+        let mut m = EnvelopeMatrix::new(first.clone());
+        let site = |p: usize| order.as_ref().map_or(p, |o| o[p] as usize);
+        for (i, &fi) in first.iter().enumerate().take(n) {
+            let si = site(i);
+            for j in fi..=i {
+                m.set(i, j, pair_rho(points, model, si, site(j)));
+            }
+        }
+        let chol = m.factor().map_err(FieldError::Factorization)?;
+        Ok(Self {
+            engine: Engine::Envelope { chol, order },
+            n,
+        })
     }
 
     /// Number of sample points.
@@ -150,12 +255,222 @@ impl CorrelatedField {
         self.n == 0
     }
 
+    /// Whether the sparse envelope engine is active.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.engine, Engine::Envelope { .. })
+    }
+
+    /// Number of stored factor entries (envelope entries for the
+    /// sparse engine, the full lower triangle for the dense one).
+    pub fn factor_stored(&self) -> usize {
+        match &self.engine {
+            Engine::Dense(_) => self.n * (self.n + 1) / 2,
+            Engine::Envelope { chol, .. } => chol.stored_len(),
+        }
+    }
+
     /// Draws one field realization: a vector of `len()` correlated
     /// standard-normal values.
     pub fn sample<R: RngCore>(&self, rng: &mut R) -> Vec<f64> {
-        let z: Vec<f64> = (0..self.n).map(|_| sample_std_normal(rng)).collect();
-        self.chol.mul_vec(&z)
+        let mut out = vec![0.0; self.n];
+        self.sample_into(rng, &mut out);
+        out
     }
+
+    /// Draws one field realization into `out` without allocating
+    /// (after per-thread scratch warm-up on the reordered path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the number of points.
+    pub fn sample_into<R: RngCore>(&self, rng: &mut R, out: &mut [f64]) {
+        assert_eq!(out.len(), self.n, "output length mismatch");
+        match &self.engine {
+            Engine::Dense(chol) => {
+                fill_std_normal(rng, out);
+                chol.mul_in_place(out);
+            }
+            Engine::Envelope { chol, order: None } => {
+                fill_std_normal(rng, out);
+                chol.mul_in_place(out);
+            }
+            Engine::Envelope {
+                chol,
+                order: Some(order),
+            } => SAMPLE_SCRATCH.with(|scratch| {
+                // The i.i.d. draws are consumed in factor order; the
+                // finished realization is scattered back to the
+                // caller's site order.
+                let mut z = scratch.borrow_mut();
+                z.clear();
+                z.resize(self.n, 0.0);
+                fill_std_normal(rng, &mut z);
+                chol.mul_in_place(&mut z);
+                for (p, &s) in order.iter().enumerate() {
+                    out[s as usize] = z[p];
+                }
+            }),
+        }
+    }
+}
+
+fn fill_std_normal<R: RngCore>(rng: &mut R, out: &mut [f64]) {
+    for v in out.iter_mut() {
+        *v = sample_std_normal(rng);
+    }
+}
+
+/// Correlation between two sites, computed identically to the dense
+/// assembly (same subtraction order, same distance expression).
+#[inline]
+fn pair_rho(points: &[(f64, f64)], model: CorrelationModel, i: usize, j: usize) -> f64 {
+    let dx = points[i].0 - points[j].0;
+    let dy = points[i].1 - points[j].1;
+    model.rho((dx * dx + dy * dy).sqrt())
+}
+
+/// Structurally-correlated neighbors of every site (`ρ ≠ 0`, self
+/// excluded), found through a spatial-bin grid so compact-support
+/// models never evaluate beyond-range pairs.
+fn neighbor_lists(points: &[(f64, f64)], model: CorrelationModel, radius: f64) -> Vec<Vec<u32>> {
+    let n = points.len();
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    if radius <= 0.0 {
+        // Only exactly coincident sites correlate; coincident pairs
+        // still matter (they make the matrix singular and exercise
+        // the jitter path), so bin by exact coordinates.
+        use std::collections::HashMap;
+        let mut by_pos: HashMap<(u64, u64), Vec<u32>> = HashMap::new();
+        for (i, p) in points.iter().enumerate() {
+            by_pos
+                .entry((p.0.to_bits(), p.1.to_bits()))
+                .or_default()
+                .push(i as u32);
+        }
+        for group in by_pos.values() {
+            for &i in group {
+                for &j in group {
+                    if i != j {
+                        adj[i as usize].push(j);
+                    }
+                }
+            }
+        }
+        for l in &mut adj {
+            l.sort_unstable();
+        }
+        return adj;
+    }
+
+    let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+    let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in points {
+        min_x = min_x.min(x);
+        min_y = min_y.min(y);
+        max_x = max_x.max(x);
+        max_y = max_y.max(y);
+    }
+    // Cell size ≥ radius so a 3×3 cell neighborhood covers every
+    // within-radius pair; the cell count is capped so pathological
+    // radii cannot blow up the grid.
+    let cells = |extent: f64| ((extent / radius).floor() as usize).clamp(1, 256);
+    let nx = cells(max_x - min_x);
+    let ny = cells(max_y - min_y);
+    let cell_w = ((max_x - min_x) / nx as f64).max(radius);
+    let cell_h = ((max_y - min_y) / ny as f64).max(radius);
+    let bin_of = |x: f64, y: f64| {
+        let bx = (((x - min_x) / cell_w) as usize).min(nx - 1);
+        let by = (((y - min_y) / cell_h) as usize).min(ny - 1);
+        by * nx + bx
+    };
+    let mut bins: Vec<Vec<u32>> = vec![Vec::new(); nx * ny];
+    for (i, &(x, y)) in points.iter().enumerate() {
+        bins[bin_of(x, y)].push(i as u32);
+    }
+    for (i, &(x, y)) in points.iter().enumerate() {
+        let bx = (((x - min_x) / cell_w) as usize).min(nx - 1);
+        let by = (((y - min_y) / cell_h) as usize).min(ny - 1);
+        for cy in by.saturating_sub(1)..=(by + 1).min(ny - 1) {
+            for cx in bx.saturating_sub(1)..=(bx + 1).min(nx - 1) {
+                for &j in &bins[cy * nx + cx] {
+                    if j as usize != i && pair_rho(points, model, i, j as usize) != 0.0 {
+                        adj[i].push(j);
+                    }
+                }
+            }
+        }
+    }
+    for l in &mut adj {
+        l.sort_unstable();
+    }
+    adj
+}
+
+/// Row envelope starts under the identity ordering.
+fn envelope_first_identity(adj: &[Vec<u32>]) -> Vec<usize> {
+    adj.iter()
+        .enumerate()
+        .map(|(i, nbrs)| nbrs.first().map_or(i, |&j| (j as usize).min(i)))
+        .collect()
+}
+
+/// Row envelope starts after permuting sites so that factor position
+/// `p` holds original site `order[p]`.
+fn envelope_first_ordered(adj: &[Vec<u32>], order: &[u32]) -> Vec<usize> {
+    let n = adj.len();
+    let mut pos = vec![0u32; n];
+    for (p, &s) in order.iter().enumerate() {
+        pos[s as usize] = p as u32;
+    }
+    (0..n)
+        .map(|p| {
+            adj[order[p] as usize]
+                .iter()
+                .map(|&j| pos[j as usize] as usize)
+                .fold(p, usize::min)
+        })
+        .collect()
+}
+
+/// Total stored entries for a row envelope.
+fn envelope_len(first: &[usize]) -> usize {
+    first.iter().enumerate().map(|(i, &f)| i - f + 1).sum()
+}
+
+/// Reverse Cuthill–McKee ordering of the correlation graph:
+/// breadth-first from a minimum-degree seed, visiting neighbors in
+/// (degree, index) order, then reversed. Fully deterministic.
+fn rcm_order(adj: &[Vec<u32>]) -> Vec<u32> {
+    let n = adj.len();
+    let deg: Vec<u32> = adj.iter().map(|a| a.len() as u32).collect();
+    let mut visited = vec![false; n];
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut frontier: Vec<u32> = Vec::new();
+    let mut head = 0usize;
+    while order.len() < n {
+        // Seed the next component at its minimum-degree site.
+        let seed = (0..n)
+            .filter(|&i| !visited[i])
+            .min_by_key(|&i| (deg[i], i))
+            .expect("an unvisited site exists") as u32;
+        visited[seed as usize] = true;
+        order.push(seed);
+        while head < order.len() {
+            let v = order[head] as usize;
+            head += 1;
+            frontier.clear();
+            for &j in &adj[v] {
+                if !visited[j as usize] {
+                    visited[j as usize] = true;
+                    frontier.push(j);
+                }
+            }
+            frontier.sort_unstable_by_key(|&j| (deg[j as usize], j));
+            order.extend_from_slice(&frontier);
+        }
+    }
+    order.reverse();
+    order
 }
 
 /// Builds a regular `nx × ny` grid of points covering a `w × h`
@@ -230,6 +545,64 @@ mod tests {
     }
 
     #[test]
+    fn compact_support_uses_envelope_engine() {
+        let pts = grid_points(8, 8, 20.0, 20.0);
+        let sparse =
+            CorrelatedField::new(&pts, CorrelationModel::Spherical { range: 3.0 }).unwrap();
+        assert!(sparse.is_sparse());
+        assert!(
+            sparse.factor_stored() < 64 * 65 / 2,
+            "envelope {} should beat dense",
+            sparse.factor_stored()
+        );
+        let dense =
+            CorrelatedField::new(&pts, CorrelationModel::Exponential { range: 3.0 }).unwrap();
+        assert!(!dense.is_sparse());
+        assert_eq!(dense.factor_stored(), 64 * 65 / 2);
+    }
+
+    #[test]
+    fn envelope_and_dense_engines_agree_statistically() {
+        // Same correlation structure through both engines: second
+        // moments must match within Monte-Carlo noise even though the
+        // internal site ordering differs.
+        let pts = grid_points(4, 4, 8.0, 8.0);
+        let model = CorrelationModel::Spherical { range: 3.0 };
+        let sparse = CorrelatedField::new(&pts, model).unwrap();
+        let dense = CorrelatedField::new_dense(&pts, model).unwrap();
+        let trials = 6000;
+        let mut cov = [[0.0f64; 2]; 2];
+        let root = SeedStream::new(11);
+        for (e, field) in [&sparse, &dense].into_iter().enumerate() {
+            let mut rng = root.stream("engine", e as u64);
+            for _ in 0..trials {
+                let s = field.sample(&mut rng);
+                cov[e][0] += s[0] * s[1] / trials as f64;
+                cov[e][1] += s[0] * s[5] / trials as f64;
+            }
+        }
+        assert!((cov[0][0] - cov[1][0]).abs() < 0.06, "{cov:?}");
+        assert!((cov[0][1] - cov[1][1]).abs() < 0.06, "{cov:?}");
+    }
+
+    #[test]
+    fn sample_into_matches_sample() {
+        let pts = grid_points(6, 6, 20.0, 20.0);
+        for model in [
+            CorrelationModel::Spherical { range: 4.0 },
+            CorrelationModel::Exponential { range: 4.0 },
+            CorrelationModel::Independent,
+        ] {
+            let field = CorrelatedField::new(&pts, model).unwrap();
+            let root = SeedStream::new(5);
+            let a = field.sample(&mut root.stream("s", 0));
+            let mut b = vec![0.0; pts.len()];
+            field.sample_into(&mut root.stream("s", 0), &mut b);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
     fn independent_model_gives_identity() {
         let pts = grid_points(3, 3, 1.0, 1.0);
         let field = CorrelatedField::new(&pts, CorrelationModel::Independent).unwrap();
@@ -241,9 +614,28 @@ mod tests {
     }
 
     #[test]
+    fn coincident_sites_survive_via_jitter() {
+        // Duplicate sites make the correlation matrix singular; the
+        // envelope engine must take the same jitter path as the dense
+        // one and still produce ρ ≈ 1 between the twins.
+        let mut pts = grid_points(3, 3, 9.0, 9.0);
+        pts.push(pts[4]);
+        let field = CorrelatedField::new(&pts, CorrelationModel::Spherical { range: 4.0 }).unwrap();
+        let mut rng = SeedStream::new(2).stream("twin", 0);
+        for _ in 0..20 {
+            let s = field.sample(&mut rng);
+            assert!((s[4] - s[9]).abs() < 1e-3, "twin sites must track");
+        }
+    }
+
+    #[test]
     fn empty_points_error() {
         assert_eq!(
             CorrelatedField::new(&[], CorrelationModel::Independent).unwrap_err(),
+            FieldError::NoPoints
+        );
+        assert_eq!(
+            CorrelatedField::new_dense(&[], CorrelationModel::Independent).unwrap_err(),
             FieldError::NoPoints
         );
     }
@@ -252,5 +644,25 @@ mod tests {
     fn grid_points_layout() {
         let pts = grid_points(2, 2, 4.0, 2.0);
         assert_eq!(pts, vec![(1.0, 0.5), (3.0, 0.5), (1.0, 1.5), (3.0, 1.5)]);
+    }
+
+    #[test]
+    fn rcm_reduces_envelope_on_cores_then_mems_layout() {
+        // A layout listing all cores first and their co-located
+        // memories second is the worst case for the identity order:
+        // every memory row reaches back across all cores. RCM must
+        // interleave them.
+        let cores = grid_points(6, 6, 20.0, 20.0);
+        let mut pts = cores.clone();
+        pts.extend(cores.iter().map(|&(x, y)| (x + 0.1, y)));
+        let model = CorrelationModel::Spherical { range: 2.0 };
+        let adj = neighbor_lists(&pts, model, 2.0);
+        let id = envelope_len(&envelope_first_identity(&adj));
+        let rcm = rcm_order(&adj);
+        let ordered = envelope_len(&envelope_first_ordered(&adj, &rcm));
+        assert!(
+            ordered * 2 < id,
+            "RCM {ordered} should at least halve identity {id}"
+        );
     }
 }

@@ -8,7 +8,8 @@
 //! * the standard normal distribution with accurate `erf`, CDF and
 //!   inverse-CDF implementations ([`normal`]),
 //! * dense Cholesky factorization for sampling correlated Gaussians
-//!   ([`cholesky`]),
+//!   ([`cholesky`]) and an envelope (skyline) factorization for
+//!   compact-support correlation structures ([`envelope`]),
 //! * spatially correlated Gaussian random fields with a spherical
 //!   correlation structure, as used by VARIUS-style process-variation
 //!   models ([`field`]),
@@ -28,6 +29,7 @@
 //! ```
 
 pub mod cholesky;
+pub mod envelope;
 pub mod field;
 pub mod fit;
 pub mod histogram;
@@ -38,6 +40,7 @@ pub mod rng;
 pub mod summary;
 
 pub use cholesky::Cholesky;
+pub use envelope::{EnvelopeCholesky, EnvelopeMatrix};
 pub use field::{CorrelatedField, CorrelationModel, FieldError};
 pub use fit::{line_fit, power_fit, LineFit};
 pub use histogram::Histogram;

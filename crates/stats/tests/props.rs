@@ -1,13 +1,61 @@
 //! Property-based tests for the statistical substrate.
 
 use accordion_stats::cholesky::Cholesky;
+use accordion_stats::envelope::EnvelopeMatrix;
 use accordion_stats::field::{CorrelatedField, CorrelationModel};
 use accordion_stats::interp::PiecewiseLinear;
 use accordion_stats::metrics::{distortion, psnr, relative_quality, ssd};
 use accordion_stats::normal::StdNormal;
-use accordion_stats::rng::SeedStream;
+use accordion_stats::rng::{sample_std_normal, SeedStream};
 use accordion_stats::summary::{quantile, Summary};
 use proptest::prelude::*;
+
+/// Assembles the dense correlation matrix for a point set, with the
+/// same per-pair arithmetic as `CorrelatedField` (dx² + dy², sqrt,
+/// model rho; unit diagonal).
+fn correlation_matrix(pts: &[(f64, f64)], model: &CorrelationModel) -> Vec<f64> {
+    let n = pts.len();
+    let mut a = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = if i == j {
+                1.0
+            } else {
+                let dx = pts[i].0 - pts[j].0;
+                let dy = pts[i].1 - pts[j].1;
+                model.rho((dx * dx + dy * dy).sqrt())
+            };
+        }
+    }
+    a
+}
+
+/// Packs the dense matrix into an `EnvelopeMatrix` whose row envelope
+/// starts at each row's first structural nonzero.
+fn envelope_of(a: &[f64], n: usize) -> EnvelopeMatrix {
+    let first: Vec<usize> = (0..n)
+        .map(|i| (0..=i).find(|&j| a[i * n + j] != 0.0).unwrap_or(i))
+        .collect();
+    let mut m = EnvelopeMatrix::new(first.clone());
+    for (i, &f) in first.iter().enumerate() {
+        for j in f..=i {
+            m.set(i, j, a[i * n + j]);
+        }
+    }
+    m
+}
+
+fn random_points(seed: u64, npts: usize) -> Vec<(f64, f64)> {
+    let mut rng = SeedStream::new(seed).stream("pts", 0);
+    (0..npts)
+        .map(|_| {
+            (
+                10.0 * sample_std_normal(&mut rng),
+                10.0 * sample_std_normal(&mut rng),
+            )
+        })
+        .collect()
+}
 
 proptest! {
     #[test]
@@ -121,6 +169,95 @@ proptest! {
         let small: Vec<f64> = xs.iter().map(|v| v + eps).collect();
         let big: Vec<f64> = xs.iter().map(|v| v + 2.0 * eps).collect();
         prop_assert!(psnr(&xs, &small, 1.0) > psnr(&xs, &big, 1.0));
+    }
+
+    #[test]
+    fn envelope_factor_is_bit_identical_to_dense(
+        seed in 0u64..300,
+        npts in 2usize..14,
+        range in 0.5f64..6.0,
+        duplicate in 0usize..2,
+    ) {
+        // The envelope kernel visits the same nonzero terms in the same
+        // order as the dense one, so the factors must agree bit for bit
+        // — including through the jitter-retry schedule, which a
+        // coincident point pair (rank-deficient matrix) forces both
+        // kernels to take.
+        let mut pts = random_points(seed, npts);
+        if duplicate == 1 {
+            pts.push(pts[0]);
+        }
+        let n = pts.len();
+        let model = CorrelationModel::Spherical { range };
+        let a = correlation_matrix(&pts, &model);
+        let dense = Cholesky::factor(&a, n).expect("dense factors");
+        let env = envelope_of(&a, n).factor().expect("envelope factors");
+        for i in 0..n {
+            for j in 0..=i {
+                prop_assert_eq!(env.get(i, j), dense.get(i, j), "L[{}][{}]", i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_matches_dense_on_independent_and_exponential(
+        seed in 0u64..200,
+        npts in 2usize..10,
+        exponential in 0usize..2,
+    ) {
+        // Independent gives a diagonal envelope; Exponential has
+        // unbounded support, so the envelope degenerates to the full
+        // lower triangle — both extremes must still match dense.
+        let pts = random_points(seed, npts);
+        let model = if exponential == 1 {
+            CorrelationModel::Exponential { range: 2.5 }
+        } else {
+            CorrelationModel::Independent
+        };
+        let a = correlation_matrix(&pts, &model);
+        let dense = Cholesky::factor(&a, npts).expect("dense factors");
+        let env = envelope_of(&a, npts).factor().expect("envelope factors");
+        for i in 0..npts {
+            for j in 0..=i {
+                prop_assert_eq!(env.get(i, j), dense.get(i, j), "L[{}][{}]", i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_mul_matches_dense_mul(seed in 0u64..200, npts in 2usize..12, range in 0.5f64..6.0) {
+        let pts = random_points(seed, npts);
+        let a = correlation_matrix(&pts, &CorrelationModel::Spherical { range });
+        let dense = Cholesky::factor(&a, npts).expect("dense factors");
+        let env = envelope_of(&a, npts).factor().expect("envelope factors");
+        let mut rng = SeedStream::new(seed).stream("z", 1);
+        let z: Vec<f64> = (0..npts).map(|_| sample_std_normal(&mut rng)).collect();
+        let want = dense.mul_vec(&z);
+        prop_assert_eq!(&env.mul_vec(&z), &want);
+        let mut into = vec![0.0; npts];
+        env.mul_vec_into(&z, &mut into);
+        prop_assert_eq!(&into, &want);
+        let mut inplace = z.clone();
+        env.mul_in_place(&mut inplace);
+        prop_assert_eq!(&inplace, &want);
+        let mut dense_inplace = z;
+        dense.mul_in_place(&mut dense_inplace);
+        prop_assert_eq!(&dense_inplace, &want);
+    }
+
+    #[test]
+    fn sample_into_matches_sample(seed in 0u64..100, npts in 1usize..20, model_idx in 0usize..3) {
+        let pts = random_points(seed, npts);
+        let model = match model_idx {
+            0 => CorrelationModel::Independent,
+            1 => CorrelationModel::Spherical { range: 4.0 },
+            _ => CorrelationModel::Exponential { range: 3.0 },
+        };
+        let f = CorrelatedField::new(&pts, model).unwrap();
+        let a = f.sample(&mut SeedStream::new(seed).stream("s", 0));
+        let mut b = vec![0.0; npts];
+        f.sample_into(&mut SeedStream::new(seed).stream("s", 0), &mut b);
+        prop_assert_eq!(a, b);
     }
 
     #[test]

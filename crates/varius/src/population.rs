@@ -73,7 +73,10 @@ impl ChipPopulation {
             seed = seed.seed(),
             sites = plan.mem_sites.len() + plan.core_sites_mm.len(),
         );
-        let sampler = ChipVariation::sampler_for_tech(plan, params, fm.technology())?;
+        // The sampler comes from the process-wide cache: sweep
+        // artifacts that revisit the same (plan, φ, technology)
+        // structure reuse one envelope factorization.
+        let sampler = ChipVariation::cached_sampler_for_tech(plan, params, fm.technology())?;
         // One pool task per chip. Chip `i` draws only from the
         // `("chip", i)` substream, so the parallel result is
         // bit-identical to the sequential loop at any `--jobs` count.

@@ -93,17 +93,35 @@ impl CoreTiming {
     ///
     /// Panics if `perr_target` is not in `(0, 1)`.
     pub fn frequency_for_perr(&self, perr_target: f64) -> f64 {
+        self.frequency_at_z(Self::z_for_perr(self.ncp, perr_target))
+    }
+
+    /// The slow-tail quantile `z = Φ̄⁻¹(1 − (1−Perr)^(1/N))` shared by
+    /// every core with the same path count: the `inv_cdf` inversion
+    /// depends only on `(ncp, perr_target)`, so cluster-level solvers
+    /// compute it once and reuse it across member cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perr_target` is not in `(0, 1)`.
+    fn z_for_perr(ncp: usize, perr_target: f64) -> f64 {
         assert!(
             perr_target > 0.0 && perr_target < 1.0,
             "error-rate target must be in (0,1)"
         );
         // Invert analytically: Perr = 1 − (1−p)^N  ⇒
         // p = 1 − (1−Perr)^(1/N), then z = Φ̄⁻¹(p), t = μ + zσ.
-        let n = self.ncp as f64;
+        let n = ncp as f64;
         // ln(1−p) = ln(1−Perr)/N; for tiny Perr this is −Perr/N.
         let ln_1m_p = f64::ln_1p(-perr_target) / n;
         let p_path = -f64::exp_m1(ln_1m_p);
-        let z = -StdNormal.inv_cdf(p_path.clamp(1e-300, 1.0 - 1e-16));
+        -StdNormal.inv_cdf(p_path.clamp(1e-300, 1.0 - 1e-16))
+    }
+
+    /// Frequency whose period sits `z` path-sigmas above the mean
+    /// delay — the cheap per-core half of [`Self::frequency_for_perr`].
+    #[inline]
+    fn frequency_at_z(&self, z: f64) -> f64 {
         let t_ns = self.mu_ns + z * self.sigma_ns;
         1.0 / t_ns
     }
@@ -133,32 +151,49 @@ impl ClusterTiming {
     }
 
     /// The member whose safe frequency is lowest (most error-prone).
+    /// Each member's safe frequency is computed exactly once (and the
+    /// `inv_cdf` tail inversion once per cluster), not per comparison.
     pub fn slowest_core(&self, params: &VariationParams) -> &CoreTiming {
-        self.cores
-            .iter()
-            .min_by(|a, b| {
-                a.safe_frequency_ghz(params)
-                    .partial_cmp(&b.safe_frequency_ghz(params))
-                    .expect("frequencies are finite")
-            })
-            .expect("cluster is non-empty")
+        let mut slowest = 0;
+        let mut f_min = f64::INFINITY;
+        self.for_each_frequency(params.perr_safe_target, |i, f| {
+            if f < f_min {
+                f_min = f;
+                slowest = i;
+            }
+        });
+        &self.cores[slowest]
     }
 
     /// Cluster safe frequency: the minimum over member cores.
     pub fn safe_frequency_ghz(&self, params: &VariationParams) -> f64 {
-        self.cores
-            .iter()
-            .map(|c| c.safe_frequency_ghz(params))
-            .fold(f64::INFINITY, f64::min)
+        self.frequency_for_perr(params.perr_safe_target)
     }
 
     /// Frequency at which the *cluster* (i.e. its slowest core) sees
     /// the given per-cycle error rate.
     pub fn frequency_for_perr(&self, perr_target: f64) -> f64 {
-        self.cores
-            .iter()
-            .map(|c| c.frequency_for_perr(perr_target))
-            .fold(f64::INFINITY, f64::min)
+        let mut f_min = f64::INFINITY;
+        self.for_each_frequency(perr_target, |_, f| f_min = f_min.min(f));
+        f_min
+    }
+
+    /// Visits `(index, frequency_for_perr(core))` for every member,
+    /// hoisting the shared `z = Φ̄⁻¹(…)` inversion out of the loop when
+    /// all members assume the same critical-path count (the common
+    /// case — `ncp` comes from one `VariationParams`).
+    fn for_each_frequency(&self, perr_target: f64, mut visit: impl FnMut(usize, f64)) {
+        let ncp = self.cores[0].ncp;
+        if self.cores.iter().all(|c| c.ncp == ncp) {
+            let z = CoreTiming::z_for_perr(ncp, perr_target);
+            for (i, c) in self.cores.iter().enumerate() {
+                visit(i, c.frequency_at_z(z));
+            }
+        } else {
+            for (i, c) in self.cores.iter().enumerate() {
+                visit(i, c.frequency_for_perr(perr_target));
+            }
+        }
     }
 
     /// Per-cycle error rate of the slowest member at `f_ghz`.

@@ -9,8 +9,12 @@ use crate::layout::SitePlan;
 use crate::params::VariationParams;
 use accordion_stats::field::{CorrelatedField, CorrelationModel, FieldError};
 use accordion_stats::rng::StreamRng;
-use accordion_telemetry::{counter, span};
+use accordion_telemetry::{counter, gauge, span};
 use accordion_vlsi::tech::Technology;
+use std::cell::RefCell;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Reusable sampler of chip-variation instances over a fixed layout.
 #[derive(Debug, Clone)]
@@ -19,6 +23,34 @@ pub struct VariationSampler {
     num_cores: usize,
     vth_sigma_sys_v: f64,
     leff_sigma_sys: f64,
+}
+
+/// Everything that determines a [`VariationSampler`]'s content, with
+/// float inputs keyed by their exact bits. Two equal keys produce
+/// bit-identical samplers, so the cross-artifact cache can never
+/// change results.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SamplerKey {
+    points_bits: Vec<(u64, u64)>,
+    num_cores: usize,
+    range_bits: u64,
+    vth_sigma_bits: u64,
+    leff_sigma_bits: u64,
+}
+
+type CacheCell = Arc<OnceLock<Result<Arc<VariationSampler>, FieldError>>>;
+
+/// Process-wide sampler cache. `repro all` and the sweep artifacts
+/// re-request identical (plan, φ, technology) correlation structures
+/// many times; each structure is assembled and factored exactly once
+/// per process. The map only ever holds one entry per distinct
+/// structure (a handful per run), so it is never evicted.
+static SAMPLER_CACHE: OnceLock<Mutex<HashMap<SamplerKey, CacheCell>>> = OnceLock::new();
+
+// Per-thread scratch holding the two raw field draws of one chip;
+// reused across the whole fabrication hot loop.
+thread_local! {
+    static FIELD_SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
 }
 
 /// One fabricated chip: systematic parameter deviations at every site.
@@ -62,19 +94,76 @@ impl ChipVariation {
         params: &VariationParams,
         tech: &Technology,
     ) -> Result<VariationSampler, FieldError> {
-        // Factoring the site-correlation matrix (Cholesky over all
-        // core+memory sites) dominates sampler construction; the span
-        // makes that cost visible per layout.
+        // Factoring the site-correlation matrix (envelope Cholesky
+        // over all core+memory sites) dominates sampler construction;
+        // the span makes that cost visible per layout.
         let _span = span!("varius.field.factor");
+        counter!("varius.field.factorizations").inc();
         let range = params.phi * plan.chip_w_mm;
         let field =
             CorrelatedField::new(&plan.all_points_mm(), CorrelationModel::Spherical { range })?;
+        let n = field.len();
+        gauge!("varius.field.envelope_occupancy_pct")
+            .set(100.0 * field.factor_stored() as f64 / (n * (n + 1) / 2) as f64);
         Ok(VariationSampler {
             field,
             num_cores: plan.num_cores(),
             vth_sigma_sys_v: params.systematic_sigma(tech.vth_sigma_v()),
             leff_sigma_sys: params.systematic_sigma(tech.leff_sigma_over_mu),
         })
+    }
+
+    /// Like [`ChipVariation::sampler_for_tech`], but served from a
+    /// process-wide cache keyed on everything that determines the
+    /// sampler (site coordinates, correlation range, variation
+    /// magnitudes). Artifact sweeps that revisit the same structure
+    /// pay for assembly + factorization exactly once; hits and misses
+    /// are observable as `varius.sampler_cache.{hits,misses}`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FieldError`] from sampler construction (the error
+    /// is cached too, so a failing structure is not re-factored).
+    pub fn cached_sampler_for_tech(
+        plan: &SitePlan,
+        params: &VariationParams,
+        tech: &Technology,
+    ) -> Result<Arc<VariationSampler>, FieldError> {
+        let range = params.phi * plan.chip_w_mm;
+        let key = SamplerKey {
+            points_bits: plan
+                .all_points_mm()
+                .iter()
+                .map(|p| (p.0.to_bits(), p.1.to_bits()))
+                .collect(),
+            num_cores: plan.num_cores(),
+            range_bits: range.to_bits(),
+            vth_sigma_bits: params.systematic_sigma(tech.vth_sigma_v()).to_bits(),
+            leff_sigma_bits: params.systematic_sigma(tech.leff_sigma_over_mu).to_bits(),
+        };
+        let cell = {
+            let mut map = SAMPLER_CACHE
+                .get_or_init(|| Mutex::new(HashMap::new()))
+                .lock()
+                .expect("sampler cache poisoned");
+            let cell = match map.entry(key) {
+                Entry::Occupied(e) => {
+                    counter!("varius.sampler_cache.hits").inc();
+                    e.get().clone()
+                }
+                Entry::Vacant(v) => {
+                    counter!("varius.sampler_cache.misses").inc();
+                    v.insert(Arc::new(OnceLock::new())).clone()
+                }
+            };
+            gauge!("varius.sampler_cache.entries").set(map.len() as f64);
+            cell
+        };
+        // Factor outside the map lock so distinct structures (e.g. the
+        // φ ablation's parallel sweep points) factor concurrently;
+        // same-structure waiters block on the cell instead.
+        cell.get_or_init(|| Self::sampler_for_tech(plan, params, tech).map(Arc::new))
+            .clone()
     }
 }
 
@@ -85,28 +174,37 @@ impl VariationSampler {
     pub fn sample(&self, rng: &mut StreamRng) -> ChipVariation {
         let _span = span!("varius.variation.sample");
         counter!("varius.chip_samples").inc();
-        let vth_field = self.field.sample(rng);
-        let leff_field = self.field.sample(rng);
+        let n = self.field.len();
         let nc = self.num_cores;
-        let core_vth_delta_v = vth_field[..nc]
-            .iter()
-            .map(|z| z * self.vth_sigma_sys_v)
-            .collect();
-        // Leff factor floor guards against non-physical (≤0) channel
-        // lengths at extreme field draws.
-        let core_leff_mult = leff_field[..nc]
-            .iter()
-            .map(|z| (1.0 + z * self.leff_sigma_sys).max(0.5))
-            .collect();
-        let mem_vth_delta_v = vth_field[nc..]
-            .iter()
-            .map(|z| z * self.vth_sigma_sys_v)
-            .collect();
-        ChipVariation {
-            core_vth_delta_v,
-            core_leff_mult,
-            mem_vth_delta_v,
-        }
+        // The two raw field draws land in per-thread scratch; the only
+        // allocations left in the hot loop are the returned vectors.
+        FIELD_SCRATCH.with(|scratch| {
+            let mut buf = scratch.borrow_mut();
+            buf.clear();
+            buf.resize(2 * n, 0.0);
+            let (vth_field, leff_field) = buf.split_at_mut(n);
+            self.field.sample_into(rng, vth_field);
+            self.field.sample_into(rng, leff_field);
+            let core_vth_delta_v = vth_field[..nc]
+                .iter()
+                .map(|z| z * self.vth_sigma_sys_v)
+                .collect();
+            // Leff factor floor guards against non-physical (≤0) channel
+            // lengths at extreme field draws.
+            let core_leff_mult = leff_field[..nc]
+                .iter()
+                .map(|z| (1.0 + z * self.leff_sigma_sys).max(0.5))
+                .collect();
+            let mem_vth_delta_v = vth_field[nc..]
+                .iter()
+                .map(|z| z * self.vth_sigma_sys_v)
+                .collect();
+            ChipVariation {
+                core_vth_delta_v,
+                core_leff_mult,
+                mem_vth_delta_v,
+            }
+        })
     }
 
     /// Systematic Vth sigma baked into this sampler, in volts.
@@ -186,6 +284,31 @@ mod tests {
         }
         let corr = c01 / (v0.sqrt() * v1.sqrt());
         assert!(corr > 0.2, "adjacent-core correlation {corr}");
+    }
+
+    #[test]
+    fn cached_sampler_is_shared_and_identical_to_fresh() {
+        let plan = SitePlan::regular_grid(5, 5, 20.0, 20.0);
+        let params = VariationParams::default();
+        let tech = Technology::node_11nm();
+        let a = ChipVariation::cached_sampler_for_tech(&plan, &params, &tech).unwrap();
+        let b = ChipVariation::cached_sampler_for_tech(&plan, &params, &tech).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same structure must share one entry");
+        let fresh = ChipVariation::sampler_for_tech(&plan, &params, &tech).unwrap();
+        let chip_cached = a.sample(&mut SeedStream::new(3).stream("c", 0));
+        let chip_fresh = fresh.sample(&mut SeedStream::new(3).stream("c", 0));
+        assert_eq!(chip_cached, chip_fresh, "cache must never change draws");
+        // A different φ is a different structure.
+        let other = ChipVariation::cached_sampler_for_tech(
+            &plan,
+            &VariationParams {
+                phi: 0.31,
+                ..VariationParams::default()
+            },
+            &tech,
+        )
+        .unwrap();
+        assert!(!Arc::ptr_eq(&a, &other));
     }
 
     #[test]

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Runs the sparse-engine benchmarks (envelope Cholesky vs dense) and
+# writes the results to BENCH_PR3.json, including the speedup ratios
+# the PR's acceptance criteria pin: >= 3x on sampler construction and
+# >= 2x on per-chip field sampling at the 612-site paper plan.
+#
+#   scripts/bench.sh [OUTPUT.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR3.json}"
+
+echo "==> cargo bench -p accordion-bench --bench sparse"
+raw="$(cargo bench -p accordion-bench --bench sparse 2>&1 | grep -E '^bench ')"
+echo "$raw"
+
+# Median of a named bench, converted to nanoseconds. The vendored
+# criterion shim prints:
+#   bench NAME  min X u | median Y u | mean Z u (N iters/sample)
+med_ns() {
+    echo "$raw" | awk -v want="$1" '
+        $2 == want {
+            v = $8; u = $9
+            if (u == "ns") m = 1
+            else if (u == "µs") m = 1e3
+            else if (u == "ms") m = 1e6
+            else m = 1e9
+            printf "%.1f", v * m
+        }'
+}
+
+construct_dense=$(med_ns "sparse/construct/dense_612")
+construct_env=$(med_ns "sparse/construct/envelope_612")
+sampler_construct=$(med_ns "sparse/sampler_construct_612")
+sample_dense=$(med_ns "sparse/sample/dense_612")
+sample_env=$(med_ns "sparse/sample/envelope_612")
+fab8=$(med_ns "sparse/fabricate_population_8")
+
+for v in "$construct_dense" "$construct_env" "$sampler_construct" \
+         "$sample_dense" "$sample_env" "$fab8"; do
+    [ -n "$v" ] || { echo "error: missing bench line in output" >&2; exit 1; }
+done
+
+construct_speedup=$(awk -v a="$construct_dense" -v b="$construct_env" 'BEGIN { printf "%.2f", a / b }')
+sample_speedup=$(awk -v a="$sample_dense" -v b="$sample_env" 'BEGIN { printf "%.2f", a / b }')
+chips_per_s=$(awk -v t="$fab8" 'BEGIN { printf "%.0f", 8e9 / t }')
+
+cat > "$out" <<EOF
+{
+  "bench": "sparse compact-support variation engine",
+  "plan": { "sites": 612, "phi": 0.1, "range_mm": 2.0 },
+  "median_ns": {
+    "construct_dense_612": $construct_dense,
+    "construct_envelope_612": $construct_env,
+    "sampler_construct_612": $sampler_construct,
+    "sample_dense_612": $sample_dense,
+    "sample_envelope_612": $sample_env,
+    "fabricate_population_8": $fab8
+  },
+  "speedup": {
+    "sampler_construction": $construct_speedup,
+    "per_chip_sampling": $sample_speedup
+  },
+  "fabrication_chips_per_second": $chips_per_s
+}
+EOF
+echo "wrote $out (construction ${construct_speedup}x, sampling ${sample_speedup}x, ${chips_per_s} chips/s)"
+
+awk -v c="$construct_speedup" -v s="$sample_speedup" 'BEGIN {
+    bad = 0
+    if (c < 3.0) { print "FAIL: sampler construction speedup " c "x < 3x" > "/dev/stderr"; bad = 1 }
+    if (s < 2.0) { print "FAIL: per-chip sampling speedup " s "x < 2x" > "/dev/stderr"; bad = 1 }
+    exit bad
+}'

@@ -20,6 +20,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo bench --no-run"
+cargo bench --workspace --no-run
+
 if [ "$fast" -eq 0 ]; then
     # Two passes pin the determinism contract of accordion-pool: the
     # suite (golden snapshots included) must pass with the sequential
