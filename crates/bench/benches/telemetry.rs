@@ -6,9 +6,12 @@
 //! nanosecond scale (single relaxed atomic operations), and the gated
 //! `trace_event!` must cost one load when nothing listens.
 
+use accordion_telemetry::event::SimEvent;
 use accordion_telemetry::registry::{exponential_bounds, global};
 use accordion_telemetry::sink;
-use accordion_telemetry::{counter, gauge, histogram, span, trace_event, Level};
+use accordion_telemetry::{
+    counter, flight, flight_track, gauge, histogram, span, trace_event, Level,
+};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -74,11 +77,34 @@ fn bench_events(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_flight(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry/flight");
+    // Recorder off (the default for every repro run without
+    // `--chrome-trace`/`profile`): the gate must be one relaxed load,
+    // with no event construction and no track bookkeeping — this is
+    // the overhead every instrumented protocol loop pays.
+    accordion_telemetry::event::disable();
+    group.bench_function("disabled_event", |b| {
+        b.iter(|| {
+            flight!(SimEvent::SafeFreq {
+                f_ghz: black_box(0.5),
+            })
+        })
+    });
+    group.bench_function("disabled_track", |b| {
+        b.iter(|| {
+            let _track = flight_track!("bench/track{}", black_box(1));
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_counters,
     bench_histogram,
     bench_spans,
-    bench_events
+    bench_events,
+    bench_flight
 );
 criterion_main!(benches);

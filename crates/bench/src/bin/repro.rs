@@ -4,7 +4,10 @@
 //! ```text
 //! repro <artifact> [--chips N] [--csv DIR] [--trace LEVEL]
 //!                  [--trace-json FILE] [--manifest FILE]
+//!                  [--chrome-trace FILE]
 //! repro all
+//! repro profile <artifact|all> [--chips N] [--chrome-trace FILE]
+//! repro validate-trace <file>
 //! ```
 //!
 //! Artifact ids: see `accordion_bench::registry::ARTIFACTS` (printed
@@ -14,12 +17,23 @@
 //! `ACCORDION_TRACE_JSON`); the flags override it. `--manifest` writes
 //! a provenance document (seeds, parameters, per-artifact wall times,
 //! full metric dump) after the run.
+//!
+//! `--chrome-trace` records the flight recorder during the run and
+//! writes a Chrome `trace_event` JSON file (open in `about:tracing`
+//! or Perfetto). `profile` additionally renders the terminal
+//! dashboard: span self/total tree, hottest artifacts, and the
+//! protocol probe's error-outcome breakdown. Both run the protocol
+//! probe after the artifacts so every instrumented layer contributes
+//! events; the recording is byte-identical at every `--jobs` count.
+//! Host-thread tracks are opt-in via `ACCORDION_CHROME_HOST=1`.
 
 use accordion_bench::figures::fig5;
+use accordion_bench::profile::{protocol_probe, render_dashboard};
 use accordion_bench::registry::{generate, ARTIFACTS};
-use accordion_telemetry::json::Json;
+use accordion_telemetry::chrome::chrome_trace;
+use accordion_telemetry::json::{self, Json};
 use accordion_telemetry::sink::{self, JsonlSink, Level, StderrSink};
-use accordion_telemetry::RunManifest;
+use accordion_telemetry::{event, RunManifest};
 use std::io::Write;
 use std::path::Path;
 use std::sync::Arc;
@@ -30,22 +44,29 @@ use std::time::Instant;
 const POPULATION_SEED: u64 = 2014;
 
 struct Cli {
+    /// `repro <artifact>` or `repro profile <artifact>`.
     artifact: String,
+    /// Render the profile dashboard after the run.
+    profile: bool,
+    /// `repro validate-trace <file>`: check a Chrome trace and exit.
+    validate_trace: Option<String>,
     chips: usize,
     jobs: Option<usize>,
     csv_dir: Option<String>,
     trace: Option<Level>,
     trace_json: Option<String>,
+    chrome_trace: Option<String>,
     manifest: Option<String>,
 }
 
 fn parse_cli(args: &[String]) -> Cli {
-    let mut artifact = None;
+    let mut positional: Vec<String> = Vec::new();
     let mut chips = 5usize;
     let mut jobs = None;
     let mut csv_dir = None;
     let mut trace = None;
     let mut trace_json = None;
+    let mut chrome_trace = None;
     let mut manifest = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -95,6 +116,13 @@ fn parse_cli(args: &[String]) -> Cli {
                         .unwrap_or_else(|| die("--trace-json needs a file path")),
                 );
             }
+            "--chrome-trace" => {
+                chrome_trace = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--chrome-trace needs a file path")),
+                );
+            }
             "--manifest" => {
                 manifest = Some(
                     it.next()
@@ -115,21 +143,53 @@ fn parse_cli(args: &[String]) -> Cli {
                 usage();
                 std::process::exit(2);
             }
-            other if artifact.is_none() => artifact = Some(other.to_string()),
-            other => die(&format!("unexpected argument: {other}")),
+            other => positional.push(other.to_string()),
         }
     }
-    let artifact = artifact.unwrap_or_else(|| {
-        usage();
-        std::process::exit(2);
-    });
+
+    // Subcommand dispatch on the first positional word.
+    let mut profile = false;
+    let mut validate_trace = None;
+    let mut rest = positional.as_slice();
+    match positional.first().map(String::as_str) {
+        Some("profile") => {
+            profile = true;
+            rest = &positional[1..];
+        }
+        Some("validate-trace") => {
+            let path = positional
+                .get(1)
+                .unwrap_or_else(|| die("validate-trace needs a trace file path"));
+            if positional.len() > 2 {
+                die(&format!("unexpected argument: {}", positional[2]));
+            }
+            validate_trace = Some(path.clone());
+            rest = &[];
+        }
+        _ => {}
+    }
+    if let Some(extra) = rest.get(1) {
+        die(&format!("unexpected argument: {extra}"));
+    }
+    let artifact = match rest.first() {
+        Some(a) => a.clone(),
+        None if validate_trace.is_some() => String::new(),
+        None if profile => die("profile needs an artifact id (or `all`)"),
+        None => {
+            usage();
+            std::process::exit(2);
+        }
+    };
     Cli {
         artifact,
+        profile,
+        validate_trace,
         chips,
         jobs,
         csv_dir,
         trace,
         trace_json,
+        chrome_trace,
         manifest,
     }
 }
@@ -137,19 +197,51 @@ fn parse_cli(args: &[String]) -> Cli {
 fn usage() {
     eprintln!(
         "usage: repro <artifact|all> [--chips N] [--jobs N] [--csv DIR]\n\
-         \x20             [--trace off|info|debug] [--trace-json FILE] [--manifest FILE]"
+         \x20             [--trace off|info|debug] [--trace-json FILE]\n\
+         \x20             [--chrome-trace FILE] [--manifest FILE]\n\
+         \x20      repro profile <artifact|all> [same flags]\n\
+         \x20      repro validate-trace <FILE>"
     );
     eprintln!(
         "  --jobs N   worker threads for the Monte-Carlo hot paths (default:\n\
          \x20           ACCORDION_JOBS or available parallelism; 1 = sequential;\n\
          \x20           output is byte-identical at every job count)"
     );
+    eprintln!(
+        "  --chrome-trace FILE   record the flight recorder and write a Chrome\n\
+         \x20           trace_event JSON (ACCORDION_CHROME_HOST=1 adds host tracks)"
+    );
     eprintln!("artifacts: {}", ARTIFACTS.join(" "));
 }
 
+/// Flushes buffered telemetry on every exit path that unwinds —
+/// including panics, via the hook installed in `main`. `die()` covers
+/// the non-unwinding `process::exit` path.
+struct FlushGuard;
+
+impl Drop for FlushGuard {
+    fn drop(&mut self) {
+        sink::flush();
+    }
+}
+
 fn main() {
+    let _flush = FlushGuard;
+    // `process::exit` in `die` and panics both bypass ordinary
+    // control flow; make sure buffered JSONL telemetry still lands.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        sink::flush();
+        prev_hook(info);
+    }));
+
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = parse_cli(&args);
+
+    if let Some(path) = &cli.validate_trace {
+        validate_trace(path);
+        return;
+    }
 
     // `--jobs` overrides ACCORDION_JOBS, which overrides auto-detect.
     // `--jobs 1` forces the sequential path (same bytes, one thread).
@@ -174,6 +266,14 @@ fn main() {
                 }
             }
         }
+    }
+
+    let recording = cli.profile || cli.chrome_trace.is_some();
+    if recording {
+        // The dashboard's span tree needs wall-clock accounting even
+        // when no sink is listening.
+        sink::set_timing(true);
+        event::enable();
     }
 
     let mut manifest = cli.manifest.as_ref().map(|_| {
@@ -222,14 +322,116 @@ fn main() {
         }
     }
 
-    if let (Some(m), Some(path)) = (&manifest, &cli.manifest) {
+    if recording {
+        // The probe drives the event-emitting protocol layers on this
+        // thread, under deterministic tracks, so the trace covers
+        // every layer regardless of which artifacts ran.
+        protocol_probe();
+        let log = event::drain();
+        event::disable();
+        if let Some(path) = &cli.chrome_trace {
+            let include_host = std::env::var("ACCORDION_CHROME_HOST").as_deref() == Ok("1");
+            let rendered = chrome_trace(&log, include_host).render();
+            let path = Path::new(path);
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                std::fs::create_dir_all(parent)
+                    .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", parent.display())));
+            }
+            std::fs::write(path, rendered)
+                .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
+            eprintln!(
+                "chrome trace: {} ({} events, {} tracks)",
+                path.display(),
+                log.len(),
+                log.track_names.len(),
+            );
+        }
+        if cli.profile {
+            println!("{}", render_dashboard(&log));
+        }
+    }
+
+    if let (Some(m), Some(path)) = (manifest.as_mut(), &cli.manifest) {
+        // Pool provenance: the effective parallelism and the
+        // scheduler counters that describe how work actually moved.
+        let counters = accordion_telemetry::registry::global();
+        m.set(
+            "pool",
+            Json::obj(vec![
+                ("jobs", Json::Num(accordion_pool::jobs() as f64)),
+                (
+                    "workers_spawned",
+                    Json::Num(counters.counter("pool.workers_spawned").get() as f64),
+                ),
+                (
+                    "tasks",
+                    Json::Num(counters.counter("pool.tasks").get() as f64),
+                ),
+                (
+                    "steals",
+                    Json::Num(counters.counter("pool.steals").get() as f64),
+                ),
+                (
+                    "scopes",
+                    Json::Num(counters.counter("pool.scopes").get() as f64),
+                ),
+            ]),
+        );
         m.write(Path::new(path))
             .unwrap_or_else(|e| die(&format!("cannot write manifest {path}: {e}")));
     }
     sink::flush();
 }
 
+/// `repro validate-trace <file>`: parses a Chrome trace written by
+/// `--chrome-trace` and checks its structural invariants. Exits
+/// nonzero on any violation so scripts can gate on it.
+fn validate_trace(path: &str) {
+    let raw =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let doc = json::parse(&raw).unwrap_or_else(|e| die(&format!("{path}: invalid JSON: {e}")));
+    let schema = doc
+        .get("otherData")
+        .and_then(|o| o.get("schema"))
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| die(&format!("{path}: missing otherData.schema")));
+    if schema != "accordion.flight/1" {
+        die(&format!("{path}: unexpected schema {schema:?}"));
+    }
+    let events = match doc.get("traceEvents") {
+        Some(Json::Arr(events)) => events,
+        _ => die(&format!("{path}: traceEvents is not an array")),
+    };
+    let declared = doc
+        .get("otherData")
+        .and_then(|o| o.get("events"))
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| die(&format!("{path}: missing otherData.events")));
+    let sim_events = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(Json::as_str) != Some("M")
+                && e.get("pid").and_then(Json::as_f64) != Some(0.0)
+        })
+        .count();
+    if sim_events != declared as usize {
+        die(&format!(
+            "{path}: otherData.events={declared} but {sim_events} sim events present"
+        ));
+    }
+    println!(
+        "{path}: ok ({} trace events, {} sim events, {} tracks)",
+        events.len(),
+        sim_events,
+        doc.get("otherData")
+            .and_then(|o| o.get("tracks"))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0),
+    );
+}
+
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
+    sink::flush();
     std::process::exit(2);
 }

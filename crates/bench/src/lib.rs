@@ -9,6 +9,7 @@
 
 pub mod figures;
 pub mod output;
+pub mod profile;
 pub mod registry;
 
 use accordion_chip::chip::Chip;

@@ -8,7 +8,7 @@ use crate::power::ChipPowerModel;
 use crate::topology::{ClusterId, Topology};
 use accordion_stats::field::FieldError;
 use accordion_stats::rng::SeedStream;
-use accordion_telemetry::{counter, span};
+use accordion_telemetry::{counter, flight_track, span};
 use accordion_varius::params::VariationParams;
 use accordion_varius::population::{ChipPopulation, ChipSample};
 use accordion_varius::timing::ClusterTiming;
@@ -118,8 +118,16 @@ impl Chip {
         // Deriving per-cluster operating limits is per-chip work with
         // no cross-chip state; fan it out while preserving index order
         // (the determinism contract of `accordion-pool`).
-        let tail: Vec<ChipSample> = pop.samples()[first as usize..].to_vec();
-        Ok(accordion_pool::par_map(tail, |sample| {
+        let tail: Vec<(usize, ChipSample)> = pop.samples()[first as usize..]
+            .iter()
+            .cloned()
+            .enumerate()
+            .collect();
+        Ok(accordion_pool::par_map(tail, |(i, sample)| {
+            // Track identity is (topology, population index) — stable
+            // whichever worker fabricates the chip, and disjoint from
+            // other topologies fabricated in the same recording.
+            let _track = flight_track!("fab{}/chip{}", topo.num_clusters(), first as usize + i);
             Self::from_sample(topo, vparams, &fm, &power, &plan, sample)
         }))
     }

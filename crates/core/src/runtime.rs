@@ -16,7 +16,8 @@ use accordion_chip::chip::Chip;
 use accordion_chip::topology::ClusterId;
 use accordion_sim::exec::ExecModel;
 use accordion_sim::workload::Workload;
-use accordion_telemetry::{counter, gauge, histogram, span, trace_event, Level};
+use accordion_telemetry::event::SimEvent;
+use accordion_telemetry::{counter, flight, gauge, histogram, span, trace_event, Level};
 
 /// Per-epoch account of a dynamically orchestrated execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -152,7 +153,8 @@ impl<'a> RuntimeController<'a> {
                 break;
             }
             let remaining_s = self.deadline_s - elapsed_s;
-            let plan = if dynamic || static_plan.is_none() {
+            let replanned = dynamic || static_plan.is_none();
+            let plan = if replanned {
                 let p = self
                     .replan(remaining, remaining_s, derate)
                     .unwrap_or_else(|| self.ordered_clusters(derate));
@@ -167,6 +169,13 @@ impl<'a> RuntimeController<'a> {
                 .iter()
                 .map(|&c| self.derated_f(c, derate))
                 .fold(f64::INFINITY, f64::min);
+            if replanned {
+                flight!(SimEvent::Replan {
+                    epoch: e as u64,
+                    clusters: plan.len() as u64,
+                    f_ghz: f,
+                });
+            }
             let n_cores = plan.len() * cores_per;
             // Work rate in units/s at this operating point.
             let mut w = self.workload;
@@ -214,6 +223,15 @@ impl<'a> RuntimeController<'a> {
                 [-0.5, -0.2, -0.1, -0.05, 0.0, 0.05, 0.1, 0.2, 0.5, 1.0]
             )
             .record(slack_frac);
+            // Advance the runtime track's sim clock in cycles at the
+            // binding frequency, then retire the epoch interval.
+            let epoch_cycles = (step_s * f * 1e9).round().max(0.0) as u64;
+            accordion_telemetry::event::advance_sim(epoch_cycles);
+            flight!(SimEvent::EpochRetire {
+                epoch: e as u64,
+                cycles: epoch_cycles,
+                work_done_frac: (total_work - remaining) / total_work,
+            });
             reports.push(EpochReport {
                 epoch: e,
                 clusters: plan.len(),

@@ -139,7 +139,7 @@ where
     std::thread::scope(|s| {
         for w in 0..workers {
             let (slots, queues, panicked, f) = (&slots, &queues, &panicked, &f);
-            s.spawn(move || loop {
+            spawn_worker(s, w, move || loop {
                 let i = {
                     let own = queues[w].lock().expect("pool queue lock").pop_front();
                     match own.or_else(|| steal_index(queues, w)) {
@@ -175,6 +175,24 @@ where
                 .expect("every index computed")
         })
         .collect()
+}
+
+/// Spawns one named worker thread into a scope. The name shows up in
+/// OS-level profilers and panic messages; the telemetry lane tags the
+/// thread's flight-recorder events for the Chrome host-track view.
+fn spawn_worker<'scope, 'env: 'scope>(
+    s: &'scope std::thread::Scope<'scope, 'env>,
+    w: usize,
+    body: impl FnOnce() + Send + 'scope,
+) {
+    std::thread::Builder::new()
+        .name(format!("pool-w{w}"))
+        .spawn_scoped(s, move || {
+            counter!("pool.workers_spawned").inc();
+            accordion_telemetry::event::set_lane(w as u32 + 1);
+            body()
+        })
+        .expect("spawn pool worker");
 }
 
 /// Steals one index from the back of another worker's queue.
@@ -313,7 +331,7 @@ where
     let result = std::thread::scope(|s| {
         for w in 0..shared.queues.len() {
             let shared = &shared;
-            s.spawn(move || worker_loop(shared, w));
+            spawn_worker(s, w, move || worker_loop(shared, w));
         }
         let r = catch_unwind(AssertUnwindSafe(|| f(&Scope { shared: &shared })));
         // The body returned (or unwound): no further spawns are
@@ -461,6 +479,19 @@ mod tests {
             })
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn workers_are_named_for_profilers() {
+        let names = with_jobs(4, || {
+            par_map_indexed(16, |_| std::thread::current().name().map(str::to_string))
+        });
+        assert!(
+            names
+                .iter()
+                .all(|n| n.as_deref().is_some_and(|s| s.starts_with("pool-w"))),
+            "worker threads must carry pool-w<N> names: {names:?}"
+        );
     }
 
     #[test]

@@ -11,7 +11,8 @@ use crate::event::EventQueue;
 use crate::fault::FaultInjector;
 use crate::mailbox::{CcDcMailbox, DcIndex};
 use accordion_stats::rng::StreamRng;
-use accordion_telemetry::{counter, histogram, span, trace_event, Level};
+use accordion_telemetry::event::SimEvent;
+use accordion_telemetry::{counter, flight, flight_at, histogram, span, trace_event, Level};
 use rand::Rng;
 
 /// Configuration of one CC/DC execution round.
@@ -134,7 +135,7 @@ pub fn run_round(cfg: &CcDcConfig, rng: &mut StreamRng) -> CcDcReport {
                     queue: &mut EventQueue<Event>,
                     rng: &mut StreamRng|
      -> DcState {
-        let infected = rng.random::<f64>() < injector.infection_probability(cfg.work_cycles as f64);
+        let infected = injector.draw_infection(dc.0 as u64, cfg.work_cycles as f64, rng);
         let will_hang = infected && rng.random::<f64>() < cfg.hang_fraction;
         if !will_hang {
             queue.schedule_in(cfg.work_cycles, Event::DcFinished(dc));
@@ -150,6 +151,9 @@ pub fn run_round(cfg: &CcDcConfig, rng: &mut StreamRng) -> CcDcReport {
         }
     };
 
+    flight!(SimEvent::RoundDispatch {
+        dcs: cfg.num_dcs as u64,
+    });
     for i in 0..cfg.num_dcs {
         let dc = DcIndex(i);
         states.push(dispatch(dc, 0, &mut queue, rng));
@@ -189,7 +193,16 @@ pub fn run_round(cfg: &CcDcConfig, rng: &mut StreamRng) -> CcDcReport {
                         attempt = attempt,
                         time = time,
                     );
-                    if attempt < cfg.max_restarts {
+                    let restarted = attempt < cfg.max_restarts;
+                    flight_at!(
+                        time,
+                        SimEvent::WatchdogFire {
+                            dc: dc.0 as u64,
+                            attempt: u64::from(attempt),
+                            restarted,
+                        }
+                    );
+                    if restarted {
                         restarts += 1;
                         mailbox.cc_reset_slot(dc).expect("dc in range");
                         states[dc.0] = dispatch(dc, attempt + 1, &mut queue, rng);
@@ -241,6 +254,24 @@ pub fn run_round(cfg: &CcDcConfig, rng: &mut StreamRng) -> CcDcReport {
         accordion_telemetry::registry::exponential_bounds(1e4, 4.0, 12)
     )
     .record(makespan_cycles as f64);
+    // Retire the round on the track clock: advance by the makespan,
+    // then stamp the interval event at its end (exporters recover the
+    // start as `t - dur`, aligning it with the dispatch event).
+    accordion_telemetry::event::advance_sim(makespan_cycles);
+    flight!(SimEvent::RoundRetire {
+        completed: outcomes
+            .iter()
+            .filter(|o| **o == DcOutcome::Completed)
+            .count() as u64,
+        infected: outcomes
+            .iter()
+            .filter(|o| **o == DcOutcome::CompletedInfected)
+            .count() as u64,
+        abandoned: abandoned as u64,
+        watchdog_fires: u64::from(watchdog_fires),
+        restarts: u64::from(restarts),
+        makespan_cycles,
+    });
 
     CcDcReport {
         outcomes,

@@ -11,7 +11,8 @@
 //! execution-time dilation as a function of the rate of
 //! *net-triggering* failures.
 
-use accordion_telemetry::{counter, trace_event, Level};
+use accordion_telemetry::event::SimEvent;
+use accordion_telemetry::{counter, flight, trace_event, Level};
 
 /// Checkpoint/restore cost parameters, in cycles.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,6 +51,10 @@ impl CheckpointParams {
             mtbf_cycles = mtbf_cycles,
             interval_cycles = tau,
         );
+        flight!(SimEvent::CheckpointPlan {
+            mtbf_cycles,
+            interval_cycles: tau,
+        });
         tau
     }
 

@@ -8,8 +8,9 @@
 //! the validation experiment showing Drop is close-to-worst-case.
 
 use accordion_stats::rng::StreamRng;
-use accordion_telemetry::counter;
+use accordion_telemetry::event::SimEvent;
 use accordion_telemetry::registry::{global, Counter};
+use accordion_telemetry::{counter, flight};
 use rand::Rng;
 use std::sync::OnceLock;
 
@@ -145,13 +146,32 @@ impl FaultInjector {
         -f64::exp_m1(cycles * f64::ln_1p(-self.perr_per_cycle))
     }
 
+    /// Draws one infection decision for a single execution of `cycles`
+    /// cycles (one `rng` draw — callers relying on draw order get
+    /// exactly what the inline comparison used to consume). `dc` only
+    /// labels the flight-recorder event.
+    pub fn draw_infection(&self, dc: u64, cycles: f64, rng: &mut StreamRng) -> bool {
+        let infected = rng.random::<f64>() < self.infection_probability(cycles);
+        counter!("sim.fault.perr_draws").inc();
+        if infected {
+            counter!("sim.fault.infected").inc();
+            flight!(SimEvent::Infection { dc });
+        }
+        infected
+    }
+
     /// Samples the infected subset of `threads` threads of `cycles`
     /// cycles each, returning a boolean mask.
     pub fn sample_infections(&self, threads: usize, cycles: f64, rng: &mut StreamRng) -> Vec<bool> {
         let p = self.infection_probability(cycles);
         let mask: Vec<bool> = (0..threads).map(|_| rng.random::<f64>() < p).collect();
+        let infected = mask.iter().filter(|&&b| b).count() as u64;
         counter!("sim.fault.perr_draws").add(threads as u64);
-        counter!("sim.fault.infected").add(mask.iter().filter(|&&b| b).count() as u64);
+        counter!("sim.fault.infected").add(infected);
+        flight!(SimEvent::InfectionSample {
+            threads: threads as u64,
+            infected,
+        });
         mask
     }
 
@@ -259,6 +279,26 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn draw_infection_consumes_exactly_one_draw() {
+        // The flight-recorder refactor moved the CC/DC inline draw in
+        // here; RNG draw order must be bit-for-bit what it was.
+        let inj = FaultInjector::new(0.5);
+        let mut a = SeedStream::new(9).stream("d", 0);
+        let mut b = SeedStream::new(9).stream("d", 0);
+        let infected = inj.draw_infection(0, 10.0, &mut a);
+        let inline = b.random::<f64>() < inj.infection_probability(10.0);
+        assert_eq!(infected, inline);
+        assert_eq!(a.random::<u64>(), b.random::<u64>());
+    }
+
+    #[test]
+    fn draw_infection_extremes() {
+        let mut rng = SeedStream::new(1).stream("d", 0);
+        assert!(FaultInjector::new(1.0).draw_infection(0, 5.0, &mut rng));
+        assert!(!FaultInjector::new(0.0).draw_infection(0, 5.0, &mut rng));
     }
 
     #[test]

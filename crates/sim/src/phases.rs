@@ -11,7 +11,8 @@
 
 use crate::ccdc::{run_round, CcDcConfig, CcDcReport, DcOutcome};
 use accordion_stats::rng::SeedStream;
-use accordion_telemetry::{counter, span, trace_event, Level};
+use accordion_telemetry::event::SimEvent;
+use accordion_telemetry::{counter, flight, span, trace_event, Level};
 
 /// One application phase.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,6 +73,12 @@ pub fn run_app(phases: &[Phase], num_dcs: usize, perr_per_cycle: f64, seed: Seed
                 counter!("sim.phases.control").inc();
                 counter!("sim.phases.control_cycles").add(cycles);
                 makespan += cycles;
+                accordion_telemetry::event::advance_sim(cycles);
+                flight!(SimEvent::Phase {
+                    index: i as u64,
+                    kind: "control",
+                    cycles,
+                });
             }
             Phase::Data { work_cycles } => {
                 let cfg = CcDcConfig {
@@ -85,6 +92,17 @@ pub fn run_app(phases: &[Phase], num_dcs: usize, perr_per_cycle: f64, seed: Seed
                 // wait from the application's point of view.
                 counter!("sim.phases.barrier_wait_cycles").add(report.makespan_cycles);
                 makespan += report.makespan_cycles;
+                // `run_round` advanced the track clock by the round
+                // makespan; the data phase and the CC's barrier wait
+                // both span that same interval.
+                flight!(SimEvent::Phase {
+                    index: i as u64,
+                    kind: "data",
+                    cycles: report.makespan_cycles,
+                });
+                flight!(SimEvent::BarrierWait {
+                    cycles: report.makespan_cycles,
+                });
                 dropped += report
                     .outcomes
                     .iter()
@@ -96,6 +114,10 @@ pub fn run_app(phases: &[Phase], num_dcs: usize, perr_per_cycle: f64, seed: Seed
             }
         }
     }
+    flight!(SimEvent::AppRetire {
+        phases: phases.len() as u64,
+        makespan_cycles: makespan,
+    });
     AppRun {
         makespan_cycles: makespan,
         rounds,

@@ -1,0 +1,156 @@
+//! Chrome `trace_event` JSON export for [`crate::event::FlightLog`].
+//!
+//! The output loads in `chrome://tracing` and Perfetto. Two views:
+//!
+//! * **Sim view** (always emitted, deterministic): one process per
+//!   track — simulated clusters, probe app×Vdd runs, the runtime
+//!   controller — with `ts` in simulated cycles (displayed as µs:
+//!   1 cycle = 1 µs). Interval events (`ph: "X"`) carry `dur`; instant
+//!   events use `ph: "i"`. Track processes are numbered in
+//!   lexicographic track-name order so the rendered bytes are
+//!   byte-identical at any `--jobs`.
+//! * **Host view** (opt-in via `include_host`): one thread per pool
+//!   lane under a single `host` process, with `ts` from the host
+//!   wall clock. Wall-clock readings differ run to run, so this view
+//!   is excluded from the deterministic export; enable it with
+//!   `ACCORDION_CHROME_HOST=1` when profiling the pool itself.
+
+use crate::event::{lane_name, FlightLog};
+use crate::json::Json;
+
+/// Builds the Chrome `trace_event` document for a drained log.
+pub fn chrome_trace(log: &FlightLog, include_host: bool) -> Json {
+    let mut events: Vec<Json> = Vec::with_capacity(log.len() * 2 + 8);
+
+    // Deterministic pid assignment: tracks sorted by name. pid 1.. for
+    // sim tracks; pid 0 is reserved for the host view.
+    let mut tracks: Vec<(&str, u64)> = log
+        .track_names
+        .iter()
+        .map(|(id, name)| (name.as_str(), *id))
+        .collect();
+    tracks.sort();
+    let pid_of = |track: u64| -> f64 {
+        tracks
+            .iter()
+            .position(|&(_, id)| id == track)
+            .map(|i| (i + 1) as f64)
+            .unwrap_or(0.0)
+    };
+
+    for (i, (name, _)) in tracks.iter().enumerate() {
+        let pid = (i + 1) as f64;
+        events.push(Json::obj(vec![
+            ("name", Json::str("process_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::Num(pid)),
+            ("args", Json::obj(vec![("name", Json::str(*name))])),
+        ]));
+        events.push(Json::obj(vec![
+            ("name", Json::str("process_sort_index")),
+            ("ph", Json::str("M")),
+            ("pid", Json::Num(pid)),
+            ("args", Json::obj(vec![("sort_index", Json::Num(pid))])),
+        ]));
+    }
+
+    // `log.events` is already sorted by (track name, seq).
+    for ev in &log.events {
+        let pid = pid_of(ev.track);
+        let mut obj = vec![
+            ("name", Json::str(ev.event.name())),
+            ("cat", Json::str(ev.event.layer())),
+        ];
+        match ev.event.duration_cycles() {
+            Some(dur) => {
+                // Interval events are stamped at their *end*; Chrome
+                // wants the start.
+                let start = ev.t_cycles.saturating_sub(dur);
+                obj.push(("ph", Json::str("X")));
+                obj.push(("ts", Json::Num(start as f64)));
+                obj.push(("dur", Json::Num(dur as f64)));
+            }
+            None => {
+                obj.push(("ph", Json::str("i")));
+                obj.push(("ts", Json::Num(ev.t_cycles as f64)));
+                obj.push(("s", Json::str("t")));
+            }
+        }
+        obj.push(("pid", Json::Num(pid)));
+        obj.push(("tid", Json::Num(0.0)));
+        obj.push(("args", ev.event.args_json()));
+        events.push(Json::Obj(
+            obj.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        ));
+    }
+
+    if include_host {
+        let mut lanes: Vec<u32> = log.events.iter().map(|e| e.lane).collect();
+        lanes.sort_unstable();
+        lanes.dedup();
+        events.push(Json::obj(vec![
+            ("name", Json::str("process_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::Num(0.0)),
+            ("args", Json::obj(vec![("name", Json::str("host"))])),
+        ]));
+        for lane in lanes {
+            events.push(Json::obj(vec![
+                ("name", Json::str("thread_name")),
+                ("ph", Json::str("M")),
+                ("pid", Json::Num(0.0)),
+                ("tid", Json::Num(lane as f64)),
+                (
+                    "args",
+                    Json::obj(vec![("name", Json::str(lane_name(lane)))]),
+                ),
+            ]));
+        }
+        for ev in &log.events {
+            events.push(Json::obj(vec![
+                ("name", Json::str(ev.event.name())),
+                ("cat", Json::str(ev.event.layer())),
+                ("ph", Json::str("i")),
+                ("ts", Json::Num(ev.host_ns as f64 / 1000.0)),
+                ("s", Json::str("t")),
+                ("pid", Json::Num(0.0)),
+                ("tid", Json::Num(ev.lane as f64)),
+                ("args", ev.event.args_json()),
+            ]));
+        }
+    }
+
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::str("ms")),
+        (
+            "otherData",
+            Json::obj(vec![
+                ("schema", Json::str("accordion.flight/1")),
+                ("clock", Json::str("sim-cycles-as-us")),
+                ("tracks", Json::Num(tracks.len() as f64)),
+                ("events", Json::Num(log.len() as f64)),
+                ("dropped", Json::Num(log.dropped as f64)),
+                ("untracked", Json::Num(log.untracked as f64)),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn empty_log_renders_and_parses() {
+        let doc = chrome_trace(&FlightLog::default(), false);
+        let text = doc.render();
+        let back = json::parse(&text).expect("chrome trace parses");
+        assert!(matches!(back.get("traceEvents"), Some(Json::Arr(_))));
+        assert_eq!(
+            back.get("otherData").and_then(|o| o.get("schema")),
+            Some(&Json::str("accordion.flight/1"))
+        );
+    }
+}

@@ -45,6 +45,8 @@
 //! );
 //! ```
 
+pub mod chrome;
+pub mod event;
 pub mod json;
 pub mod manifest;
 pub mod registry;
@@ -113,6 +115,49 @@ macro_rules! trace_event {
     };
 }
 
+/// Records a flight-recorder event (see [`event`]) when the recorder
+/// is enabled; the event expression is not evaluated otherwise.
+///
+/// ```ignore
+/// flight!(SimEvent::RoundDispatch { dcs: dcs as u64 });
+/// ```
+#[macro_export]
+macro_rules! flight {
+    ($event:expr) => {
+        if $crate::event::enabled() {
+            $crate::event::record($event);
+        }
+    };
+}
+
+/// Records a flight-recorder event at `sim_now() + $offset` cycles.
+#[macro_export]
+macro_rules! flight_at {
+    ($offset:expr, $event:expr) => {
+        if $crate::event::enabled() {
+            $crate::event::record_at($offset, $event);
+        }
+    };
+}
+
+/// Enters a flight-recorder track with a formatted label; returns a
+/// [`event::TrackGuard`]. The label is not formatted (no allocation)
+/// when the recorder is disabled.
+///
+/// ```ignore
+/// let _track = flight_track!("chip{}/cluster{}", chip, cluster);
+/// ```
+#[macro_export]
+macro_rules! flight_track {
+    ($($arg:tt)*) => {
+        if $crate::event::enabled() {
+            $crate::event::TrackGuard::enter(&format!($($arg)*))
+        } else {
+            $crate::event::TrackGuard::inert()
+        }
+    };
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -124,6 +169,9 @@ mod tests {
             let _span = span!("test.lib.span");
         }
         trace_event!(crate::Level::Info, "test.lib.event", k = 1u32);
+        // Disabled-recorder path: neither evaluates its arguments.
+        flight!(crate::event::SimEvent::SafeFreq { f_ghz: 1.0 });
+        let _track = flight_track!("test.lib.track{}", 1);
         assert_eq!(
             crate::registry::global().counter("test.lib.counter").get(),
             2

@@ -231,6 +231,20 @@ impl SpanStats {
     }
 }
 
+/// Point-in-time copy of one span's accounting (see
+/// [`Registry::span_snapshot`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// Dotted span name.
+    pub name: String,
+    /// Number of completed spans.
+    pub calls: u64,
+    /// Total nanoseconds across completed spans.
+    pub total_ns: u64,
+    /// Longest single span in nanoseconds.
+    pub max_ns: u64,
+}
+
 /// Geometric bucket bounds `start, start·factor, …` (`n` edges) for
 /// histograms over quantities spanning orders of magnitude (latency
 /// in ns, makespans in cycles).
@@ -311,6 +325,23 @@ impl Registry {
         let leaked: &'static SpanStats = Box::leak(Box::default());
         state.spans.insert(name.to_string(), leaked);
         leaked
+    }
+
+    /// Structured view of all span accounting, sorted by name. Feeds
+    /// the `repro profile` self/total time tree without going through
+    /// the JSON snapshot.
+    pub fn span_snapshot(&self) -> Vec<SpanSnapshot> {
+        let state = self.state.lock().expect("registry lock");
+        state
+            .spans
+            .iter()
+            .map(|(k, s)| SpanSnapshot {
+                name: k.clone(),
+                calls: s.calls(),
+                total_ns: s.total_ns(),
+                max_ns: s.max_ns(),
+            })
+            .collect()
     }
 
     /// Renders every metric to a JSON object:
@@ -421,6 +452,56 @@ mod tests {
         // p100 clamps to the observed max.
         assert_eq!(h.percentile(1.0), Some(100.0));
         assert_eq!(h.percentile(0.0), Some(0.5));
+    }
+
+    #[test]
+    fn empty_histogram_percentile_and_mean_are_none() {
+        // Pinned: every statistic on an empty histogram is None —
+        // never 0.0, NaN or a panic — for all q including the edges.
+        let h = HistogramMetric::new(&[1.0, 2.0, 4.0]);
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(s.percentile(q), None, "q={q}");
+            assert_eq!(h.percentile(q), None, "q={q}");
+        }
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min, None);
+        assert_eq!(s.max, None);
+        assert_eq!(s.count, 0);
+    }
+
+    #[test]
+    fn single_sample_histogram_statistics() {
+        // Pinned: with one observation every percentile collapses to
+        // that observation (bucket edges clamp to the observed range).
+        let h = HistogramMetric::new(&[1.0, 2.0, 4.0]);
+        h.record(3.0);
+        let s = h.snapshot();
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(s.percentile(q), Some(3.0), "q={q}");
+        }
+        assert_eq!(s.mean(), Some(3.0));
+        assert_eq!(s.min, Some(3.0));
+        assert_eq!(s.max, Some(3.0));
+        // Overflow-bucket sample: still clamps to the exact value.
+        let h = HistogramMetric::new(&[1.0]);
+        h.record(50.0);
+        assert_eq!(h.percentile(0.5), Some(50.0));
+    }
+
+    #[test]
+    fn span_snapshot_is_structured_and_sorted() {
+        global().span_stats("test.registry.span.b").record_ns(10);
+        global().span_stats("test.registry.span.a").record_ns(20);
+        let snap = global().span_snapshot();
+        let ours: Vec<_> = snap
+            .iter()
+            .filter(|s| s.name.starts_with("test.registry.span."))
+            .collect();
+        assert_eq!(ours.len(), 2);
+        assert!(ours[0].name < ours[1].name, "sorted by name");
+        assert_eq!(ours[0].calls, 1);
+        assert_eq!(ours[0].total_ns, 20);
     }
 
     #[test]

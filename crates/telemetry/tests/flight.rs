@@ -1,0 +1,100 @@
+//! Integration tests for the flight recorder: a recording driven the
+//! way `repro --chrome-trace` drives it must export a Chrome trace
+//! that round-trips through the crate's own JSON parser, and the
+//! `ACCORDION_TRACE_JSON` sink must create missing parent directories
+//! (the flush-on-abort guard in `repro` depends on the file existing
+//! by the time anything is buffered).
+//!
+//! The recorder is process-global, so everything that records lives
+//! in one `#[test]` — this file is its own process, isolated from the
+//! unit tests' recordings.
+
+use accordion_telemetry::chrome::chrome_trace;
+use accordion_telemetry::event::{self, SimEvent, TrackGuard};
+use accordion_telemetry::json::{self, Json};
+use accordion_telemetry::sink::JsonlSink;
+use accordion_telemetry::{flight, flight_track};
+
+#[test]
+fn recording_exports_chrome_trace_that_roundtrips() {
+    event::enable();
+    let _ = event::drain();
+    {
+        let _cluster = flight_track!("itest/cluster{}", 0);
+        event::advance_sim(1_000);
+        flight!(SimEvent::SafeFreq { f_ghz: 0.42 });
+        {
+            let _nested = TrackGuard::enter("round");
+            flight!(SimEvent::RoundDispatch { dcs: 4 });
+            event::advance_sim(5_000);
+            flight!(SimEvent::RoundRetire {
+                completed: 3,
+                infected: 1,
+                abandoned: 0,
+                watchdog_fires: 0,
+                restarts: 0,
+                makespan_cycles: 5_000,
+            });
+        }
+    }
+    // Untracked events are counted, never exported.
+    flight!(SimEvent::Infection { dc: 9 });
+    let log = event::drain();
+    event::disable();
+    assert_eq!(log.len(), 3);
+    assert_eq!(log.untracked, 1);
+
+    let rendered = chrome_trace(&log, true).render();
+    let doc = json::parse(&rendered).expect("chrome trace parses");
+
+    assert_eq!(
+        doc.get("otherData").and_then(|o| o.get("schema")),
+        Some(&Json::str("accordion.flight/1")),
+    );
+    assert_eq!(
+        doc.get("otherData").and_then(|o| o.get("untracked")),
+        Some(&Json::Num(1.0)),
+    );
+    let events = match doc.get("traceEvents") {
+        Some(Json::Arr(events)) => events,
+        other => panic!("traceEvents not an array: {other:?}"),
+    };
+    // Track names nest under the guard hierarchy.
+    let names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+        .filter_map(|e| {
+            e.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str)
+        })
+        .collect();
+    assert!(names.contains(&"itest/cluster0"), "{names:?}");
+    assert!(names.contains(&"itest/cluster0/round"), "{names:?}");
+    // The interval event recovers its start from the end stamp; the
+    // nested track's clock starts at zero, independent of the parent.
+    let round = events
+        .iter()
+        .find(|e| e.get("name").and_then(Json::as_str) == Some("ccdc.round"))
+        .expect("round retire exported");
+    assert_eq!(round.get("ph").and_then(Json::as_str), Some("X"));
+    assert_eq!(round.get("ts").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(round.get("dur").and_then(Json::as_f64), Some(5_000.0));
+}
+
+#[test]
+fn jsonl_sink_creates_missing_parent_directories() {
+    let dir = std::env::temp_dir().join(format!(
+        "accordion-flight-test-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock")
+            .as_nanos(),
+    ));
+    let path = dir.join("deep/nested/trace.jsonl");
+    let sink = JsonlSink::create(&path).expect("sink creates parent dirs");
+    drop(sink);
+    assert!(path.parent().expect("parent").is_dir());
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

@@ -17,7 +17,7 @@ use crate::timing::{ClusterTiming, CoreTiming};
 use crate::vmap::ChipVariation;
 use accordion_stats::field::FieldError;
 use accordion_stats::rng::SeedStream;
-use accordion_telemetry::{counter, span, trace_event, Level};
+use accordion_telemetry::{counter, flight_track, span, trace_event, Level};
 use accordion_vlsi::freq::FreqModel;
 
 /// One fabricated chip with its derived variation-dependent data.
@@ -39,7 +39,13 @@ impl ChipSample {
     pub fn cluster_safe_f_ghz(&self, params: &VariationParams) -> Vec<f64> {
         self.cluster_timing
             .iter()
-            .map(|t| t.safe_frequency_ghz(params))
+            .enumerate()
+            .map(|(i, t)| {
+                // One flight-recorder track per simulated cluster,
+                // nested under the fabricating chip's track.
+                let _track = flight_track!("cluster{i}");
+                t.safe_frequency_ghz(params)
+            })
             .collect()
     }
 }

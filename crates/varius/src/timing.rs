@@ -13,6 +13,8 @@
 
 use crate::params::VariationParams;
 use accordion_stats::normal::StdNormal;
+use accordion_telemetry::event::SimEvent;
+use accordion_telemetry::flight;
 use accordion_vlsi::freq::FreqModel;
 
 /// Timing model of one core at a fixed supply voltage.
@@ -167,7 +169,12 @@ impl ClusterTiming {
 
     /// Cluster safe frequency: the minimum over member cores.
     pub fn safe_frequency_ghz(&self, params: &VariationParams) -> f64 {
-        self.frequency_for_perr(params.perr_safe_target)
+        let f_ghz = self.frequency_for_perr(params.perr_safe_target);
+        // Flight-recorded per selection: under a per-cluster track
+        // (entered by the population layer) this lands one event on
+        // each simulated cluster's timeline.
+        flight!(SimEvent::SafeFreq { f_ghz });
+        f_ghz
     }
 
     /// Frequency at which the *cluster* (i.e. its slowest core) sees

@@ -23,6 +23,32 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run
 
+# The regression gate's own plumbing: a clean replay of the committed
+# baseline must pass, and a synthetic 2x slowdown must be rejected —
+# otherwise the gate below could be silently waving everything through.
+echo "==> bench regression gate self-test"
+scripts/bench.sh --check --dry-run > /dev/null
+if ACCORDION_BENCH_INJECT_SCALE=2 scripts/bench.sh --check --dry-run > /dev/null 2>&1; then
+    echo "FAIL: bench gate accepted a synthetic 2x slowdown" >&2
+    exit 1
+fi
+
+if [ "$fast" -eq 0 ]; then
+    echo "==> scripts/bench.sh --check"
+    scripts/bench.sh --check
+
+    # Flight-recorder smoke: profile one artifact, then prove the
+    # emitted Chrome trace parses with the crate's own JSON parser
+    # (`repro validate-trace` is telemetry::json::parse + invariants).
+    echo "==> repro profile smoke + chrome-trace round-trip"
+    smoke_dir="$(mktemp -d)"
+    trap 'rm -rf "$smoke_dir"' EXIT
+    cargo run --release -q -p accordion-bench --bin repro -- \
+        profile headline --chips 2 --chrome-trace "$smoke_dir/trace.json" > /dev/null
+    cargo run --release -q -p accordion-bench --bin repro -- \
+        validate-trace "$smoke_dir/trace.json"
+fi
+
 if [ "$fast" -eq 0 ]; then
     # Two passes pin the determinism contract of accordion-pool: the
     # suite (golden snapshots included) must pass with the sequential

@@ -60,6 +60,58 @@ fn parallel_artifacts_are_byte_identical_across_job_counts() {
     }
 }
 
+/// The flight recorder must not merely keep artifact bytes stable —
+/// its own serialized output must be byte-identical at any job count.
+/// Events recorded from pool workers land on tracks derived from
+/// stable labels, with per-track sequence numbers, so the drained log
+/// (and hence the Chrome export) is independent of scheduling.
+#[test]
+fn flight_recording_is_byte_identical_across_job_counts() {
+    use accordion_telemetry::chrome::chrome_trace;
+    use accordion_telemetry::event;
+
+    let _guard = JOBS.lock().unwrap_or_else(|e| e.into_inner());
+    event::enable();
+    // Reset anything a previous test in this binary may have buffered.
+    let _ = event::drain();
+    let run = || {
+        generate("headline", 2).expect("known artifact");
+        accordion_bench::profile::protocol_probe();
+        event::drain()
+    };
+    let seq = with_jobs(1, run);
+    let par = with_jobs(8, run);
+    event::disable();
+
+    // Every instrumented layer contributes events through the probe.
+    let layers = seq.layer_counts();
+    for layer in ["ccdc", "checkpoint", "fault", "phases", "runtime", "timing"] {
+        assert!(
+            layers.contains_key(layer),
+            "layer {layer} missing from recording: {layers:?}"
+        );
+    }
+    assert_eq!(seq.untracked, par.untracked, "untracked counts differ");
+
+    // The deterministic (sim-only) Chrome export must match bytewise;
+    // host timestamps are excluded by design.
+    let a = chrome_trace(&seq, false).render();
+    let b = chrome_trace(&par, false).render();
+    if a != b {
+        let at = a
+            .bytes()
+            .zip(b.bytes())
+            .position(|(x, y)| x != y)
+            .unwrap_or(a.len().min(b.len()));
+        panic!(
+            "flight recording differs between --jobs 1 and --jobs 8 \
+             (first difference at byte {at}: ...{}... vs ...{}...)",
+            &a[at.saturating_sub(40)..(at + 40).min(a.len())],
+            &b[at.saturating_sub(40)..(at + 40).min(b.len())],
+        );
+    }
+}
+
 #[test]
 fn population_fabrication_is_jobs_invariant() {
     let _guard = JOBS.lock().unwrap_or_else(|e| e.into_inner());
