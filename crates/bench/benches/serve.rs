@@ -1,0 +1,73 @@
+//! Latency of the HTTP simulation service, warm versus cold.
+//!
+//! `serve/latency` measures a `/v1/simulate` round trip once every
+//! cache is hot (resident population, measured quality front, cached
+//! variation sampler) — the steady state a long-lived service exists
+//! to provide. `serve/latency_cold` forces a fresh population seed per
+//! request, so every round trip re-pays fabrication. The gap between
+//! the two is the service's reason to exist; `scripts/bench.sh`
+//! records both and enforces the warm side being at least 5x faster.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Chips per population: matches the `fabricate_population_8` bench
+/// so the cold path's cost has a committed baseline to compare with.
+const CHIPS: usize = 8;
+
+fn post_simulate(addr: SocketAddr, body: &str) -> String {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    let req = format!(
+        "POST /v1/simulate HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    conn.write_all(req.as_bytes()).expect("send");
+    let mut out = String::new();
+    conn.read_to_string(&mut out).expect("recv");
+    assert!(
+        out.starts_with("HTTP/1.1 200"),
+        "bench request failed: {out}"
+    );
+    out
+}
+
+fn bench_serve_latency(c: &mut Criterion) {
+    let handle = accordion_served::start(accordion_served::ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        handler_threads: 2,
+        ..accordion_served::ServeConfig::default()
+    })
+    .expect("bind bench server");
+    let addr = handle.addr();
+
+    let warm_body = format!(r#"{{"app": "hotspot", "chips": {CHIPS}, "pop_seed": 2014}}"#);
+    // Pay fabrication and quality measurement before any timing.
+    post_simulate(addr, &warm_body);
+
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(20);
+    group.bench_function("latency", |b| {
+        b.iter(|| black_box(post_simulate(addr, &warm_body)))
+    });
+
+    // Distinct seed per request: every round trip fabricates its
+    // population anew (and churns the LRU, as a cold fleet would).
+    static COLD_SEED: AtomicU64 = AtomicU64::new(7_000_000);
+    group.sample_size(5);
+    group.bench_function("latency_cold", |b| {
+        b.iter(|| {
+            let seed = COLD_SEED.fetch_add(1, Ordering::Relaxed);
+            let body = format!(r#"{{"app": "hotspot", "chips": {CHIPS}, "pop_seed": {seed}}}"#);
+            black_box(post_simulate(addr, &body))
+        })
+    });
+    group.finish();
+    handle.shutdown();
+}
+
+criterion_group!(benches, bench_serve_latency);
+criterion_main!(benches);

@@ -29,7 +29,7 @@
 
 use accordion_bench::figures::fig5;
 use accordion_bench::profile::{protocol_probe, render_dashboard};
-use accordion_bench::registry::{generate, ARTIFACTS};
+use accordion_bench::registry::{generate, list_text, usage_text, ARTIFACTS};
 use accordion_telemetry::chrome::chrome_trace;
 use accordion_telemetry::json::{self, Json};
 use accordion_telemetry::sink::{self, JsonlSink, Level, StderrSink};
@@ -131,7 +131,9 @@ fn parse_cli(args: &[String]) -> Cli {
                 );
             }
             "--help" | "-h" => {
-                usage();
+                // Help goes to stdout and exits 0: it was asked for,
+                // it is not an error.
+                println!("{}", usage_text());
                 std::process::exit(0);
             }
             // Anything else dash-prefixed is a flag we do not know.
@@ -195,23 +197,7 @@ fn parse_cli(args: &[String]) -> Cli {
 }
 
 fn usage() {
-    eprintln!(
-        "usage: repro <artifact|all> [--chips N] [--jobs N] [--csv DIR]\n\
-         \x20             [--trace off|info|debug] [--trace-json FILE]\n\
-         \x20             [--chrome-trace FILE] [--manifest FILE]\n\
-         \x20      repro profile <artifact|all> [same flags]\n\
-         \x20      repro validate-trace <FILE>"
-    );
-    eprintln!(
-        "  --jobs N   worker threads for the Monte-Carlo hot paths (default:\n\
-         \x20           ACCORDION_JOBS or available parallelism; 1 = sequential;\n\
-         \x20           output is byte-identical at every job count)"
-    );
-    eprintln!(
-        "  --chrome-trace FILE   record the flight recorder and write a Chrome\n\
-         \x20           trace_event JSON (ACCORDION_CHROME_HOST=1 adds host tracks)"
-    );
-    eprintln!("artifacts: {}", ARTIFACTS.join(" "));
+    eprintln!("{}", usage_text());
 }
 
 /// Flushes buffered telemetry on every exit path that unwinds —
@@ -236,6 +222,24 @@ fn main() {
     }));
 
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // `list` and `serve` have their own argument shapes; dispatch
+    // before the artifact-flavoured parser sees them.
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            if args.len() > 1 {
+                die(&format!("unexpected argument: {}", args[1]));
+            }
+            print!("{}", list_text());
+            return;
+        }
+        Some("serve") => {
+            serve_main(&args[1..]);
+            return;
+        }
+        _ => {}
+    }
+
     let cli = parse_cli(&args);
 
     if let Some(path) = &cli.validate_trace {
@@ -381,6 +385,87 @@ fn main() {
             .unwrap_or_else(|e| die(&format!("cannot write manifest {path}: {e}")));
     }
     sink::flush();
+}
+
+/// `repro serve`: runs the HTTP simulation service until `POST
+/// /v1/shutdown` arrives or a `quit` line is typed on stdin. Stdin
+/// EOF is ignored (a server backgrounded with `</dev/null` must not
+/// exit immediately); `kill` also works — the OS reclaims the socket
+/// — but only the cooperative paths drain in-flight requests.
+fn serve_main(args: &[String]) {
+    let mut cfg = accordion_served::ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                cfg.addr = it
+                    .next()
+                    .cloned()
+                    .unwrap_or_else(|| die("--addr needs HOST:PORT"));
+            }
+            "--jobs" => {
+                cfg.request_jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("--jobs needs a number >= 1"));
+            }
+            "--threads" => {
+                cfg.handler_threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("--threads needs a number >= 1"));
+            }
+            "--queue" => {
+                cfg.queue_capacity = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("--queue needs a number >= 1"));
+            }
+            "--help" | "-h" => {
+                println!("{}", usage_text());
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown serve argument {other}")),
+        }
+    }
+    sink::init_from_env();
+    cfg.artifacts = Some(accordion_served::ArtifactSource {
+        ids: ARTIFACTS,
+        generate,
+    });
+    let handle =
+        accordion_served::start(cfg).unwrap_or_else(|e| die(&format!("cannot bind server: {e}")));
+    eprintln!(
+        "accordion-served listening on http://{} (POST /v1/shutdown or type 'quit' to stop)",
+        handle.addr()
+    );
+
+    // Cooperative stop from the terminal. EOF (None-equivalent: zero
+    // bytes read) is not a stop — only an explicit quit line is.
+    let trigger = handle.trigger();
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match stdin.read_line(&mut line) {
+                Ok(0) => return, // EOF: keep serving
+                Ok(_) => {
+                    let word = line.trim();
+                    if word.eq_ignore_ascii_case("quit") || word.eq_ignore_ascii_case("shutdown") {
+                        trigger.request();
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+    });
+    handle.join();
+    eprintln!("accordion-served stopped");
 }
 
 /// `repro validate-trace <file>`: parses a Chrome trace written by

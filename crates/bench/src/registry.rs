@@ -38,6 +38,142 @@ pub const ARTIFACTS: &[&str] = &[
     "ext-thermal",
 ];
 
+/// One-line summary per artifact id, in the same order as
+/// [`ARTIFACTS`]. `repro list` and `repro --help` render from this
+/// table, so adding an artifact without describing it fails a test
+/// rather than silently shipping undocumented.
+pub const ARTIFACT_SUMMARIES: &[(&str, &str)] = &[
+    (
+        "fig1a",
+        "Fig 1a: frequency vs Vdd for the 11 nm device model",
+    ),
+    ("fig1b", "Fig 1b: energy/cycle vs Vdd and the NTV minimum"),
+    ("fig1c", "Fig 1c: variation-induced frequency spread at NTV"),
+    (
+        "fig2",
+        "Fig 2: RMS app quality vs problem size (safe input)",
+    ),
+    (
+        "fig4",
+        "Fig 4: quality under Drop 1/4 and Drop 1/2 scenarios",
+    ),
+    (
+        "fig5a",
+        "Fig 5a: per-cluster safe frequency map of one chip",
+    ),
+    (
+        "fig5b",
+        "Fig 5b: population histogram of cluster frequencies",
+    ),
+    ("fig6", "Fig 6: speculative frequency gain vs error target"),
+    ("fig7", "Fig 7: makespan/energy of CC/DC organizations"),
+    ("tab1", "Table 1: RMS application and input-set summary"),
+    ("tab2", "Table 2: chip organization and derived parameters"),
+    ("tab3", "Table 3: evaluated configurations"),
+    (
+        "headline",
+        "Headline comparison: Accordion vs rigid baselines",
+    ),
+    (
+        "errmodel",
+        "Error-model bridge: Perr per cycle vs Drop fraction",
+    ),
+    ("ablate-selection", "Ablation: cluster-selection policies"),
+    ("ablate-phi", "Ablation: quality-target sweep"),
+    ("ablate-ncp", "Ablation: control-core provisioning"),
+    ("ablate-fdomain", "Ablation: frequency-domain granularity"),
+    ("ext-organization", "Extension: CC/DC design space sweep"),
+    ("ext-checkpoint", "Extension: checkpoint/restart overhead"),
+    ("ext-weakscale", "Extension: weak-scaling behaviour"),
+    ("ext-runtime", "Extension: runtime scheduling policies"),
+    ("ext-baselines", "Extension: alternative baseline machines"),
+    (
+        "ext-validate",
+        "Extension: protocol analytic-model validation",
+    ),
+    ("ext-sync", "Extension: synchronization-cost sensitivity"),
+    ("ablate-vdd", "Ablation: supply-voltage operating points"),
+    ("ext-vdddomains", "Extension: per-cluster Vdd domains"),
+    ("ext-temperature", "Extension: temperature sensitivity"),
+    ("ext-thermal", "Extension: thermal feedback loop"),
+];
+
+/// A `repro` subcommand, for generated usage/help text.
+pub struct Subcommand {
+    /// Invocation syntax.
+    pub usage: &'static str,
+    /// One-line description.
+    pub help: &'static str,
+}
+
+/// Every `repro` subcommand. The CLI renders its usage and `repro
+/// list` output from this table so the help text can never drift from
+/// what the binary actually dispatches on.
+pub const SUBCOMMANDS: &[Subcommand] = &[
+    Subcommand {
+        usage: "repro <artifact|all> [--chips N] [--jobs N] [--csv DIR] [--trace L] [--trace-json F] [--chrome-trace F] [--manifest F]",
+        help: "regenerate one artifact (or every one) on stdout",
+    },
+    Subcommand {
+        usage: "repro list",
+        help: "enumerate artifacts and subcommands, one per line",
+    },
+    Subcommand {
+        usage: "repro serve [--addr HOST:PORT] [--jobs N] [--threads N] [--queue N]",
+        help: "run the batched, cached HTTP simulation service",
+    },
+    Subcommand {
+        usage: "repro profile <artifact|all> [same flags as repro <artifact>]",
+        help: "run with the flight recorder on and render the dashboard",
+    },
+    Subcommand {
+        usage: "repro validate-trace <FILE>",
+        help: "check the structural invariants of a Chrome trace",
+    },
+];
+
+/// The usage text both `repro --help` and argument errors print,
+/// generated from [`SUBCOMMANDS`] and [`ARTIFACTS`].
+pub fn usage_text() -> String {
+    let mut out = String::from("usage:\n");
+    for sub in SUBCOMMANDS {
+        out.push_str("  ");
+        out.push_str(sub.usage);
+        out.push('\n');
+        out.push_str("      ");
+        out.push_str(sub.help);
+        out.push('\n');
+    }
+    out.push_str(
+        "\nflags:\n  \
+         --chips N        Monte-Carlo population size (default 5)\n  \
+         --jobs N         worker threads; 1 = sequential; output is\n                   \
+         byte-identical at every job count (default: ACCORDION_JOBS\n                   \
+         or available parallelism)\n  \
+         --chrome-trace F record the flight recorder to a Chrome trace_event\n                   \
+         JSON (ACCORDION_CHROME_HOST=1 adds host tracks)\n",
+    );
+    out.push_str("\nartifacts:\n");
+    for (id, summary) in ARTIFACT_SUMMARIES {
+        out.push_str(&format!("  {id:<18} {summary}\n"));
+    }
+    out
+}
+
+/// The `repro list` report: every artifact and subcommand, one per
+/// line, machine-friendly (`<id>\t<summary>`).
+pub fn list_text() -> String {
+    let mut out = String::new();
+    for (id, summary) in ARTIFACT_SUMMARIES {
+        out.push_str(&format!("artifact\t{id}\t{summary}\n"));
+    }
+    for sub in SUBCOMMANDS {
+        let name = sub.usage.split_whitespace().nth(1).unwrap_or("<artifact>");
+        out.push_str(&format!("subcommand\t{name}\t{}\n", sub.help));
+    }
+    out
+}
+
 /// Generates the report for `artifact`; `chips` sizes the Monte-Carlo
 /// population where applicable. Returns `None` for unknown ids.
 pub fn generate(artifact: &str, chips: usize) -> Option<String> {
@@ -111,6 +247,29 @@ mod tests {
         ] {
             let r = generate(id, 1).expect("known id");
             assert!(r.len() > 100, "{id} report suspiciously short");
+        }
+    }
+
+    #[test]
+    fn summaries_cover_artifacts_exactly() {
+        let ids: Vec<&str> = ARTIFACT_SUMMARIES.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, ARTIFACTS, "summary table out of sync with ARTIFACTS");
+        for (id, summary) in ARTIFACT_SUMMARIES {
+            assert!(!summary.is_empty(), "{id} has an empty summary");
+        }
+    }
+
+    #[test]
+    fn generated_help_mentions_everything() {
+        let usage = usage_text();
+        let list = list_text();
+        for id in ARTIFACTS {
+            assert!(usage.contains(id), "usage missing artifact {id}");
+            assert!(list.contains(id), "list missing artifact {id}");
+        }
+        for name in ["list", "serve", "profile", "validate-trace"] {
+            assert!(usage.contains(name), "usage missing subcommand {name}");
+            assert!(list.contains(name), "list missing subcommand {name}");
         }
     }
 

@@ -16,6 +16,8 @@
 //!   budget (`N_STV`),
 //! * [`chip`] — a fabricated [`chip::Chip`] combining topology with one
 //!   variation sample,
+//! * [`popcache`] — a process-wide LRU cache of fabricated
+//!   populations, the amortization layer behind `accordion-served`,
 //! * [`organization`] — the Figure 3 CC/DC design space,
 //! * [`thermal`] — the leakage–temperature feedback loop behind the
 //!   Table 2 cooling limit,
@@ -37,6 +39,7 @@ pub mod floorplan;
 pub mod memory;
 pub mod network;
 pub mod organization;
+pub mod popcache;
 pub mod power;
 pub mod selection;
 pub mod thermal;

@@ -3,20 +3,22 @@
 //!
 //! The paper's evaluation is a Monte-Carlo study over a population of
 //! VARIUS-NTV chip instances. Every per-chip (and per-benchmark)
-//! computation draws from an independent [`SeedStream`] substream, so
-//! the work can be fanned out across threads with **bit-identical**
-//! output: each item's result depends only on its own derived seed,
-//! and the combinators below return results in input order, so any
-//! downstream reduction sees exactly the sequence the sequential code
-//! saw.
-//!
-//! [`SeedStream`]: https://docs.rs/accordion-stats — `accordion_stats::rng::SeedStream`
+//! computation draws from an independent `SeedStream` substream (see
+//! `accordion_stats::rng::SeedStream`), so the work can be fanned out
+//! across threads with **bit-identical** output: each item's result
+//! depends only on its own derived seed, and the combinators below
+//! return results in input order, so any downstream reduction sees
+//! exactly the sequence the sequential code saw.
 //!
 //! Three entry points:
 //!
 //! * [`par_map`] / [`par_map_indexed`] — ordered-result parallel map
 //!   over owned items / index ranges, the workhorses of the population
 //!   and figure generators;
+//! * [`par_map_with`] / [`par_map_indexed_with`] — the same maps with
+//!   an explicit worker count, for callers (the `accordion-served`
+//!   request handlers) that must bound their own parallelism without
+//!   touching the process-global [`set_jobs`] override;
 //! * [`scope`] — a scoped spawn interface for heterogeneous task sets;
 //!   tasks may borrow from the enclosing environment and may freely
 //!   open nested scopes or nested `par_map`s.
@@ -57,6 +59,8 @@
 //! Every task opens a `pool.task` telemetry span, so `ACCORDION_TRACE`
 //! / `repro --trace` shows per-task timing, and `pool.tasks` /
 //! `pool.steals` counters land in run manifests.
+
+#![deny(missing_docs)]
 
 use accordion_telemetry::{counter, span};
 use std::any::Any;
@@ -120,7 +124,36 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    let workers = jobs().min(n);
+    par_map_indexed_with(jobs(), n, f)
+}
+
+/// [`par_map_indexed`] with an explicit worker-thread cap instead of
+/// the global [`jobs`] setting.
+///
+/// Results are bit-identical to the sequential map for **every**
+/// `workers` value — the cap only bounds how many OS threads this one
+/// call may occupy. Long-lived services use this to give each request
+/// a bounded slice of the machine while other requests run
+/// concurrently; `workers` is clamped to at least 1 and at most `n`.
+///
+/// # Example
+///
+/// ```
+/// let a = accordion_pool::par_map_indexed_with(1, 5, |i| i * i);
+/// let b = accordion_pool::par_map_indexed_with(4, 5, |i| i * i);
+/// assert_eq!(a, b);
+/// ```
+///
+/// # Panics
+///
+/// Re-raises the first panic from `f` after abandoning remaining
+/// items; subsequent pool calls are unaffected.
+pub fn par_map_indexed_with<R, F>(workers: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = workers.max(1).min(n);
     if workers <= 1 {
         return (0..n).map(|i| run_one(|| f(i))).collect();
     }
@@ -221,8 +254,23 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    par_map_with(jobs(), items, f)
+}
+
+/// [`par_map`] with an explicit worker-thread cap; see
+/// [`par_map_indexed_with`] for the semantics of `workers`.
+///
+/// # Panics
+///
+/// Re-raises the first panic from `f`; see [`par_map_indexed`].
+pub fn par_map_with<T, R, F>(workers: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    par_map_indexed(slots.len(), |i| {
+    par_map_indexed_with(workers, slots.len(), |i| {
         let item = slots[i]
             .lock()
             .expect("pool item lock")
@@ -492,6 +540,22 @@ mod tests {
                 .all(|n| n.as_deref().is_some_and(|s| s.starts_with("pool-w"))),
             "worker threads must carry pool-w<N> names: {names:?}"
         );
+    }
+
+    #[test]
+    fn explicit_worker_cap_is_independent_of_global_jobs() {
+        // `par_map_*_with` must ignore the process-global override:
+        // a request-scoped cap of 2 runs 2 workers even when the
+        // global setting says 1 (and vice versa), with identical
+        // results either way.
+        let seq: Vec<usize> = (0..33).map(|i| i * 7).collect();
+        let a = with_jobs(1, || par_map_indexed_with(4, 33, |i| i * 7));
+        let b = with_jobs(8, || par_map_indexed_with(1, 33, |i| i * 7));
+        assert_eq!(a, seq);
+        assert_eq!(b, seq);
+        let items: Vec<usize> = (0..33).collect();
+        let c = with_jobs(1, || par_map_with(4, items, |i| i * 7));
+        assert_eq!(c, seq);
     }
 
     #[test]

@@ -1,0 +1,564 @@
+//! The simulation engine behind `/v1/simulate` and `/v1/sweep`.
+//!
+//! One query answers the paper's central question for one operating
+//! point: *given this chip instance at this supply, what frequency can
+//! it speculatively run at, what does the CC/DC protocol perceive, and
+//! what quality/energy does the application end up with?* The engine
+//! stitches the existing layers together — nothing here forks the
+//! simulation path, so a query returns exactly what the batch
+//! artifacts compute for the same parameters:
+//!
+//! 1. **population** — [`accordion_chip::popcache`] returns the
+//!    `(topology, seed, chips)` population, fabricated at most once;
+//! 2. **timing** — per-cluster [`ClusterTiming`] either read from the
+//!    chip (at its designated `VddNTV`) or re-derived at a requested
+//!    supply via [`CoreTiming::new`];
+//! 3. **protocol** — [`run_app`] drives the CC/DC rounds at the
+//!    speculative error rate, yielding drop/watchdog outcomes;
+//! 4. **quality** — per-app [`QualityModel`]s (measured once per
+//!    process, cached) interpolate the Figure 2/4 fronts;
+//! 5. **energy** — the chip power model prices the active cores at the
+//!    operating point.
+//!
+//! Every response is rendered with the deterministic
+//! [`accordion_telemetry::json`] renderer, so identical queries return
+//! byte-identical bodies at any worker count.
+
+use accordion::quality::QualityModel;
+use accordion_apps::app::all_apps;
+use accordion_chip::chip::Chip;
+use accordion_chip::popcache;
+use accordion_chip::topology::{ClusterId, Topology};
+use accordion_sim::exec::ExecModel;
+use accordion_sim::phases::{iterative_app, run_app};
+use accordion_stats::rng::SeedStream;
+use accordion_telemetry::json::Json;
+use accordion_telemetry::{counter, span};
+use accordion_varius::timing::{ClusterTiming, CoreTiming};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Upper bound on `chips` per query (bounds memory per cache entry).
+const MAX_CHIPS: usize = 100;
+/// Upper bound on a sweep's grid size.
+const MAX_GRID: usize = 1024;
+
+/// A validated simulation query.
+#[derive(Debug, Clone)]
+pub struct SimQuery {
+    /// Benchmark name (one of `all_apps()`).
+    pub app: String,
+    /// Chip topology: the paper's 288-core chip or the small test one.
+    pub topo: Topology,
+    /// Problem size, normalized to the benchmark default.
+    pub size: f64,
+    /// Supply override in millivolts; `None` uses the chip's `VddNTV`.
+    pub vdd_mv: Option<f64>,
+    /// Population seed (cache key together with `topo`/`chips`).
+    pub pop_seed: u64,
+    /// Protocol-simulation seed.
+    pub seed: u64,
+    /// Population size to fabricate.
+    pub chips: usize,
+    /// Which chip of the population to query.
+    pub chip: usize,
+    /// Data cores driven by the CC/DC protocol simulation.
+    pub dcs: usize,
+    /// Data/control phase iterations of the protocol run.
+    pub iterations: usize,
+    /// Target Drop fraction that sets the speculative error rate.
+    pub drop_target: f64,
+}
+
+impl SimQuery {
+    /// Parses and validates a query from a request body.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message (the `400` body) when the JSON
+    /// is malformed, a field has the wrong type, or a value is out of
+    /// its documented range.
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        let app = doc
+            .get("app")
+            .and_then(Json::as_str)
+            .ok_or("missing required string field \"app\"")?
+            .to_string();
+        if !all_apps().iter().any(|a| a.name() == app) {
+            let known: Vec<String> = all_apps().iter().map(|a| a.name().to_string()).collect();
+            return Err(format!("unknown app {app:?}; known: {}", known.join(", ")));
+        }
+        let topo = match doc.get("topo").and_then(Json::as_str).unwrap_or("default") {
+            "default" => Topology::paper_default(),
+            "small" => Topology::small(),
+            other => return Err(format!("unknown topo {other:?}; use default or small")),
+        };
+        let size = num_field(doc, "size", 1.0)?;
+        if !(0.01..=100.0).contains(&size) {
+            return Err(format!("size {size} outside [0.01, 100]"));
+        }
+        let vdd_mv = match doc.get("vdd_mv") {
+            None | Some(Json::Null) => None,
+            Some(v) => {
+                let mv = v.as_f64().ok_or("vdd_mv must be a number")?;
+                if !(300.0..=1200.0).contains(&mv) {
+                    return Err(format!("vdd_mv {mv} outside [300, 1200]"));
+                }
+                Some(mv)
+            }
+        };
+        let pop_seed = int_field(doc, "pop_seed", 2014.0)? as u64;
+        let seed = int_field(doc, "seed", 0.0)? as u64;
+        let chips = int_field(doc, "chips", 8.0)? as usize;
+        if chips == 0 || chips > MAX_CHIPS {
+            return Err(format!("chips {chips} outside [1, {MAX_CHIPS}]"));
+        }
+        let chip = int_field(doc, "chip", 0.0)? as usize;
+        if chip >= chips {
+            return Err(format!("chip index {chip} outside population of {chips}"));
+        }
+        let dcs = int_field(doc, "dcs", 16.0)? as usize;
+        if dcs == 0 || dcs > 1024 {
+            return Err(format!("dcs {dcs} outside [1, 1024]"));
+        }
+        let iterations = int_field(doc, "iterations", 3.0)? as usize;
+        if iterations == 0 || iterations > 64 {
+            return Err(format!("iterations {iterations} outside [1, 64]"));
+        }
+        let drop_target = num_field(doc, "drop_target", 0.25)?;
+        if !(0.0..1.0).contains(&drop_target) || drop_target == 0.0 {
+            return Err(format!("drop_target {drop_target} outside (0, 1)"));
+        }
+        Ok(Self {
+            app,
+            topo,
+            size,
+            vdd_mv,
+            pop_seed,
+            seed,
+            chips,
+            chip,
+            dcs,
+            iterations,
+            drop_target,
+        })
+    }
+}
+
+fn num_field(doc: &Json, key: &str, default: f64) -> Result<f64, String> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(v) => v.as_f64().ok_or_else(|| format!("{key} must be a number")),
+    }
+}
+
+fn int_field(doc: &Json, key: &str, default: f64) -> Result<f64, String> {
+    let v = num_field(doc, key, default)?;
+    if v < 0.0 || v.fract() != 0.0 {
+        return Err(format!("{key} must be a non-negative integer"));
+    }
+    Ok(v)
+}
+
+/// Errors a valid query can still hit while executing.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Client-side problem discovered during execution → 400.
+    Bad(String),
+    /// Internal model failure (e.g. correlation factorization) → 500.
+    Internal(String),
+}
+
+/// Per-app quality models, measured once per process. Front
+/// measurement runs the real kernels (seconds of work), which is
+/// exactly the state a long-lived service exists to amortize.
+fn quality_for(app_name: &str) -> Arc<QualityModel> {
+    static MODELS: OnceLock<Mutex<HashMap<String, Arc<QualityModel>>>> = OnceLock::new();
+    let models = MODELS.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(m) = models.lock().expect("quality cache lock").get(app_name) {
+        counter!("served.quality_cache.hits").inc();
+        return m.clone();
+    }
+    counter!("served.quality_cache.misses").inc();
+    // Measure outside the lock: a cold canneal query must not block a
+    // warm hotspot one. A racing duplicate measure is deterministic,
+    // so whichever insertion wins, the model is the same.
+    let app = all_apps()
+        .into_iter()
+        .find(|a| a.name() == app_name)
+        .expect("validated app name");
+    let measured = Arc::new(QualityModel::measure(app.as_ref()));
+    models
+        .lock()
+        .expect("quality cache lock")
+        .entry(app_name.to_string())
+        .or_insert(measured)
+        .clone()
+}
+
+/// Answers one simulation query. See the module docs for the pipeline.
+///
+/// # Errors
+///
+/// [`EngineError::Bad`] for client mistakes surfacing late,
+/// [`EngineError::Internal`] for model failures.
+pub fn simulate(q: &SimQuery) -> Result<Json, EngineError> {
+    let _span = span!("served.engine.simulate");
+    counter!("served.engine.simulations").inc();
+    let pop = popcache::population(q.topo, q.pop_seed, q.chips)
+        .map_err(|e| EngineError::Internal(format!("variation sampler: {e:?}")))?;
+    let chip = &pop[q.chip];
+    let quality = quality_for(&q.app);
+    let app = all_apps()
+        .into_iter()
+        .find(|a| a.name() == q.app)
+        .expect("validated app name");
+
+    // Per-cluster timing at the operating supply.
+    let vdd_v = q.vdd_mv.map_or(chip.vdd_ntv_v(), |mv| mv / 1000.0);
+    let params = chip.variation_params();
+    let timings = timings_at(chip, vdd_v);
+    let f_safe = timings
+        .iter()
+        .map(|t| t.safe_frequency_ghz(params))
+        .fold(f64::INFINITY, f64::min);
+
+    // Workload → per-thread cycles → speculative error rate. The
+    // error-rate bridge is the validation module's: the Drop-x level
+    // the quality model reads corresponds to Perr = −ln(1−x)/e.
+    let exec = ExecModel::paper_default();
+    let w = app.full_scale_workload(app.default_knob()).scaled(q.size);
+    let n_cores = chip.topology().num_cores();
+    let e_cycles = exec.thread_cycles(&w, w.work_units / n_cores as f64, f_safe);
+    let perr = (-f64::ln_1p(-q.drop_target) / e_cycles).clamp(1e-300, 0.999_999);
+    let f_run = timings
+        .iter()
+        .map(|t| t.frequency_for_perr(perr))
+        .fold(f64::INFINITY, f64::min);
+
+    // Protocol outcome at the speculative rate.
+    let work = (e_cycles / q.iterations as f64).clamp(1.0, 1e15) as u64;
+    let phases = iterative_app(q.iterations, work, 10_000);
+    let run = run_app(&phases, q.dcs, perr, SeedStream::new(q.seed));
+
+    // Quality from the measured fronts, clamped to their domain.
+    let (lo, hi) = quality.size_domain();
+    let s = q.size.clamp(lo, hi);
+
+    // Energy: active cores plus uncore across the whole chip, at the
+    // operating supply and speculative frequency.
+    let power_w = chip_power_at(chip, vdd_v, f_run);
+    let time_s = e_cycles / (f_run * 1e9);
+
+    Ok(Json::obj(vec![
+        (
+            "request",
+            Json::obj(vec![
+                ("app", Json::str(&q.app)),
+                (
+                    "topo",
+                    Json::str(if q.topo == Topology::small() {
+                        "small"
+                    } else {
+                        "default"
+                    }),
+                ),
+                ("size", Json::Num(q.size)),
+                ("vdd_mv", Json::Num(vdd_v * 1000.0)),
+                ("pop_seed", Json::Num(q.pop_seed as f64)),
+                ("seed", Json::Num(q.seed as f64)),
+                ("chips", Json::Num(q.chips as f64)),
+                ("chip", Json::Num(q.chip as f64)),
+                ("dcs", Json::Num(q.dcs as f64)),
+                ("iterations", Json::Num(q.iterations as f64)),
+                ("drop_target", Json::Num(q.drop_target)),
+            ]),
+        ),
+        (
+            "frequency",
+            Json::obj(vec![
+                ("f_safe_ghz", Json::Num(f_safe)),
+                ("f_run_ghz", Json::Num(f_run)),
+                ("speculative_gain", Json::Num(f_run / f_safe)),
+                ("perr_per_cycle", Json::Num(perr)),
+            ]),
+        ),
+        (
+            "quality",
+            Json::obj(vec![
+                ("safe", Json::Num(quality.quality_safe(s))),
+                ("speculative", Json::Num(quality.quality_speculative(s))),
+                (
+                    "scenario",
+                    Json::str(quality.speculative_scenario().label()),
+                ),
+            ]),
+        ),
+        (
+            "outcome",
+            Json::obj(vec![
+                ("drop_fraction", Json::Num(run.overall_drop_fraction)),
+                ("watchdog_fires", Json::Num(f64::from(run.watchdog_fires))),
+                ("makespan_cycles", Json::Num(run.makespan_cycles as f64)),
+                ("rounds", Json::Num(run.rounds.len() as f64)),
+            ]),
+        ),
+        (
+            "energy",
+            Json::obj(vec![
+                ("power_w", Json::Num(power_w)),
+                ("time_s", Json::Num(time_s)),
+                ("energy_j", Json::Num(power_w * time_s)),
+            ]),
+        ),
+    ]))
+}
+
+/// Per-cluster timing at an arbitrary supply: the chip's own models
+/// when `vdd_v` is its designated `VddNTV`, otherwise re-derived from
+/// the variation sample (same construction the population layer uses).
+fn timings_at(chip: &Chip, vdd_v: f64) -> Vec<ClusterTiming> {
+    if vdd_v == chip.vdd_ntv_v() {
+        return (0..chip.topology().num_clusters())
+            .map(|c| chip.cluster_timing(ClusterId(c)).clone())
+            .collect();
+    }
+    let fm = chip.freq_model();
+    let params = chip.variation_params();
+    let variation = &chip.sample().variation;
+    (0..chip.topology().num_clusters())
+        .map(|c| {
+            let cores = chip
+                .topology()
+                .cores_of(ClusterId(c))
+                .map(|core| {
+                    CoreTiming::new(
+                        fm,
+                        params,
+                        vdd_v,
+                        variation.core_vth_delta_v[core.0],
+                        variation.core_leff_mult[core.0],
+                    )
+                })
+                .collect();
+            ClusterTiming::new(cores)
+        })
+        .collect()
+}
+
+/// Whole-chip power with every core active at `f_ghz` and `vdd_v`
+/// (mirrors `Chip::cluster_power_w`, generalized to a supply override).
+fn chip_power_at(chip: &Chip, vdd_v: f64, f_ghz: f64) -> f64 {
+    let core_model = chip.power_model().core_model();
+    let variation = &chip.sample().variation;
+    let tech = chip.freq_model().technology();
+    let mut total = 0.0;
+    for c in 0..chip.topology().num_clusters() {
+        for core in chip.topology().cores_of(ClusterId(c)) {
+            let dv = variation.core_vth_delta_v[core.0];
+            let lm = variation.core_leff_mult[core.0];
+            total += core_model.core_power(vdd_v, f_ghz, dv, lm).total_w();
+        }
+        total += chip
+            .power_model()
+            .cluster_uncore_w(vdd_v, f_ghz / tech.f_nom_ghz);
+    }
+    total
+}
+
+/// Parses and runs a `/v1/sweep` body: the same fields as
+/// `/v1/simulate` except `vdd_mv` and `size` may be arrays; the cross
+/// product becomes the grid, executed as one ordered parallel map over
+/// `workers` pool threads.
+///
+/// # Errors
+///
+/// [`EngineError::Bad`] on malformed input or an oversized grid;
+/// [`EngineError::Internal`] on model failures in any grid point.
+pub fn sweep(doc: &Json, workers: usize) -> Result<Json, EngineError> {
+    let _span = span!("served.engine.sweep");
+    let vdds: Vec<Option<f64>> = match doc.get("vdd_mv") {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|v| v.as_f64().ok_or("vdd_mv entries must be numbers"))
+            .map(|r| r.map(Some))
+            .collect::<Result<_, _>>()
+            .map_err(|e| EngineError::Bad(e.into()))?,
+        _ => vec![None],
+    };
+    let sizes: Vec<f64> = match doc.get("size") {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|v| v.as_f64().ok_or("size entries must be numbers"))
+            .collect::<Result<_, _>>()
+            .map_err(|e| EngineError::Bad(e.into()))?,
+        _ => vec![1.0],
+    };
+    if vdds.is_empty() || sizes.is_empty() {
+        return Err(EngineError::Bad(
+            "vdd_mv/size arrays must be non-empty".into(),
+        ));
+    }
+    if vdds.len() * sizes.len() > MAX_GRID {
+        return Err(EngineError::Bad(format!(
+            "grid of {} points exceeds the {MAX_GRID}-point cap",
+            vdds.len() * sizes.len()
+        )));
+    }
+
+    // Validate once with scalar placeholders, then stamp out the grid.
+    let mut scalar = doc.clone();
+    set_field(&mut scalar, "vdd_mv", vdds[0].map_or(Json::Null, Json::Num));
+    set_field(&mut scalar, "size", Json::Num(sizes[0]));
+    let base = SimQuery::from_json(&scalar).map_err(EngineError::Bad)?;
+    for &mv in vdds.iter().flatten() {
+        if !(300.0..=1200.0).contains(&mv) {
+            return Err(EngineError::Bad(format!("vdd_mv {mv} outside [300, 1200]")));
+        }
+    }
+    for &s in &sizes {
+        if !(0.01..=100.0).contains(&s) {
+            return Err(EngineError::Bad(format!("size {s} outside [0.01, 100]")));
+        }
+    }
+
+    // Warm the shared state sequentially (population + quality fronts)
+    // so the fan-out below is pure per-point work.
+    let _ = quality_for(&base.app);
+    popcache::population(base.topo, base.pop_seed, base.chips)
+        .map_err(|e| EngineError::Internal(format!("variation sampler: {e:?}")))?;
+
+    let mut grid: Vec<SimQuery> = Vec::with_capacity(vdds.len() * sizes.len());
+    for &vdd in &vdds {
+        for &size in &sizes {
+            grid.push(SimQuery {
+                vdd_mv: vdd,
+                size,
+                ..base.clone()
+            });
+        }
+    }
+    counter!("served.engine.sweep_points").add(grid.len() as u64);
+    let points = accordion_pool::par_map_with(workers, grid, |q| simulate(&q));
+    let mut rendered = Vec::with_capacity(points.len());
+    for p in points {
+        rendered.push(p?);
+    }
+    Ok(Json::obj(vec![
+        ("count", Json::Num(rendered.len() as f64)),
+        ("grid", Json::Arr(rendered)),
+    ]))
+}
+
+fn set_field(doc: &mut Json, key: &str, value: Json) {
+    if let Json::Obj(pairs) = doc {
+        if let Some(slot) = pairs.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            pairs.push((key.to_string(), value));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accordion_telemetry::json;
+
+    fn query(body: &str) -> SimQuery {
+        SimQuery::from_json(&json::parse(body).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let q = query(r#"{"app": "hotspot"}"#);
+        assert_eq!(q.chips, 8);
+        assert_eq!(q.chip, 0);
+        assert_eq!(q.topo, Topology::paper_default());
+        assert_eq!(q.vdd_mv, None);
+        assert_eq!(q.drop_target, 0.25);
+    }
+
+    #[test]
+    fn validation_rejects_bad_fields() {
+        for body in [
+            r#"{}"#,
+            r#"{"app": "nope"}"#,
+            r#"{"app": "hotspot", "chips": 0}"#,
+            r#"{"app": "hotspot", "chip": 8}"#,
+            r#"{"app": "hotspot", "vdd_mv": 90}"#,
+            r#"{"app": "hotspot", "drop_target": 1.5}"#,
+            r#"{"app": "hotspot", "size": "big"}"#,
+            r#"{"app": "hotspot", "topo": "mega"}"#,
+        ] {
+            let doc = json::parse(body).unwrap();
+            assert!(SimQuery::from_json(&doc).is_err(), "{body}");
+        }
+    }
+
+    #[test]
+    fn simulate_is_deterministic_and_sane() {
+        let mut q = query(r#"{"app": "hotspot", "topo": "small", "chips": 2}"#);
+        q.pop_seed = 9101;
+        let a = simulate(&q).unwrap().render();
+        let b = simulate(&q).unwrap().render();
+        assert_eq!(a, b);
+        let doc = json::parse(&a).unwrap();
+        let f_safe = doc
+            .get("frequency")
+            .and_then(|f| f.get("f_safe_ghz"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        let f_run = doc
+            .get("frequency")
+            .and_then(|f| f.get("f_run_ghz"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!(f_safe > 0.1 && f_safe < 1.0, "f_safe {f_safe}");
+        assert!(f_run > f_safe, "speculation must buy frequency");
+        let power = doc
+            .get("energy")
+            .and_then(|e| e.get("power_w"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!(power > 0.0 && power < 200.0, "power {power}");
+    }
+
+    #[test]
+    fn vdd_override_changes_frequencies() {
+        let mut q = query(r#"{"app": "hotspot", "topo": "small", "chips": 2}"#);
+        q.pop_seed = 9102;
+        let ntv = simulate(&q).unwrap();
+        q.vdd_mv = Some(700.0);
+        let boosted = simulate(&q).unwrap();
+        let f = |doc: &Json| {
+            doc.get("frequency")
+                .and_then(|f| f.get("f_safe_ghz"))
+                .and_then(Json::as_f64)
+                .unwrap()
+        };
+        assert!(f(&boosted) > f(&ntv), "higher Vdd must clock faster");
+    }
+
+    #[test]
+    fn sweep_matches_pointwise_simulate() {
+        let doc = json::parse(
+            r#"{"app": "hotspot", "topo": "small", "chips": 2, "pop_seed": 9103,
+                "size": [0.5, 1.0], "vdd_mv": [550, 600]}"#,
+        )
+        .unwrap();
+        let grid = sweep(&doc, 2).unwrap();
+        assert_eq!(grid.get("count").and_then(Json::as_f64), Some(4.0));
+        // Grid order is the vdd-major cross product; each entry equals
+        // the scalar endpoint's answer for the same parameters.
+        let mut q = query(r#"{"app": "hotspot", "topo": "small", "chips": 2, "pop_seed": 9103}"#);
+        q.vdd_mv = Some(550.0);
+        q.size = 0.5;
+        let lone = simulate(&q).unwrap().render();
+        let first = match grid.get("grid") {
+            Some(Json::Arr(items)) => items[0].render(),
+            _ => panic!("grid missing"),
+        };
+        assert_eq!(lone, first);
+    }
+}

@@ -1,0 +1,317 @@
+//! Minimal HTTP/1.1 framing: request parsing and response writing.
+//!
+//! Just enough of RFC 9112 for a localhost JSON service: one request
+//! per connection (`Connection: close`), `Content-Length` bodies with
+//! a hard size cap, and chunked transfer encoding for responses whose
+//! length is unknown when the status line goes out (the artifact
+//! endpoint). Parsing never panics on malformed input — every error
+//! maps to a 4xx so a fuzzer can only ever collect error responses.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Hard cap on the request line + headers, independent of the body cap.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, upper-case as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component of the request target, without the query string.
+    pub path: String,
+    /// Query string key/value pairs, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Body bytes (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query value for `key`, if present.
+    pub fn query_value(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be served; each variant maps to one status.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Malformed request line, header, or body framing → 400.
+    Bad(String),
+    /// Declared or actual body exceeds the configured cap → 413.
+    TooLarge,
+    /// The socket timed out before a full request arrived → 408.
+    Timeout,
+    /// The peer vanished mid-request; nothing can be written back.
+    Disconnected,
+}
+
+/// Reads and parses one request from `stream`.
+///
+/// The caller is expected to have set the socket read timeout; a
+/// timeout surfaces as [`RequestError::Timeout`] so the handler can
+/// answer `408` while the connection is still writable.
+///
+/// # Errors
+///
+/// Returns a [`RequestError`] describing the 4xx to answer (or that
+/// the peer is gone).
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, RequestError> {
+    let mut reader = BufReader::new(stream);
+    let mut head = String::new();
+    // Request line.
+    read_line_capped(&mut reader, &mut head)?;
+    let line = head.trim_end();
+    let mut parts = line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty() && m.bytes().all(|b| b.is_ascii_uppercase()))
+        .ok_or_else(|| RequestError::Bad(format!("malformed request line {line:?}")))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| RequestError::Bad("missing request target".into()))?;
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        other => return Err(RequestError::Bad(format!("bad HTTP version {other:?}"))),
+    }
+    let (path, query) = split_target(target)?;
+
+    // Headers: we only act on Content-Length; everything else is
+    // tolerated and ignored (unknown headers must not kill a request).
+    let mut content_length = 0usize;
+    let mut head_bytes = head.len();
+    loop {
+        let mut line = String::new();
+        read_line_capped(&mut reader, &mut line)?;
+        head_bytes += line.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(RequestError::TooLarge);
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(RequestError::Bad(format!("malformed header {line:?}")));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| RequestError::Bad(format!("bad Content-Length {value:?}")))?;
+        }
+    }
+    if content_length > max_body {
+        return Err(RequestError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(map_io)?;
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+fn read_line_capped(
+    reader: &mut BufReader<&mut TcpStream>,
+    out: &mut String,
+) -> Result<(), RequestError> {
+    // `read_line` on a malicious endless line would balloon; take() at
+    // the head cap bounds it. A line cut by the cap fails the parse.
+    let mut limited = reader.take(MAX_HEAD_BYTES as u64);
+    let n = limited.read_line(out).map_err(map_io)?;
+    if n == 0 {
+        return Err(RequestError::Disconnected);
+    }
+    Ok(())
+}
+
+fn map_io(e: std::io::Error) -> RequestError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => RequestError::Timeout,
+        std::io::ErrorKind::InvalidData => RequestError::Bad("non-UTF-8 request head".into()),
+        _ => RequestError::Disconnected,
+    }
+}
+
+fn split_target(target: &str) -> Result<(String, Vec<(String, String)>), RequestError> {
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    if !path.starts_with('/') {
+        return Err(RequestError::Bad(format!("bad request target {target:?}")));
+    }
+    let query = query_str
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (kv.to_string(), String::new()),
+        })
+        .collect();
+    Ok((path.to_string(), query))
+}
+
+/// A response ready to be written: status, content type, extra
+/// headers, body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Extra headers (name, value) — e.g. `Retry-After` on a 503.
+    pub extra_headers: Vec<(&'static str, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            extra_headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A JSON error envelope: `{"error": msg}`.
+    pub fn error(status: u16, msg: &str) -> Self {
+        let body = accordion_telemetry::json::Json::obj(vec![(
+            "error",
+            accordion_telemetry::json::Json::str(msg),
+        )]);
+        Self::json(status, body.render())
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: String) -> Self {
+        self.extra_headers.push((name, value));
+        self
+    }
+
+    /// Writes the response with `Content-Length` framing. Write errors
+    /// are swallowed — the peer hanging up mid-response must never
+    /// bring the handler down.
+    pub fn write_to(&self, stream: &mut TcpStream) {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            status_reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        let _ = stream.write_all(head.as_bytes());
+        let _ = stream.write_all(&self.body);
+        let _ = stream.flush();
+    }
+}
+
+/// Writes a `200` header block with `Transfer-Encoding: chunked` and
+/// returns a writer for the body chunks. Used by the artifact endpoint
+/// so the client sees headers (and starts reading) before the artifact
+/// has finished generating.
+pub fn begin_chunked<'a>(
+    stream: &'a mut TcpStream,
+    content_type: &str,
+) -> std::io::Result<ChunkedWriter<'a>> {
+    let head = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.flush()?;
+    Ok(ChunkedWriter { stream })
+}
+
+/// Writer half of a chunked response; see [`begin_chunked`].
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl ChunkedWriter<'_> {
+    /// Writes one chunk (empty input writes nothing — an empty chunk
+    /// would terminate the stream).
+    pub fn chunk(&mut self, data: &[u8]) -> std::io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data)?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Writes the terminal chunk, ending the response.
+    pub fn finish(self) -> std::io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+/// Canonical reason phrase for the status codes this service emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_splitting() {
+        let (path, query) = split_target("/v1/artifacts/fig5a?chips=3&x=1").unwrap();
+        assert_eq!(path, "/v1/artifacts/fig5a");
+        assert_eq!(
+            query,
+            vec![
+                ("chips".to_string(), "3".to_string()),
+                ("x".to_string(), "1".to_string())
+            ]
+        );
+        assert!(split_target("no-slash").is_err());
+    }
+
+    #[test]
+    fn reason_phrases_cover_emitted_statuses() {
+        for s in [200, 400, 404, 405, 408, 413, 500, 503] {
+            assert_ne!(status_reason(s), "Unknown", "status {s}");
+        }
+    }
+}

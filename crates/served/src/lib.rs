@@ -1,0 +1,54 @@
+//! `accordion-served` — a batched, cached HTTP simulation service.
+//!
+//! Running every question about the Accordion chip as a fresh `repro`
+//! invocation re-pays the expensive setup each time: fabricating a
+//! variation-mapped population (envelope Cholesky factorization plus
+//! per-chip sampling) and measuring the application quality fronts
+//! (real kernel executions). A long-lived service pays those once and
+//! answers every subsequent operating-point query from warm caches —
+//! the same amortization argument the paper makes for soft NTV chips
+//! themselves: keep the expensive structure, vary the cheap knob.
+//!
+//! The server is zero-dependency (`std::net` plus the workspace's own
+//! crates) and exposes:
+//!
+//! | Endpoint | Meaning |
+//! |---|---|
+//! | `POST /v1/simulate` | one operating point: app, size, Vdd, seed → frequency, quality, protocol outcome, energy |
+//! | `POST /v1/sweep` | a Vdd × size grid, executed as one ordered parallel map |
+//! | `GET /v1/artifacts` | registered repro artifact ids |
+//! | `GET /v1/artifacts/{name}` | generate one artifact (chunked; headers precede generation) |
+//! | `GET /healthz` | liveness plus cache occupancy |
+//! | `GET /metrics` | text exposition of the telemetry registry |
+//! | `POST /v1/shutdown` | cooperative shutdown; queued requests drain |
+//!
+//! Robustness bounds: a fixed handler pool, a bounded accept queue
+//! (overflow → `503` + `Retry-After`), per-socket deadlines, a body
+//! size cap, and panic isolation per request. Determinism: identical
+//! requests produce byte-identical JSON regardless of `--jobs`,
+//! because responses render through the deterministic
+//! [`accordion_telemetry::json`] renderer and all parallel fan-out
+//! uses the ordered pool primitives.
+//!
+//! # Example
+//!
+//! ```
+//! use accordion_served::{start, ServeConfig};
+//!
+//! let handle = start(ServeConfig {
+//!     addr: "127.0.0.1:0".into(), // ephemeral port
+//!     ..ServeConfig::default()
+//! })?;
+//! let addr = handle.addr();
+//! assert_eq!(addr.ip().to_string(), "127.0.0.1");
+//! handle.shutdown(); // drains, joins, flushes telemetry
+//! # Ok::<(), std::io::Error>(())
+//! ```
+#![deny(missing_docs)]
+
+pub mod engine;
+pub mod http;
+pub mod server;
+
+pub use engine::{simulate, sweep, EngineError, SimQuery};
+pub use server::{start, ArtifactSource, ServeConfig, ServerHandle, ShutdownTrigger};

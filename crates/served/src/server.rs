@@ -1,0 +1,605 @@
+//! The HTTP server: bounded accept queue, fixed handler pool, routes.
+//!
+//! The shape is deliberately boring — `std::net::TcpListener`, a
+//! `Mutex<VecDeque>` + `Condvar` connection queue, and a fixed number
+//! of handler threads — because boring is what survives a fuzzer. The
+//! interesting properties are the bounds: the queue has a hard
+//! capacity (overflow answers `503` + `Retry-After` immediately, the
+//! paper-approved way to shed load without stalling the accept loop),
+//! every socket carries a read/write deadline, request bodies have a
+//! byte cap, and handler panics are caught and answered as `500`
+//! without taking the thread down.
+//!
+//! Shutdown is cooperative: [`ShutdownTrigger::request`] (also wired
+//! to `POST /v1/shutdown`) flips the stop flag; the accept loop closes
+//! the listener, handlers drain every connection already queued, and
+//! [`ServerHandle::shutdown`] joins all threads and flushes telemetry.
+
+use crate::engine::{self, EngineError, SimQuery};
+use crate::http::{self, Request, RequestError, Response};
+use accordion_chip::popcache;
+use accordion_telemetry::registry::exponential_bounds;
+use accordion_telemetry::{counter, flight_track, histogram, json, sink};
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Artifact generation injected by the binary crate (`repro`). The
+/// service crate cannot depend on `accordion-bench` (which depends on
+/// everything, including — via the CLI — this crate), so the registry
+/// arrives as data: the artifact id list and a generator function.
+#[derive(Clone, Copy)]
+pub struct ArtifactSource {
+    /// Registered artifact ids, e.g. `fig5a`, `tab3`.
+    pub ids: &'static [&'static str],
+    /// Generates one artifact at a population size; `None` for an
+    /// unknown id.
+    pub generate: fn(&str, usize) -> Option<String>,
+}
+
+/// Server configuration. `Default` matches the CLI defaults.
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:8080`. Port `0` picks an
+    /// ephemeral port (tests use this).
+    pub addr: String,
+    /// Handler threads — the number of requests in service at once.
+    pub handler_threads: usize,
+    /// Pool workers available to a single request (sweep fan-out).
+    pub request_jobs: usize,
+    /// Accepted-but-unhandled connection cap; beyond it, `503`.
+    pub queue_capacity: usize,
+    /// Request body cap in bytes (`413` beyond it).
+    pub max_body_bytes: usize,
+    /// Socket read/write deadline per request.
+    pub deadline: Duration,
+    /// Artifact generation hook, if the host binary provides one.
+    pub artifacts: Option<ArtifactSource>,
+    /// Enables `POST /v1/debug/sleep` (tests only — lets a test pin
+    /// every handler thread deterministically).
+    pub debug_endpoints: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8080".to_string(),
+            handler_threads: 4,
+            request_jobs: 2,
+            queue_capacity: 128,
+            max_body_bytes: 1 << 20,
+            deadline: Duration::from_secs(30),
+            artifacts: None,
+            debug_endpoints: false,
+        }
+    }
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    /// Bound address; shutdown connects to it to unpark `accept(2)`.
+    addr: SocketAddr,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    /// Flips the stop flag, wakes the handlers, and unparks the accept
+    /// loop (blocked in `accept(2)`) with a throwaway self-connection.
+    fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.available.notify_all();
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+    }
+}
+
+/// Requests a running server to stop; clonable and usable from any
+/// thread (the CLI hands one to its stdin watcher, the router wires
+/// one to `POST /v1/shutdown`).
+#[derive(Clone)]
+pub struct ShutdownTrigger {
+    shared: Arc<Shared>,
+}
+
+impl ShutdownTrigger {
+    /// Flips the stop flag and wakes every handler. Idempotent.
+    pub fn request(&self) {
+        self.shared.request_stop();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_requested(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+}
+
+/// A running server: the bound address plus the threads serving it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    handlers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actual bound address (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A trigger that can stop this server from another thread.
+    pub fn trigger(&self) -> ShutdownTrigger {
+        ShutdownTrigger {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Blocks until the server has stopped (externally triggered or
+    /// via `POST /v1/shutdown`), then joins threads and flushes
+    /// telemetry. Queued connections are drained, not dropped.
+    pub fn join(mut self) {
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        for t in self.handlers.drain(..) {
+            let _ = t.join();
+        }
+        sink::flush();
+    }
+
+    /// Requests shutdown and then [`join`](Self::join)s.
+    pub fn shutdown(self) {
+        self.trigger().request();
+        self.join();
+    }
+}
+
+/// Binds and starts the server; returns once the listener is live.
+///
+/// # Errors
+///
+/// Propagates the bind failure (address in use, permission).
+pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        cfg,
+        addr,
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        stop: AtomicBool::new(false),
+    });
+
+    let accept = {
+        let shared = shared.clone();
+        thread::Builder::new()
+            .name("served-accept".into())
+            .spawn(move || accept_loop(&listener, &shared))?
+    };
+    let mut handlers = Vec::with_capacity(shared.cfg.handler_threads);
+    for i in 0..shared.cfg.handler_threads.max(1) {
+        let shared = shared.clone();
+        handlers.push(
+            thread::Builder::new()
+                .name(format!("served-worker-{i}"))
+                .spawn(move || handler_loop(&shared))?,
+        );
+    }
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+        handlers,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    // Blocking accept: no poll interval to add to request latency.
+    // `request_stop` unparks it with a self-connection.
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    // The wake-up connection (or a client racing the
+                    // shutdown); either way, stop accepting.
+                    drop(stream);
+                    break;
+                }
+                enqueue(shared, stream);
+            }
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+    // Wake handlers so they observe the stop flag even with an empty
+    // queue.
+    shared.available.notify_all();
+}
+
+fn enqueue(shared: &Shared, mut stream: TcpStream) {
+    let mut queue = shared.queue.lock().expect("connection queue poisoned");
+    if queue.len() >= shared.cfg.queue_capacity {
+        drop(queue);
+        counter!("served.http.rejected_queue_full").inc();
+        // Shed load inline: a one-line 503 is cheap enough for the
+        // accept thread and tells a well-behaved client when to retry.
+        let resp = Response::error(503, "server saturated; retry shortly")
+            .with_header("Retry-After", "1".to_string());
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+        resp.write_to(&mut stream);
+        return;
+    }
+    queue.push_back(stream);
+    drop(queue);
+    shared.available.notify_one();
+}
+
+fn handler_loop(shared: &Shared) {
+    loop {
+        let conn = {
+            let mut queue = shared.queue.lock().expect("connection queue poisoned");
+            loop {
+                if let Some(conn) = queue.pop_front() {
+                    break Some(conn);
+                }
+                if shared.stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (q, _) = shared
+                    .available
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .expect("connection queue poisoned");
+                queue = q;
+            }
+        };
+        // Even after stop, the queue is drained before the loop above
+        // returns None — connections the accept loop already admitted
+        // are served, not dropped.
+        match conn {
+            Some(stream) => handle_conn(shared, stream),
+            None => return,
+        }
+    }
+}
+
+fn handle_conn(shared: &Shared, mut stream: TcpStream) {
+    let started = Instant::now();
+    let _ = stream.set_read_timeout(Some(shared.cfg.deadline));
+    let _ = stream.set_write_timeout(Some(shared.cfg.deadline));
+    counter!("served.http.requests").inc();
+    let response = match http::read_request(&mut stream, shared.cfg.max_body_bytes) {
+        Ok(req) => {
+            let _t = flight_track!("serve {} {}", req.method, req.path);
+            // A route handler panicking (a bug) must answer 500 and
+            // leave the worker alive for the next request.
+            match catch_unwind(AssertUnwindSafe(|| route(shared, &req))) {
+                Ok(resp) => resp,
+                Err(_) => {
+                    counter!("served.http.panics").inc();
+                    Routed::Plain(Response::error(500, "internal error (handler panicked)"))
+                }
+            }
+        }
+        Err(RequestError::Bad(msg)) => Routed::Plain(Response::error(400, &msg)),
+        Err(RequestError::TooLarge) => {
+            Routed::Plain(Response::error(413, "request exceeds size limits"))
+        }
+        Err(RequestError::Timeout) => Routed::Plain(Response::error(408, "request timed out")),
+        Err(RequestError::Disconnected) => {
+            counter!("served.http.disconnects").inc();
+            return;
+        }
+    };
+    match response {
+        Routed::Plain(resp) => {
+            count_response(resp.status);
+            resp.write_to(&mut stream);
+        }
+        Routed::Artifact { id, chips, source } => {
+            stream_artifact(&mut stream, &id, chips, source);
+        }
+    }
+    let us = started.elapsed().as_micros() as f64;
+    histogram!("served.http.latency_us", exponential_bounds(1.0, 2.0, 24)).record(us);
+}
+
+// Not `counter!`: that macro caches the handle per call site, which
+// would pin whichever class fired first. Resolve by name each time.
+fn count_response(status: u16) {
+    let name = match status {
+        200..=299 => "served.http.responses.2xx",
+        400..=499 => "served.http.responses.4xx",
+        _ => "served.http.responses.5xx",
+    };
+    accordion_telemetry::registry::global().counter(name).inc();
+}
+
+/// Route outcome: either a fully-formed response, or an artifact to
+/// stream chunked (its length is unknown until generated).
+enum Routed {
+    Plain(Response),
+    Artifact {
+        id: String,
+        chips: usize,
+        source: ArtifactSource,
+    },
+}
+
+fn route(shared: &Shared, req: &Request) -> Routed {
+    let plain = |r: Response| Routed::Plain(r);
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => plain(healthz(shared)),
+        ("GET", "/metrics") => plain(Response::text(
+            200,
+            accordion_telemetry::registry::global().render_text(),
+        )),
+        ("GET", "/v1/artifacts") => plain(list_artifacts(shared)),
+        ("POST", "/v1/simulate") => plain(simulate(req)),
+        ("POST", "/v1/sweep") => plain(sweep(shared, req)),
+        ("POST", "/v1/shutdown") => {
+            shared.request_stop();
+            plain(Response::json(
+                200,
+                json::Json::obj(vec![("status", json::Json::str("stopping"))]).render(),
+            ))
+        }
+        ("POST", "/v1/debug/sleep") if shared.cfg.debug_endpoints => plain(debug_sleep(req)),
+        ("GET", path) if path.starts_with("/v1/artifacts/") => {
+            let id = path["/v1/artifacts/".len()..].to_string();
+            let Some(source) = shared.cfg.artifacts else {
+                return plain(Response::error(
+                    404,
+                    "artifact generation is not wired into this server",
+                ));
+            };
+            if !source.ids.contains(&id.as_str()) {
+                return plain(Response::error(404, &format!("unknown artifact {id:?}")));
+            }
+            let chips = match req.query_value("chips").map(str::parse::<usize>) {
+                None => 8,
+                Some(Ok(n)) if (1..=100).contains(&n) => n,
+                Some(_) => {
+                    return plain(Response::error(400, "chips must be an integer in [1, 100]"))
+                }
+            };
+            Routed::Artifact { id, chips, source }
+        }
+        (_, "/healthz" | "/metrics" | "/v1/artifacts")
+        | ("GET" | "PUT" | "DELETE", "/v1/simulate" | "/v1/sweep") => {
+            plain(Response::error(405, "method not allowed"))
+        }
+        _ => plain(Response::error(404, "no such endpoint")),
+    }
+}
+
+fn healthz(shared: &Shared) -> Response {
+    let doc = json::Json::obj(vec![
+        ("status", json::Json::str("ok")),
+        (
+            "queue_capacity",
+            json::Json::Num(shared.cfg.queue_capacity as f64),
+        ),
+        (
+            "handler_threads",
+            json::Json::Num(shared.cfg.handler_threads as f64),
+        ),
+        (
+            "caches",
+            json::Json::obj(vec![
+                ("populations", json::Json::Num(popcache::len() as f64)),
+                (
+                    "variation_samplers",
+                    json::Json::Num(accordion_varius::vmap::sampler_cache_len() as f64),
+                ),
+            ]),
+        ),
+    ]);
+    Response::json(200, doc.render())
+}
+
+fn list_artifacts(shared: &Shared) -> Response {
+    let ids: Vec<json::Json> = shared
+        .cfg
+        .artifacts
+        .map(|s| s.ids.iter().map(|id| json::Json::str(*id)).collect())
+        .unwrap_or_default();
+    let doc = json::Json::obj(vec![
+        ("count", json::Json::Num(ids.len() as f64)),
+        ("artifacts", json::Json::Arr(ids)),
+    ]);
+    Response::json(200, doc.render())
+}
+
+fn parse_body(req: &Request) -> Result<json::Json, Response> {
+    let text =
+        std::str::from_utf8(&req.body).map_err(|_| Response::error(400, "body is not UTF-8"))?;
+    if text.trim().is_empty() {
+        return Ok(json::Json::Obj(Vec::new()));
+    }
+    json::parse(text).map_err(|e| Response::error(400, &format!("body is not JSON: {e}")))
+}
+
+fn simulate(req: &Request) -> Response {
+    let doc = match parse_body(req) {
+        Ok(d) => d,
+        Err(resp) => return resp,
+    };
+    let query = match SimQuery::from_json(&doc) {
+        Ok(q) => q,
+        Err(msg) => return Response::error(400, &msg),
+    };
+    match engine::simulate(&query) {
+        Ok(body) => Response::json(200, body.render()),
+        Err(e) => engine_error(&e),
+    }
+}
+
+fn sweep(shared: &Shared, req: &Request) -> Response {
+    let doc = match parse_body(req) {
+        Ok(d) => d,
+        Err(resp) => return resp,
+    };
+    match engine::sweep(&doc, shared.cfg.request_jobs) {
+        Ok(body) => Response::json(200, body.render()),
+        Err(e) => engine_error(&e),
+    }
+}
+
+fn engine_error(e: &EngineError) -> Response {
+    match e {
+        EngineError::Bad(msg) => Response::error(400, msg),
+        EngineError::Internal(msg) => {
+            counter!("served.engine.internal_errors").inc();
+            Response::error(500, msg)
+        }
+    }
+}
+
+fn debug_sleep(req: &Request) -> Response {
+    let ms = parse_body(req)
+        .ok()
+        .and_then(|d| d.get("ms").and_then(json::Json::as_f64))
+        .unwrap_or(50.0)
+        .clamp(0.0, 5000.0);
+    thread::sleep(Duration::from_millis(ms as u64));
+    Response::json(
+        200,
+        json::Json::obj(vec![("slept_ms", json::Json::Num(ms))]).render(),
+    )
+}
+
+fn stream_artifact(stream: &mut TcpStream, id: &str, chips: usize, source: ArtifactSource) {
+    counter!("served.artifacts.requests").inc();
+    // Headers go out before generation so the client learns the
+    // request was accepted; the body follows as one chunk when ready
+    // (generation can take seconds for the protocol-heavy figures).
+    let Ok(mut writer) = http::begin_chunked(stream, "text/plain; charset=utf-8") else {
+        return;
+    };
+    match catch_unwind(AssertUnwindSafe(|| (source.generate)(id, chips))) {
+        Ok(Some(text)) => {
+            let _ = writer.chunk(text.as_bytes());
+            let _ = writer.finish();
+            counter!("served.http.responses.2xx").inc();
+        }
+        Ok(None) => {
+            // Validated before routing here; a miss now means the
+            // registry changed under us. Mark the stream as failed by
+            // dropping it without the terminal chunk.
+            counter!("served.http.responses.5xx").inc();
+        }
+        Err(_) => {
+            counter!("served.http.panics").inc();
+            let _ = writer.chunk(b"\n# ERROR: artifact generation panicked\n");
+            let _ = writer.finish();
+            counter!("served.http.responses.5xx").inc();
+        }
+    }
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read as _;
+
+    fn request(addr: SocketAddr, raw: &str) -> String {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        conn.write_all(raw.as_bytes()).expect("send");
+        let mut out = String::new();
+        let _ = conn.read_to_string(&mut out);
+        out
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        request(
+            addr,
+            &format!("GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"),
+        )
+    }
+
+    #[test]
+    fn healthz_and_routing_basics() {
+        let handle = start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            handler_threads: 2,
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        let addr = handle.addr();
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+        assert!(health.contains("\"status\":\"ok\""), "{health}");
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        let wrong_method = get(addr, "/v1/simulate");
+        assert!(wrong_method.starts_with("HTTP/1.1 405"), "{wrong_method}");
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.contains("served_http_requests"), "{metrics}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_answer_4xx_without_killing_workers() {
+        let handle = start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            handler_threads: 1,
+            max_body_bytes: 64,
+            deadline: Duration::from_millis(300),
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        let addr = handle.addr();
+        let bad = [
+            "garbage\r\n\r\n",
+            "GET\r\n\r\n",
+            "get /healthz HTTP/1.1\r\n\r\n",
+            "GET /healthz SPDY/9\r\n\r\n",
+            "POST /v1/simulate HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            "POST /v1/simulate HTTP/1.1\r\nContent-Length: 999\r\n\r\n{}",
+            "GET nopath HTTP/1.1\r\n\r\n",
+        ];
+        for raw in bad {
+            let reply = request(addr, raw);
+            assert!(
+                reply.starts_with("HTTP/1.1 4"),
+                "expected 4xx for {raw:?}, got {reply:?}"
+            );
+        }
+        // The single worker must still be alive.
+        assert!(get(addr, "/healthz").starts_with("HTTP/1.1 200"));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn oversized_body_is_413() {
+        let handle = start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            handler_threads: 1,
+            max_body_bytes: 16,
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        let big = "x".repeat(64);
+        let reply = request(
+            handle.addr(),
+            &format!(
+                "POST /v1/simulate HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+                big.len(),
+                big
+            ),
+        );
+        assert!(reply.starts_with("HTTP/1.1 413"), "{reply}");
+        handle.shutdown();
+    }
+}

@@ -7,7 +7,7 @@
 //!   counters, gauges and fixed-bucket histograms, addressed by dotted
 //!   names and cached per call-site by the [`counter!`] / [`gauge!`] /
 //!   [`histogram!`] macros;
-//! * lightweight **spans** ([`span`]) — RAII wall-clock timers with
+//! * lightweight **spans** ([`mod@span`]) — RAII wall-clock timers with
 //!   nesting, created by [`span!`], feeding per-span accounting and
 //!   the sink layer;
 //! * pluggable **sinks** ([`sink`]) — a human-readable stderr tracer
@@ -44,6 +44,8 @@
 //!     100
 //! );
 //! ```
+
+#![deny(missing_docs)]
 
 pub mod chrome;
 pub mod event;

@@ -167,6 +167,18 @@ impl ChipVariation {
     }
 }
 
+/// Number of correlation structures resident in the process-wide
+/// sampler cache — the same value the `varius.sampler_cache.entries`
+/// gauge tracks, exposed directly for the serving layer's health
+/// endpoint and for tests.
+pub fn sampler_cache_len() -> usize {
+    SAMPLER_CACHE
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("sampler cache poisoned")
+        .len()
+}
+
 impl VariationSampler {
     /// Draws one chip instance. `Vth` and `Leff` fields use independent
     /// draws of the same spatial structure (VARIUS models them as

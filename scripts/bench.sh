@@ -35,7 +35,7 @@ for arg in "$@"; do
         *) out="$arg" ;;
     esac
 done
-out="${out:-BENCH_PR4.json}"
+out="${out:-BENCH_PR5.json}"
 
 baseline="${ACCORDION_BENCH_BASELINE:-}"
 if [ -z "$baseline" ]; then
@@ -62,8 +62,8 @@ if [ "$dryrun" -eq 1 ]; then
     fresh="$(medians_of "$baseline" \
         | awk -v s="$inject" '{ printf "%s %.1f %.1f\n", $1, $2 * s, $2 * s }')"
 else
-    echo "==> cargo bench -p accordion-bench --bench sparse --bench telemetry"
-    raw="$(cargo bench -p accordion-bench --bench sparse --bench telemetry 2>&1 \
+    echo "==> cargo bench -p accordion-bench --bench sparse --bench telemetry --bench serve"
+    raw="$(cargo bench -p accordion-bench --bench sparse --bench telemetry --bench serve 2>&1 \
         | grep -E '^bench ')"
     echo "$raw"
 
@@ -127,13 +127,20 @@ if [ "$dryrun" -eq 0 ]; then
         [ -n "$v" ] || { echo "error: missing bench line in output" >&2; exit 1; }
     done
 
+    serve_warm=$(fresh_of serve_latency)
+    serve_cold=$(fresh_of serve_latency_cold)
+    for v in "$serve_warm" "$serve_cold"; do
+        [ -n "$v" ] || { echo "error: serve latency bench missing" >&2; exit 1; }
+    done
+
     construct_speedup=$(awk -v a="$construct_dense" -v b="$construct_env" 'BEGIN { printf "%.2f", a / b }')
     sample_speedup=$(awk -v a="$sample_dense" -v b="$sample_env" 'BEGIN { printf "%.2f", a / b }')
+    serve_speedup=$(awk -v c="$serve_cold" -v w="$serve_warm" 'BEGIN { printf "%.2f", c / w }')
     chips_per_s=$(awk -v t="$fab8" 'BEGIN { printf "%.0f", 8e9 / t }')
 
     {
         echo '{'
-        echo '  "bench": "sparse variation engine + telemetry hot paths",'
+        echo '  "bench": "sparse variation engine + telemetry hot paths + serve latency",'
         echo '  "plan": { "sites": 612, "phi": 0.1, "range_mm": 2.0 },'
         echo '  "median_ns": {'
         echo "$fresh" | awk '{ pairs[NR] = "    \"" $1 "\": " $3 }
@@ -141,18 +148,22 @@ if [ "$dryrun" -eq 0 ]; then
         echo '  },'
         echo '  "speedup": {'
         echo "    \"sampler_construction\": $construct_speedup,"
-        echo "    \"per_chip_sampling\": $sample_speedup"
+        echo "    \"per_chip_sampling\": $sample_speedup,"
+        echo "    \"serve_warm_vs_cold\": $serve_speedup"
         echo '  },'
         echo "  \"fabrication_chips_per_second\": $chips_per_s"
         echo '}'
     } > "$out"
-    echo "wrote $out (construction ${construct_speedup}x, sampling ${sample_speedup}x, ${chips_per_s} chips/s)"
+    echo "wrote $out (construction ${construct_speedup}x, sampling ${sample_speedup}x, serve warm ${serve_speedup}x, ${chips_per_s} chips/s)"
 
-    # The PR 3 acceptance floors stay pinned.
-    awk -v c="$construct_speedup" -v s="$sample_speedup" 'BEGIN {
+    # The PR 3 acceptance floors stay pinned; PR 5 adds the service's
+    # warm-cache floor (a warm /v1/simulate must be >= 5x faster than
+    # one that re-fabricates its population).
+    awk -v c="$construct_speedup" -v s="$sample_speedup" -v v="$serve_speedup" 'BEGIN {
         bad = 0
         if (c < 3.0) { print "FAIL: sampler construction speedup " c "x < 3x" > "/dev/stderr"; bad = 1 }
         if (s < 2.0) { print "FAIL: per-chip sampling speedup " s "x < 2x" > "/dev/stderr"; bad = 1 }
+        if (v < 5.0) { print "FAIL: warm serve latency only " v "x better than cold (< 5x)" > "/dev/stderr"; bad = 1 }
         exit bad
     }'
 fi

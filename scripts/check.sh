@@ -20,6 +20,12 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# The public API is documented or the build fails: accordion-pool,
+# accordion-telemetry and accordion-served carry deny(missing_docs),
+# and rustdoc warnings (broken links, ambiguous references) are errors.
+echo "==> cargo doc --workspace --no-deps (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run
 
@@ -47,6 +53,28 @@ if [ "$fast" -eq 0 ]; then
         profile headline --chips 2 --chrome-trace "$smoke_dir/trace.json" > /dev/null
     cargo run --release -q -p accordion-bench --bin repro -- \
         validate-trace "$smoke_dir/trace.json"
+
+    # Service smoke: boot `repro serve` on a fixed local port, hit the
+    # health and simulate endpoints, then stop it cooperatively. Proves
+    # the binary wiring (artifact source, shutdown path), not just the
+    # library the e2e tests cover.
+    echo "==> repro serve smoke"
+    serve_port=18471
+    cargo run --release -q -p accordion-bench --bin repro -- \
+        serve --addr "127.0.0.1:$serve_port" --threads 2 \
+        < /dev/null > "$smoke_dir/serve.log" 2>&1 &
+    serve_pid=$!
+    for _ in $(seq 1 50); do
+        curl -sf "http://127.0.0.1:$serve_port/healthz" > /dev/null 2>&1 && break
+        sleep 0.2
+    done
+    curl -sf "http://127.0.0.1:$serve_port/healthz" | grep -q '"status":"ok"'
+    curl -sf -X POST "http://127.0.0.1:$serve_port/v1/simulate" \
+        -d '{"app":"hotspot","topo":"small","chips":2}' \
+        | grep -q '"f_run_ghz"'
+    curl -sf -X POST "http://127.0.0.1:$serve_port/v1/shutdown" > /dev/null
+    wait "$serve_pid"
+    grep -q "accordion-served stopped" "$smoke_dir/serve.log"
 fi
 
 if [ "$fast" -eq 0 ]; then
