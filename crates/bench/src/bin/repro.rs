@@ -7,7 +7,12 @@
 //!                  [--chrome-trace FILE]
 //! repro all
 //! repro profile <artifact|all> [--chips N] [--chrome-trace FILE]
+//! repro serve [--addr HOST:PORT] [--access-log FILE] [--chrome-trace FILE]
+//! repro loadtest [--addr HOST:PORT] [--mode closed|open] [--rate R]
+//!                [--connections N] [--duration S] [--warmup S]
+//!                [--seed N] [--json FILE]
 //! repro validate-trace <file>
+//! repro validate-metrics <addr|file>
 //! ```
 //!
 //! Artifact ids: see `accordion_bench::registry::ARTIFACTS` (printed
@@ -35,9 +40,10 @@ use accordion_telemetry::json::{self, Json};
 use accordion_telemetry::sink::{self, JsonlSink, Level, StderrSink};
 use accordion_telemetry::{event, RunManifest};
 use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::path::Path;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Population seed shared by every artifact generator (`SeedStream::
 /// new(2014)` throughout the figure modules — the paper's year).
@@ -237,6 +243,20 @@ fn main() {
             serve_main(&args[1..]);
             return;
         }
+        Some("loadtest") => {
+            loadtest_main(&args[1..]);
+            return;
+        }
+        Some("validate-metrics") => {
+            let target = args
+                .get(1)
+                .unwrap_or_else(|| die("validate-metrics needs an ADDR or FILE"));
+            if args.len() > 2 {
+                die(&format!("unexpected argument: {}", args[2]));
+            }
+            validate_metrics(target);
+            return;
+        }
         _ => {}
     }
 
@@ -334,21 +354,7 @@ fn main() {
         let log = event::drain();
         event::disable();
         if let Some(path) = &cli.chrome_trace {
-            let include_host = std::env::var("ACCORDION_CHROME_HOST").as_deref() == Ok("1");
-            let rendered = chrome_trace(&log, include_host).render();
-            let path = Path::new(path);
-            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-                std::fs::create_dir_all(parent)
-                    .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", parent.display())));
-            }
-            std::fs::write(path, rendered)
-                .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
-            eprintln!(
-                "chrome trace: {} ({} events, {} tracks)",
-                path.display(),
-                log.len(),
-                log.track_names.len(),
-            );
+            write_chrome_trace(path, &log);
         }
         if cli.profile {
             println!("{}", render_dashboard(&log));
@@ -394,6 +400,7 @@ fn main() {
 /// — but only the cooperative paths drain in-flight requests.
 fn serve_main(args: &[String]) {
     let mut cfg = accordion_served::ServeConfig::default();
+    let mut chrome_trace: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -402,6 +409,25 @@ fn serve_main(args: &[String]) {
                     .next()
                     .cloned()
                     .unwrap_or_else(|| die("--addr needs HOST:PORT"));
+            }
+            "--access-log" => {
+                cfg.access_log = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--access-log needs a file path")),
+                );
+            }
+            "--no-log-timing" => {
+                // Omits queue_us/latency_us so the access log is
+                // byte-identical at any --jobs (see crate::obs docs).
+                cfg.log_timing = false;
+            }
+            "--chrome-trace" => {
+                chrome_trace = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--chrome-trace needs a file path")),
+                );
             }
             "--jobs" => {
                 cfg.request_jobs = it
@@ -436,6 +462,12 @@ fn serve_main(args: &[String]) {
         ids: ARTIFACTS,
         generate,
     });
+    if chrome_trace.is_some() {
+        // Record every request's span tree for the whole server
+        // lifetime; the trace is written after the listener drains.
+        sink::set_timing(true);
+        event::enable();
+    }
     let handle =
         accordion_served::start(cfg).unwrap_or_else(|e| die(&format!("cannot bind server: {e}")));
     eprintln!(
@@ -465,7 +497,216 @@ fn serve_main(args: &[String]) {
         }
     });
     handle.join();
+    if let Some(path) = &chrome_trace {
+        let log = event::drain();
+        event::disable();
+        write_chrome_trace(path, &log);
+    }
     eprintln!("accordion-served stopped");
+}
+
+/// Renders a drained flight recording to `path` as a Chrome
+/// `trace_event` JSON (shared by `repro <artifact> --chrome-trace` and
+/// `repro serve --chrome-trace`).
+fn write_chrome_trace(path: &str, log: &accordion_telemetry::event::FlightLog) {
+    let include_host = std::env::var("ACCORDION_CHROME_HOST").as_deref() == Ok("1");
+    let rendered = chrome_trace(log, include_host).render();
+    let path = Path::new(path);
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)
+            .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", parent.display())));
+    }
+    std::fs::write(path, rendered)
+        .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
+    eprintln!(
+        "chrome trace: {} ({} events, {} tracks)",
+        path.display(),
+        log.len(),
+        log.track_names.len(),
+    );
+}
+
+/// `repro loadtest`: drives a server (an external one via `--addr`, or
+/// an in-process one on an ephemeral port otherwise) with the seeded
+/// request mix and prints the latency report. `--json` additionally
+/// writes the machine-readable report `scripts/bench.sh` gates on.
+fn loadtest_main(args: &[String]) {
+    use accordion_bench::loadtest::{self, Arrival, LoadConfig};
+    let mut cfg = LoadConfig::default();
+    let mut addr_arg: Option<String> = None;
+    let mut mode = "closed".to_string();
+    let mut rate = 50.0f64;
+    let mut connections = 4usize;
+    let mut json_path: Option<String> = None;
+    let mut serve_cfg = accordion_served::ServeConfig::default();
+    let mut it = args.iter();
+    fn num(it: &mut std::slice::Iter<'_, String>, what: &str) -> f64 {
+        it.next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| die(&format!("{what} needs a number")))
+    }
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                addr_arg = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--addr needs HOST:PORT")),
+                );
+            }
+            "--mode" => {
+                mode = it
+                    .next()
+                    .cloned()
+                    .unwrap_or_else(|| die("--mode needs closed|open"));
+                if mode != "closed" && mode != "open" {
+                    die(&format!("unknown mode {mode:?}; use closed or open"));
+                }
+            }
+            "--rate" => {
+                rate = num(&mut it, "--rate");
+                if rate <= 0.0 {
+                    die("--rate must be positive");
+                }
+            }
+            "--connections" => {
+                connections = num(&mut it, "--connections") as usize;
+                if connections == 0 {
+                    die("--connections must be at least 1");
+                }
+            }
+            "--duration" => {
+                cfg.duration = std::time::Duration::from_secs_f64(num(&mut it, "--duration"))
+            }
+            "--warmup" => cfg.warmup = std::time::Duration::from_secs_f64(num(&mut it, "--warmup")),
+            "--seed" => cfg.seed = num(&mut it, "--seed") as u64,
+            "--json" => {
+                json_path = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--json needs a file path")),
+                );
+            }
+            "--threads" => serve_cfg.handler_threads = num(&mut it, "--threads") as usize,
+            "--jobs" => serve_cfg.request_jobs = num(&mut it, "--jobs") as usize,
+            "--queue" => serve_cfg.queue_capacity = num(&mut it, "--queue") as usize,
+            "--help" | "-h" => {
+                println!("{}", usage_text());
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown loadtest argument {other}")),
+        }
+    }
+    cfg.arrival = match mode.as_str() {
+        "open" => Arrival::Open {
+            rate,
+            senders: connections,
+        },
+        _ => Arrival::Closed { connections },
+    };
+    if cfg.warmup >= cfg.duration {
+        die("--warmup must be shorter than --duration");
+    }
+
+    // No --addr: measure an in-process server on an ephemeral port so
+    // smoke tests need no free well-known port and no second process.
+    let (addr, handle) = match &addr_arg {
+        Some(spec) => {
+            let addr = spec
+                .to_socket_addrs()
+                .ok()
+                .and_then(|mut a| a.next())
+                .unwrap_or_else(|| die(&format!("cannot resolve {spec}")));
+            (addr, None)
+        }
+        None => {
+            serve_cfg.addr = "127.0.0.1:0".into();
+            serve_cfg.artifacts = Some(accordion_served::ArtifactSource {
+                ids: ARTIFACTS,
+                generate,
+            });
+            let handle = accordion_served::start(serve_cfg)
+                .unwrap_or_else(|e| die(&format!("cannot bind loadtest server: {e}")));
+            eprintln!("loadtest: in-process server on http://{}", handle.addr());
+            (handle.addr(), Some(handle))
+        }
+    };
+
+    let report = loadtest::run(addr, &cfg);
+    if let Some(handle) = handle {
+        handle.shutdown();
+    }
+
+    print!("{}", report.render_text());
+    if let Some(path) = &json_path {
+        std::fs::write(path, report.to_json().render_pretty())
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        eprintln!("loadtest report: {path}");
+    }
+    if report.requests == 0 {
+        die("no requests completed inside the measured window");
+    }
+}
+
+/// `repro validate-metrics <addr|file>`: lints a Prometheus exposition
+/// document — fetched live from `http://ADDR/metrics` when the target
+/// looks like an address, read from disk otherwise. Exits nonzero on
+/// any conformance violation so scripts can gate on it.
+fn validate_metrics(target: &str) {
+    let spec = target.strip_prefix("http://").unwrap_or(target);
+    let looks_like_addr = !spec.contains('/') && spec.contains(':');
+    let (source, text) = if looks_like_addr {
+        let addr = spec
+            .to_socket_addrs()
+            .ok()
+            .and_then(|mut a| a.next())
+            .unwrap_or_else(|| die(&format!("cannot resolve {spec}")));
+        (format!("http://{spec}/metrics"), fetch_metrics(addr))
+    } else {
+        (
+            target.to_string(),
+            std::fs::read_to_string(target)
+                .unwrap_or_else(|e| die(&format!("cannot read {target}: {e}"))),
+        )
+    };
+    match accordion_telemetry::prom::lint(&text) {
+        Ok(report) => println!(
+            "{source}: ok ({} families, {} samples)",
+            report.families, report.samples
+        ),
+        Err(errors) => {
+            for e in &errors {
+                eprintln!("{source}: {e}");
+            }
+            die(&format!("{} exposition-format violations", errors.len()));
+        }
+    }
+}
+
+/// One blocking `GET /metrics` against `addr`; dies on transport
+/// errors or a non-200 answer.
+fn fetch_metrics(addr: std::net::SocketAddr) -> String {
+    use std::io::Read as _;
+    let timeout = Duration::from_secs(10);
+    let mut conn = TcpStream::connect_timeout(&addr, timeout)
+        .unwrap_or_else(|e| die(&format!("cannot connect to {addr}: {e}")));
+    let _ = conn.set_read_timeout(Some(timeout));
+    let _ = conn.set_write_timeout(Some(timeout));
+    conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: validate\r\nConnection: close\r\n\r\n")
+        .unwrap_or_else(|e| die(&format!("cannot send to {addr}: {e}")));
+    let mut reply = String::new();
+    conn.read_to_string(&mut reply)
+        .unwrap_or_else(|e| die(&format!("cannot read from {addr}: {e}")));
+    let (head, body) = reply
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| die(&format!("{addr}: malformed HTTP response")));
+    if !head.starts_with("HTTP/1.1 200") {
+        die(&format!(
+            "{addr}: /metrics answered {}",
+            head.lines().next().unwrap_or("?")
+        ));
+    }
+    body.to_string()
 }
 
 /// `repro validate-trace <file>`: parses a Chrome trace written by

@@ -8,6 +8,7 @@
 //! by what factor, where crossovers fall).
 
 pub mod figures;
+pub mod loadtest;
 pub mod output;
 pub mod profile;
 pub mod registry;

@@ -119,8 +119,12 @@ pub const SUBCOMMANDS: &[Subcommand] = &[
         help: "enumerate artifacts and subcommands, one per line",
     },
     Subcommand {
-        usage: "repro serve [--addr HOST:PORT] [--jobs N] [--threads N] [--queue N]",
+        usage: "repro serve [--addr HOST:PORT] [--jobs N] [--threads N] [--queue N] [--access-log F] [--no-log-timing] [--chrome-trace F]",
         help: "run the batched, cached HTTP simulation service",
+    },
+    Subcommand {
+        usage: "repro loadtest [--addr HOST:PORT] [--mode closed|open] [--rate R] [--connections N] [--duration S] [--warmup S] [--seed N] [--json F]",
+        help: "measure serving latency/throughput with a seeded request mix",
     },
     Subcommand {
         usage: "repro profile <artifact|all> [same flags as repro <artifact>]",
@@ -129,6 +133,10 @@ pub const SUBCOMMANDS: &[Subcommand] = &[
     Subcommand {
         usage: "repro validate-trace <FILE>",
         help: "check the structural invariants of a Chrome trace",
+    },
+    Subcommand {
+        usage: "repro validate-metrics <ADDR|FILE>",
+        help: "lint a /metrics document against the Prometheus text format",
     },
 ];
 

@@ -76,10 +76,25 @@ fn shelf() -> &'static Mutex<Shelf> {
 /// # Ok::<(), accordion_stats::field::FieldError>(())
 /// ```
 pub fn population(topo: Topology, seed: u64, count: usize) -> Result<Arc<Vec<Chip>>, FieldError> {
+    population_with_status(topo, seed, count).map(|(pop, _)| pop)
+}
+
+/// [`population`] plus whether the lookup was a cache hit — for
+/// callers (the serving access log) that report per-request cache
+/// effectiveness. `true` means the population was already resident.
+///
+/// # Errors
+///
+/// Propagates [`FieldError`] from the variation sampler.
+pub fn population_with_status(
+    topo: Topology,
+    seed: u64,
+    count: usize,
+) -> Result<(Arc<Vec<Chip>>, bool), FieldError> {
     let key = PopKey { topo, seed, count };
     if let Some(pop) = lookup(&key) {
         counter!("chip.popcache.hits").inc();
-        return Ok(pop);
+        return Ok((pop, true));
     }
     counter!("chip.popcache.misses").inc();
     let chips = Chip::fabricate_population(
@@ -89,7 +104,17 @@ pub fn population(topo: Topology, seed: u64, count: usize) -> Result<Arc<Vec<Chi
         0,
         count,
     )?;
-    Ok(insert(key, Arc::new(chips)))
+    Ok((insert(key, Arc::new(chips)), false))
+}
+
+/// Lifetime hit/miss counts `(hits, misses)` from the telemetry
+/// registry — the numbers behind the `/metrics` hit-ratio gauge.
+pub fn stats() -> (u64, u64) {
+    let reg = accordion_telemetry::registry::global();
+    (
+        reg.counter("chip.popcache.hits").get(),
+        reg.counter("chip.popcache.misses").get(),
+    )
 }
 
 /// Number of resident populations (for tests and health reporting).

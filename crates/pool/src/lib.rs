@@ -108,6 +108,29 @@ fn run_one<R>(f: impl FnOnce() -> R) -> R {
     f()
 }
 
+std::thread_local! {
+    /// Caller-provided task tag, propagated from the thread that
+    /// enters a combinator to every worker it spawns. 0 = untagged.
+    static TASK_TAG: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Tags the current thread with an opaque caller-defined id (0 clears
+/// it). Pool combinators entered from this thread propagate the tag to
+/// their worker threads, so task code can recover the logical owner —
+/// `accordion-served` tags handler threads with the request id and
+/// reads it back inside pool jobs to name per-request flight-recorder
+/// tracks deterministically.
+pub fn set_task_tag(tag: u64) {
+    TASK_TAG.set(tag);
+}
+
+/// The current thread's task tag: the value set by [`set_task_tag`] on
+/// this thread, or — on a pool worker — the tag of the thread that
+/// entered the enclosing combinator. 0 when untagged.
+pub fn task_tag() -> u64 {
+    TASK_TAG.get()
+}
+
 /// Parallel map over an index range with results in index order.
 ///
 /// Equivalent to `(0..n).map(f).collect()` — bit-identical for pure
@@ -169,10 +192,11 @@ where
         .collect();
     let panicked: Mutex<Option<PanicPayload>> = Mutex::new(None);
 
+    let tag = task_tag();
     std::thread::scope(|s| {
         for w in 0..workers {
             let (slots, queues, panicked, f) = (&slots, &queues, &panicked, &f);
-            spawn_worker(s, w, move || loop {
+            spawn_worker(s, w, tag, move || loop {
                 let i = {
                     let own = queues[w].lock().expect("pool queue lock").pop_front();
                     match own.or_else(|| steal_index(queues, w)) {
@@ -212,10 +236,13 @@ where
 
 /// Spawns one named worker thread into a scope. The name shows up in
 /// OS-level profilers and panic messages; the telemetry lane tags the
-/// thread's flight-recorder events for the Chrome host-track view.
+/// thread's flight-recorder events for the Chrome host-track view, and
+/// the caller's task tag is installed so task code sees its logical
+/// owner (see [`set_task_tag`]).
 fn spawn_worker<'scope, 'env: 'scope>(
     s: &'scope std::thread::Scope<'scope, 'env>,
     w: usize,
+    tag: u64,
     body: impl FnOnce() + Send + 'scope,
 ) {
     std::thread::Builder::new()
@@ -223,6 +250,7 @@ fn spawn_worker<'scope, 'env: 'scope>(
         .spawn_scoped(s, move || {
             counter!("pool.workers_spawned").inc();
             accordion_telemetry::event::set_lane(w as u32 + 1);
+            set_task_tag(tag);
             body()
         })
         .expect("spawn pool worker");
@@ -376,10 +404,11 @@ where
         rr: AtomicUsize::new(0),
     };
 
+    let tag = task_tag();
     let result = std::thread::scope(|s| {
         for w in 0..shared.queues.len() {
             let shared = &shared;
-            spawn_worker(s, w, move || worker_loop(shared, w));
+            spawn_worker(s, w, tag, move || worker_loop(shared, w));
         }
         let r = catch_unwind(AssertUnwindSafe(|| f(&Scope { shared: &shared })));
         // The body returned (or unwound): no further spawns are
@@ -556,6 +585,29 @@ mod tests {
         let items: Vec<usize> = (0..33).collect();
         let c = with_jobs(1, || par_map_with(4, items, |i| i * 7));
         assert_eq!(c, seq);
+    }
+
+    #[test]
+    fn task_tag_propagates_to_workers() {
+        set_task_tag(77);
+        // Parallel: fresh worker threads must inherit the caller's tag.
+        let tags = with_jobs(1, || par_map_indexed_with(4, 8, |_| task_tag()));
+        assert!(tags.iter().all(|&t| t == 77), "{tags:?}");
+        // Sequential: the calling thread already carries it.
+        let tags = with_jobs(1, || par_map_indexed_with(1, 3, |_| task_tag()));
+        assert!(tags.iter().all(|&t| t == 77));
+        // Scope workers inherit it too.
+        let seen = Mutex::new(Vec::new());
+        with_jobs(4, || {
+            scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|| seen.lock().unwrap().push(task_tag()));
+                }
+            })
+        });
+        assert!(seen.lock().unwrap().iter().all(|&t| t == 77));
+        set_task_tag(0);
+        assert_eq!(task_tag(), 0);
     }
 
     #[test]

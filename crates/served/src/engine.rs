@@ -32,11 +32,13 @@ use accordion_chip::topology::{ClusterId, Topology};
 use accordion_sim::exec::ExecModel;
 use accordion_sim::phases::{iterative_app, run_app};
 use accordion_stats::rng::SeedStream;
+use accordion_telemetry::event::SimEvent;
 use accordion_telemetry::json::Json;
-use accordion_telemetry::{counter, span};
+use accordion_telemetry::{counter, flight, flight_track, span};
 use accordion_varius::timing::{ClusterTiming, CoreTiming};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Upper bound on `chips` per query (bounds memory per cache entry).
 const MAX_CHIPS: usize = 100;
@@ -205,8 +207,16 @@ fn quality_for(app_name: &str) -> Arc<QualityModel> {
 pub fn simulate(q: &SimQuery) -> Result<Json, EngineError> {
     let _span = span!("served.engine.simulate");
     counter!("served.engine.simulations").inc();
-    let pop = popcache::population(q.topo, q.pop_seed, q.chips)
+    let cache_started = Instant::now();
+    let (pop, cache_hit) = popcache::population_with_status(q.topo, q.pop_seed, q.chips)
         .map_err(|e| EngineError::Internal(format!("variation sampler: {e:?}")))?;
+    crate::obs::note_cache(cache_hit);
+    let cache_us = cache_started.elapsed().as_micros() as u64;
+    accordion_telemetry::event::advance_sim(cache_us);
+    flight!(SimEvent::ServeStage {
+        stage: "serve.cache",
+        us: cache_us,
+    });
     let chip = &pop[q.chip];
     let quality = quality_for(&q.app);
     let app = all_apps()
@@ -425,8 +435,16 @@ pub fn sweep(doc: &Json, workers: usize) -> Result<Json, EngineError> {
     // Warm the shared state sequentially (population + quality fronts)
     // so the fan-out below is pure per-point work.
     let _ = quality_for(&base.app);
-    popcache::population(base.topo, base.pop_seed, base.chips)
+    let cache_started = Instant::now();
+    let (_, cache_hit) = popcache::population_with_status(base.topo, base.pop_seed, base.chips)
         .map_err(|e| EngineError::Internal(format!("variation sampler: {e:?}")))?;
+    crate::obs::note_cache(cache_hit);
+    let cache_us = cache_started.elapsed().as_micros() as u64;
+    accordion_telemetry::event::advance_sim(cache_us);
+    flight!(SimEvent::ServeStage {
+        stage: "serve.cache",
+        us: cache_us,
+    });
 
     let mut grid: Vec<SimQuery> = Vec::with_capacity(vdds.len() * sizes.len());
     for &vdd in &vdds {
@@ -439,7 +457,26 @@ pub fn sweep(doc: &Json, workers: usize) -> Result<Json, EngineError> {
         }
     }
     counter!("served.engine.sweep_points").add(grid.len() as u64);
-    let points = accordion_pool::par_map_with(workers, grid, |q| simulate(&q));
+    // Fan out over the pool. Each point enters its own flight track
+    // named by the owning request's pool task tag, so a Chrome trace
+    // shows per-request span trees (`req00000012/point7`) even though
+    // the points execute on anonymous work-stealing workers.
+    let fanout_started = Instant::now();
+    let points = accordion_pool::par_map_indexed_with(workers, grid.len(), |i| {
+        let tag = accordion_pool::task_tag();
+        let _t = if tag != 0 {
+            flight_track!("req{:08}/point{}", tag, i)
+        } else {
+            flight_track!("sweep/point{}", i)
+        };
+        simulate(&grid[i])
+    });
+    let fanout_us = fanout_started.elapsed().as_micros() as u64;
+    accordion_telemetry::event::advance_sim(fanout_us);
+    flight!(SimEvent::ServeStage {
+        stage: "serve.fanout",
+        us: fanout_us,
+    });
     let mut rendered = Vec::with_capacity(points.len());
     for p in points {
         rendered.push(p?);

@@ -48,6 +48,7 @@
 
 pub mod engine;
 pub mod http;
+pub mod obs;
 pub mod server;
 
 pub use engine::{simulate, sweep, EngineError, SimQuery};

@@ -17,14 +17,17 @@
 
 use crate::engine::{self, EngineError, SimQuery};
 use crate::http::{self, Request, RequestError, Response};
+use crate::obs::{self, AccessLog, AccessRecord};
 use accordion_chip::popcache;
+use accordion_telemetry::event::SimEvent;
 use accordion_telemetry::registry::exponential_bounds;
-use accordion_telemetry::{counter, flight_track, histogram, json, sink};
+use accordion_telemetry::rolling::RollingHistogram;
+use accordion_telemetry::{counter, flight, flight_track, histogram, json, prom, sink};
 use std::collections::VecDeque;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -63,6 +66,13 @@ pub struct ServeConfig {
     /// Enables `POST /v1/debug/sleep` (tests only — lets a test pin
     /// every handler thread deterministically).
     pub debug_endpoints: bool,
+    /// JSONL access-log path (`repro serve --access-log`); `None`
+    /// disables access logging.
+    pub access_log: Option<String>,
+    /// Include wall-clock fields (`queue_us`, `latency_us`) in access
+    /// log lines. The determinism test turns this off to pin the file
+    /// byte-identical at any `request_jobs`.
+    pub log_timing: bool,
 }
 
 impl Default for ServeConfig {
@@ -76,17 +86,40 @@ impl Default for ServeConfig {
             deadline: Duration::from_secs(30),
             artifacts: None,
             debug_endpoints: false,
+            access_log: None,
+            log_timing: true,
         }
     }
+}
+
+/// One accepted connection waiting for a handler: the socket, its
+/// accept-order request id, and when it was accepted (queue-wait
+/// accounting).
+struct QueuedConn {
+    stream: TcpStream,
+    id: u64,
+    accepted: Instant,
 }
 
 struct Shared {
     cfg: ServeConfig,
     /// Bound address; shutdown connects to it to unpark `accept(2)`.
     addr: SocketAddr,
-    queue: Mutex<VecDeque<TcpStream>>,
+    queue: Mutex<VecDeque<QueuedConn>>,
     available: Condvar,
     stop: AtomicBool,
+    /// Accept-order request id source (first request gets id 1).
+    next_id: AtomicU64,
+    /// Requests currently inside a handler.
+    in_flight: AtomicU64,
+    /// Requests fully answered (including error responses).
+    handled: AtomicU64,
+    /// Connections shed with `503` at the queue.
+    shed: AtomicU64,
+    /// Server start, for `/healthz` uptime and the uptime gauge.
+    started: Instant,
+    /// JSONL access log, when configured.
+    log: Option<AccessLog>,
 }
 
 impl Shared {
@@ -168,12 +201,23 @@ impl ServerHandle {
 pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
+    let log = match &cfg.access_log {
+        Some(path) => Some(AccessLog::create(path, cfg.log_timing)?),
+        None => None,
+    };
+    describe_metrics();
     let shared = Arc::new(Shared {
         cfg,
         addr,
         queue: Mutex::new(VecDeque::new()),
         available: Condvar::new(),
         stop: AtomicBool::new(false),
+        next_id: AtomicU64::new(0),
+        in_flight: AtomicU64::new(0),
+        handled: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+        started: Instant::now(),
+        log,
     });
 
     let accept = {
@@ -227,19 +271,46 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
 }
 
 fn enqueue(shared: &Shared, mut stream: TcpStream) {
+    let accepted = Instant::now();
+    let id = shared.next_id.fetch_add(1, Ordering::Relaxed) + 1;
     let mut queue = shared.queue.lock().expect("connection queue poisoned");
     if queue.len() >= shared.cfg.queue_capacity {
         drop(queue);
         counter!("served.http.rejected_queue_full").inc();
+        shared.shed.fetch_add(1, Ordering::Relaxed);
         // Shed load inline: a one-line 503 is cheap enough for the
         // accept thread and tells a well-behaved client when to retry.
         let resp = Response::error(503, "server saturated; retry shortly")
             .with_header("Retry-After", "1".to_string());
         let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
         resp.write_to(&mut stream);
+        // Satellite 1: sheds are first-class outcomes — they land in
+        // the latency histogram (the shed path's latency is the 503
+        // turnaround) and in the access log, not just a counter.
+        let us = accepted.elapsed().as_micros() as f64;
+        request_hist("shed").record(us);
+        outcome_counter("shed").inc();
+        if let Some(log) = &shared.log {
+            log.write(&AccessRecord {
+                id,
+                method: "-".into(),
+                path: "-".into(),
+                status: 503,
+                outcome: "shed",
+                handler: "-",
+                cache: "-",
+                bytes: resp.body.len() as u64,
+                queue_us: 0,
+                latency_us: us as u64,
+            });
+        }
         return;
     }
-    queue.push_back(stream);
+    queue.push_back(QueuedConn {
+        stream,
+        id,
+        accepted,
+    });
     drop(queue);
     shared.available.notify_one();
 }
@@ -266,29 +337,154 @@ fn handler_loop(shared: &Shared) {
         // returns None — connections the accept loop already admitted
         // are served, not dropped.
         match conn {
-            Some(stream) => handle_conn(shared, stream),
+            Some(conn) => handle_conn(shared, conn),
             None => return,
         }
     }
 }
 
-fn handle_conn(shared: &Shared, mut stream: TcpStream) {
+/// Latency bucket edges: 1 µs .. ~8.4 s, powers of two.
+fn latency_bounds() -> Vec<f64> {
+    exponential_bounds(1.0, 2.0, 24)
+}
+
+/// The rolling request-latency histogram for one outcome class
+/// (60-second SLO window; `/metrics` renders all outcomes as one
+/// labeled histogram family).
+fn request_hist(outcome: &'static str) -> &'static RollingHistogram {
+    accordion_telemetry::registry::global().rolling_histogram(
+        "served.http.request_latency_us",
+        &[("outcome", outcome)],
+        &latency_bounds(),
+        60.0,
+    )
+}
+
+/// Lifetime request counter per outcome class.
+fn outcome_counter(outcome: &'static str) -> &'static accordion_telemetry::registry::Counter {
+    accordion_telemetry::registry::global()
+        .labeled_counter("served.http.requests_by_outcome", &[("outcome", outcome)])
+}
+
+/// Registers `# HELP` texts and the constant build-info sample.
+/// Idempotent; called from [`start`].
+fn describe_metrics() {
+    let reg = accordion_telemetry::registry::global();
+    reg.describe(
+        "served.http.request_latency_us",
+        "request latency by outcome, microseconds",
+    );
+    reg.describe(
+        "served.http.requests_by_outcome",
+        "requests answered, by outcome class",
+    );
+    reg.describe("served.http.requests", "connections handled");
+    reg.describe(
+        "served.http.latency_us",
+        "lifetime request latency, microseconds",
+    );
+    reg.describe("served.queue.depth", "connections waiting for a handler");
+    reg.describe(
+        "served.http.in_flight",
+        "requests currently inside a handler",
+    );
+    reg.describe("served.http.shed", "connections shed with 503 at the queue");
+    reg.describe("served.uptime.seconds", "seconds since the server started");
+    reg.describe(
+        "served.popcache.hit_ratio",
+        "population cache lifetime hit ratio",
+    );
+    reg.describe("served.build.info", "build metadata; value is always 1");
+    reg.labeled_gauge(
+        "served.build.info",
+        &[
+            ("version", env!("CARGO_PKG_VERSION")),
+            (
+                "profile",
+                if cfg!(debug_assertions) {
+                    "debug"
+                } else {
+                    "release"
+                },
+            ),
+        ],
+    )
+    .set(1.0);
+}
+
+/// Logical handler name for the access log (bounded vocabulary, never
+/// the raw path).
+fn handler_name(method: &str, path: &str) -> &'static str {
+    match (method, path) {
+        ("GET", "/healthz") => "healthz",
+        ("GET", "/metrics") => "metrics",
+        ("GET", "/v1/artifacts") => "artifacts_list",
+        ("POST", "/v1/simulate") => "simulate",
+        ("POST", "/v1/sweep") => "sweep",
+        ("POST", "/v1/shutdown") => "shutdown",
+        ("POST", "/v1/debug/sleep") => "debug_sleep",
+        ("GET", p) if p.starts_with("/v1/artifacts/") => "artifact",
+        _ => "other",
+    }
+}
+
+fn handle_conn(shared: &Shared, conn: QueuedConn) {
+    let QueuedConn {
+        mut stream,
+        id,
+        accepted,
+    } = conn;
+    let queue_us = accepted.elapsed().as_micros() as u64;
     let started = Instant::now();
     let _ = stream.set_read_timeout(Some(shared.cfg.deadline));
     let _ = stream.set_write_timeout(Some(shared.cfg.deadline));
     counter!("served.http.requests").inc();
-    let response = match http::read_request(&mut stream, shared.cfg.max_body_bytes) {
+    shared.in_flight.fetch_add(1, Ordering::Relaxed);
+    // Request id → thread-local context, pool task tag, and flight
+    // track: every downstream layer can name this request without a
+    // context argument (see `crate::obs`).
+    obs::begin_request(id);
+    accordion_pool::set_task_tag(id);
+    let _track = flight_track!("req{:08}", id);
+    histogram!(
+        "served.http.queue_wait_us",
+        exponential_bounds(1.0, 2.0, 24)
+    )
+    .record(queue_us as f64);
+
+    let parse_started = Instant::now();
+    let parsed = http::read_request(&mut stream, shared.cfg.max_body_bytes);
+    let parse_us = parse_started.elapsed().as_micros() as u64;
+    accordion_telemetry::event::advance_sim(parse_us);
+    flight!(SimEvent::ServeStage {
+        stage: "serve.parse",
+        us: parse_us,
+    });
+
+    let mut method = "-".to_string();
+    let mut path = "-".to_string();
+    let response = match parsed {
         Ok(req) => {
-            let _t = flight_track!("serve {} {}", req.method, req.path);
+            method.clone_from(&req.method);
+            path.clone_from(&req.path);
+            obs::note_handler(handler_name(&req.method, &req.path));
+            let handle_started = Instant::now();
             // A route handler panicking (a bug) must answer 500 and
             // leave the worker alive for the next request.
-            match catch_unwind(AssertUnwindSafe(|| route(shared, &req))) {
+            let routed = match catch_unwind(AssertUnwindSafe(|| route(shared, &req))) {
                 Ok(resp) => resp,
                 Err(_) => {
                     counter!("served.http.panics").inc();
                     Routed::Plain(Response::error(500, "internal error (handler panicked)"))
                 }
-            }
+            };
+            let handle_us = handle_started.elapsed().as_micros() as u64;
+            accordion_telemetry::event::advance_sim(handle_us);
+            flight!(SimEvent::ServeStage {
+                stage: "serve.handle",
+                us: handle_us,
+            });
+            routed
         }
         Err(RequestError::Bad(msg)) => Routed::Plain(Response::error(400, &msg)),
         Err(RequestError::TooLarge) => {
@@ -297,20 +493,60 @@ fn handle_conn(shared: &Shared, mut stream: TcpStream) {
         Err(RequestError::Timeout) => Routed::Plain(Response::error(408, "request timed out")),
         Err(RequestError::Disconnected) => {
             counter!("served.http.disconnects").inc();
+            accordion_pool::set_task_tag(0);
+            let _ = obs::end_request();
+            shared.in_flight.fetch_sub(1, Ordering::Relaxed);
             return;
         }
     };
-    match response {
+    let write_started = Instant::now();
+    let (status, bytes) = match response {
         Routed::Plain(resp) => {
             count_response(resp.status);
             resp.write_to(&mut stream);
+            (resp.status, resp.body.len() as u64)
         }
-        Routed::Artifact { id, chips, source } => {
-            stream_artifact(&mut stream, &id, chips, source);
-        }
+        Routed::Artifact { id, chips, source } => stream_artifact(&mut stream, &id, chips, source),
+    };
+    let write_us = write_started.elapsed().as_micros() as u64;
+    accordion_telemetry::event::advance_sim(write_us);
+    flight!(SimEvent::ServeStage {
+        stage: "serve.serialize",
+        us: write_us,
+    });
+
+    let us = started.elapsed().as_micros();
+    let outcome = obs::outcome_of(status);
+    histogram!("served.http.latency_us", exponential_bounds(1.0, 2.0, 24)).record(us as f64);
+    request_hist(outcome).record(us as f64);
+    outcome_counter(outcome).inc();
+    flight!(SimEvent::RequestRetire {
+        status: u64::from(status),
+        bytes,
+        us: us as u64,
+    });
+    accordion_pool::set_task_tag(0);
+    let ctx = obs::end_request().unwrap_or_default();
+    if let Some(log) = &shared.log {
+        log.write(&AccessRecord {
+            id,
+            method,
+            path,
+            status,
+            outcome,
+            handler: ctx.handler,
+            cache: match ctx.cache_hit {
+                Some(true) => "hit",
+                Some(false) => "miss",
+                None => "-",
+            },
+            bytes,
+            queue_us,
+            latency_us: us as u64,
+        });
     }
-    let us = started.elapsed().as_micros() as f64;
-    histogram!("served.http.latency_us", exponential_bounds(1.0, 2.0, 24)).record(us);
+    shared.handled.fetch_add(1, Ordering::Relaxed);
+    shared.in_flight.fetch_sub(1, Ordering::Relaxed);
 }
 
 // Not `counter!`: that macro caches the handle per call site, which
@@ -339,10 +575,7 @@ fn route(shared: &Shared, req: &Request) -> Routed {
     let plain = |r: Response| Routed::Plain(r);
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => plain(healthz(shared)),
-        ("GET", "/metrics") => plain(Response::text(
-            200,
-            accordion_telemetry::registry::global().render_text(),
-        )),
+        ("GET", "/metrics") => plain(metrics(shared)),
         ("GET", "/v1/artifacts") => plain(list_artifacts(shared)),
         ("POST", "/v1/simulate") => plain(simulate(req)),
         ("POST", "/v1/sweep") => plain(sweep(shared, req)),
@@ -382,6 +615,33 @@ fn route(shared: &Shared, req: &Request) -> Routed {
     }
 }
 
+/// Renders `/metrics`: refreshes the point-in-time serving gauges,
+/// then emits the whole registry in Prometheus exposition format.
+fn metrics(shared: &Shared) -> Response {
+    let reg = accordion_telemetry::registry::global();
+    let depth = shared
+        .queue
+        .lock()
+        .expect("connection queue poisoned")
+        .len();
+    reg.gauge("served.queue.depth").set(depth as f64);
+    reg.gauge("served.http.in_flight")
+        .set(shared.in_flight.load(Ordering::Relaxed) as f64);
+    reg.gauge("served.http.shed")
+        .set(shared.shed.load(Ordering::Relaxed) as f64);
+    reg.gauge("served.uptime.seconds")
+        .set(shared.started.elapsed().as_secs_f64());
+    let (hits, misses) = popcache::stats();
+    let total = hits + misses;
+    reg.gauge("served.popcache.hit_ratio").set(if total > 0 {
+        hits as f64 / total as f64
+    } else {
+        0.0
+    });
+    Response::text(200, prom::render(accordion_telemetry::registry::global()))
+        .with_header("X-Content-Type-Options", "nosniff".to_string())
+}
+
 fn healthz(shared: &Shared) -> Response {
     let doc = json::Json::obj(vec![
         ("status", json::Json::str("ok")),
@@ -390,8 +650,34 @@ fn healthz(shared: &Shared) -> Response {
             json::Json::Num(shared.cfg.queue_capacity as f64),
         ),
         (
+            "queue_depth",
+            json::Json::Num(
+                shared
+                    .queue
+                    .lock()
+                    .expect("connection queue poisoned")
+                    .len() as f64,
+            ),
+        ),
+        (
             "handler_threads",
             json::Json::Num(shared.cfg.handler_threads as f64),
+        ),
+        (
+            "in_flight",
+            json::Json::Num(shared.in_flight.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "handled",
+            json::Json::Num(shared.handled.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "shed",
+            json::Json::Num(shared.shed.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "uptime_seconds",
+            json::Json::Num(shared.started.elapsed().as_secs() as f64),
         ),
         (
             "caches",
@@ -478,34 +764,45 @@ fn debug_sleep(req: &Request) -> Response {
     )
 }
 
-fn stream_artifact(stream: &mut TcpStream, id: &str, chips: usize, source: ArtifactSource) {
+/// Streams one artifact chunked; returns `(status, body bytes)` for
+/// the access log and outcome accounting.
+fn stream_artifact(
+    stream: &mut TcpStream,
+    id: &str,
+    chips: usize,
+    source: ArtifactSource,
+) -> (u16, u64) {
     counter!("served.artifacts.requests").inc();
     // Headers go out before generation so the client learns the
     // request was accepted; the body follows as one chunk when ready
     // (generation can take seconds for the protocol-heavy figures).
     let Ok(mut writer) = http::begin_chunked(stream, "text/plain; charset=utf-8") else {
-        return;
+        return (200, 0);
     };
-    match catch_unwind(AssertUnwindSafe(|| (source.generate)(id, chips))) {
+    let (status, bytes) = match catch_unwind(AssertUnwindSafe(|| (source.generate)(id, chips))) {
         Ok(Some(text)) => {
             let _ = writer.chunk(text.as_bytes());
             let _ = writer.finish();
             counter!("served.http.responses.2xx").inc();
+            (200, text.len() as u64)
         }
         Ok(None) => {
             // Validated before routing here; a miss now means the
             // registry changed under us. Mark the stream as failed by
             // dropping it without the terminal chunk.
             counter!("served.http.responses.5xx").inc();
+            (500, 0)
         }
         Err(_) => {
             counter!("served.http.panics").inc();
             let _ = writer.chunk(b"\n# ERROR: artifact generation panicked\n");
             let _ = writer.finish();
             counter!("served.http.responses.5xx").inc();
+            (500, 0)
         }
-    }
+    };
     let _ = stream.flush();
+    (status, bytes)
 }
 
 #[cfg(test)]

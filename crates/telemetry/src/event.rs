@@ -151,6 +151,26 @@ pub enum SimEvent {
         /// Selected safe frequency, GHz.
         f_ghz: f64,
     },
+    /// One stage of an HTTP request's lifecycle completed (parse,
+    /// cache lookup, pool fanout, serialize). The serving layer runs
+    /// its track clocks in microseconds, so `us` doubles as the
+    /// interval duration. `stage` must be a dotted `serve.*` name —
+    /// it is used verbatim as the Chrome event name.
+    ServeStage {
+        /// Dotted stage name, e.g. `"serve.parse"`.
+        stage: &'static str,
+        /// Stage duration in microseconds.
+        us: u64,
+    },
+    /// An HTTP request retired (the whole-request interval).
+    RequestRetire {
+        /// HTTP status code sent.
+        status: u64,
+        /// Response body bytes.
+        bytes: u64,
+        /// Total handler latency in microseconds.
+        us: u64,
+    },
 }
 
 impl SimEvent {
@@ -169,6 +189,8 @@ impl SimEvent {
             SimEvent::Replan { .. } => "runtime.replan",
             SimEvent::EpochRetire { .. } => "runtime.epoch",
             SimEvent::SafeFreq { .. } => "timing.safe_freq",
+            SimEvent::ServeStage { stage, .. } => stage,
+            SimEvent::RequestRetire { .. } => "serve.request",
         }
     }
 
@@ -192,6 +214,7 @@ impl SimEvent {
             SimEvent::Phase { cycles, .. }
             | SimEvent::BarrierWait { cycles }
             | SimEvent::EpochRetire { cycles, .. } => Some(*cycles),
+            SimEvent::ServeStage { us, .. } | SimEvent::RequestRetire { us, .. } => Some(*us),
             _ => None,
         }
     }
@@ -272,6 +295,12 @@ impl SimEvent {
                 ("work_done_frac", Json::Num(*work_done_frac)),
             ]),
             SimEvent::SafeFreq { f_ghz } => Json::obj(vec![("f_ghz", Json::Num(*f_ghz))]),
+            SimEvent::ServeStage { us, .. } => Json::obj(vec![("us", n(*us))]),
+            SimEvent::RequestRetire { status, bytes, us } => Json::obj(vec![
+                ("status", n(*status)),
+                ("bytes", n(*bytes)),
+                ("us", n(*us)),
+            ]),
         }
     }
 }

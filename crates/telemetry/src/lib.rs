@@ -51,7 +51,9 @@ pub mod chrome;
 pub mod event;
 pub mod json;
 pub mod manifest;
+pub mod prom;
 pub mod registry;
+pub mod rolling;
 pub mod sink;
 pub mod span;
 

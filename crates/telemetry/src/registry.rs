@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 use crate::json::Json;
+use crate::rolling::{RollingHistogram, DEFAULT_SLICES};
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -259,12 +260,47 @@ pub fn exponential_bounds(start: f64, factor: f64, n: usize) -> Vec<f64> {
     bounds
 }
 
+/// Canonical label rendering: sorted by key, values escaped the
+/// Prometheus way (`\\`, `\"`, `\n`). The empty string means "no
+/// labels". Keys are assumed to be valid label names (the callers are
+/// code, not user input).
+fn label_key(labels: &[(&str, &str)]) -> String {
+    let mut sorted: Vec<&(&str, &str)> = labels.iter().collect();
+    sorted.sort_by_key(|(k, _)| *k);
+    let mut out = String::new();
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                other => out.push(other),
+            }
+        }
+        out.push('"');
+    }
+    out
+}
+
 #[derive(Default)]
 struct State {
     counters: BTreeMap<String, &'static Counter>,
     gauges: BTreeMap<String, &'static Gauge>,
     histograms: BTreeMap<String, &'static HistogramMetric>,
     spans: BTreeMap<String, &'static SpanStats>,
+    /// Family name → help text for the Prometheus exposition.
+    help: BTreeMap<String, String>,
+    /// Family name → canonical label set → counter.
+    labeled_counters: BTreeMap<String, BTreeMap<String, &'static Counter>>,
+    /// Family name → canonical label set → gauge.
+    labeled_gauges: BTreeMap<String, BTreeMap<String, &'static Gauge>>,
+    /// Family name → canonical label set → rolling histogram.
+    rolling: BTreeMap<String, BTreeMap<String, &'static RollingHistogram>>,
 }
 
 /// The process-wide metric namespace.
@@ -325,6 +361,203 @@ impl Registry {
         let leaked: &'static SpanStats = Box::leak(Box::default());
         state.spans.insert(name.to_string(), leaked);
         leaked
+    }
+
+    /// Registers (or replaces) the help text rendered as this
+    /// family's `# HELP` line in the Prometheus exposition. `name` is
+    /// the dotted family name (`served.http.requests`), matching what
+    /// the metric constructors take.
+    pub fn describe(&self, name: &str, help: &str) {
+        let mut state = self.state.lock().expect("registry lock");
+        state.help.insert(name.to_string(), help.to_string());
+    }
+
+    /// Finds or creates the counter `family{labels}`. Counters of one
+    /// family share a `# TYPE` line in the exposition and differ only
+    /// by label set; the same `(family, labels)` pair always returns
+    /// the same handle.
+    pub fn labeled_counter(&self, family: &str, labels: &[(&str, &str)]) -> &'static Counter {
+        let key = label_key(labels);
+        let mut state = self.state.lock().expect("registry lock");
+        let slot = state
+            .labeled_counters
+            .entry(family.to_string())
+            .or_default();
+        if let Some(c) = slot.get(&key) {
+            return c;
+        }
+        let leaked: &'static Counter = Box::leak(Box::default());
+        slot.insert(key, leaked);
+        leaked
+    }
+
+    /// Finds or creates the gauge `family{labels}`; see
+    /// [`labeled_counter`](Self::labeled_counter).
+    pub fn labeled_gauge(&self, family: &str, labels: &[(&str, &str)]) -> &'static Gauge {
+        let key = label_key(labels);
+        let mut state = self.state.lock().expect("registry lock");
+        let slot = state.labeled_gauges.entry(family.to_string()).or_default();
+        if let Some(g) = slot.get(&key) {
+            return g;
+        }
+        let leaked: &'static Gauge = Box::leak(Box::default());
+        slot.insert(key, leaked);
+        leaked
+    }
+
+    /// Finds or creates the rolling histogram `family{labels}`. The
+    /// first registration of a family fixes the bucket bounds and
+    /// window; later callers receive the existing histogram regardless
+    /// of the spec they pass (same contract as
+    /// [`histogram`](Self::histogram)).
+    pub fn rolling_histogram(
+        &self,
+        family: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+        window_secs: f64,
+    ) -> &'static RollingHistogram {
+        let key = label_key(labels);
+        let mut state = self.state.lock().expect("registry lock");
+        let slot = state.rolling.entry(family.to_string()).or_default();
+        if let Some(h) = slot.get(&key) {
+            return h;
+        }
+        let leaked: &'static RollingHistogram = Box::leak(Box::new(RollingHistogram::new(
+            bounds,
+            window_secs,
+            DEFAULT_SLICES,
+        )));
+        slot.insert(key, leaked);
+        leaked
+    }
+
+    /// Gathers every registered metric into Prometheus metric
+    /// families for [`crate::prom::render`]. Dotted names are
+    /// flattened (`served.http.requests` → `served_http_requests`);
+    /// plain and labeled metrics of the same family merge into one
+    /// family (the unlabeled sample first); spans surface as two
+    /// counters, `<name>_calls_total` and `<name>_seconds_total`;
+    /// rolling histograms are merged over their current window.
+    /// Family help defaults to the dotted name when
+    /// [`describe`](Self::describe) was never called.
+    pub fn gather(&self) -> Vec<crate::prom::Family> {
+        use crate::prom::{Family, Kind, Sample, SampleValue};
+        let state = self.state.lock().expect("registry lock");
+        let help_of = |dotted: &str| {
+            state
+                .help
+                .get(dotted)
+                .cloned()
+                .unwrap_or_else(|| format!("accordion metric {dotted}"))
+        };
+        let mut families: BTreeMap<String, Family> = BTreeMap::new();
+        let mut push = |name: String, help: String, kind: Kind, sample: Sample| {
+            families
+                .entry(name.clone())
+                .or_insert_with(|| Family {
+                    name,
+                    help,
+                    kind,
+                    samples: Vec::new(),
+                })
+                .samples
+                .push(sample);
+        };
+        for (k, c) in &state.counters {
+            push(
+                crate::prom::flatten_name(k),
+                help_of(k),
+                Kind::Counter,
+                Sample {
+                    labels: String::new(),
+                    value: SampleValue::Scalar(c.get() as f64),
+                },
+            );
+        }
+        for (k, slot) in &state.labeled_counters {
+            for (labels, c) in slot {
+                push(
+                    crate::prom::flatten_name(k),
+                    help_of(k),
+                    Kind::Counter,
+                    Sample {
+                        labels: labels.clone(),
+                        value: SampleValue::Scalar(c.get() as f64),
+                    },
+                );
+            }
+        }
+        for (k, g) in &state.gauges {
+            push(
+                crate::prom::flatten_name(k),
+                help_of(k),
+                Kind::Gauge,
+                Sample {
+                    labels: String::new(),
+                    value: SampleValue::Scalar(g.get()),
+                },
+            );
+        }
+        for (k, slot) in &state.labeled_gauges {
+            for (labels, g) in slot {
+                push(
+                    crate::prom::flatten_name(k),
+                    help_of(k),
+                    Kind::Gauge,
+                    Sample {
+                        labels: labels.clone(),
+                        value: SampleValue::Scalar(g.get()),
+                    },
+                );
+            }
+        }
+        for (k, h) in &state.histograms {
+            push(
+                crate::prom::flatten_name(k),
+                help_of(k),
+                Kind::Histogram,
+                Sample {
+                    labels: String::new(),
+                    value: SampleValue::Hist(h.snapshot()),
+                },
+            );
+        }
+        for (k, slot) in &state.rolling {
+            for (labels, h) in slot {
+                push(
+                    crate::prom::flatten_name(k),
+                    format!("{} (rolling {:.0}s window)", help_of(k), h.window_secs()),
+                    Kind::Histogram,
+                    Sample {
+                        labels: labels.clone(),
+                        value: SampleValue::Hist(h.window_snapshot()),
+                    },
+                );
+            }
+        }
+        for (k, s) in &state.spans {
+            let flat = crate::prom::flatten_name(k);
+            push(
+                format!("{flat}_calls_total"),
+                format!("completed spans of {k}"),
+                Kind::Counter,
+                Sample {
+                    labels: String::new(),
+                    value: SampleValue::Scalar(s.calls() as f64),
+                },
+            );
+            push(
+                format!("{flat}_seconds_total"),
+                format!("wall-clock seconds inside {k}"),
+                Kind::Counter,
+                Sample {
+                    labels: String::new(),
+                    value: SampleValue::Scalar(s.total_ns() as f64 / 1e9),
+                },
+            );
+        }
+        families.into_values().collect()
     }
 
     /// Structured view of all span accounting, sorted by name. Feeds

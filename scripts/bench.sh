@@ -35,7 +35,7 @@ for arg in "$@"; do
         *) out="$arg" ;;
     esac
 done
-out="${out:-BENCH_PR5.json}"
+out="${out:-BENCH_PR6.json}"
 
 baseline="${ACCORDION_BENCH_BASELINE:-}"
 if [ -z "$baseline" ]; then
@@ -91,6 +91,26 @@ else
             }
             printf "\n"
         }')"
+
+    # Serving-path loadtest: a short closed-loop run against an
+    # in-process server. The report's p99 and mean ns-per-request
+    # (1e9 / sustained req/s — "bigger is worse", like every other
+    # median_ns key) join the regression gate, so a throughput or tail
+    # regression on the serving path fails --check like a kernel one.
+    echo "==> repro loadtest (serve_loadtest gate inputs)"
+    lt_json="$(mktemp)"
+    cargo run --release -q -p accordion-bench --bin repro -- \
+        loadtest --duration 6 --warmup 2 --connections 4 --seed 2014 \
+        --json "$lt_json"
+    lt_p99="$(awk -F'[:,]' '/"p99"/ { gsub(/ /, "", $2); print $2 }' "$lt_json")"
+    lt_nspr="$(awk -F'[:,]' '/"ns_per_req"/ { gsub(/ /, "", $2); print $2 }' "$lt_json")"
+    rm -f "$lt_json"
+    for v in "$lt_p99" "$lt_nspr"; do
+        [ -n "$v" ] || { echo "error: loadtest report missing p99/ns_per_req" >&2; exit 1; }
+    done
+    fresh="$fresh
+serve_loadtest_p99_ns $lt_p99 $lt_p99
+serve_loadtest_ns_per_req $lt_nspr $lt_nspr"
 fi
 
 # Median (field 3): what the baseline file records.

@@ -72,9 +72,27 @@ if [ "$fast" -eq 0 ]; then
     curl -sf -X POST "http://127.0.0.1:$serve_port/v1/simulate" \
         -d '{"app":"hotspot","topo":"small","chips":2}' \
         | grep -q '"f_run_ghz"'
+
+    # Exposition lint: the live /metrics document must conform to the
+    # Prometheus text format (TYPE/HELP placement, label escaping,
+    # histogram bucket monotonicity) per the crate's own linter.
+    echo "==> repro validate-metrics (live exposition lint)"
+    cargo run --release -q -p accordion-bench --bin repro -- \
+        validate-metrics "127.0.0.1:$serve_port"
+
     curl -sf -X POST "http://127.0.0.1:$serve_port/v1/shutdown" > /dev/null
     wait "$serve_pid"
     grep -q "accordion-served stopped" "$smoke_dir/serve.log"
+
+    # Loadtest smoke: a two-second closed-loop run against an
+    # in-process ephemeral-port server must complete requests and emit
+    # the JSON fields the bench gate consumes.
+    echo "==> repro loadtest smoke"
+    cargo run --release -q -p accordion-bench --bin repro -- \
+        loadtest --duration 2 --warmup 0.5 --connections 2 \
+        --json "$smoke_dir/loadtest.json" > /dev/null
+    grep -q '"ns_per_req"' "$smoke_dir/loadtest.json"
+    grep -q '"p99"' "$smoke_dir/loadtest.json"
 fi
 
 if [ "$fast" -eq 0 ]; then
