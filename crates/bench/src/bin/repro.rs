@@ -8,9 +8,11 @@
 //! repro all
 //! repro profile <artifact|all> [--chips N] [--chrome-trace FILE]
 //! repro serve [--addr HOST:PORT] [--access-log FILE] [--chrome-trace FILE]
+//!             [--no-keepalive] [--timeout S] [--idle-timeout S]
+//!             [--max-pipeline N]
 //! repro loadtest [--addr HOST:PORT] [--mode closed|open] [--rate R]
 //!                [--connections N] [--duration S] [--warmup S]
-//!                [--seed N] [--json FILE]
+//!                [--seed N] [--json FILE] [--keepalive] [--pipeline N]
 //! repro validate-trace <file>
 //! repro validate-metrics <addr|file>
 //! ```
@@ -450,6 +452,34 @@ fn serve_main(args: &[String]) {
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| die("--queue needs a number >= 1"));
             }
+            "--no-keepalive" => {
+                // One request per connection: every response carries
+                // `Connection: close`, restoring the PR 6 behavior.
+                cfg.keep_alive = false;
+            }
+            "--timeout" => {
+                let s: f64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s| s > 0.0)
+                    .unwrap_or_else(|| die("--timeout needs seconds > 0"));
+                cfg.deadline = Duration::from_secs_f64(s);
+            }
+            "--idle-timeout" => {
+                let s: f64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s| s > 0.0)
+                    .unwrap_or_else(|| die("--idle-timeout needs seconds > 0"));
+                cfg.idle_timeout = Duration::from_secs_f64(s);
+            }
+            "--max-pipeline" => {
+                cfg.max_pipeline = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("--max-pipeline needs a number >= 1"));
+            }
             "--help" | "-h" => {
                 println!("{}", usage_text());
                 std::process::exit(0);
@@ -587,6 +617,13 @@ fn loadtest_main(args: &[String]) {
                         .unwrap_or_else(|| die("--json needs a file path")),
                 );
             }
+            "--keepalive" => cfg.keepalive = true,
+            "--pipeline" => {
+                cfg.pipeline = num(&mut it, "--pipeline") as usize;
+                if cfg.pipeline == 0 {
+                    die("--pipeline must be at least 1");
+                }
+            }
             "--threads" => serve_cfg.handler_threads = num(&mut it, "--threads") as usize,
             "--jobs" => serve_cfg.request_jobs = num(&mut it, "--jobs") as usize,
             "--queue" => serve_cfg.queue_capacity = num(&mut it, "--queue") as usize,
@@ -606,6 +643,9 @@ fn loadtest_main(args: &[String]) {
     };
     if cfg.warmup >= cfg.duration {
         die("--warmup must be shorter than --duration");
+    }
+    if cfg.pipeline > 1 && !cfg.keepalive {
+        die("--pipeline requires --keepalive (pipelining reuses one connection)");
     }
 
     // No --addr: measure an in-process server on an ephemeral port so

@@ -32,7 +32,7 @@
 
 use accordion_stats::rng::SeedStream;
 use accordion_telemetry::json::Json;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -69,6 +69,16 @@ pub struct LoadConfig {
     pub warmup: Duration,
     /// Root seed of the request mix.
     pub seed: u64,
+    /// Reuse one connection per client thread (HTTP/1.1 keep-alive)
+    /// instead of connect-per-request. Isolates protocol overhead:
+    /// with the same server and mix, `keepalive` vs not measures the
+    /// cost of connection churn alone.
+    pub keepalive: bool,
+    /// Requests written back-to-back before reading responses
+    /// (HTTP/1.1 pipelining). Only meaningful with `keepalive`; 1
+    /// disables. The server's `max_pipeline` (default 32) bounds the
+    /// useful depth.
+    pub pipeline: usize,
 }
 
 impl Default for LoadConfig {
@@ -78,6 +88,8 @@ impl Default for LoadConfig {
             duration: Duration::from_secs(10),
             warmup: Duration::from_secs(2),
             seed: 2014,
+            keepalive: false,
+            pipeline: 1,
         }
     }
 }
@@ -85,7 +97,7 @@ impl Default for LoadConfig {
 /// One request of the mix. The weights skew toward `simulate` (the
 /// serving path the paper's amortization argument is about) with
 /// enough sweep/artifact/health traffic to keep every route warm.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RequestKind {
     /// `POST /v1/simulate`, one operating point.
     Simulate {
@@ -123,24 +135,30 @@ pub fn mix_for(seed: u64, k: u64) -> RequestKind {
 }
 
 impl RequestKind {
-    /// Renders the raw HTTP/1.1 request (Connection: close — the
-    /// server closes after each response, so does the harness).
+    /// Renders the raw HTTP/1.1 request with `Connection: close` —
+    /// the connect-per-request model.
     fn render(&self) -> String {
+        self.render_with(true)
+    }
+
+    /// Renders the raw request; `close: false` omits the `Connection`
+    /// header so an HTTP/1.1 server keeps the socket open.
+    fn render_with(&self, close: bool) -> String {
         match self {
             RequestKind::Simulate { seed } => {
                 let body = format!(
                     r#"{{"app": "hotspot", "topo": "small", "chips": 2, "pop_seed": {POP_SEED}, "seed": {seed}}}"#
                 );
-                post("/v1/simulate", &body)
+                post("/v1/simulate", &body, close)
             }
             RequestKind::Sweep => {
                 let body = format!(
                     r#"{{"app": "hotspot", "topo": "small", "chips": 2, "pop_seed": {POP_SEED}, "vdd_mv": [550, 600], "size": [0.5, 1.0]}}"#
                 );
-                post("/v1/sweep", &body)
+                post("/v1/sweep", &body, close)
             }
-            RequestKind::ArtifactsList => get("/v1/artifacts"),
-            RequestKind::Health => get("/healthz"),
+            RequestKind::ArtifactsList => get("/v1/artifacts", close),
+            RequestKind::Health => get("/healthz", close),
         }
     }
 
@@ -155,15 +173,144 @@ impl RequestKind {
     }
 }
 
-fn get(path: &str) -> String {
-    format!("GET {path} HTTP/1.1\r\nHost: loadtest\r\nConnection: close\r\n\r\n")
+fn get(path: &str, close: bool) -> String {
+    let conn = if close { "Connection: close\r\n" } else { "" };
+    format!("GET {path} HTTP/1.1\r\nHost: loadtest\r\n{conn}\r\n")
 }
 
-fn post(path: &str, body: &str) -> String {
+fn post(path: &str, body: &str, close: bool) -> String {
+    let conn = if close { "Connection: close\r\n" } else { "" };
     format!(
-        "POST {path} HTTP/1.1\r\nHost: loadtest\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "POST {path} HTTP/1.1\r\nHost: loadtest\r\nContent-Length: {}\r\n{conn}\r\n{body}",
         body.len()
     )
+}
+
+/// A persistent keep-alive client: one socket reused across requests,
+/// with a response-framing parser (status line + `Content-Length`) so
+/// the next request can follow on the same connection. Reconnects
+/// transparently after a transport error or a server-initiated close.
+struct KeepAliveClient {
+    addr: SocketAddr,
+    deadline: Duration,
+    conn: Option<TcpStream>,
+    /// Bytes read past the previous response (pipelined replies
+    /// arrive back-to-back).
+    buf: Vec<u8>,
+}
+
+impl KeepAliveClient {
+    fn new(addr: SocketAddr, deadline: Duration) -> Self {
+        Self {
+            addr,
+            deadline,
+            conn: None,
+            buf: Vec::new(),
+        }
+    }
+
+    fn connect(&mut self) -> bool {
+        self.buf.clear();
+        match TcpStream::connect_timeout(&self.addr, self.deadline) {
+            Ok(conn) => {
+                let _ = conn.set_read_timeout(Some(self.deadline));
+                let _ = conn.set_write_timeout(Some(self.deadline));
+                let _ = conn.set_nodelay(true);
+                self.conn = Some(conn);
+                true
+            }
+            Err(_) => {
+                self.conn = None;
+                false
+            }
+        }
+    }
+
+    fn drop_conn(&mut self) {
+        self.conn = None;
+        self.buf.clear();
+    }
+
+    /// Reads one framed response off the connection; returns its
+    /// status, or `None` on a transport error / close (the caller
+    /// reconnects).
+    fn read_response(&mut self) -> Option<u16> {
+        let conn = self.conn.as_mut()?;
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            // A complete head already buffered?
+            if let Some(head_end) = find_subslice(&self.buf, b"\r\n\r\n") {
+                let head = std::str::from_utf8(&self.buf[..head_end]).ok()?;
+                let status: u16 = head.get(9..12).and_then(|s| s.parse().ok())?;
+                let len: usize = head.lines().find_map(|l| {
+                    let (k, v) = l.split_once(':')?;
+                    k.eq_ignore_ascii_case("content-length")
+                        .then(|| v.trim().parse().ok())
+                        .flatten()
+                })?;
+                let total = head_end + 4 + len;
+                if self.buf.len() >= total {
+                    self.buf.drain(..total);
+                    return Some(status);
+                }
+            }
+            match conn.read(&mut chunk) {
+                Ok(0) => return None,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Writes `raws` back-to-back (pipelining when `raws.len() > 1`),
+    /// then reads that many responses. Returns `(status, latency)` per
+    /// request, all measured from the batch send; 0 marks a transport
+    /// failure. One reconnect attempt per batch.
+    fn issue_batch(&mut self, raws: &[&str]) -> Vec<(u16, Duration)> {
+        for _attempt in 0..2 {
+            if self.conn.is_none() && !self.connect() {
+                break;
+            }
+            let started = Instant::now();
+            let mut wire = Vec::new();
+            for raw in raws {
+                wire.extend_from_slice(raw.as_bytes());
+            }
+            if self
+                .conn
+                .as_mut()
+                .map(|c| c.write_all(&wire).is_err())
+                .unwrap_or(true)
+            {
+                self.drop_conn();
+                continue;
+            }
+            let mut out = Vec::with_capacity(raws.len());
+            for _ in 0..raws.len() {
+                match self.read_response() {
+                    Some(status) => out.push((status, started.elapsed())),
+                    None => {
+                        self.drop_conn();
+                        break;
+                    }
+                }
+            }
+            if out.len() == raws.len() {
+                return out;
+            }
+            // Partial batch: report what failed, don't retry (the
+            // failure is the datapoint).
+            while out.len() < raws.len() {
+                out.push((0, started.elapsed()));
+            }
+            return out;
+        }
+        raws.iter().map(|_| (0, Duration::ZERO)).collect()
+    }
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
 }
 
 /// Issues one request; returns the HTTP status (0 = transport error).
@@ -316,6 +463,10 @@ pub struct LoadReport {
     pub mode: &'static str,
     /// Client threads (closed: connections; open: senders).
     pub threads: usize,
+    /// Whether connections were reused across requests.
+    pub keepalive: bool,
+    /// Pipelining depth (1 = request/response lockstep).
+    pub pipeline: usize,
     /// Offered rate for open-loop runs (`None` for closed).
     pub offered_rps: Option<f64>,
     /// Root seed of the request mix.
@@ -368,6 +519,8 @@ impl LoadReport {
         let mut fields = vec![
             ("mode", Json::str(self.mode)),
             ("threads", Json::Num(self.threads as f64)),
+            ("keepalive", Json::Bool(self.keepalive)),
+            ("pipeline", Json::Num(self.pipeline as f64)),
         ];
         if let Some(rate) = self.offered_rps {
             fields.push(("offered_rps", Json::Num(rate)));
@@ -400,12 +553,21 @@ impl LoadReport {
         let ms = |ns: u64| ns as f64 / 1e6;
         let mut out = String::new();
         out.push_str(&format!(
-            "loadtest: {} loop, {} threads{}, seed {}\n",
+            "loadtest: {} loop, {} threads{}{}, seed {}\n",
             self.mode,
             self.threads,
             self.offered_rps
                 .map(|r| format!(", {r:.0} req/s offered"))
                 .unwrap_or_default(),
+            if self.keepalive {
+                if self.pipeline > 1 {
+                    format!(", keep-alive, pipeline {}", self.pipeline)
+                } else {
+                    ", keep-alive".to_string()
+                }
+            } else {
+                ", close-per-request".to_string()
+            },
             self.seed,
         ));
         out.push_str(&format!(
@@ -453,21 +615,33 @@ pub fn run(addr: SocketAddr, cfg: &LoadConfig) -> LoadReport {
         Arrival::Open { rate, senders } => ("open", senders.max(1), Some(rate)),
     };
 
+    let batch_len = if cfg.keepalive {
+        cfg.pipeline.max(1)
+    } else {
+        1
+    };
+
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| {
                 let mut local = Tally::default();
+                let mut client = cfg.keepalive.then(|| KeepAliveClient::new(addr, deadline));
+                // The mix has ~a dozen distinct requests; render each
+                // once so the hot loop sends cached bytes (the client
+                // shares the CPU with the server under test).
+                let mut rendered: HashMap<RequestKind, String> = HashMap::new();
                 loop {
-                    let k = next.fetch_add(1, Ordering::Relaxed) as u64;
-                    let kind = mix_for(cfg.seed, k);
-                    let raw = kind.render();
+                    let k0 = next.fetch_add(batch_len, Ordering::Relaxed) as u64;
+                    let kinds: Vec<RequestKind> = (k0..k0 + batch_len as u64)
+                        .map(|k| mix_for(cfg.seed, k))
+                        .collect();
                     // Open loop: request k fires at its scheduled
                     // instant and its latency clock starts there even
                     // if the sender is running late (coordinated
                     // omission: backlog is the server's fault).
                     let scheduled = match offered {
                         Some(rate) => {
-                            let at = start + Duration::from_secs_f64(k as f64 / rate.max(1e-9));
+                            let at = start + Duration::from_secs_f64(k0 as f64 / rate.max(1e-9));
                             if at >= end {
                                 break;
                             }
@@ -484,11 +658,33 @@ pub fn run(addr: SocketAddr, cfg: &LoadConfig) -> LoadReport {
                             Instant::now()
                         }
                     };
-                    let status = issue(addr, &raw, deadline);
-                    if scheduled < warmup_end {
-                        local.warmup += 1;
-                    } else {
-                        local.record(kind, status, scheduled.elapsed());
+                    let results: Vec<(u16, Duration)> = match &mut client {
+                        Some(c) => {
+                            for k in &kinds {
+                                rendered.entry(*k).or_insert_with(|| k.render_with(false));
+                            }
+                            let raws: Vec<&str> =
+                                kinds.iter().map(|k| rendered[k].as_str()).collect();
+                            c.issue_batch(&raws)
+                        }
+                        None => {
+                            let status = issue(addr, &kinds[0].render(), deadline);
+                            vec![(status, scheduled.elapsed())]
+                        }
+                    };
+                    for (kind, (status, latency)) in kinds.iter().zip(results) {
+                        if scheduled < warmup_end {
+                            local.warmup += 1;
+                        } else {
+                            // Open-loop latency counts from the
+                            // schedule; closed-loop from the send.
+                            let charged = if offered.is_some() {
+                                scheduled.elapsed()
+                            } else {
+                                latency
+                            };
+                            local.record(*kind, status, charged);
+                        }
                     }
                 }
                 let mut m = merged.lock().expect("tally lock");
@@ -510,6 +706,8 @@ pub fn run(addr: SocketAddr, cfg: &LoadConfig) -> LoadReport {
     LoadReport {
         mode,
         threads,
+        keepalive: cfg.keepalive,
+        pipeline: batch_len,
         offered_rps: offered,
         seed: cfg.seed,
         requests: tally.hist.count(),
@@ -623,6 +821,8 @@ mod tests {
         let report = LoadReport {
             mode: "closed",
             threads: 2,
+            keepalive: true,
+            pipeline: 4,
             offered_rps: None,
             seed: 1,
             requests: 100,
@@ -644,6 +844,8 @@ mod tests {
             "\"ns_per_req\":20000000",
             "\"p99\":4000000",
             "\"outcomes\":{\"ok\":100}",
+            "\"keepalive\":true",
+            "\"pipeline\":4",
         ] {
             assert!(text.contains(needle), "{needle} missing from {text}");
         }

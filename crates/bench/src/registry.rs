@@ -119,11 +119,11 @@ pub const SUBCOMMANDS: &[Subcommand] = &[
         help: "enumerate artifacts and subcommands, one per line",
     },
     Subcommand {
-        usage: "repro serve [--addr HOST:PORT] [--jobs N] [--threads N] [--queue N] [--access-log F] [--no-log-timing] [--chrome-trace F]",
+        usage: "repro serve [--addr HOST:PORT] [--jobs N] [--threads N] [--queue N] [--access-log F] [--no-log-timing] [--chrome-trace F] [--no-keepalive] [--timeout S] [--idle-timeout S] [--max-pipeline N]",
         help: "run the batched, cached HTTP simulation service",
     },
     Subcommand {
-        usage: "repro loadtest [--addr HOST:PORT] [--mode closed|open] [--rate R] [--connections N] [--duration S] [--warmup S] [--seed N] [--json F]",
+        usage: "repro loadtest [--addr HOST:PORT] [--mode closed|open] [--rate R] [--connections N] [--duration S] [--warmup S] [--seed N] [--json F] [--keepalive] [--pipeline N]",
         help: "measure serving latency/throughput with a seeded request mix",
     },
     Subcommand {

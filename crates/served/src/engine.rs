@@ -36,14 +36,18 @@ use accordion_telemetry::event::SimEvent;
 use accordion_telemetry::json::Json;
 use accordion_telemetry::{counter, flight, flight_track, span};
 use accordion_varius::timing::{ClusterTiming, CoreTiming};
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Upper bound on `chips` per query (bounds memory per cache entry).
 const MAX_CHIPS: usize = 100;
 /// Upper bound on a sweep's grid size.
 const MAX_GRID: usize = 1024;
+/// Rendered-response memo capacity (FIFO eviction). Sized so a burst
+/// of identical queries — the coalescing target — always hits, while
+/// the worst case stays a few MB of JSON.
+const MEMO_CAPACITY: usize = 256;
 
 /// A validated simulation query.
 #[derive(Debug, Clone)]
@@ -322,6 +326,226 @@ pub fn simulate(q: &SimQuery) -> Result<Json, EngineError> {
             ]),
         ),
     ]))
+}
+
+// ---------------------------------------------------------------------------
+// Cross-connection coalescing: singleflight + rendered-response memo.
+// ---------------------------------------------------------------------------
+
+/// What a flight publishes: the rendered body, or an error whose
+/// `bad` flag lets joiners reconstruct the right [`EngineError`]
+/// class (and therefore the right HTTP status).
+type FlightOutcome = Result<Arc<str>, (bool, String)>;
+
+/// One in-flight evaluation other requests can latch onto. The leader
+/// publishes into `slot` and notifies; joiners block on the condvar.
+struct Flight {
+    slot: Mutex<Option<FlightOutcome>>,
+    done: Condvar,
+}
+
+/// Publishes a failure if the leader unwinds before publishing a
+/// result — joiners must never hang on a panicked leader.
+struct FlightGuard<'a> {
+    key: &'a str,
+    flight: &'a Arc<Flight>,
+    armed: bool,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        inflight()
+            .lock()
+            .expect("singleflight map poisoned")
+            .remove(self.key);
+        let mut slot = self.flight.slot.lock().expect("flight slot poisoned");
+        if slot.is_none() {
+            *slot = Some(Err((false, "simulation panicked".to_string())));
+        }
+        drop(slot);
+        self.flight.done.notify_all();
+    }
+}
+
+fn inflight() -> &'static Mutex<HashMap<String, Arc<Flight>>> {
+    static MAP: OnceLock<Mutex<HashMap<String, Arc<Flight>>>> = OnceLock::new();
+    MAP.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Bounded FIFO memo of rendered responses. Entries are immutable
+/// (identical query ⇒ byte-identical body, the determinism the test
+/// suite pins), so eviction order does not affect correctness.
+struct Memo {
+    map: HashMap<String, Arc<str>>,
+    order: VecDeque<String>,
+}
+
+fn memo() -> &'static Mutex<Memo> {
+    static MEMO: OnceLock<Mutex<Memo>> = OnceLock::new();
+    MEMO.get_or_init(|| {
+        Mutex::new(Memo {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        })
+    })
+}
+
+/// Every field of the query, canonically rendered. Floats go through
+/// `to_bits` so `0.5` and `0.5000…01` never alias.
+fn coalesce_key(q: &SimQuery) -> String {
+    format!(
+        "{}|{}|{:x}|{}|{}|{}|{}|{}|{}|{}|{:x}",
+        q.app,
+        if q.topo == Topology::small() {
+            "small"
+        } else {
+            "default"
+        },
+        q.size.to_bits(),
+        q.vdd_mv
+            .map_or_else(|| "ntv".to_string(), |v| format!("{:x}", v.to_bits())),
+        q.pop_seed,
+        q.seed,
+        q.chips,
+        q.chip,
+        q.dcs,
+        q.iterations,
+        q.drop_target.to_bits()
+    )
+}
+
+/// Marks the current request as answered by coalescing: the metric the
+/// dashboards watch, the access-log `cache` field, and a trace span
+/// (so a coalesced request's flight track shows where its latency
+/// went — waiting on the leader, not simulating). Also used by the
+/// server's route-layer raw-body replay, which fronts this memo.
+pub(crate) fn note_coalesced(us: u64) {
+    counter!("served.coalesced").inc();
+    crate::obs::note_cache(true);
+    accordion_telemetry::event::advance_sim(us);
+    flight!(SimEvent::ServeStage {
+        stage: "serve.coalesced",
+        us,
+    });
+}
+
+/// [`simulate`], rendered — with cross-connection coalescing.
+///
+/// Identical queries collapse: concurrent duplicates join the one
+/// in-flight evaluation (singleflight) and recent results are replayed
+/// from a bounded memo, so a thundering herd of the same operating
+/// point costs one simulation however many connections ask. Joined and
+/// memoized answers increment `served_coalesced_total` and log
+/// `cache:"hit"`. Determinism makes this safe: the engine is a pure
+/// function of the query, so a replayed body is byte-identical to a
+/// fresh one (pinned by `tests/coalesce.rs`).
+///
+/// # Errors
+///
+/// As [`simulate`]. Errors are published to concurrent joiners (they
+/// fail with the leader) but never memoized — the next request retries.
+pub fn simulate_rendered(q: &SimQuery) -> Result<Arc<str>, EngineError> {
+    coalesced_rendered(coalesce_key(q), || simulate(q).map(|doc| doc.render()))
+}
+
+/// [`sweep`], rendered — with the same cross-connection coalescing as
+/// [`simulate_rendered`]. The key is the canonical rendering of the
+/// parsed request document: two requests that parse to the same JSON
+/// describe the same grid, and the sweep is a pure function of it
+/// (worker count never changes the bytes — the determinism contract).
+///
+/// # Errors
+///
+/// As [`sweep`]; errors propagate to joiners but are never memoized.
+pub fn sweep_rendered(doc: &Json, workers: usize) -> Result<Arc<str>, EngineError> {
+    coalesced_rendered(format!("sweep|{}", doc.render()), || {
+        sweep(doc, workers).map(|d| d.render())
+    })
+}
+
+/// The singleflight + memo core shared by the rendered entry points:
+/// memo hit → replay; join an in-flight leader if one exists; otherwise
+/// lead, evaluate, publish, memoize.
+fn coalesced_rendered(
+    key: String,
+    eval: impl FnOnce() -> Result<String, EngineError>,
+) -> Result<Arc<str>, EngineError> {
+    let started = Instant::now();
+    if let Some(hit) = memo().lock().expect("memo poisoned").map.get(&key).cloned() {
+        note_coalesced(started.elapsed().as_micros() as u64);
+        return Ok(hit);
+    }
+    let (flight, leader) = {
+        let mut map = inflight().lock().expect("singleflight map poisoned");
+        match map.get(&key) {
+            Some(f) => (f.clone(), false),
+            None => {
+                let f = Arc::new(Flight {
+                    slot: Mutex::new(None),
+                    done: Condvar::new(),
+                });
+                map.insert(key.clone(), f.clone());
+                (f, true)
+            }
+        }
+    };
+    if !leader {
+        // Join the in-flight evaluation.
+        let mut slot = flight.slot.lock().expect("flight slot poisoned");
+        while slot.is_none() {
+            slot = flight.done.wait(slot).expect("flight slot poisoned");
+        }
+        let result = slot.clone().expect("loop exits only when published");
+        drop(slot);
+        return match result {
+            Ok(body) => {
+                note_coalesced(started.elapsed().as_micros() as u64);
+                Ok(body)
+            }
+            Err((true, msg)) => Err(EngineError::Bad(msg)),
+            Err((false, msg)) => Err(EngineError::Internal(msg)),
+        };
+    }
+    // Leader: evaluate, publish, memoize. The guard keeps joiners from
+    // hanging if `simulate` panics (the server answers the leader 500).
+    let mut guard = FlightGuard {
+        key: &key,
+        flight: &flight,
+        armed: true,
+    };
+    let outcome = eval();
+    let (published, returned) = match outcome {
+        Ok(rendered) => {
+            let body: Arc<str> = Arc::from(rendered);
+            let mut m = memo().lock().expect("memo poisoned");
+            if !m.map.contains_key(&key) {
+                if m.order.len() >= MEMO_CAPACITY {
+                    if let Some(old) = m.order.pop_front() {
+                        m.map.remove(&old);
+                    }
+                }
+                m.map.insert(key.clone(), body.clone());
+                m.order.push_back(key.clone());
+            }
+            drop(m);
+            (Ok(body.clone()), Ok(body))
+        }
+        Err(EngineError::Bad(msg)) => (Err((true, msg.clone())), Err(EngineError::Bad(msg))),
+        Err(EngineError::Internal(msg)) => {
+            (Err((false, msg.clone())), Err(EngineError::Internal(msg)))
+        }
+    };
+    inflight()
+        .lock()
+        .expect("singleflight map poisoned")
+        .remove(&key);
+    *flight.slot.lock().expect("flight slot poisoned") = Some(published);
+    flight.done.notify_all();
+    guard.armed = false;
+    returned
 }
 
 /// Per-cluster timing at an arbitrary supply: the chip's own models

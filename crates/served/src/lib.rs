@@ -17,18 +17,28 @@
 //! | `POST /v1/simulate` | one operating point: app, size, Vdd, seed → frequency, quality, protocol outcome, energy |
 //! | `POST /v1/sweep` | a Vdd × size grid, executed as one ordered parallel map |
 //! | `GET /v1/artifacts` | registered repro artifact ids |
-//! | `GET /v1/artifacts/{name}` | generate one artifact (chunked; headers precede generation) |
+//! | `GET /v1/artifacts/{name}` | generate one artifact (chunked transfer encoding) |
 //! | `GET /healthz` | liveness plus cache occupancy |
 //! | `GET /metrics` | text exposition of the telemetry registry |
 //! | `POST /v1/shutdown` | cooperative shutdown; queued requests drain |
 //!
-//! Robustness bounds: a fixed handler pool, a bounded accept queue
-//! (overflow → `503` + `Retry-After`), per-socket deadlines, a body
-//! size cap, and panic isolation per request. Determinism: identical
-//! requests produce byte-identical JSON regardless of `--jobs`,
-//! because responses render through the deterministic
-//! [`accordion_telemetry::json`] renderer and all parallel fan-out
-//! uses the ordered pool primitives.
+//! The front end is a non-blocking **readiness loop** (`poll(2)`
+//! behind [`reactor`]): one reactor thread multiplexes every
+//! connection — HTTP/1.1 keep-alive, pipelining, incremental parsing —
+//! while a fixed worker pool executes requests from a bounded queue.
+//! Identical concurrent `/v1/simulate` queries **coalesce** onto one
+//! evaluation ([`engine::simulate_rendered`]), surfaced as
+//! `served_coalesced_total`.
+//!
+//! Robustness bounds: a fixed worker pool, a bounded request queue
+//! (overflow → `503` + `Retry-After`, answered by the reactor without
+//! waiting for a worker), per-request read/write deadlines with `408`
+//! slow-client eviction, an idle keep-alive reaper, head (`431`) and
+//! body (`413`) size caps, and panic isolation per request.
+//! Determinism: identical requests produce byte-identical JSON
+//! regardless of `--jobs`, because responses render through the
+//! deterministic [`accordion_telemetry::json`] renderer and all
+//! parallel fan-out uses the ordered pool primitives.
 //!
 //! # Example
 //!
@@ -49,7 +59,8 @@
 pub mod engine;
 pub mod http;
 pub mod obs;
+pub mod reactor;
 pub mod server;
 
-pub use engine::{simulate, sweep, EngineError, SimQuery};
+pub use engine::{simulate, simulate_rendered, sweep, EngineError, SimQuery};
 pub use server::{start, ArtifactSource, ServeConfig, ServerHandle, ShutdownTrigger};

@@ -1,0 +1,276 @@
+//! A minimal readiness reactor: `poll(2)` plus a self-pipe waker.
+//!
+//! The serving front end multiplexes every connection on one event
+//! thread; this module is the thin, zero-dependency layer between that
+//! thread and the kernel. It wraps exactly two primitives:
+//!
+//! * [`PollSet`] — a reusable `pollfd` array handed to `poll(2)`
+//!   (declared directly via `extern "C"`; `std` already links libc on
+//!   every Unix target, so no external crate is needed);
+//! * [`Waker`] — a `socketpair(2)` self-pipe (via
+//!   [`UnixStream::pair`]) that lets worker threads interrupt a
+//!   blocked `poll` when a completed response is ready to write.
+//!
+//! `poll` rather than `epoll` is deliberate: the set is rebuilt from
+//! the connection table every iteration, which makes readiness state
+//! impossible to leak on close (the classic epoll stale-registration
+//! bug) and costs O(connections) per tick — irrelevant at the hundreds
+//! of sockets this service is sized for, and far below the simulation
+//! cost it fronts.
+
+use std::io::{self, Read, Write};
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// `struct pollfd` from `<poll.h>`, laid out for the C ABI.
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct RawPollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+const POLLERR: i16 = 0x008;
+const POLLHUP: i16 = 0x010;
+const POLLNVAL: i16 = 0x020;
+
+extern "C" {
+    fn poll(
+        fds: *mut RawPollFd,
+        nfds: std::ffi::c_ulong,
+        timeout_ms: std::ffi::c_int,
+    ) -> std::ffi::c_int;
+}
+
+/// What one registered descriptor reported after [`PollSet::wait`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Readiness {
+    /// Data (or an accepted connection, or EOF) is readable.
+    pub readable: bool,
+    /// The socket can take more bytes without blocking.
+    pub writable: bool,
+    /// Error, hangup, or invalid descriptor — the owner should close.
+    pub error: bool,
+}
+
+impl Readiness {
+    /// Whether anything at all was reported.
+    pub fn any(self) -> bool {
+        self.readable || self.writable || self.error
+    }
+}
+
+/// A reusable descriptor set for `poll(2)`.
+///
+/// The reactor clears and repopulates the set each loop iteration from
+/// its live connection table, then calls [`wait`](Self::wait) once.
+/// Registration order is the caller's index space: `push` returns the
+/// slot to pass to [`readiness`](Self::readiness) afterwards.
+pub struct PollSet {
+    fds: Vec<RawPollFd>,
+}
+
+impl Default for PollSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PollSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self { fds: Vec::new() }
+    }
+
+    /// Drops all registrations (the backing allocation is kept).
+    pub fn clear(&mut self) {
+        self.fds.clear();
+    }
+
+    /// Registers `fd` for the requested interests; returns its slot.
+    pub fn push(&mut self, fd: RawFd, read: bool, write: bool) -> usize {
+        let mut events = 0i16;
+        if read {
+            events |= POLLIN;
+        }
+        if write {
+            events |= POLLOUT;
+        }
+        self.fds.push(RawPollFd {
+            fd,
+            events,
+            revents: 0,
+        });
+        self.fds.len() - 1
+    }
+
+    /// Blocks until at least one descriptor is ready or `timeout`
+    /// elapses; returns how many descriptors reported events (0 on
+    /// timeout). `EINTR` is retried transparently.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any `poll(2)` failure other than `EINTR`.
+    pub fn wait(&mut self, timeout: Duration) -> io::Result<usize> {
+        let ms = timeout.as_millis().min(i32::MAX as u128) as i32;
+        loop {
+            let rc = unsafe {
+                poll(
+                    self.fds.as_mut_ptr(),
+                    self.fds.len() as std::ffi::c_ulong,
+                    ms,
+                )
+            };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+
+    /// Readiness reported for the descriptor registered at `slot`.
+    pub fn readiness(&self, slot: usize) -> Readiness {
+        let revents = self.fds.get(slot).map_or(0, |f| f.revents);
+        Readiness {
+            readable: revents & POLLIN != 0,
+            writable: revents & POLLOUT != 0,
+            error: revents & (POLLERR | POLLHUP | POLLNVAL) != 0,
+        }
+    }
+}
+
+/// A self-pipe that interrupts a blocked [`PollSet::wait`].
+///
+/// The read half lives on the reactor thread and is registered in the
+/// poll set every iteration; any number of [`WakeHandle`] clones live
+/// on worker threads and call [`WakeHandle::wake`] after posting a
+/// completion. Both halves are non-blocking: a wake onto a full pipe
+/// is silently dropped, which is correct — the pipe being full already
+/// guarantees the reactor has a pending wake-up.
+pub struct Waker {
+    rx: UnixStream,
+    tx: Arc<UnixStream>,
+}
+
+impl Waker {
+    /// Creates the socket pair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `socketpair(2)` / `fcntl(2)` failures.
+    pub fn new() -> io::Result<Self> {
+        let (tx, rx) = UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        Ok(Self {
+            rx,
+            tx: Arc::new(tx),
+        })
+    }
+
+    /// The descriptor to register (read interest) in the poll set.
+    pub fn fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+
+    /// A clonable handle for producer threads.
+    pub fn handle(&self) -> WakeHandle {
+        WakeHandle {
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// Consumes every pending wake byte (level-triggered `poll` would
+    /// otherwise report the pipe readable forever).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while matches!((&self.rx).read(&mut buf), Ok(n) if n > 0) {}
+    }
+}
+
+/// Wakes the reactor; clonable and cheap. See [`Waker`].
+#[derive(Clone)]
+pub struct WakeHandle {
+    tx: Arc<UnixStream>,
+}
+
+impl WakeHandle {
+    /// Interrupts the reactor's current (or next) `poll` call.
+    pub fn wake(&self) {
+        let _ = (&*self.tx).write(&[1u8]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn timeout_expires_with_no_events() {
+        let waker = Waker::new().unwrap();
+        let mut set = PollSet::new();
+        set.push(waker.fd(), true, false);
+        let t0 = Instant::now();
+        let n = set.wait(Duration::from_millis(30)).unwrap();
+        assert_eq!(n, 0);
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn wake_interrupts_poll_and_drain_resets() {
+        let waker = Waker::new().unwrap();
+        let handle = waker.handle();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            handle.wake();
+        });
+        let mut set = PollSet::new();
+        let slot = set.push(waker.fd(), true, false);
+        let n = set.wait(Duration::from_secs(5)).unwrap();
+        assert_eq!(n, 1);
+        assert!(set.readiness(slot).readable);
+        t.join().unwrap();
+
+        // After draining, the pipe is quiet again.
+        waker.drain();
+        set.clear();
+        set.push(waker.fd(), true, false);
+        assert_eq!(set.wait(Duration::from_millis(10)).unwrap(), 0);
+    }
+
+    #[test]
+    fn socket_readability_is_reported() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        a.write_all(b"x").unwrap();
+        let mut set = PollSet::new();
+        let slot = set.push(b.as_raw_fd(), true, true);
+        let n = set.wait(Duration::from_secs(1)).unwrap();
+        assert!(n >= 1);
+        let r = set.readiness(slot);
+        assert!(r.readable && r.writable, "{r:?}");
+    }
+
+    #[test]
+    fn wake_on_full_pipe_does_not_block() {
+        let waker = Waker::new().unwrap();
+        let handle = waker.handle();
+        // Saturate the pipe; every wake must return promptly.
+        for _ in 0..100_000 {
+            handle.wake();
+        }
+        waker.drain();
+        let mut set = PollSet::new();
+        set.push(waker.fd(), true, false);
+        assert_eq!(set.wait(Duration::from_millis(5)).unwrap(), 0);
+    }
+}

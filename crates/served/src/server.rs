@@ -1,36 +1,51 @@
-//! The HTTP server: bounded accept queue, fixed handler pool, routes.
+//! The HTTP server: a readiness loop front end over a worker pool.
 //!
-//! The shape is deliberately boring — `std::net::TcpListener`, a
-//! `Mutex<VecDeque>` + `Condvar` connection queue, and a fixed number
-//! of handler threads — because boring is what survives a fuzzer. The
-//! interesting properties are the bounds: the queue has a hard
-//! capacity (overflow answers `503` + `Retry-After` immediately, the
-//! paper-approved way to shed load without stalling the accept loop),
-//! every socket carries a read/write deadline, request bodies have a
-//! byte cap, and handler panics are caught and answered as `500`
-//! without taking the thread down.
+//! One **reactor thread** owns the listener and every connection:
+//! non-blocking sockets multiplexed with [`crate::reactor::PollSet`],
+//! per-connection state machines that feed bytes to the resumable
+//! [`RequestParser`], HTTP/1.1 keep-alive with pipelining, and the
+//! timeout table (request deadline, write-stall eviction, idle reaping
+//! — see `DESIGN.md` §10). Parsed requests become jobs on a bounded
+//! queue consumed by **worker threads**; a completed response travels
+//! back as an encoded byte buffer and the reactor writes it in request
+//! order, however the workers finished.
+//!
+//! The bounds survive from the blocking ancestor: the job queue has a
+//! hard capacity (overflow answers `503` + `Retry-After` straight from
+//! the reactor — load shedding never blocks on a worker), request
+//! bodies have a byte cap, heads a smaller one (`431`), a slow client
+//! mid-request is evicted with `408` after the deadline, and handler
+//! panics are caught and answered as `500` without taking the worker
+//! down.
 //!
 //! Shutdown is cooperative: [`ShutdownTrigger::request`] (also wired
-//! to `POST /v1/shutdown`) flips the stop flag; the accept loop closes
-//! the listener, handlers drain every connection already queued, and
-//! [`ServerHandle::shutdown`] joins all threads and flushes telemetry.
+//! to `POST /v1/shutdown`) flips the stop flag and wakes the reactor;
+//! jobs already queued are drained and their responses written, new
+//! requests are refused with `503`, and [`ServerHandle::join`] joins
+//! all threads and flushes telemetry.
 
 use crate::engine::{self, EngineError, SimQuery};
-use crate::http::{self, Request, RequestError, Response};
+use crate::http::{self, Request, RequestParser, Response};
 use crate::obs::{self, AccessLog, AccessRecord};
+use crate::reactor::{PollSet, WakeHandle, Waker};
 use accordion_chip::popcache;
 use accordion_telemetry::event::SimEvent;
 use accordion_telemetry::registry::exponential_bounds;
 use accordion_telemetry::rolling::RollingHistogram;
 use accordion_telemetry::{counter, flight, flight_track, histogram, json, prom, sink};
-use std::collections::VecDeque;
-use std::io::Write;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+/// Reactor poll tick: the upper bound on timeout-detection latency.
+/// Readiness and completions interrupt the tick immediately.
+const TICK: Duration = Duration::from_millis(25);
 
 /// Artifact generation injected by the binary crate (`repro`). The
 /// service crate cannot depend on `accordion-bench` (which depends on
@@ -51,20 +66,32 @@ pub struct ServeConfig {
     /// Bind address, e.g. `127.0.0.1:8080`. Port `0` picks an
     /// ephemeral port (tests use this).
     pub addr: String,
-    /// Handler threads — the number of requests in service at once.
+    /// Worker threads — the number of requests in service at once.
     pub handler_threads: usize,
     /// Pool workers available to a single request (sweep fan-out).
     pub request_jobs: usize,
-    /// Accepted-but-unhandled connection cap; beyond it, `503`.
+    /// Parsed-but-unhandled request cap; beyond it, `503`.
     pub queue_capacity: usize,
     /// Request body cap in bytes (`413` beyond it).
     pub max_body_bytes: usize,
-    /// Socket read/write deadline per request.
+    /// Per-request deadline: a client mid-request that sends nothing
+    /// for this long is evicted with `408`; a response that makes no
+    /// write progress for this long is dropped.
     pub deadline: Duration,
+    /// How long a keep-alive connection may sit idle *between*
+    /// requests before the reactor closes it silently.
+    pub idle_timeout: Duration,
+    /// Whether to keep connections open between requests. `false`
+    /// restores one-request-per-connection (`Connection: close` on
+    /// every response).
+    pub keep_alive: bool,
+    /// Pipelining depth: requests admitted per connection before its
+    /// earlier responses have been written (backpressure bound).
+    pub max_pipeline: usize,
     /// Artifact generation hook, if the host binary provides one.
     pub artifacts: Option<ArtifactSource>,
     /// Enables `POST /v1/debug/sleep` (tests only — lets a test pin
-    /// every handler thread deterministically).
+    /// every worker thread deterministically).
     pub debug_endpoints: bool,
     /// JSONL access-log path (`repro serve --access-log`); `None`
     /// disables access logging.
@@ -84,6 +111,9 @@ impl Default for ServeConfig {
             queue_capacity: 128,
             max_body_bytes: 1 << 20,
             deadline: Duration::from_secs(30),
+            idle_timeout: Duration::from_secs(30),
+            keep_alive: true,
+            max_pipeline: 32,
             artifacts: None,
             debug_endpoints: false,
             access_log: None,
@@ -92,43 +122,107 @@ impl Default for ServeConfig {
     }
 }
 
-/// One accepted connection waiting for a handler: the socket, its
-/// accept-order request id, and when it was accepted (queue-wait
-/// accounting).
-struct QueuedConn {
-    stream: TcpStream,
+/// One parsed request on its way to a worker.
+struct Job {
+    /// Owning connection's key in the reactor table.
+    conn: u64,
+    /// Per-connection response sequence (in-order write key).
+    seq: u64,
+    /// Arrival-order request id (1-based, process of the server).
     id: u64,
-    accepted: Instant,
+    request: Request,
+    /// Advertise (and honor) keep-alive on the response.
+    keep_alive: bool,
+    /// When the request finished parsing (queue-wait accounting).
+    queued: Instant,
+    /// Reactor-side parse duration, re-emitted as the request's
+    /// `serve.parse` stage from the worker's flight track.
+    parse_us: u64,
+}
+
+/// A fully-encoded response travelling back to the reactor.
+struct Completion {
+    conn: u64,
+    seq: u64,
+    bytes: Vec<u8>,
 }
 
 struct Shared {
     cfg: ServeConfig,
-    /// Bound address; shutdown connects to it to unpark `accept(2)`.
-    addr: SocketAddr,
-    queue: Mutex<VecDeque<QueuedConn>>,
+    jobs: Mutex<VecDeque<Job>>,
     available: Condvar,
+    completions: Mutex<Vec<Completion>>,
+    waker: WakeHandle,
     stop: AtomicBool,
-    /// Accept-order request id source (first request gets id 1).
+    /// Arrival-order request id source (first request gets id 1).
     next_id: AtomicU64,
-    /// Requests currently inside a handler.
+    /// Requests currently inside a worker.
     in_flight: AtomicU64,
     /// Requests fully answered (including error responses).
     handled: AtomicU64,
-    /// Connections shed with `503` at the queue.
+    /// Requests shed with `503` at the queue.
     shed: AtomicU64,
     /// Server start, for `/healthz` uptime and the uptime gauge.
     started: Instant,
     /// JSONL access log, when configured.
     log: Option<AccessLog>,
+    /// Route-layer replay memo: exact `(route, body-bytes)` of an
+    /// already-answered simulate/sweep → its rendered `200` body. A
+    /// hit skips JSON parsing and query validation entirely; it is
+    /// sound for the same reason the engine memo is (the engine is a
+    /// pure function of the request, so the replay is byte-identical)
+    /// and counts as a coalesced answer in the metrics/log.
+    raw_memo: Mutex<RawMemo>,
+}
+
+/// Bounded FIFO map behind [`Shared::raw_memo`]. Only successful
+/// (`200`) bodies enter; errors always re-evaluate. Nested by route so
+/// the hot lookup probes with the borrowed body slice (`Vec<u8>:
+/// Borrow<[u8]>`) — no allocation on a hit.
+#[derive(Default)]
+struct RawMemo {
+    map: HashMap<&'static str, HashMap<Vec<u8>, Arc<str>>>,
+    order: VecDeque<(&'static str, Vec<u8>)>,
+}
+
+/// Entry cap for [`RawMemo`] — matches the engine memo's bound.
+const RAW_MEMO_CAPACITY: usize = 256;
+
+impl RawMemo {
+    fn get(&self, route: &'static str, body: &[u8]) -> Option<Arc<str>> {
+        self.map.get(route)?.get(body).cloned()
+    }
+
+    fn put(&mut self, route: &'static str, body: &[u8], rendered: Arc<str>) {
+        if self
+            .map
+            .get(route)
+            .is_some_and(|per_route| per_route.contains_key(body))
+        {
+            return;
+        }
+        if self.order.len() >= RAW_MEMO_CAPACITY {
+            if let Some((r, b)) = self.order.pop_front() {
+                if let Some(per_route) = self.map.get_mut(r) {
+                    per_route.remove(&b);
+                }
+            }
+        }
+        self.map
+            .entry(route)
+            .or_default()
+            .insert(body.to_vec(), rendered);
+        self.order.push_back((route, body.to_vec()));
+    }
 }
 
 impl Shared {
-    /// Flips the stop flag, wakes the handlers, and unparks the accept
-    /// loop (blocked in `accept(2)`) with a throwaway self-connection.
+    /// Flips the stop flag, wakes the workers, and interrupts the
+    /// reactor's poll.
     fn request_stop(&self) {
         self.stop.store(true, Ordering::SeqCst);
         self.available.notify_all();
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        self.waker.wake();
     }
 }
 
@@ -141,7 +235,7 @@ pub struct ShutdownTrigger {
 }
 
 impl ShutdownTrigger {
-    /// Flips the stop flag and wakes every handler. Idempotent.
+    /// Flips the stop flag and wakes every thread. Idempotent.
     pub fn request(&self) {
         self.shared.request_stop();
     }
@@ -156,8 +250,8 @@ impl ShutdownTrigger {
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
-    handlers: Vec<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -175,12 +269,12 @@ impl ServerHandle {
 
     /// Blocks until the server has stopped (externally triggered or
     /// via `POST /v1/shutdown`), then joins threads and flushes
-    /// telemetry. Queued connections are drained, not dropped.
+    /// telemetry. Queued requests are drained, not dropped.
     pub fn join(mut self) {
-        if let Some(t) = self.accept.take() {
+        if let Some(t) = self.reactor.take() {
             let _ = t.join();
         }
-        for t in self.handlers.drain(..) {
+        for t in self.workers.drain(..) {
             let _ = t.join();
         }
         sink::flush();
@@ -197,10 +291,13 @@ impl ServerHandle {
 ///
 /// # Errors
 ///
-/// Propagates the bind failure (address in use, permission).
+/// Propagates the bind failure (address in use, permission) or waker
+/// creation failure.
 pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    let waker = Waker::new()?;
     let log = match &cfg.access_log {
         Some(path) => Some(AccessLog::create(path, cfg.log_timing)?),
         None => None,
@@ -208,9 +305,10 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
     describe_metrics();
     let shared = Arc::new(Shared {
         cfg,
-        addr,
-        queue: Mutex::new(VecDeque::new()),
+        jobs: Mutex::new(VecDeque::new()),
         available: Condvar::new(),
+        completions: Mutex::new(Vec::new()),
+        waker: waker.handle(),
         stop: AtomicBool::new(false),
         next_id: AtomicU64::new(0),
         in_flight: AtomicU64::new(0),
@@ -218,130 +316,665 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
         shed: AtomicU64::new(0),
         started: Instant::now(),
         log,
+        raw_memo: Mutex::new(RawMemo::default()),
     });
 
-    let accept = {
+    let reactor = {
         let shared = shared.clone();
         thread::Builder::new()
-            .name("served-accept".into())
-            .spawn(move || accept_loop(&listener, &shared))?
+            .name("served-reactor".into())
+            .spawn(move || reactor_loop(&shared, listener, &waker))?
     };
-    let mut handlers = Vec::with_capacity(shared.cfg.handler_threads);
+    let mut workers = Vec::with_capacity(shared.cfg.handler_threads);
     for i in 0..shared.cfg.handler_threads.max(1) {
         let shared = shared.clone();
-        handlers.push(
+        workers.push(
             thread::Builder::new()
                 .name(format!("served-worker-{i}"))
-                .spawn(move || handler_loop(&shared))?,
+                .spawn(move || worker_loop(&shared))?,
         );
     }
     Ok(ServerHandle {
         addr,
         shared,
-        accept: Some(accept),
-        handlers,
+        reactor: Some(reactor),
+        workers,
     })
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Shared) {
-    // Blocking accept: no poll interval to add to request latency.
-    // `request_stop` unparks it with a self-connection.
+// ---------------------------------------------------------------------------
+// Reactor side: connection state machines.
+// ---------------------------------------------------------------------------
+
+/// One connection's state, owned exclusively by the reactor thread.
+struct Conn {
+    /// Key in the reactor's connection table (job routing address).
+    key: u64,
+    stream: TcpStream,
+    parser: RequestParser,
+    /// Bytes being written, in response order; `out_pos` marks the
+    /// written prefix (a partial write parks here until the peer
+    /// drains its receive window).
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Completed responses that cannot enter `out` yet because an
+    /// earlier pipelined response is still outstanding.
+    ready: BTreeMap<u64, Vec<u8>>,
+    /// Sequence assigned to the next parsed request.
+    next_seq: u64,
+    /// Sequence whose response bytes enter `out` next.
+    next_write: u64,
+    /// After writing response `seq`, close the connection
+    /// (`Connection: close`, errors, shed, eviction).
+    close_at: Option<u64>,
+    /// Peer sent EOF; no further requests can arrive.
+    read_closed: bool,
+    /// Socket error observed; drop as soon as noticed.
+    dead: bool,
+    /// Last byte received (idle/deadline accounting).
+    last_read: Instant,
+    /// Last write progress (write-stall accounting).
+    last_progress: Instant,
+}
+
+impl Conn {
+    fn new(key: u64, stream: TcpStream, max_body: usize, now: Instant) -> Self {
+        Self {
+            key,
+            stream,
+            parser: RequestParser::new(max_body),
+            out: Vec::new(),
+            out_pos: 0,
+            ready: BTreeMap::new(),
+            next_seq: 0,
+            next_write: 0,
+            close_at: None,
+            read_closed: false,
+            dead: false,
+            last_read: now,
+            last_progress: now,
+        }
+    }
+
+    /// Requests admitted but not yet fully promoted to `out`
+    /// (pipelining window; bounds per-connection memory).
+    fn window(&self) -> usize {
+        (self.next_seq - self.next_write) as usize
+    }
+
+    /// Requests dispatched to workers whose completions have not come
+    /// back yet.
+    fn outstanding(&self) -> usize {
+        self.window() - self.ready.len()
+    }
+
+    /// Nothing is buffered for (or on its way to) this socket.
+    fn drained(&self) -> bool {
+        self.out_pos == self.out.len() && self.ready.is_empty()
+    }
+}
+
+fn reactor_loop(shared: &Arc<Shared>, listener: TcpListener, waker: &Waker) {
+    let mut listener = Some(listener);
+    let mut conns: BTreeMap<u64, Conn> = BTreeMap::new();
+    let mut next_conn: u64 = 1;
+    let mut set = PollSet::new();
     loop {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                if shared.stop.load(Ordering::SeqCst) {
-                    // The wake-up connection (or a client racing the
-                    // shutdown); either way, stop accepting.
-                    drop(stream);
-                    break;
+        let stopping = shared.stop.load(Ordering::SeqCst);
+        if stopping {
+            // Closing the listener refuses new connections at the
+            // kernel; everything already admitted drains below.
+            listener = None;
+        }
+
+        // Ingest completed responses from the workers.
+        {
+            let mut done = shared.completions.lock().expect("completion list poisoned");
+            for c in done.drain(..) {
+                if let Some(conn) = conns.get_mut(&c.conn) {
+                    conn.ready.insert(c.seq, c.bytes);
                 }
-                enqueue(shared, stream);
             }
+        }
+
+        // Promote, flush, and apply the timeout table per connection.
+        let now = Instant::now();
+        conns.retain(|_, conn| service_conn(shared, conn, now, stopping));
+
+        if stopping && conns.is_empty() {
+            break;
+        }
+
+        // Build this tick's poll set from live interest.
+        set.clear();
+        let _waker_slot = set.push(waker.fd(), true, false);
+        let listener_slot = listener
+            .as_ref()
+            .map(|l| set.push(l.as_raw_fd(), true, false));
+        let mut conn_slots: Vec<(usize, u64)> = Vec::with_capacity(conns.len());
+        for (key, conn) in &conns {
+            let read = !conn.read_closed
+                && !conn.dead
+                && conn.close_at.is_none()
+                && conn.window() < shared.cfg.max_pipeline;
+            let write = conn.out_pos < conn.out.len();
+            if read || write {
+                conn_slots.push((set.push(conn.stream.as_raw_fd(), read, write), *key));
+            }
+        }
+        if set.wait(TICK).is_err() {
+            // poll(2) failing outright (EBADF would be a reactor bug)
+            // has no recovery story; park briefly and retry.
+            thread::sleep(TICK);
+            continue;
+        }
+        waker.drain();
+
+        // Accept everything pending.
+        if let (Some(l), Some(slot)) = (&listener, listener_slot) {
+            if set.readiness(slot).readable {
+                let now = Instant::now();
+                while let Ok((stream, _)) = l.accept() {
+                    let _ = stream.set_nonblocking(true);
+                    let _ = stream.set_nodelay(true);
+                    counter!("served.http.connections").inc();
+                    let key = next_conn;
+                    next_conn += 1;
+                    conns.insert(key, Conn::new(key, stream, shared.cfg.max_body_bytes, now));
+                }
+            }
+        }
+
+        // Feed readable sockets to their parsers; dispatch requests.
+        let now = Instant::now();
+        for (slot, key) in conn_slots {
+            let r = set.readiness(slot);
+            if !r.any() {
+                continue;
+            }
+            let Some(conn) = conns.get_mut(&key) else {
+                continue;
+            };
+            if r.readable {
+                read_conn(shared, conn, now);
+            } else if r.error {
+                // Error with nothing to read: the peer is gone. (A
+                // hangup that still has buffered data reports
+                // readable too and is handled above — the read path
+                // sees the EOF after consuming the data.)
+                conn.dead = true;
+            }
+        }
+        // Writes happen in the service pass at the top of the loop.
+    }
+}
+
+/// One service pass: promote completed responses into the write
+/// buffer, flush what the socket accepts, then walk the timeout /
+/// close table. Returns `false` when the connection is finished.
+fn service_conn(shared: &Shared, conn: &mut Conn, now: Instant, stopping: bool) -> bool {
+    if conn.dead {
+        counter!("served.http.disconnects").inc();
+        return false;
+    }
+    // Promote in strict sequence order: pipelined responses leave in
+    // the order the requests arrived, however the workers finished.
+    while let Some(bytes) = conn.ready.remove(&conn.next_write) {
+        conn.out.extend_from_slice(&bytes);
+        conn.next_write += 1;
+    }
+    // Flush until the socket pushes back.
+    while conn.out_pos < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => {
+                conn.dead = true;
+                break;
+            }
+            Ok(n) => {
+                conn.out_pos += n;
+                conn.last_progress = now;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(_) => {
-                if shared.stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                thread::sleep(Duration::from_millis(5));
+                conn.dead = true;
+                break;
             }
         }
     }
-    // Wake handlers so they observe the stop flag even with an empty
-    // queue.
-    shared.available.notify_all();
-}
-
-fn enqueue(shared: &Shared, mut stream: TcpStream) {
-    let accepted = Instant::now();
-    let id = shared.next_id.fetch_add(1, Ordering::Relaxed) + 1;
-    let mut queue = shared.queue.lock().expect("connection queue poisoned");
-    if queue.len() >= shared.cfg.queue_capacity {
-        drop(queue);
-        counter!("served.http.rejected_queue_full").inc();
-        shared.shed.fetch_add(1, Ordering::Relaxed);
-        // Shed load inline: a one-line 503 is cheap enough for the
-        // accept thread and tells a well-behaved client when to retry.
-        let resp = Response::error(503, "server saturated; retry shortly")
-            .with_header("Retry-After", "1".to_string());
-        let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
-        resp.write_to(&mut stream);
-        // Satellite 1: sheds are first-class outcomes — they land in
-        // the latency histogram (the shed path's latency is the 503
-        // turnaround) and in the access log, not just a counter.
-        let us = accepted.elapsed().as_micros() as f64;
-        request_hist("shed").record(us);
-        outcome_counter("shed").inc();
-        if let Some(log) = &shared.log {
-            log.write(&AccessRecord {
-                id,
-                method: "-".into(),
-                path: "-".into(),
-                status: 503,
-                outcome: "shed",
-                handler: "-",
-                cache: "-",
-                bytes: resp.body.len() as u64,
-                queue_us: 0,
-                latency_us: us as u64,
-            });
-        }
-        return;
+    if conn.dead {
+        counter!("served.http.disconnects").inc();
+        return false;
     }
-    queue.push_back(QueuedConn {
-        stream,
-        id,
-        accepted,
-    });
-    drop(queue);
-    shared.available.notify_one();
+    if conn.out_pos > 0 && conn.out_pos == conn.out.len() {
+        conn.out.clear();
+        conn.out_pos = 0;
+    }
+    let drained = conn.drained();
+    // Close-after-response: the marked response has been fully
+    // written; nothing later was admitted.
+    if let Some(seq) = conn.close_at {
+        if conn.next_write > seq && drained {
+            return false;
+        }
+    }
+    // Peer EOF and nothing left to answer.
+    if conn.read_closed && conn.outstanding() == 0 && drained {
+        return false;
+    }
+    // Draining: anything not waiting on an already-queued job closes
+    // now; new work was already being refused with 503.
+    if stopping && conn.outstanding() == 0 && drained {
+        return false;
+    }
+    // Write stall: the peer accepted nothing for a whole deadline.
+    if conn.out_pos < conn.out.len() && now.duration_since(conn.last_progress) > shared.cfg.deadline
+    {
+        counter!("served.http.disconnects").inc();
+        return false;
+    }
+    // Slow client: mid-request with nothing received for a whole
+    // deadline → 408, then close (after earlier pipelined responses).
+    if conn.close_at.is_none()
+        && conn.parser.mid_request()
+        && now.duration_since(conn.last_read) > shared.cfg.deadline
+    {
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        let id = shared.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        answer_reactor_side(
+            shared,
+            conn,
+            seq,
+            id,
+            Response::error(408, "request timed out"),
+            0,
+        );
+        conn.close_at = Some(seq);
+        conn.read_closed = true;
+    }
+    // Idle keep-alive connection between requests: reap silently.
+    if conn.close_at.is_none()
+        && !conn.parser.mid_request()
+        && conn.outstanding() == 0
+        && drained
+        && now.duration_since(conn.last_read) > shared.cfg.idle_timeout
+    {
+        return false;
+    }
+    true
 }
 
-fn handler_loop(shared: &Shared) {
-    loop {
-        let conn = {
-            let mut queue = shared.queue.lock().expect("connection queue poisoned");
-            loop {
-                if let Some(conn) = queue.pop_front() {
-                    break Some(conn);
+/// Drains the socket into the parser and dispatches every complete
+/// request. Bounded per tick so one firehose connection cannot starve
+/// the rest.
+fn read_conn(shared: &Shared, conn: &mut Conn, now: Instant) {
+    let mut buf = [0u8; 16 * 1024];
+    for _ in 0..4 {
+        if conn.read_closed
+            || conn.dead
+            || conn.close_at.is_some()
+            || conn.window() >= shared.cfg.max_pipeline
+        {
+            break;
+        }
+        match conn.stream.read(&mut buf) {
+            Ok(0) => {
+                conn.read_closed = true;
+                break;
+            }
+            Ok(n) => {
+                conn.last_read = now;
+                conn.parser.push(&buf[..n]);
+                parse_pending(shared, conn, now);
+                if n < buf.len() {
+                    break;
                 }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+}
+
+/// Pulls every complete request out of the parser: assign the arrival
+/// id and response sequence, then hand it to the workers (or shed /
+/// answer the framing error in place).
+fn parse_pending(shared: &Shared, conn: &mut Conn, now: Instant) {
+    while conn.close_at.is_none() && !conn.dead && conn.window() < shared.cfg.max_pipeline {
+        let parse_started = Instant::now();
+        match conn.parser.next_request() {
+            Ok(None) => break,
+            Ok(Some(parsed)) => {
+                let parse_us = parse_started.elapsed().as_micros() as u64;
+                let seq = conn.next_seq;
+                conn.next_seq += 1;
+                let id = shared.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+                let keep_alive = shared.cfg.keep_alive && !parsed.close;
+                if !keep_alive {
+                    // Pipelined bytes after an announced close are
+                    // ignored, per RFC 9112 §9.6.
+                    conn.close_at = Some(seq);
+                }
+                dispatch(
+                    shared,
+                    conn,
+                    seq,
+                    id,
+                    parsed.request,
+                    keep_alive,
+                    now,
+                    parse_us,
+                );
+            }
+            Err(e) => {
+                let seq = conn.next_seq;
+                conn.next_seq += 1;
+                let id = shared.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+                answer_reactor_side(
+                    shared,
+                    conn,
+                    seq,
+                    id,
+                    Response::error(e.status(), &e.message()),
+                    0,
+                );
+                conn.close_at = Some(seq);
+                conn.read_closed = true;
+                break;
+            }
+        }
+    }
+}
+
+/// Queues one job, or sheds it with `503` when the queue is full or
+/// the server is draining. The shed decision and the workers'
+/// exit-on-empty decision run under the same lock, so a job can never
+/// be enqueued after the last worker has left.
+#[allow(clippy::too_many_arguments)]
+fn dispatch(
+    shared: &Shared,
+    conn: &mut Conn,
+    seq: u64,
+    id: u64,
+    request: Request,
+    keep_alive: bool,
+    now: Instant,
+    parse_us: u64,
+) {
+    {
+        let mut jobs = shared.jobs.lock().expect("job queue poisoned");
+        let full = jobs.len() >= shared.cfg.queue_capacity;
+        let draining = shared.stop.load(Ordering::SeqCst);
+        if !full && !draining {
+            jobs.push_back(Job {
+                conn: conn.key,
+                seq,
+                id,
+                request,
+                keep_alive,
+                queued: now,
+                parse_us,
+            });
+            drop(jobs);
+            shared.available.notify_one();
+            return;
+        }
+    }
+    // Shed inline from the reactor: a one-line 503 is cheap and tells
+    // a well-behaved client when to retry; it never waits on a worker.
+    counter!("served.http.rejected_queue_full").inc();
+    shared.shed.fetch_add(1, Ordering::Relaxed);
+    let resp = Response::error(503, "server saturated; retry shortly")
+        .with_header("Retry-After", "1".to_string());
+    let us = now.elapsed().as_micros() as f64;
+    request_hist("shed").record(us);
+    outcome_counter("shed").inc();
+    if let Some(log) = &shared.log {
+        log.write(&AccessRecord {
+            id,
+            method: "-".into(),
+            path: "-".into(),
+            status: 503,
+            outcome: "shed",
+            handler: "-",
+            cache: "-",
+            bytes: resp.body.len() as u64,
+            queue_us: 0,
+            latency_us: us as u64,
+        });
+    }
+    conn.ready.insert(seq, resp.encode(false));
+    conn.close_at = Some(seq);
+}
+
+/// Answers a request the reactor resolves itself (framing errors,
+/// `408` evictions): full accounting — counters, outcome histogram,
+/// flight span, access log — so these are first-class requests, not
+/// holes in the telemetry.
+fn answer_reactor_side(
+    shared: &Shared,
+    conn: &mut Conn,
+    seq: u64,
+    id: u64,
+    resp: Response,
+    parse_us: u64,
+) {
+    counter!("served.http.requests").inc();
+    let _track = flight_track!("req{:08}", id);
+    accordion_telemetry::event::advance_sim(parse_us);
+    flight!(SimEvent::ServeStage {
+        stage: "serve.parse",
+        us: parse_us,
+    });
+    let status = resp.status;
+    let bytes = resp.body.len() as u64;
+    let outcome = obs::outcome_of(status);
+    count_response(status);
+    request_hist(outcome).record(parse_us as f64);
+    outcome_counter(outcome).inc();
+    flight!(SimEvent::RequestRetire {
+        status: u64::from(status),
+        bytes,
+        us: parse_us,
+    });
+    if let Some(log) = &shared.log {
+        log.write(&AccessRecord {
+            id,
+            method: "-".into(),
+            path: "-".into(),
+            status,
+            outcome,
+            handler: "-",
+            cache: "-",
+            bytes,
+            queue_us: 0,
+            latency_us: parse_us,
+        });
+    }
+    shared.handled.fetch_add(1, Ordering::Relaxed);
+    conn.ready.insert(seq, resp.encode(false));
+}
+
+// ---------------------------------------------------------------------------
+// Worker side: route, handle, encode.
+// ---------------------------------------------------------------------------
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut jobs = shared.jobs.lock().expect("job queue poisoned");
+            loop {
+                if let Some(job) = jobs.pop_front() {
+                    break Some(job);
+                }
+                // Even after stop, the queue is drained before this
+                // returns None — requests already admitted are
+                // answered, not dropped.
                 if shared.stop.load(Ordering::SeqCst) {
                     break None;
                 }
                 let (q, _) = shared
                     .available
-                    .wait_timeout(queue, Duration::from_millis(100))
-                    .expect("connection queue poisoned");
-                queue = q;
+                    .wait_timeout(jobs, Duration::from_millis(100))
+                    .expect("job queue poisoned");
+                jobs = q;
             }
         };
-        // Even after stop, the queue is drained before the loop above
-        // returns None — connections the accept loop already admitted
-        // are served, not dropped.
-        match conn {
-            Some(conn) => handle_conn(shared, conn),
-            None => return,
+        let Some(job) = job else { return };
+        let conn = job.conn;
+        let seq = job.seq;
+        let bytes = handle_job(shared, job);
+        let was_empty = {
+            let mut done = shared.completions.lock().expect("completion list poisoned");
+            done.push(Completion { conn, seq, bytes });
+            done.len() == 1
+        };
+        // One pending wake is enough: if completions was already
+        // non-empty the reactor has an unconsumed wake byte (or is
+        // already mid-ingest and will see this entry under the lock).
+        if was_empty {
+            shared.waker.wake();
         }
     }
 }
+
+/// Runs one request end to end on a worker: telemetry context, route
+/// (panic-isolated), encode. Returns the wire bytes for the reactor.
+fn handle_job(shared: &Shared, job: Job) -> Vec<u8> {
+    let queue_us = job.queued.elapsed().as_micros() as u64;
+    let started = Instant::now();
+    counter!("served.http.requests").inc();
+    shared.in_flight.fetch_add(1, Ordering::Relaxed);
+    // Request id → thread-local context, pool task tag, and flight
+    // track: every downstream layer can name this request without a
+    // context argument (see `crate::obs`).
+    obs::begin_request(job.id);
+    accordion_pool::set_task_tag(job.id);
+    let _track = flight_track!("req{:08}", job.id);
+    histogram!(
+        "served.http.queue_wait_us",
+        exponential_bounds(1.0, 2.0, 24)
+    )
+    .record(queue_us as f64);
+    accordion_telemetry::event::advance_sim(job.parse_us);
+    flight!(SimEvent::ServeStage {
+        stage: "serve.parse",
+        us: job.parse_us,
+    });
+
+    let req = &job.request;
+    obs::note_handler(handler_name(&req.method, &req.path));
+    let handle_started = Instant::now();
+    // A route handler panicking (a bug) must answer 500 and leave the
+    // worker alive for the next request.
+    let routed = match catch_unwind(AssertUnwindSafe(|| route(shared, req))) {
+        Ok(resp) => resp,
+        Err(_) => {
+            counter!("served.http.panics").inc();
+            Routed::Plain(Response::error(500, "internal error (handler panicked)"))
+        }
+    };
+    let handle_us = handle_started.elapsed().as_micros() as u64;
+    accordion_telemetry::event::advance_sim(handle_us);
+    flight!(SimEvent::ServeStage {
+        stage: "serve.handle",
+        us: handle_us,
+    });
+
+    let encode_started = Instant::now();
+    let (status, body_bytes, wire) = match routed {
+        Routed::Plain(resp) => {
+            count_response(resp.status);
+            let wire = resp.encode(job.keep_alive);
+            (resp.status, resp.body.len() as u64, wire)
+        }
+        Routed::Artifact { id, chips, source } => {
+            render_artifact(&id, chips, source, job.keep_alive)
+        }
+    };
+    let encode_us = encode_started.elapsed().as_micros() as u64;
+    accordion_telemetry::event::advance_sim(encode_us);
+    flight!(SimEvent::ServeStage {
+        stage: "serve.serialize",
+        us: encode_us,
+    });
+
+    let us = job.parse_us + started.elapsed().as_micros() as u64;
+    let outcome = obs::outcome_of(status);
+    histogram!("served.http.latency_us", exponential_bounds(1.0, 2.0, 24)).record(us as f64);
+    request_hist(outcome).record(us as f64);
+    outcome_counter(outcome).inc();
+    flight!(SimEvent::RequestRetire {
+        status: u64::from(status),
+        bytes: body_bytes,
+        us,
+    });
+    accordion_pool::set_task_tag(0);
+    let ctx = obs::end_request().unwrap_or_default();
+    if let Some(log) = &shared.log {
+        log.write(&AccessRecord {
+            id: job.id,
+            method: req.method.clone(),
+            path: req.path.clone(),
+            status,
+            outcome,
+            handler: ctx.handler,
+            cache: match ctx.cache_hit {
+                Some(true) => "hit",
+                Some(false) => "miss",
+                None => "-",
+            },
+            bytes: body_bytes,
+            queue_us,
+            latency_us: us,
+        });
+    }
+    shared.handled.fetch_add(1, Ordering::Relaxed);
+    shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+    wire
+}
+
+/// Generates and chunk-encodes one artifact (panic-isolated).
+fn render_artifact(
+    id: &str,
+    chips: usize,
+    source: ArtifactSource,
+    keep_alive: bool,
+) -> (u16, u64, Vec<u8>) {
+    counter!("served.artifacts.requests").inc();
+    match catch_unwind(AssertUnwindSafe(|| (source.generate)(id, chips))) {
+        Ok(Some(text)) => {
+            counter!("served.http.responses.2xx").inc();
+            let mut enc = http::ChunkedEncoder::new("text/plain; charset=utf-8", keep_alive);
+            enc.chunk(text.as_bytes());
+            (200, text.len() as u64, enc.finish())
+        }
+        Ok(None) => {
+            // Validated before routing here; a miss now means the
+            // registry changed under us.
+            counter!("served.http.responses.5xx").inc();
+            let resp = Response::error(500, "artifact registry changed underfoot");
+            let bytes = resp.body.len() as u64;
+            (500, bytes, resp.encode(keep_alive))
+        }
+        Err(_) => {
+            counter!("served.http.panics").inc();
+            counter!("served.http.responses.5xx").inc();
+            let resp = Response::error(500, "artifact generation panicked");
+            let bytes = resp.body.len() as u64;
+            (500, bytes, resp.encode(keep_alive))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics plumbing.
+// ---------------------------------------------------------------------------
 
 /// Latency bucket edges: 1 µs .. ~8.4 s, powers of two.
 fn latency_bounds() -> Vec<f64> {
@@ -378,17 +1011,22 @@ fn describe_metrics() {
         "served.http.requests_by_outcome",
         "requests answered, by outcome class",
     );
-    reg.describe("served.http.requests", "connections handled");
+    reg.describe("served.http.requests", "requests handled");
+    reg.describe("served.http.connections", "TCP connections accepted");
     reg.describe(
         "served.http.latency_us",
         "lifetime request latency, microseconds",
     );
-    reg.describe("served.queue.depth", "connections waiting for a handler");
+    reg.describe("served.queue.depth", "requests waiting for a worker");
     reg.describe(
         "served.http.in_flight",
-        "requests currently inside a handler",
+        "requests currently inside a worker",
     );
-    reg.describe("served.http.shed", "connections shed with 503 at the queue");
+    reg.describe("served.http.shed", "requests shed with 503 at the queue");
+    reg.describe(
+        "served.coalesced",
+        "simulate requests answered by coalescing onto an identical in-flight or memoized evaluation",
+    );
     reg.describe("served.uptime.seconds", "seconds since the server started");
     reg.describe(
         "served.popcache.hit_ratio",
@@ -412,6 +1050,21 @@ fn describe_metrics() {
     .set(1.0);
 }
 
+// Not `counter!`: that macro caches the handle per call site, which
+// would pin whichever class fired first. Resolve by name each time.
+fn count_response(status: u16) {
+    let name = match status {
+        200..=299 => "served.http.responses.2xx",
+        400..=499 => "served.http.responses.4xx",
+        _ => "served.http.responses.5xx",
+    };
+    accordion_telemetry::registry::global().counter(name).inc();
+}
+
+// ---------------------------------------------------------------------------
+// Routing.
+// ---------------------------------------------------------------------------
+
 /// Logical handler name for the access log (bounded vocabulary, never
 /// the raw path).
 fn handler_name(method: &str, path: &str) -> &'static str {
@@ -428,140 +1081,8 @@ fn handler_name(method: &str, path: &str) -> &'static str {
     }
 }
 
-fn handle_conn(shared: &Shared, conn: QueuedConn) {
-    let QueuedConn {
-        mut stream,
-        id,
-        accepted,
-    } = conn;
-    let queue_us = accepted.elapsed().as_micros() as u64;
-    let started = Instant::now();
-    let _ = stream.set_read_timeout(Some(shared.cfg.deadline));
-    let _ = stream.set_write_timeout(Some(shared.cfg.deadline));
-    counter!("served.http.requests").inc();
-    shared.in_flight.fetch_add(1, Ordering::Relaxed);
-    // Request id → thread-local context, pool task tag, and flight
-    // track: every downstream layer can name this request without a
-    // context argument (see `crate::obs`).
-    obs::begin_request(id);
-    accordion_pool::set_task_tag(id);
-    let _track = flight_track!("req{:08}", id);
-    histogram!(
-        "served.http.queue_wait_us",
-        exponential_bounds(1.0, 2.0, 24)
-    )
-    .record(queue_us as f64);
-
-    let parse_started = Instant::now();
-    let parsed = http::read_request(&mut stream, shared.cfg.max_body_bytes);
-    let parse_us = parse_started.elapsed().as_micros() as u64;
-    accordion_telemetry::event::advance_sim(parse_us);
-    flight!(SimEvent::ServeStage {
-        stage: "serve.parse",
-        us: parse_us,
-    });
-
-    let mut method = "-".to_string();
-    let mut path = "-".to_string();
-    let response = match parsed {
-        Ok(req) => {
-            method.clone_from(&req.method);
-            path.clone_from(&req.path);
-            obs::note_handler(handler_name(&req.method, &req.path));
-            let handle_started = Instant::now();
-            // A route handler panicking (a bug) must answer 500 and
-            // leave the worker alive for the next request.
-            let routed = match catch_unwind(AssertUnwindSafe(|| route(shared, &req))) {
-                Ok(resp) => resp,
-                Err(_) => {
-                    counter!("served.http.panics").inc();
-                    Routed::Plain(Response::error(500, "internal error (handler panicked)"))
-                }
-            };
-            let handle_us = handle_started.elapsed().as_micros() as u64;
-            accordion_telemetry::event::advance_sim(handle_us);
-            flight!(SimEvent::ServeStage {
-                stage: "serve.handle",
-                us: handle_us,
-            });
-            routed
-        }
-        Err(RequestError::Bad(msg)) => Routed::Plain(Response::error(400, &msg)),
-        Err(RequestError::TooLarge) => {
-            Routed::Plain(Response::error(413, "request exceeds size limits"))
-        }
-        Err(RequestError::Timeout) => Routed::Plain(Response::error(408, "request timed out")),
-        Err(RequestError::Disconnected) => {
-            counter!("served.http.disconnects").inc();
-            accordion_pool::set_task_tag(0);
-            let _ = obs::end_request();
-            shared.in_flight.fetch_sub(1, Ordering::Relaxed);
-            return;
-        }
-    };
-    let write_started = Instant::now();
-    let (status, bytes) = match response {
-        Routed::Plain(resp) => {
-            count_response(resp.status);
-            resp.write_to(&mut stream);
-            (resp.status, resp.body.len() as u64)
-        }
-        Routed::Artifact { id, chips, source } => stream_artifact(&mut stream, &id, chips, source),
-    };
-    let write_us = write_started.elapsed().as_micros() as u64;
-    accordion_telemetry::event::advance_sim(write_us);
-    flight!(SimEvent::ServeStage {
-        stage: "serve.serialize",
-        us: write_us,
-    });
-
-    let us = started.elapsed().as_micros();
-    let outcome = obs::outcome_of(status);
-    histogram!("served.http.latency_us", exponential_bounds(1.0, 2.0, 24)).record(us as f64);
-    request_hist(outcome).record(us as f64);
-    outcome_counter(outcome).inc();
-    flight!(SimEvent::RequestRetire {
-        status: u64::from(status),
-        bytes,
-        us: us as u64,
-    });
-    accordion_pool::set_task_tag(0);
-    let ctx = obs::end_request().unwrap_or_default();
-    if let Some(log) = &shared.log {
-        log.write(&AccessRecord {
-            id,
-            method,
-            path,
-            status,
-            outcome,
-            handler: ctx.handler,
-            cache: match ctx.cache_hit {
-                Some(true) => "hit",
-                Some(false) => "miss",
-                None => "-",
-            },
-            bytes,
-            queue_us,
-            latency_us: us as u64,
-        });
-    }
-    shared.handled.fetch_add(1, Ordering::Relaxed);
-    shared.in_flight.fetch_sub(1, Ordering::Relaxed);
-}
-
-// Not `counter!`: that macro caches the handle per call site, which
-// would pin whichever class fired first. Resolve by name each time.
-fn count_response(status: u16) {
-    let name = match status {
-        200..=299 => "served.http.responses.2xx",
-        400..=499 => "served.http.responses.4xx",
-        _ => "served.http.responses.5xx",
-    };
-    accordion_telemetry::registry::global().counter(name).inc();
-}
-
 /// Route outcome: either a fully-formed response, or an artifact to
-/// stream chunked (its length is unknown until generated).
+/// generate and stream chunked.
 enum Routed {
     Plain(Response),
     Artifact {
@@ -577,7 +1098,7 @@ fn route(shared: &Shared, req: &Request) -> Routed {
         ("GET", "/healthz") => plain(healthz(shared)),
         ("GET", "/metrics") => plain(metrics(shared)),
         ("GET", "/v1/artifacts") => plain(list_artifacts(shared)),
-        ("POST", "/v1/simulate") => plain(simulate(req)),
+        ("POST", "/v1/simulate") => plain(simulate(shared, req)),
         ("POST", "/v1/sweep") => plain(sweep(shared, req)),
         ("POST", "/v1/shutdown") => {
             shared.request_stop();
@@ -619,11 +1140,7 @@ fn route(shared: &Shared, req: &Request) -> Routed {
 /// then emits the whole registry in Prometheus exposition format.
 fn metrics(shared: &Shared) -> Response {
     let reg = accordion_telemetry::registry::global();
-    let depth = shared
-        .queue
-        .lock()
-        .expect("connection queue poisoned")
-        .len();
+    let depth = shared.jobs.lock().expect("job queue poisoned").len();
     reg.gauge("served.queue.depth").set(depth as f64);
     reg.gauge("served.http.in_flight")
         .set(shared.in_flight.load(Ordering::Relaxed) as f64);
@@ -651,13 +1168,7 @@ fn healthz(shared: &Shared) -> Response {
         ),
         (
             "queue_depth",
-            json::Json::Num(
-                shared
-                    .queue
-                    .lock()
-                    .expect("connection queue poisoned")
-                    .len() as f64,
-            ),
+            json::Json::Num(shared.jobs.lock().expect("job queue poisoned").len() as f64),
         ),
         (
             "handler_threads",
@@ -715,7 +1226,32 @@ fn parse_body(req: &Request) -> Result<json::Json, Response> {
     json::parse(text).map_err(|e| Response::error(400, &format!("body is not JSON: {e}")))
 }
 
-fn simulate(req: &Request) -> Response {
+/// Replays an already-answered body for `route` straight from the
+/// raw-body memo, accounting it as a coalesced answer. `None` means
+/// the request must go through parse + engine.
+fn raw_replay(shared: &Shared, route: &'static str, req: &Request) -> Option<Response> {
+    let started = Instant::now();
+    let hit = shared
+        .raw_memo
+        .lock()
+        .expect("raw memo poisoned")
+        .get(route, &req.body)?;
+    engine::note_coalesced(started.elapsed().as_micros() as u64);
+    Some(Response::json(200, hit.as_ref().to_owned()))
+}
+
+fn raw_store(shared: &Shared, route: &'static str, req: &Request, rendered: Arc<str>) {
+    shared
+        .raw_memo
+        .lock()
+        .expect("raw memo poisoned")
+        .put(route, &req.body, rendered);
+}
+
+fn simulate(shared: &Shared, req: &Request) -> Response {
+    if let Some(resp) = raw_replay(shared, "simulate", req) {
+        return resp;
+    }
     let doc = match parse_body(req) {
         Ok(d) => d,
         Err(resp) => return resp,
@@ -724,19 +1260,33 @@ fn simulate(req: &Request) -> Response {
         Ok(q) => q,
         Err(msg) => return Response::error(400, &msg),
     };
-    match engine::simulate(&query) {
-        Ok(body) => Response::json(200, body.render()),
+    // The rendered-and-coalesced path: identical concurrent queries
+    // collapse onto one evaluation (see `engine::simulate_rendered`).
+    match engine::simulate_rendered(&query) {
+        Ok(body) => {
+            raw_store(shared, "simulate", req, body.clone());
+            Response::json(200, body.as_ref().to_owned())
+        }
         Err(e) => engine_error(&e),
     }
 }
 
 fn sweep(shared: &Shared, req: &Request) -> Response {
+    if let Some(resp) = raw_replay(shared, "sweep", req) {
+        return resp;
+    }
     let doc = match parse_body(req) {
         Ok(d) => d,
         Err(resp) => return resp,
     };
-    match engine::sweep(&doc, shared.cfg.request_jobs) {
-        Ok(body) => Response::json(200, body.render()),
+    // Sweeps coalesce exactly like single simulates: the grid is a
+    // pure function of the request document, so identical concurrent
+    // sweeps collapse onto one fan-out and repeats replay the memo.
+    match engine::sweep_rendered(&doc, shared.cfg.request_jobs) {
+        Ok(body) => {
+            raw_store(shared, "sweep", req, body.clone());
+            Response::json(200, body.as_ref().to_owned())
+        }
         Err(e) => engine_error(&e),
     }
 }
@@ -764,51 +1314,9 @@ fn debug_sleep(req: &Request) -> Response {
     )
 }
 
-/// Streams one artifact chunked; returns `(status, body bytes)` for
-/// the access log and outcome accounting.
-fn stream_artifact(
-    stream: &mut TcpStream,
-    id: &str,
-    chips: usize,
-    source: ArtifactSource,
-) -> (u16, u64) {
-    counter!("served.artifacts.requests").inc();
-    // Headers go out before generation so the client learns the
-    // request was accepted; the body follows as one chunk when ready
-    // (generation can take seconds for the protocol-heavy figures).
-    let Ok(mut writer) = http::begin_chunked(stream, "text/plain; charset=utf-8") else {
-        return (200, 0);
-    };
-    let (status, bytes) = match catch_unwind(AssertUnwindSafe(|| (source.generate)(id, chips))) {
-        Ok(Some(text)) => {
-            let _ = writer.chunk(text.as_bytes());
-            let _ = writer.finish();
-            counter!("served.http.responses.2xx").inc();
-            (200, text.len() as u64)
-        }
-        Ok(None) => {
-            // Validated before routing here; a miss now means the
-            // registry changed under us. Mark the stream as failed by
-            // dropping it without the terminal chunk.
-            counter!("served.http.responses.5xx").inc();
-            (500, 0)
-        }
-        Err(_) => {
-            counter!("served.http.panics").inc();
-            let _ = writer.chunk(b"\n# ERROR: artifact generation panicked\n");
-            let _ = writer.finish();
-            counter!("served.http.responses.5xx").inc();
-            (500, 0)
-        }
-    };
-    let _ = stream.flush();
-    (status, bytes)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::Read as _;
 
     fn request(addr: SocketAddr, raw: &str) -> String {
         let mut conn = TcpStream::connect(addr).expect("connect");
@@ -897,6 +1405,25 @@ mod tests {
             ),
         );
         assert!(reply.starts_with("HTTP/1.1 413"), "{reply}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn oversized_headers_are_431() {
+        let handle = start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            handler_threads: 1,
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        let reply = request(
+            handle.addr(),
+            &format!(
+                "GET /healthz HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+                "a".repeat(http::MAX_HEAD_BYTES + 1)
+            ),
+        );
+        assert!(reply.starts_with("HTTP/1.1 431"), "{reply}");
         handle.shutdown();
     }
 }

@@ -1,0 +1,257 @@
+//! Property tests for the resumable HTTP/1.1 parser (ISSUE 7,
+//! satellite 1): a request split at *any* byte boundary must parse
+//! identically to one arriving whole, and no input — malformed,
+//! oversized, or random garbage — may panic or hang the parser.
+//!
+//! The torture axis is arrival framing. TCP is a byte stream: the
+//! reactor hands the parser whatever `read(2)` returned, which under
+//! load means cuts mid-method, mid-header-name, between the `\r` and
+//! the `\n`, or mid-body. The parser's contract is that none of that
+//! is observable.
+
+use accordion_served::http::{RequestParser, MAX_HEAD_BYTES};
+use proptest::prelude::*;
+use proptest::TestRng;
+
+const MAX_BODY: usize = 4096;
+
+/// One generated request: its wire bytes plus the parse we expect.
+struct Expected {
+    wire: Vec<u8>,
+    method: &'static str,
+    path: String,
+    query: Vec<(String, String)>,
+    body: Vec<u8>,
+    close: bool,
+}
+
+/// Deterministically fabricates a valid request from RNG draws:
+/// varied methods, paths, query strings, casing, optional extra
+/// headers, optional body, optional `Connection: close`.
+fn gen_request(rng: &mut TestRng) -> Expected {
+    let method = ["GET", "POST", "PUT", "DELETE"][(rng.next_u64() % 4) as usize];
+    let path = format!("/v{}/thing{}", rng.next_u64() % 3, rng.next_u64() % 100);
+    let mut query = Vec::new();
+    let mut target = path.clone();
+    if rng.next_u64().is_multiple_of(2) {
+        let k = format!("k{}", rng.next_u64() % 10);
+        let v = format!("v{}", rng.next_u64() % 10);
+        target.push_str(&format!("?{k}={v}"));
+        query.push((k, v));
+    }
+    let body: Vec<u8> = (0..(rng.next_u64() % 200) as usize)
+        .map(|_| b'a' + (rng.next_u64() % 26) as u8)
+        .collect();
+    let close = rng.next_u64().is_multiple_of(3);
+    let mut wire = format!("{method} {target} HTTP/1.1\r\n").into_bytes();
+    // Header-name casing must not matter.
+    let host = if rng.next_u64().is_multiple_of(2) {
+        "Host"
+    } else {
+        "hOsT"
+    };
+    wire.extend_from_slice(format!("{host}: example\r\n").as_bytes());
+    if rng.next_u64().is_multiple_of(2) {
+        wire.extend_from_slice(b"X-Filler: some opaque value\r\n");
+    }
+    if !body.is_empty() || rng.next_u64().is_multiple_of(2) {
+        wire.extend_from_slice(format!("Content-Length: {}\r\n", body.len()).as_bytes());
+    }
+    if close {
+        wire.extend_from_slice(b"Connection: close\r\n");
+    }
+    wire.extend_from_slice(b"\r\n");
+    wire.extend_from_slice(&body);
+    Expected {
+        wire,
+        method,
+        path,
+        query,
+        body,
+        close,
+    }
+}
+
+/// (method, path, query, body, close) — what one parse yields.
+type Parsed = (String, String, Vec<(String, String)>, Vec<u8>, bool);
+
+/// Feeds `bytes` to a parser in chunks cut at `cuts` (sorted offsets)
+/// and returns every parse the stream yields, panicking on any error.
+fn parse_chunked(bytes: &[u8], cuts: &[usize], max_body: usize) -> Vec<Parsed> {
+    let mut parser = RequestParser::new(max_body);
+    let mut out = Vec::new();
+    let mut prev = 0;
+    let mut feed = |parser: &mut RequestParser, chunk: &[u8]| {
+        parser.push(chunk);
+        loop {
+            match parser.next_request() {
+                Ok(Some(p)) => out.push((
+                    p.request.method,
+                    p.request.path,
+                    p.request.query,
+                    p.request.body,
+                    p.close,
+                )),
+                Ok(None) => break,
+                Err(e) => panic!("valid stream must parse, got {e:?}"),
+            }
+        }
+    };
+    for &cut in cuts {
+        feed(&mut parser, &bytes[prev..cut]);
+        prev = cut;
+    }
+    feed(&mut parser, &bytes[prev..]);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A pipelined batch of valid requests parses to the same sequence
+    /// whether it arrives whole or split at arbitrary byte boundaries
+    /// (including byte-by-byte for small streams).
+    #[test]
+    fn split_at_any_boundary_parses_identically(seed in 0u64..1_000_000) {
+        let mut rng = TestRng::deterministic(&format!("http-batch-{seed}"));
+        let n = 1 + (rng.next_u64() % 4) as usize;
+        let batch: Vec<Expected> = (0..n).map(|_| gen_request(&mut rng)).collect();
+        let mut stream = Vec::new();
+        for r in &batch {
+            stream.extend_from_slice(&r.wire);
+        }
+
+        // Reference parse: the whole stream in one push.
+        let whole = parse_chunked(&stream, &[], MAX_BODY);
+        prop_assert_eq!(whole.len(), batch.len());
+        for (got, want) in whole.iter().zip(&batch) {
+            prop_assert_eq!(&got.0, want.method);
+            prop_assert_eq!(&got.1, &want.path);
+            prop_assert_eq!(&got.2, &want.query);
+            prop_assert_eq!(&got.3, &want.body);
+            prop_assert_eq!(got.4, want.close);
+        }
+
+        // Random cut points.
+        let mut cuts: Vec<usize> = (0..(rng.next_u64() % 12) as usize)
+            .map(|_| (rng.next_u64() as usize) % (stream.len() + 1))
+            .collect();
+        cuts.sort_unstable();
+        prop_assert_eq!(&parse_chunked(&stream, &cuts, MAX_BODY), &whole);
+
+        // The pathological framing: every byte its own read.
+        if stream.len() <= 600 {
+            let every: Vec<usize> = (1..stream.len()).collect();
+            prop_assert_eq!(&parse_chunked(&stream, &every, MAX_BODY), &whole);
+        }
+    }
+
+    /// Random garbage never panics and never hangs: after the stream
+    /// is consumed, `next_request` settles into a stable answer
+    /// (incomplete or an error) instead of looping or flip-flopping.
+    #[test]
+    fn garbage_never_panics_or_hangs(seed in 0u64..1_000_000) {
+        let mut rng = TestRng::deterministic(&format!("http-garbage-{seed}"));
+        let len = (rng.next_u64() % 2000) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xff) as u8).collect();
+        let mut parser = RequestParser::new(MAX_BODY);
+        let mut errored = false;
+        for chunk in bytes.chunks(97) {
+            if errored {
+                break;
+            }
+            parser.push(chunk);
+            loop {
+                match parser.next_request() {
+                    Ok(Some(_)) => {} // random bytes legitimately forming a request
+                    Ok(None) => break,
+                    Err(e) => {
+                        // An error is terminal for the connection and
+                        // carries a real status.
+                        prop_assert!(matches!(e.status(), 400 | 413 | 431));
+                        errored = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !errored {
+            // No hang: repeated polls without new input are stable.
+            let a = format!("{:?}", parser.next_request());
+            let b = format!("{:?}", parser.next_request());
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// A valid request whose `Content-Length` exceeds the cap is
+    /// rejected with 413 as soon as the head parses — before the body
+    /// arrives — at any split.
+    #[test]
+    fn oversized_body_is_413_at_any_split(extra in 1usize..10_000, cut in 0usize..64) {
+        let declared = MAX_BODY + extra;
+        let wire = format!("POST /v1/simulate HTTP/1.1\r\nContent-Length: {declared}\r\n\r\n");
+        let bytes = wire.as_bytes();
+        let cut = cut.min(bytes.len());
+        let mut parser = RequestParser::new(MAX_BODY);
+        parser.push(&bytes[..cut]);
+        let _ = parser.next_request();
+        parser.push(&bytes[cut..]);
+        match parser.next_request() {
+            Err(e) => prop_assert_eq!(e.status(), 413),
+            other => prop_assert!(false, "expected 413, got {:?}", other),
+        }
+    }
+}
+
+#[test]
+fn malformed_request_lines_are_400() {
+    let cases: &[&str] = &[
+        "garbage\r\n\r\n",
+        "GET\r\n\r\n",
+        "get /x HTTP/1.1\r\n\r\n",
+        "GET /x SPDY/9\r\n\r\n",
+        "GET nopath HTTP/1.1\r\n\r\n",
+        "GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+        "GET /x HTTP/1.1\r\nContent-Length: -1\r\n\r\n",
+        "GET /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+        "GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+    ];
+    for raw in cases {
+        let mut parser = RequestParser::new(MAX_BODY);
+        parser.push(raw.as_bytes());
+        match parser.next_request() {
+            Err(e) => assert_eq!(e.status(), 400, "{raw:?}"),
+            other => panic!("{raw:?} must be 400, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn oversized_heads_are_431_even_without_a_terminator() {
+    // The head cap must trip while the head is still streaming in —
+    // a peer sending an unbounded header line cannot grow the buffer
+    // past MAX_HEAD_BYTES plus one read.
+    let mut parser = RequestParser::new(MAX_BODY);
+    parser.push(b"GET /x HTTP/1.1\r\nX-Pad: ");
+    let filler = vec![b'a'; MAX_HEAD_BYTES];
+    parser.push(&filler);
+    match parser.next_request() {
+        Err(e) => assert_eq!(e.status(), 431),
+        other => panic!("expected 431, got {other:?}"),
+    }
+}
+
+#[test]
+fn pipelined_requests_emerge_in_order_from_one_push() {
+    let mut parser = RequestParser::new(MAX_BODY);
+    parser.push(
+        b"GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /c HTTP/1.1\r\nConnection: close\r\n\r\n",
+    );
+    let a = parser.next_request().unwrap().unwrap();
+    assert_eq!((a.request.path.as_str(), a.close), ("/a", false));
+    let b = parser.next_request().unwrap().unwrap();
+    assert_eq!(b.request.body, b"hi");
+    let c = parser.next_request().unwrap().unwrap();
+    assert_eq!((c.request.path.as_str(), c.close), ("/c", true));
+    assert!(parser.next_request().unwrap().is_none());
+}

@@ -93,6 +93,28 @@ if [ "$fast" -eq 0 ]; then
         --json "$smoke_dir/loadtest.json" > /dev/null
     grep -q '"ns_per_req"' "$smoke_dir/loadtest.json"
     grep -q '"p99"' "$smoke_dir/loadtest.json"
+
+    # Keep-alive loadtest smoke: the persistent-connection client must
+    # drive the same mix over pipelined keep-alive sockets and stamp
+    # the connection model into its report.
+    echo "==> repro loadtest --keepalive smoke"
+    cargo run --release -q -p accordion-bench --bin repro -- \
+        loadtest --duration 2 --warmup 0.5 --connections 2 \
+        --keepalive --pipeline 4 \
+        --json "$smoke_dir/loadtest-ka.json" > /dev/null
+    grep -q '"keepalive": *true' "$smoke_dir/loadtest-ka.json"
+    grep -q '"pipeline": *4' "$smoke_dir/loadtest-ka.json"
+    grep -q '"ns_per_req"' "$smoke_dir/loadtest-ka.json"
+fi
+
+if [ "$fast" -eq 0 ]; then
+    # Protocol torture suite, on its own so a parser or conformance
+    # break reads as such (the full workspace run below repeats them):
+    # split-anywhere/garbage property tests, keep-alive + pipelining
+    # conformance, slow-client eviction, and coalescing determinism.
+    echo "==> protocol torture suite (http_props + serve + coalesce)"
+    cargo test -q -p accordion-served --test http_props
+    cargo test -q --test serve --test coalesce
 fi
 
 if [ "$fast" -eq 0 ]; then

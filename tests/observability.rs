@@ -216,7 +216,12 @@ fn flight_recorder_captures_per_request_span_trees() {
     .expect("bind");
     let addr = handle.addr();
     assert!(post(addr, "/v1/simulate", &small_sim(4)).starts_with("HTTP/1.1 200"));
-    assert!(post(addr, "/v1/sweep", SWEEP).starts_with("HTTP/1.1 200"));
+    // A sweep body unique to this test: sweeps coalesce process-wide,
+    // and per-point tracks only exist for a real (non-replayed)
+    // fan-out, so reusing another test's grid would race test order.
+    let sweep = r#"{"app": "hotspot", "topo": "small", "chips": 2, "pop_seed": 8211,
+                    "seed": 404, "vdd_mv": [550, 600], "size": [0.5, 1.0]}"#;
+    assert!(post(addr, "/v1/sweep", sweep).starts_with("HTTP/1.1 200"));
     handle.shutdown();
     let log = accordion_telemetry::event::drain();
     accordion_telemetry::event::disable();

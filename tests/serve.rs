@@ -9,7 +9,13 @@
 //!   extends through the HTTP surface),
 //! * a flooded bounded queue answers `503` + `Retry-After` instead of
 //!   stalling the accept loop,
-//! * shutdown drains queued requests rather than dropping them.
+//! * shutdown drains queued requests rather than dropping them,
+//! * HTTP/1.1 keep-alive conformance: N sequential requests on one
+//!   connection get N correctly-framed responses, `Connection: close`
+//!   is honored, and pipelined requests are answered in order,
+//! * slow-client isolation: a half-sent request neither delays a
+//!   well-behaved client nor holds its socket forever (408 eviction),
+//!   and a slow *reader* still receives a large response completely.
 //!
 //! The server resolves its parallelism from explicit `ServeConfig`
 //! fields (`request_jobs`), not the process-global `set_jobs`
@@ -240,6 +246,247 @@ fn shutdown_endpoint_stops_the_server() {
             c.read_to_string(&mut s).map(|n| n == 0).unwrap_or(true)
         }
     );
+}
+
+/// Reads one framed HTTP response (head + `Content-Length` body) off
+/// a keep-alive connection, leaving the stream positioned at the next
+/// response.
+fn read_framed(conn: &mut TcpStream) -> (String, Vec<u8>) {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        let n = conn.read(&mut byte).expect("read response head");
+        assert!(
+            n > 0,
+            "EOF mid-head after {:?}",
+            String::from_utf8_lossy(&head)
+        );
+        head.push(byte[0]);
+        assert!(head.len() < 64 * 1024, "unterminated head");
+    }
+    let head = String::from_utf8(head).expect("ASCII head");
+    let len = head
+        .lines()
+        .find_map(|l| {
+            let (k, v) = l.split_once(':')?;
+            k.eq_ignore_ascii_case("content-length")
+                .then(|| v.trim().parse::<usize>().expect("numeric Content-Length"))
+        })
+        .unwrap_or_else(|| panic!("no Content-Length in {head:?}"));
+    let mut body = vec![0u8; len];
+    conn.read_exact(&mut body).expect("read response body");
+    (head, body)
+}
+
+#[test]
+fn keepalive_serves_sequential_requests_on_one_connection() {
+    let handle = server(2, 1);
+    let addr = handle.addr();
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+
+    // N sequential requests, one socket: each gets its own correctly
+    // framed response and the connection stays open in between.
+    for i in 0..5 {
+        conn.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            .expect("send");
+        let (head, body) = read_framed(&mut conn);
+        assert!(head.starts_with("HTTP/1.1 200"), "request {i}: {head}");
+        assert!(
+            head.to_ascii_lowercase().contains("connection: keep-alive"),
+            "request {i} must advertise keep-alive: {head}"
+        );
+        assert!(
+            String::from_utf8_lossy(&body).contains("\"status\":\"ok\""),
+            "request {i} body"
+        );
+    }
+
+    // `Connection: close` is honored: the response says close and the
+    // server actually closes (EOF after the body).
+    conn.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .expect("send");
+    let (head, _) = read_framed(&mut conn);
+    assert!(
+        head.to_ascii_lowercase().contains("connection: close"),
+        "{head}"
+    );
+    let mut rest = Vec::new();
+    let n = conn.read_to_end(&mut rest).expect("read to EOF");
+    assert_eq!(n, 0, "server must close after Connection: close");
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let handle = server(4, 1);
+    let addr = handle.addr();
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+
+    // Both requests leave in ONE write before any response is read;
+    // the responses must come back in request order with intact
+    // framing — even though 4 workers race on them.
+    let sim = small_sim(7);
+    let pipelined = format!(
+        "POST /v1/simulate HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}\
+         GET /nope HTTP/1.1\r\nHost: t\r\n\r\n\
+         GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        sim.len(),
+        sim
+    );
+    conn.write_all(pipelined.as_bytes()).expect("send pipeline");
+    let (h1, b1) = read_framed(&mut conn);
+    assert!(h1.starts_with("HTTP/1.1 200"), "{h1}");
+    assert!(String::from_utf8_lossy(&b1).contains("\"frequency\""));
+    let (h2, _) = read_framed(&mut conn);
+    assert!(h2.starts_with("HTTP/1.1 404"), "{h2}");
+    let (h3, b3) = read_framed(&mut conn);
+    assert!(h3.starts_with("HTTP/1.1 200"), "{h3}");
+    assert!(String::from_utf8_lossy(&b3).contains("\"status\":\"ok\""));
+    let mut rest = Vec::new();
+    assert_eq!(conn.read_to_end(&mut rest).expect("EOF"), 0);
+    handle.shutdown();
+}
+
+#[test]
+fn slow_client_does_not_delay_others_and_is_evicted_with_408() {
+    // ONE worker thread: under the old blocking design a half-sent
+    // request would pin it and every other client would queue behind
+    // the slow one. The reactor must keep serving.
+    let handle = start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        handler_threads: 1,
+        deadline: Duration::from_millis(800),
+        ..ServeConfig::default()
+    })
+    .expect("bind test server");
+    let addr = handle.addr();
+
+    // A half-sent request: head promises 20 body bytes, sends 5.
+    let mut slow = TcpStream::connect(addr).expect("connect slow");
+    slow.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    slow.write_all(b"POST /v1/simulate HTTP/1.1\r\nHost: t\r\nContent-Length: 20\r\n\r\n{\"app")
+        .expect("send half");
+    std::thread::sleep(Duration::from_millis(100));
+
+    // A well-behaved client must complete promptly while the slow one
+    // is mid-request — far inside the 800 ms the slow client holds.
+    let t0 = std::time::Instant::now();
+    assert!(get(addr, "/healthz").starts_with("HTTP/1.1 200"));
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < Duration::from_millis(400),
+        "well-behaved client delayed {elapsed:?} by a slow one"
+    );
+
+    // The slow client is evicted with 408 once the deadline passes,
+    // and the connection is closed.
+    let mut reply = String::new();
+    let _ = slow.read_to_string(&mut reply);
+    assert!(
+        reply.starts_with("HTTP/1.1 408"),
+        "expected 408, got {reply:?}"
+    );
+    assert!(
+        reply.to_ascii_lowercase().contains("connection: close"),
+        "{reply}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn partial_write_responses_complete_for_slow_readers() {
+    let handle = server(2, 2);
+    let addr = handle.addr();
+
+    // Shrink the client's receive buffer before connecting so the
+    // kernel window forces the server into short writes: the response
+    // must park in the reactor's write buffer and resume, repeatedly.
+    extern "C" {
+        fn setsockopt(
+            fd: i32,
+            level: i32,
+            name: i32,
+            value: *const std::ffi::c_void,
+            len: u32,
+        ) -> i32;
+    }
+    const SOL_SOCKET: i32 = 1;
+    const SO_RCVBUF: i32 = 8;
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    {
+        use std::os::fd::AsRawFd;
+        let sz: i32 = 4096;
+        let rc = unsafe {
+            setsockopt(
+                conn.as_raw_fd(),
+                SOL_SOCKET,
+                SO_RCVBUF,
+                std::ptr::addr_of!(sz).cast(),
+                std::mem::size_of::<i32>() as u32,
+            )
+        };
+        assert_eq!(rc, 0, "setsockopt(SO_RCVBUF)");
+    }
+    conn.set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+
+    // A response far larger than the receive buffer: a 12×12 sweep is
+    // ~100 KB of JSON.
+    let vdds: Vec<String> = (0..12).map(|i| (550 + i * 10).to_string()).collect();
+    let sizes: Vec<String> = (0..12)
+        .map(|i| format!("{}", 0.5 + 0.05 * i as f64))
+        .collect();
+    let body = format!(
+        r#"{{"app": "hotspot", "topo": "small", "chips": 2, "pop_seed": 8211,
+            "vdd_mv": [{}], "size": [{}]}}"#,
+        vdds.join(", "),
+        sizes.join(", ")
+    );
+    conn.write_all(
+        format!(
+            "POST /v1/sweep HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+        .as_bytes(),
+    )
+    .expect("send sweep");
+
+    // Drain deliberately slowly: small reads with pauses.
+    let mut reply = Vec::new();
+    let mut chunk = [0u8; 8192];
+    loop {
+        match conn.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => reply.extend_from_slice(&chunk[..n]),
+            Err(e) => panic!("read failed after {} bytes: {e}", reply.len()),
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let text = String::from_utf8_lossy(&reply);
+    let (head, payload) = text.split_once("\r\n\r\n").expect("framed response");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    let declared: usize = head
+        .lines()
+        .find_map(|l| {
+            let (k, v) = l.split_once(':')?;
+            k.eq_ignore_ascii_case("content-length")
+                .then(|| v.trim().parse().unwrap())
+        })
+        .expect("Content-Length");
+    assert_eq!(payload.len(), declared, "truncated body");
+    assert!(
+        payload.len() > 64 * 1024,
+        "response too small to exercise partial writes"
+    );
+    assert!(payload.contains("\"count\":144"), "sweep grid incomplete");
+    assert!(payload.ends_with('}'), "body tail corrupted");
+    handle.shutdown();
 }
 
 #[test]
