@@ -7,6 +7,10 @@
 //! request, so every round trip re-pays fabrication. The gap between
 //! the two is the service's reason to exist; `scripts/bench.sh`
 //! records both and enforces the warm side being at least 5x faster.
+//!
+//! `serve/sweep_warm` measures a warm `/v1/sweep` round trip (3×3
+//! Vdd × size grid) with a rotating protocol seed, so the rendered
+//! response memo never short-circuits the grid evaluator.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -19,9 +23,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 const CHIPS: usize = 8;
 
 fn post_simulate(addr: SocketAddr, body: &str) -> String {
+    post(addr, "/v1/simulate", body)
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> String {
     let mut conn = TcpStream::connect(addr).expect("connect");
     let req = format!(
-        "POST /v1/simulate HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        "POST {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
         body.len(),
         body
     );
@@ -63,6 +71,31 @@ fn bench_serve_latency(c: &mut Criterion) {
             let seed = COLD_SEED.fetch_add(1, Ordering::Relaxed);
             let body = format!(r#"{{"app": "hotspot", "chips": {CHIPS}, "pop_seed": {seed}}}"#);
             black_box(post_simulate(addr, &body))
+        })
+    });
+    // Warm `/v1/sweep`: the population and quality front are resident,
+    // but a rotating protocol seed gives every request a fresh coalesce
+    // key, so each round trip runs the grid evaluator for real instead
+    // of replaying the rendered-response memo. This is the per-sweep
+    // cost a warm service pays — the number `scripts/bench.sh` records
+    // as `serve_sweep_warm` next to the loadtest's end-to-end p99.
+    static SWEEP_SEED: AtomicU64 = AtomicU64::new(9_000_000);
+    let sweep_body = |seed: u64| {
+        format!(
+            r#"{{"app": "hotspot", "chips": {CHIPS}, "pop_seed": 2014, "seed": {seed}, "vdd_mv": [550, 600, 650], "size": [0.5, 1.0, 2.0]}}"#
+        )
+    };
+    // Pre-pay the one-time work (population reuse, quality front).
+    post(
+        addr,
+        "/v1/sweep",
+        &sweep_body(SWEEP_SEED.fetch_add(1, Ordering::Relaxed)),
+    );
+    group.sample_size(20);
+    group.bench_function("sweep_warm", |b| {
+        b.iter(|| {
+            let seed = SWEEP_SEED.fetch_add(1, Ordering::Relaxed);
+            black_box(post(addr, "/v1/sweep", &sweep_body(seed)))
         })
     });
     group.finish();

@@ -91,7 +91,7 @@ pub fn weakscale_report() -> String {
         .iter()
         .find(|a| a.name() == "hashsearch")
         .expect("hashsearch registered");
-    let set = FrontSet::measure(app.as_ref());
+    let set = FrontSet::measured(app.as_ref());
     let mut t = TextTable::new(["scenario", "size_norm", "quality_norm"]);
     for front in &set.fronts {
         for p in &front.points {
@@ -392,7 +392,7 @@ pub fn validate_report() -> String {
     // kernel run) is independent work; compute rows in parallel, then
     // render them in the fixed benchmark order.
     let rows = accordion_pool::par_map(accordion_apps::app::all_apps(), |app| {
-        let set = FrontSet::measure(app.as_ref());
+        let set = FrontSet::measured(app.as_ref());
         let quality = QualityModel::from_front_set(&set);
         let extractor = ParetoExtractor::new(chip, app.as_ref(), &set);
         let point = extractor.solve_point(

@@ -9,12 +9,13 @@ use crate::output::{f, TextTable};
 use accordion_apps::app::{all_apps, RmsApp};
 use accordion_apps::harness::FrontSet;
 
-/// Measures the front sets for a named subset of benchmarks.
+/// Measures the front sets for a named subset of benchmarks, served
+/// from the process-wide [`FrontSet::measured`] cache.
 pub fn front_sets(names: &[&str]) -> Vec<FrontSet> {
     all_apps()
         .iter()
         .filter(|a| names.contains(&a.name()))
-        .map(|a| FrontSet::measure(a.as_ref()))
+        .map(|a| FrontSet::measured(a.as_ref()).as_ref().clone())
         .collect()
 }
 

@@ -5,7 +5,9 @@
 //! in-process by the CLI) with a deterministic, seeded request mix
 //! over the simulate/sweep/artifacts surface and reports an HDR-style
 //! latency histogram: p50/p90/p95/p99/max plus sustained request
-//! throughput. Two arrival models:
+//! throughput, and a per-kind breakdown (`kind_latency_ns`) so the
+//! warm `/v1/sweep` latency is quotable on its own. Two arrival
+//! models:
 //!
 //! * **closed-loop** — `connections` client threads each issue
 //!   back-to-back requests until the deadline. Latency is measured
@@ -437,6 +439,9 @@ impl HdrHistogram {
 #[derive(Default)]
 struct Tally {
     hist: HdrHistogram,
+    /// One histogram per request kind, so the report can quote the
+    /// warm `/v1/sweep` latency separately from the mix-wide numbers.
+    kind_hists: BTreeMap<&'static str, HdrHistogram>,
     outcomes: BTreeMap<&'static str, u64>,
     kinds: BTreeMap<&'static str, u64>,
     /// Requests issued inside the warmup window (not recorded).
@@ -445,7 +450,9 @@ struct Tally {
 
 impl Tally {
     fn record(&mut self, kind: RequestKind, status: u16, latency: Duration) {
-        self.hist.record(latency.as_nanos() as u64);
+        let ns = latency.as_nanos() as u64;
+        self.hist.record(ns);
+        self.kind_hists.entry(kind.label()).or_default().record(ns);
         let outcome = if status == 0 {
             "transport_error"
         } else {
@@ -454,6 +461,18 @@ impl Tally {
         *self.outcomes.entry(outcome).or_default() += 1;
         *self.kinds.entry(kind.label()).or_default() += 1;
     }
+}
+
+/// Latency summary of one request kind within the mix (recorded
+/// window only, same histogram resolution as the headline numbers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KindLatency {
+    /// Recorded requests of this kind.
+    pub count: u64,
+    /// Median latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th percentile, nanoseconds.
+    pub p99_ns: u64,
 }
 
 /// What one loadtest run measured.
@@ -493,6 +512,9 @@ pub struct LoadReport {
     pub outcomes: BTreeMap<&'static str, u64>,
     /// Recorded requests by kind (`simulate`, `sweep`, ...).
     pub kinds: BTreeMap<&'static str, u64>,
+    /// Per-kind latency summaries — `kind_latency["sweep"]` is the
+    /// warm `/v1/sweep` number `scripts/bench.sh` records.
+    pub kind_latency: BTreeMap<&'static str, KindLatency>,
 }
 
 impl LoadReport {
@@ -544,6 +566,24 @@ impl LoadReport {
             ),
             ("outcomes", map(&self.outcomes)),
             ("kinds", map(&self.kinds)),
+            (
+                "kind_latency_ns",
+                Json::Obj(
+                    self.kind_latency
+                        .iter()
+                        .map(|(k, v)| {
+                            (
+                                (*k).to_string(),
+                                Json::obj(vec![
+                                    ("count", Json::Num(v.count as f64)),
+                                    ("p50", Json::Num(v.p50_ns as f64)),
+                                    ("p99", Json::Num(v.p99_ns as f64)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
         ]);
         Json::obj(fields)
     }
@@ -593,6 +633,14 @@ impl LoadReport {
         };
         out.push_str(&format!("  outcomes {}\n", fmt(&self.outcomes)));
         out.push_str(&format!("  mix      {}\n", fmt(&self.kinds)));
+        for (kind, lat) in &self.kind_latency {
+            out.push_str(&format!(
+                "  {kind:<9}p50 {:.3} ms  p99 {:.3} ms  ({} requests)\n",
+                ms(lat.p50_ns),
+                ms(lat.p99_ns),
+                lat.count,
+            ));
+        }
         out
     }
 }
@@ -689,6 +737,9 @@ pub fn run(addr: SocketAddr, cfg: &LoadConfig) -> LoadReport {
                 }
                 let mut m = merged.lock().expect("tally lock");
                 m.hist.merge(&local.hist);
+                for (k, h) in local.kind_hists {
+                    m.kind_hists.entry(k).or_default().merge(&h);
+                }
                 for (k, v) in local.outcomes {
                     *m.outcomes.entry(k).or_default() += v;
                 }
@@ -725,6 +776,20 @@ pub fn run(addr: SocketAddr, cfg: &LoadConfig) -> LoadReport {
         max_ns: tally.hist.max(),
         outcomes: tally.outcomes,
         kinds: tally.kinds,
+        kind_latency: tally
+            .kind_hists
+            .iter()
+            .map(|(k, h)| {
+                (
+                    *k,
+                    KindLatency {
+                        count: h.count(),
+                        p50_ns: h.percentile(0.50),
+                        p99_ns: h.percentile(0.99),
+                    },
+                )
+            })
+            .collect(),
     }
 }
 
@@ -835,7 +900,15 @@ mod tests {
             p99_ns: 4_000_000,
             max_ns: 5_000_000,
             outcomes: BTreeMap::from([("ok", 100u64)]),
-            kinds: BTreeMap::from([("simulate", 100u64)]),
+            kinds: BTreeMap::from([("simulate", 85u64), ("sweep", 15u64)]),
+            kind_latency: BTreeMap::from([(
+                "sweep",
+                KindLatency {
+                    count: 15,
+                    p50_ns: 1_500_000,
+                    p99_ns: 6_000_000,
+                },
+            )]),
         };
         assert!((report.ns_per_req() - 2e7).abs() < 1.0);
         let text = report.to_json().render();
@@ -846,6 +919,7 @@ mod tests {
             "\"outcomes\":{\"ok\":100}",
             "\"keepalive\":true",
             "\"pipeline\":4",
+            "\"kind_latency_ns\":{\"sweep\":{\"count\":15,\"p50\":1500000,\"p99\":6000000}}",
         ] {
             assert!(text.contains(needle), "{needle} missing from {text}");
         }

@@ -1,0 +1,364 @@
+//! Columnar chip evaluation: precomputed selection order, prefix
+//! operating limits, and per-supply timing contexts.
+//!
+//! The sweep drivers (fig6/fig7 pareto extraction, `/v1/sweep`) ask
+//! the same chip thousands of structurally-identical questions: *pick
+//! the best `n` clusters, what frequency binds them at this error
+//! rate, what does that cost?* The object path answers each question
+//! from scratch — [`ClusterSelection::select`] re-sorts all clusters
+//! with an efficiency comparator that re-prices power on every
+//! comparison, and each frequency query re-inverts the slow-tail
+//! quantile per cluster.
+//!
+//! [`ChipColumns`] hoists everything that depends only on the chip:
+//!
+//! * per-cluster energy efficiencies, priced **once** (the legacy
+//!   comparator evaluated them per comparison — ~2·n·log n power-model
+//!   walks per selection);
+//! * the efficiency-descending cluster order, sorted **once** — every
+//!   selection of `n` clusters is a prefix of it;
+//! * prefix-minimum safe frequencies, so `selection_prefix(n)` is two
+//!   array reads;
+//! * the chip's [`TimingColumns`], so binding-frequency queries are
+//!   one quantile inversion plus flat `1/(μ+zσ)` passes.
+//!
+//! Everything is bit-identical to the object path: efficiencies are
+//! pure functions (same bits each evaluation), the stable sort runs
+//! the same comparator on the same values (same permutation), and the
+//! prefix-min chain is the same `f64::min` fold the legacy selection
+//! performs. `crates/chip/tests/columns_props.rs` pins this over
+//! random populations and operating points.
+
+use crate::chip::Chip;
+use crate::selection::{ClusterSelection, SelectionPolicy};
+use crate::topology::ClusterId;
+use accordion_varius::columns::TimingColumns;
+use accordion_varius::timing::{ClusterTiming, CoreTiming};
+
+/// Per-chip invariants of the energy-efficiency selection policy,
+/// computed once and reused across every (size, cluster-count) cell of
+/// a sweep.
+#[derive(Debug, Clone)]
+pub struct ChipColumns {
+    /// Flattened per-core timing at the chip's `VddNTV`.
+    timing: TimingColumns,
+    /// Energy efficiency of each cluster (indexed by `ClusterId`).
+    efficiency: Vec<f64>,
+    /// Clusters in efficiency-descending order: every selection of `n`
+    /// is `order[..n]`.
+    order: Vec<ClusterId>,
+    /// `prefix_safe_f_ghz[n-1]` = binding safe frequency of
+    /// `order[..n]`, accumulated with the same `f64::min` fold the
+    /// legacy selection uses.
+    prefix_safe_f_ghz: Vec<f64>,
+}
+
+impl ChipColumns {
+    /// Prices and orders the chip's clusters once.
+    pub fn build(chip: &Chip) -> Self {
+        let total = chip.topology().num_clusters();
+        let efficiency: Vec<f64> = (0..total)
+            .map(|c| chip.cluster_efficiency(ClusterId(c)))
+            .collect();
+        let mut order: Vec<ClusterId> = (0..total).map(ClusterId).collect();
+        // Same comparator as `ClusterSelection::select`'s
+        // EnergyEfficiency arm, on the same (pure-function) values;
+        // stable sort ⇒ the same permutation.
+        order.sort_by(|a, b| {
+            efficiency[b.0]
+                .partial_cmp(&efficiency[a.0])
+                .expect("efficiencies are finite")
+        });
+        let mut prefix_safe_f_ghz = Vec::with_capacity(total);
+        let mut f_min = f64::INFINITY;
+        for &c in &order {
+            f_min = f_min.min(chip.cluster_safe_f_ghz(c));
+            prefix_safe_f_ghz.push(f_min);
+        }
+        Self {
+            timing: TimingColumns::from_clusters(&chip.sample().cluster_timing),
+            efficiency,
+            order,
+            prefix_safe_f_ghz,
+        }
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Energy efficiency of one cluster (same bits as
+    /// [`Chip::cluster_efficiency`]).
+    pub fn efficiency(&self, cluster: ClusterId) -> f64 {
+        self.efficiency[cluster.0]
+    }
+
+    /// Clusters in efficiency-descending order.
+    pub fn efficiency_order(&self) -> &[ClusterId] {
+        &self.order
+    }
+
+    /// The flattened timing columns at the chip's `VddNTV`.
+    pub fn timing(&self) -> &TimingColumns {
+        &self.timing
+    }
+
+    /// Binding safe frequency of the best `n` clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the cluster count.
+    pub fn safe_f_ghz(&self, n: usize) -> f64 {
+        assert!(n > 0, "selection must be non-empty");
+        self.prefix_safe_f_ghz[n - 1]
+    }
+
+    /// The energy-efficiency selection of `n` clusters — identical to
+    /// `ClusterSelection::select(chip, n, EnergyEfficiency)`, served
+    /// from the precomputed order in O(n).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the cluster count.
+    pub fn selection_prefix(&self, n: usize) -> ClusterSelection {
+        ClusterSelection::from_parts(self.order[..n].to_vec(), self.safe_f_ghz(n))
+    }
+
+    /// Binding frequency of the best `n` clusters at per-cycle error
+    /// rate `perr` — bit-identical to
+    /// [`ClusterSelection::f_for_perr_ghz`] on the same selection,
+    /// with the quantile inversion hoisted to once per call.
+    pub fn f_for_perr_ghz(&self, n: usize, perr: f64) -> f64 {
+        self.timing
+            .min_frequency_for_perr_over(self.order[..n].iter().map(|c| c.0), perr)
+    }
+}
+
+/// Columnar views of a whole population, index-aligned with the chip
+/// vector they were built from.
+#[derive(Debug, Clone)]
+pub struct PopulationColumns {
+    chips: Vec<ChipColumns>,
+}
+
+impl PopulationColumns {
+    /// Builds every chip's columns, fanning out across the pool (each
+    /// chip is independent; order is preserved by `par_map`).
+    pub fn build(chips: &[Chip]) -> Self {
+        Self {
+            chips: accordion_pool::par_map(chips.iter().collect::<Vec<_>>(), |chip| {
+                ChipColumns::build(chip)
+            }),
+        }
+    }
+
+    /// Columns of chip `index`.
+    pub fn chip(&self, index: usize) -> &ChipColumns {
+        &self.chips[index]
+    }
+
+    /// Population size.
+    pub fn len(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.chips.is_empty()
+    }
+}
+
+/// One chip's timing context at one supply: the per-cluster timing
+/// objects, their columnar flattening, and the chip-wide safe
+/// frequency — everything a sweep can reuse across grid cells that
+/// share a `Vdd`.
+#[derive(Debug, Clone)]
+pub struct OperatingTimings {
+    vdd_v: f64,
+    timings: Vec<ClusterTiming>,
+    columns: TimingColumns,
+    f_safe_ghz: f64,
+}
+
+impl OperatingTimings {
+    /// Derives the chip's timing at `vdd_v`: the chip's own models
+    /// when `vdd_v` is its designated `VddNTV`, otherwise re-derived
+    /// from the variation sample (the same construction the
+    /// population layer uses at fabrication).
+    pub fn at(chip: &Chip, vdd_v: f64) -> Self {
+        let timings: Vec<ClusterTiming> = if vdd_v == chip.vdd_ntv_v() {
+            (0..chip.topology().num_clusters())
+                .map(|c| chip.cluster_timing(ClusterId(c)).clone())
+                .collect()
+        } else {
+            let fm = chip.freq_model();
+            let params = chip.variation_params();
+            let variation = &chip.sample().variation;
+            (0..chip.topology().num_clusters())
+                .map(|c| {
+                    let cores = chip
+                        .topology()
+                        .cores_of(ClusterId(c))
+                        .map(|core| {
+                            CoreTiming::new(
+                                fm,
+                                params,
+                                vdd_v,
+                                variation.core_vth_delta_v[core.0],
+                                variation.core_leff_mult[core.0],
+                            )
+                        })
+                        .collect();
+                    ClusterTiming::new(cores)
+                })
+                .collect()
+        };
+        // The legacy per-cluster fold, kept verbatim: it is where the
+        // per-cluster `SafeFreq` flight events are emitted, now once
+        // per operating supply instead of once per grid cell.
+        let params = chip.variation_params();
+        let f_safe_ghz = timings
+            .iter()
+            .map(|t| t.safe_frequency_ghz(params))
+            .fold(f64::INFINITY, f64::min);
+        let columns = TimingColumns::from_clusters(&timings);
+        Self {
+            vdd_v,
+            timings,
+            columns,
+            f_safe_ghz,
+        }
+    }
+
+    /// The supply this context was derived at, volts.
+    pub fn vdd_v(&self) -> f64 {
+        self.vdd_v
+    }
+
+    /// The per-cluster timing objects.
+    pub fn timings(&self) -> &[ClusterTiming] {
+        &self.timings
+    }
+
+    /// The columnar flattening of [`Self::timings`].
+    pub fn columns(&self) -> &TimingColumns {
+        &self.columns
+    }
+
+    /// Chip-wide safe frequency: minimum over clusters.
+    pub fn f_safe_ghz(&self) -> f64 {
+        self.f_safe_ghz
+    }
+
+    /// Chip-wide binding frequency at per-cycle error rate `perr` —
+    /// bit-identical to folding
+    /// [`ClusterTiming::frequency_for_perr`] over the clusters.
+    pub fn min_frequency_for_perr(&self, perr: f64) -> f64 {
+        self.columns.min_frequency_for_perr(perr)
+    }
+}
+
+/// The policy the columnar prefix order reproduces; exported so
+/// callers can assert they are not silently diverging from the legacy
+/// path when a different policy is requested.
+pub const COLUMNAR_POLICY: SelectionPolicy = SelectionPolicy::EnergyEfficiency;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chip() -> Chip {
+        Chip::fabricate_small(4).unwrap()
+    }
+
+    #[test]
+    fn selection_prefix_matches_legacy_select() {
+        let chip = chip();
+        let cols = ChipColumns::build(&chip);
+        for n in 1..=chip.topology().num_clusters() {
+            let legacy = ClusterSelection::select(&chip, n, COLUMNAR_POLICY);
+            let batched = cols.selection_prefix(n);
+            assert_eq!(legacy, batched, "prefix {n}");
+            assert_eq!(
+                legacy.safe_f_ghz().to_bits(),
+                cols.safe_f_ghz(n).to_bits(),
+                "safe f bits at {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn f_for_perr_matches_legacy_bitwise() {
+        let chip = chip();
+        let cols = ChipColumns::build(&chip);
+        for n in 1..=chip.topology().num_clusters() {
+            let legacy = ClusterSelection::select(&chip, n, COLUMNAR_POLICY);
+            for perr in [1e-16, 1e-9, 1e-6] {
+                assert_eq!(
+                    legacy.f_for_perr_ghz(&chip, perr).to_bits(),
+                    cols.f_for_perr_ghz(n, perr).to_bits(),
+                    "n={n} perr={perr}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn efficiencies_match_chip_bitwise() {
+        let chip = chip();
+        let cols = ChipColumns::build(&chip);
+        for c in 0..chip.topology().num_clusters() {
+            assert_eq!(
+                cols.efficiency(ClusterId(c)).to_bits(),
+                chip.cluster_efficiency(ClusterId(c)).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn operating_timings_match_legacy_derivation() {
+        let chip = chip();
+        let params = chip.variation_params();
+        for vdd_v in [chip.vdd_ntv_v(), 0.7] {
+            let ctx = OperatingTimings::at(&chip, vdd_v);
+            let legacy_f_safe = ctx
+                .timings()
+                .iter()
+                .map(|t| t.frequency_for_perr(params.perr_safe_target))
+                .fold(f64::INFINITY, f64::min);
+            assert_eq!(ctx.f_safe_ghz().to_bits(), legacy_f_safe.to_bits());
+            for perr in [1e-12, 1e-7] {
+                let legacy = ctx
+                    .timings()
+                    .iter()
+                    .map(|t| t.frequency_for_perr(perr))
+                    .fold(f64::INFINITY, f64::min);
+                assert_eq!(
+                    ctx.min_frequency_for_perr(perr).to_bits(),
+                    legacy.to_bits(),
+                    "vdd={vdd_v} perr={perr}"
+                );
+            }
+        }
+        // At VddNTV the context reuses the chip's own timing objects.
+        let ntv = OperatingTimings::at(&chip, chip.vdd_ntv_v());
+        assert_eq!(ntv.timings()[0], chip.sample().cluster_timing[0]);
+    }
+
+    #[test]
+    fn population_columns_align_with_chips() {
+        let chips: Vec<Chip> = (0..3).map(|i| Chip::fabricate_small(i).unwrap()).collect();
+        let pop = PopulationColumns::build(&chips);
+        assert_eq!(pop.len(), 3);
+        assert!(!pop.is_empty());
+        for (i, chip) in chips.iter().enumerate() {
+            assert_eq!(
+                pop.chip(i).safe_f_ghz(1).to_bits(),
+                ClusterSelection::select(chip, 1, COLUMNAR_POLICY)
+                    .safe_f_ghz()
+                    .to_bits()
+            );
+        }
+    }
+}

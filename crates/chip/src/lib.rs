@@ -21,7 +21,10 @@
 //! * [`organization`] — the Figure 3 CC/DC design space,
 //! * [`thermal`] — the leakage–temperature feedback loop behind the
 //!   Table 2 cooling limit,
-//! * [`selection`] — energy-efficiency-ordered cluster selection.
+//! * [`selection`] — energy-efficiency-ordered cluster selection,
+//! * [`columns`] — columnar (struct-of-arrays) chip evaluation:
+//!   precomputed selection order, prefix operating limits and
+//!   per-supply timing contexts for batched sweeps.
 //!
 //! # Example
 //!
@@ -35,6 +38,7 @@
 //! ```
 
 pub mod chip;
+pub mod columns;
 pub mod floorplan;
 pub mod memory;
 pub mod network;
@@ -46,6 +50,7 @@ pub mod thermal;
 pub mod topology;
 
 pub use chip::Chip;
+pub use columns::{ChipColumns, OperatingTimings, PopulationColumns};
 pub use power::ChipPowerModel;
 pub use selection::ClusterSelection;
 pub use topology::Topology;

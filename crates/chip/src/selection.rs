@@ -34,6 +34,18 @@ pub struct ClusterSelection {
 }
 
 impl ClusterSelection {
+    /// Assembles a selection from an already-ordered cluster list and
+    /// its precomputed binding safe frequency. Used by the columnar
+    /// engine ([`crate::columns::ChipColumns`]), which materializes
+    /// the efficiency order once and serves every prefix from it.
+    pub(crate) fn from_parts(clusters: Vec<ClusterId>, safe_f_ghz: f64) -> Self {
+        debug_assert!(!clusters.is_empty(), "selection must be non-empty");
+        Self {
+            clusters,
+            safe_f_ghz,
+        }
+    }
+
     /// Selects `n` clusters from `chip` under `policy`.
     ///
     /// # Panics

@@ -8,30 +8,37 @@ use accordion_apps::app::RmsApp;
 use accordion_apps::harness::FrontSet;
 use accordion_chip::chip::Chip;
 use accordion_sim::exec::ExecModel;
+use std::sync::OnceLock;
 
 /// Accordion: one benchmark bound to one fabricated chip.
 ///
 /// Construction measures the benchmark's quality fronts (the paper's
-/// Figure 2/4 sweeps) and computes the STV baseline; the instance then
-/// answers operating-point questions: the iso-execution-time fronts of
-/// Figures 6/7 and constrained mode planning.
+/// Figure 2/4 sweeps, served from the process-wide
+/// [`FrontSet::measured`] cache) and computes the STV baseline; the
+/// instance then answers operating-point questions: the
+/// iso-execution-time fronts of Figures 6/7 and constrained mode
+/// planning. The fronts are extracted once and cached — `plan`,
+/// `speculative_f_gain_range` and `best_efficiency` all read the same
+/// extraction.
 pub struct Accordion {
     chip: Chip,
     app: Box<dyn RmsApp>,
     fronts: FrontSet,
     baseline: StvBaseline,
+    iso_fronts: OnceLock<Vec<ParetoFront>>,
 }
 
 impl Accordion {
     /// Binds `app` to `chip`, measuring its quality fronts.
     pub fn new(chip: Chip, app: Box<dyn RmsApp>) -> Self {
-        let fronts = FrontSet::measure(app.as_ref());
+        let fronts = FrontSet::measured(app.as_ref()).as_ref().clone();
         let baseline = StvBaseline::compute(&chip, app.as_ref(), &ExecModel::paper_default());
         Self {
             chip,
             app,
             fronts,
             baseline,
+            iso_fronts: OnceLock::new(),
         }
     }
 
@@ -61,9 +68,14 @@ impl Accordion {
     }
 
     /// Extracts the four iso-execution-time pareto fronts
-    /// (Figures 6/7).
+    /// (Figures 6/7). Extraction runs once per instance; subsequent
+    /// calls clone the cached fronts.
     pub fn iso_time_fronts(&self) -> Vec<ParetoFront> {
-        ParetoExtractor::new(&self.chip, self.app.as_ref(), &self.fronts).extract()
+        self.iso_fronts
+            .get_or_init(|| {
+                ParetoExtractor::new(&self.chip, self.app.as_ref(), &self.fronts).extract()
+            })
+            .clone()
     }
 
     /// Picks the most energy-efficient iso-time operating point whose

@@ -15,8 +15,27 @@ use crate::quality::QualityModel;
 use accordion_apps::app::RmsApp;
 use accordion_apps::harness::{FrontSet, Scenario};
 use accordion_chip::chip::Chip;
+use accordion_chip::columns::ChipColumns;
 use accordion_chip::selection::{ClusterSelection, SelectionPolicy};
 use accordion_sim::exec::ExecModel;
+
+/// Which evaluation path answers the extractor's per-point queries.
+///
+/// Both paths are bit-identical (pinned by `tests/determinism.rs` and
+/// the columnar proptests); `Scalar` exists as the reference the
+/// batched engine is benchmarked and verified against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepEngine {
+    /// Columnar: per-chip invariants (cluster efficiencies, the
+    /// efficiency order, prefix safe frequencies, timing columns) are
+    /// computed once per extractor and every grid cell is served from
+    /// flat array passes.
+    #[default]
+    Batched,
+    /// Legacy object path: every cell re-sorts clusters and re-walks
+    /// the per-cluster timing objects.
+    Scalar,
+}
 
 /// Relative tolerance around `size_norm = 1` that counts as Still.
 const STILL_TOL: f64 = 0.02;
@@ -111,6 +130,10 @@ impl ParetoFront {
 /// Extracts the four Figure 6/7 fronts for one benchmark on one chip.
 pub struct ParetoExtractor<'a> {
     chip: &'a Chip,
+    /// Columnar per-chip invariants: efficiency order, prefix safe
+    /// frequencies, timing columns — built once, reused by every
+    /// (flavor, size, cluster-count) cell.
+    cols: ChipColumns,
     app: &'a dyn RmsApp,
     exec: ExecModel,
     baseline: StvBaseline,
@@ -155,6 +178,7 @@ impl<'a> ParetoExtractor<'a> {
         let sizes = dense;
         Self {
             chip,
+            cols: ChipColumns::build(chip),
             app,
             exec,
             baseline,
@@ -168,15 +192,20 @@ impl<'a> ParetoExtractor<'a> {
         &self.baseline
     }
 
-    /// Extracts all four mode-family fronts.
+    /// Extracts all four mode-family fronts with the batched engine.
     pub fn extract(&self) -> Vec<ParetoFront> {
+        self.extract_with(SweepEngine::Batched)
+    }
+
+    /// Extracts all four mode-family fronts with an explicit engine.
+    pub fn extract_with(&self, engine: SweepEngine) -> Vec<ParetoFront> {
         Mode::FIGURE_MODES
             .iter()
-            .map(|&flavor| self.extract_flavor(flavor))
+            .map(|&flavor| self.extract_flavor(engine, flavor))
             .collect()
     }
 
-    fn extract_flavor(&self, flavor: Mode) -> ParetoFront {
+    fn extract_flavor(&self, engine: SweepEngine, flavor: Mode) -> ParetoFront {
         let points = self
             .sizes
             .iter()
@@ -185,7 +214,7 @@ impl<'a> ParetoExtractor<'a> {
                 ProblemScaling::Expand => s >= 1.0 - STILL_TOL,
                 ProblemScaling::Still => (s - 1.0).abs() <= STILL_TOL,
             })
-            .filter_map(|&s| self.solve_point(flavor, s))
+            .filter_map(|&s| self.solve_point_with(engine, flavor, s))
             .collect();
         ParetoFront {
             app: self.app.name().to_string(),
@@ -195,9 +224,58 @@ impl<'a> ParetoExtractor<'a> {
     }
 
     /// Finds the minimal cluster count achieving iso-execution time at
-    /// problem size `size_norm` under `flavor`'s frequency policy.
-    /// Returns `None` when no cluster count suffices (N-limited).
+    /// problem size `size_norm` under `flavor`'s frequency policy,
+    /// using the batched engine. Returns `None` when no cluster count
+    /// suffices (N-limited).
     pub fn solve_point(&self, flavor: Mode, size_norm: f64) -> Option<ParetoPoint> {
+        self.solve_point_with(SweepEngine::Batched, flavor, size_norm)
+    }
+
+    /// [`Self::solve_point`] with an explicit engine. Both engines
+    /// return bit-identical points.
+    pub fn solve_point_with(
+        &self,
+        engine: SweepEngine,
+        flavor: Mode,
+        size_norm: f64,
+    ) -> Option<ParetoPoint> {
+        match engine {
+            SweepEngine::Batched => self.solve_point_batched(flavor, size_norm),
+            SweepEngine::Scalar => self.solve_point_scalar(flavor, size_norm),
+        }
+    }
+
+    /// Batched cell solve: cluster counts walk precomputed prefixes of
+    /// the efficiency order — no sorting, no per-candidate selection
+    /// materialization (the `ClusterSelection` is only assembled for
+    /// the accepted count), one quantile inversion per frequency query.
+    fn solve_point_batched(&self, flavor: Mode, size_norm: f64) -> Option<ParetoPoint> {
+        let topo = self.chip.topology();
+        let w = self.baseline.workload.scaled(size_norm);
+        for clusters in 1..=topo.num_clusters() {
+            let n_ntv = clusters * topo.cores_per_cluster;
+            let f_safe = self.cols.safe_f_ghz(clusters);
+            let (f, perr) = match flavor.policy {
+                FrequencyPolicy::Safe => (f_safe, 0.0),
+                FrequencyPolicy::Speculative => {
+                    self.speculative_frequency_batched(clusters, &w, n_ntv, f_safe)
+                }
+            };
+            let time = self.exec.execution_time_s(&w, n_ntv, f);
+            if time <= self.baseline.exec_time_s * (1.0 + 1e-9) {
+                let sel = self.cols.selection_prefix(clusters);
+                return Some(
+                    self.make_point(flavor, size_norm, sel, n_ntv, f, f_safe, perr, time, &w),
+                );
+            }
+        }
+        None
+    }
+
+    /// Reference cell solve: the legacy object path, kept verbatim as
+    /// the bit-identity baseline for the batched engine (and the
+    /// denominator of the `sweep_batched_vs_scalar` bench gate).
+    fn solve_point_scalar(&self, flavor: Mode, size_norm: f64) -> Option<ParetoPoint> {
         let topo = self.chip.topology();
         let w = self.baseline.workload.scaled(size_norm);
         for clusters in 1..=topo.num_clusters() {
@@ -236,6 +314,26 @@ impl<'a> ParetoExtractor<'a> {
             let cycles = self.exec.thread_cycles(w, w.work_units / n_ntv as f64, f);
             perr = (1.0 / cycles.max(1.0)).min(PERR_SPECULATIVE_CAP);
             f = sel.f_for_perr_ghz(self.chip, perr).max(f_safe);
+        }
+        (f, perr)
+    }
+
+    /// [`Self::speculative_frequency`] against the columnar prefix:
+    /// the same 3-iteration fixed point, with the binding-frequency
+    /// query served by one hoisted quantile inversion per iteration.
+    fn speculative_frequency_batched(
+        &self,
+        clusters: usize,
+        w: &accordion_sim::workload::Workload,
+        n_ntv: usize,
+        f_safe: f64,
+    ) -> (f64, f64) {
+        let mut f = f_safe;
+        let mut perr = 0.0;
+        for _ in 0..3 {
+            let cycles = self.exec.thread_cycles(w, w.work_units / n_ntv as f64, f);
+            perr = (1.0 / cycles.max(1.0)).min(PERR_SPECULATIVE_CAP);
+            f = self.cols.f_for_perr_ghz(clusters, perr).max(f_safe);
         }
         (f, perr)
     }
@@ -312,6 +410,15 @@ mod tests {
                 "{flavor} front must not be empty"
             );
         }
+    }
+
+    #[test]
+    fn batched_engine_matches_scalar() {
+        let (chip, app, batched) = fronts();
+        let set = FrontSet::measure(app);
+        let extractor = ParetoExtractor::new(chip, app, &set);
+        let scalar = extractor.extract_with(SweepEngine::Scalar);
+        assert_eq!(*batched, scalar, "engines must agree point-for-point");
     }
 
     #[test]

@@ -24,9 +24,12 @@ impl QualityModel {
     /// paper switches to reporting Drop 1/2 (degradation "negligible").
     pub const NEGLIGIBLE_DEGRADATION: f64 = 0.03;
 
-    /// Measures the fronts for `app` and builds the model.
+    /// Measures the fronts for `app` and builds the model. The
+    /// measurement is served from the process-wide
+    /// [`FrontSet::measured`] cache — the kernels run once per app per
+    /// process.
     pub fn measure(app: &dyn RmsApp) -> Self {
-        Self::from_front_set(&FrontSet::measure(app))
+        Self::from_front_set(&FrontSet::measured(app))
     }
 
     /// Builds the model from pre-measured fronts.

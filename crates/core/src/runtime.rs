@@ -80,13 +80,17 @@ impl<'a> RuntimeController<'a> {
 
     /// Clusters ordered by derated energy efficiency (the paper's
     /// selection policy, re-evaluated against current resiliency).
+    /// Efficiencies are priced once per cluster, not per comparison —
+    /// `cluster_eff` is a pure function, so sorting on the precomputed
+    /// values yields the identical permutation.
     fn ordered_clusters(&self, derate: &[f64]) -> Vec<usize> {
         let n = self.chip.topology().num_clusters();
+        let effs: Vec<f64> = (0..n).map(|c| self.cluster_eff(c, derate)).collect();
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&a, &b| {
-            let ea = self.cluster_eff(a, derate);
-            let eb = self.cluster_eff(b, derate);
-            eb.partial_cmp(&ea).expect("efficiencies are finite")
+            effs[b]
+                .partial_cmp(&effs[a])
+                .expect("efficiencies are finite")
         });
         order
     }

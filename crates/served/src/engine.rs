@@ -10,9 +10,11 @@
 //!
 //! 1. **population** — [`accordion_chip::popcache`] returns the
 //!    `(topology, seed, chips)` population, fabricated at most once;
-//! 2. **timing** — per-cluster [`ClusterTiming`] either read from the
-//!    chip (at its designated `VddNTV`) or re-derived at a requested
-//!    supply via [`CoreTiming::new`];
+//! 2. **timing** — one [`OperatingTimings`] context per supply: the
+//!    chip's own per-cluster timing (at its designated `VddNTV`) or
+//!    re-derived at a requested supply, flattened to columnar form so
+//!    frequency queries are flat array passes; a sweep derives the
+//!    context once per `Vdd` row and shares it across the grid;
 //! 3. **protocol** — [`run_app`] drives the CC/DC rounds at the
 //!    speculative error rate, yielding drop/watchdog outcomes;
 //! 4. **quality** — per-app [`QualityModel`]s (measured once per
@@ -27,6 +29,7 @@
 use accordion::quality::QualityModel;
 use accordion_apps::app::all_apps;
 use accordion_chip::chip::Chip;
+use accordion_chip::columns::OperatingTimings;
 use accordion_chip::popcache;
 use accordion_chip::topology::{ClusterId, Topology};
 use accordion_sim::exec::ExecModel;
@@ -35,7 +38,6 @@ use accordion_stats::rng::SeedStream;
 use accordion_telemetry::event::SimEvent;
 use accordion_telemetry::json::Json;
 use accordion_telemetry::{counter, flight, flight_track, span};
-use accordion_varius::timing::{ClusterTiming, CoreTiming};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Instant;
@@ -209,8 +211,6 @@ fn quality_for(app_name: &str) -> Arc<QualityModel> {
 /// [`EngineError::Bad`] for client mistakes surfacing late,
 /// [`EngineError::Internal`] for model failures.
 pub fn simulate(q: &SimQuery) -> Result<Json, EngineError> {
-    let _span = span!("served.engine.simulate");
-    counter!("served.engine.simulations").inc();
     let cache_started = Instant::now();
     let (pop, cache_hit) = popcache::population_with_status(q.topo, q.pop_seed, q.chips)
         .map_err(|e| EngineError::Internal(format!("variation sampler: {e:?}")))?;
@@ -222,20 +222,31 @@ pub fn simulate(q: &SimQuery) -> Result<Json, EngineError> {
         us: cache_us,
     });
     let chip = &pop[q.chip];
+    let vdd_v = q.vdd_mv.map_or(chip.vdd_ntv_v(), |mv| mv / 1000.0);
+    let ctx = OperatingTimings::at(chip, vdd_v);
+    simulate_at(q, chip, &ctx)
+}
+
+/// The per-point core of [`simulate`]: everything downstream of the
+/// population lookup and per-supply timing derivation, so a sweep can
+/// hoist both and share one [`OperatingTimings`] across every grid
+/// cell at the same `Vdd`. `ctx` must have been derived from `chip`
+/// at the query's operating supply.
+fn simulate_at(q: &SimQuery, chip: &Chip, ctx: &OperatingTimings) -> Result<Json, EngineError> {
+    let _span = span!("served.engine.simulate");
+    counter!("served.engine.simulations").inc();
     let quality = quality_for(&q.app);
     let app = all_apps()
         .into_iter()
         .find(|a| a.name() == q.app)
         .expect("validated app name");
 
-    // Per-cluster timing at the operating supply.
-    let vdd_v = q.vdd_mv.map_or(chip.vdd_ntv_v(), |mv| mv / 1000.0);
-    let params = chip.variation_params();
-    let timings = timings_at(chip, vdd_v);
-    let f_safe = timings
-        .iter()
-        .map(|t| t.safe_frequency_ghz(params))
-        .fold(f64::INFINITY, f64::min);
+    // Per-cluster timing at the operating supply, from the hoisted
+    // context: chip-wide safe frequency and the columnar binding-
+    // frequency query (both bit-identical to the per-cluster object
+    // walk they replaced).
+    let vdd_v = ctx.vdd_v();
+    let f_safe = ctx.f_safe_ghz();
 
     // Workload → per-thread cycles → speculative error rate. The
     // error-rate bridge is the validation module's: the Drop-x level
@@ -245,10 +256,7 @@ pub fn simulate(q: &SimQuery) -> Result<Json, EngineError> {
     let n_cores = chip.topology().num_cores();
     let e_cycles = exec.thread_cycles(&w, w.work_units / n_cores as f64, f_safe);
     let perr = (-f64::ln_1p(-q.drop_target) / e_cycles).clamp(1e-300, 0.999_999);
-    let f_run = timings
-        .iter()
-        .map(|t| t.frequency_for_perr(perr))
-        .fold(f64::INFINITY, f64::min);
+    let f_run = ctx.min_frequency_for_perr(perr);
 
     // Protocol outcome at the speculative rate.
     let work = (e_cycles / q.iterations as f64).clamp(1.0, 1e15) as u64;
@@ -548,38 +556,6 @@ fn coalesced_rendered(
     returned
 }
 
-/// Per-cluster timing at an arbitrary supply: the chip's own models
-/// when `vdd_v` is its designated `VddNTV`, otherwise re-derived from
-/// the variation sample (same construction the population layer uses).
-fn timings_at(chip: &Chip, vdd_v: f64) -> Vec<ClusterTiming> {
-    if vdd_v == chip.vdd_ntv_v() {
-        return (0..chip.topology().num_clusters())
-            .map(|c| chip.cluster_timing(ClusterId(c)).clone())
-            .collect();
-    }
-    let fm = chip.freq_model();
-    let params = chip.variation_params();
-    let variation = &chip.sample().variation;
-    (0..chip.topology().num_clusters())
-        .map(|c| {
-            let cores = chip
-                .topology()
-                .cores_of(ClusterId(c))
-                .map(|core| {
-                    CoreTiming::new(
-                        fm,
-                        params,
-                        vdd_v,
-                        variation.core_vth_delta_v[core.0],
-                        variation.core_leff_mult[core.0],
-                    )
-                })
-                .collect();
-            ClusterTiming::new(cores)
-        })
-        .collect()
-}
-
 /// Whole-chip power with every core active at `f_ghz` and `vdd_v`
 /// (mirrors `Chip::cluster_power_w`, generalized to a supply override).
 fn chip_power_at(chip: &Chip, vdd_v: f64, f_ghz: f64) -> f64 {
@@ -660,8 +636,9 @@ pub fn sweep(doc: &Json, workers: usize) -> Result<Json, EngineError> {
     // so the fan-out below is pure per-point work.
     let _ = quality_for(&base.app);
     let cache_started = Instant::now();
-    let (_, cache_hit) = popcache::population_with_status(base.topo, base.pop_seed, base.chips)
-        .map_err(|e| EngineError::Internal(format!("variation sampler: {e:?}")))?;
+    let (pop, cache_hit) =
+        popcache::population_with_status(base.topo, base.pop_seed, base.chips)
+            .map_err(|e| EngineError::Internal(format!("variation sampler: {e:?}")))?;
     crate::obs::note_cache(cache_hit);
     let cache_us = cache_started.elapsed().as_micros() as u64;
     accordion_telemetry::event::advance_sim(cache_us);
@@ -669,6 +646,18 @@ pub fn sweep(doc: &Json, workers: usize) -> Result<Json, EngineError> {
         stage: "serve.cache",
         us: cache_us,
     });
+    let chip = &pop[base.chip];
+
+    // Incremental sweep: one per-supply timing context per distinct
+    // `Vdd` (grid rows), derived once here and shared by every size
+    // cell in the row. A G-cell grid does O(rows) timing setup, not G.
+    let ctxs: Vec<OperatingTimings> = vdds
+        .iter()
+        .map(|&vdd| {
+            let vdd_v = vdd.map_or(chip.vdd_ntv_v(), |mv| mv / 1000.0);
+            OperatingTimings::at(chip, vdd_v)
+        })
+        .collect();
 
     let mut grid: Vec<SimQuery> = Vec::with_capacity(vdds.len() * sizes.len());
     for &vdd in &vdds {
@@ -684,7 +673,9 @@ pub fn sweep(doc: &Json, workers: usize) -> Result<Json, EngineError> {
     // Fan out over the pool. Each point enters its own flight track
     // named by the owning request's pool task tag, so a Chrome trace
     // shows per-request span trees (`req00000012/point7`) even though
-    // the points execute on anonymous work-stealing workers.
+    // the points execute on anonymous work-stealing workers. Grid
+    // order is vdd-major, so point `i` reads row `i / sizes.len()`'s
+    // hoisted context.
     let fanout_started = Instant::now();
     let points = accordion_pool::par_map_indexed_with(workers, grid.len(), |i| {
         let tag = accordion_pool::task_tag();
@@ -693,7 +684,7 @@ pub fn sweep(doc: &Json, workers: usize) -> Result<Json, EngineError> {
         } else {
             flight_track!("sweep/point{}", i)
         };
-        simulate(&grid[i])
+        simulate_at(&grid[i], chip, &ctxs[i / sizes.len()])
     });
     let fanout_us = fanout_started.elapsed().as_micros() as u64;
     accordion_telemetry::event::advance_sim(fanout_us);

@@ -14,6 +14,9 @@
 //! * [`timing`] — per-core critical-path delay distributions, the
 //!   per-cycle timing-error rate `Perr(f)` (Figure 5b) and safe /
 //!   speculative frequency solvers,
+//! * [`columns`] — the same timing model flattened to contiguous
+//!   struct-of-arrays columns for batched whole-chip sweeps (with an
+//!   optional `simd` feature for explicit SSE2 kernels),
 //! * [`sram`] — per-memory-block minimum supply voltage `VddMIN`
 //!   (Figure 5a) and the chip-wide `VddNTV` designation,
 //! * [`mem_timing`] — memory access-time derating at the block's local
@@ -35,6 +38,7 @@
 //! # Ok::<(), accordion_stats::field::FieldError>(())
 //! ```
 
+pub mod columns;
 pub mod layout;
 pub mod mem_timing;
 pub mod params;
@@ -43,6 +47,7 @@ pub mod sram;
 pub mod timing;
 pub mod vmap;
 
+pub use columns::TimingColumns;
 pub use layout::SitePlan;
 pub use params::VariationParams;
 pub use population::ChipPopulation;

@@ -106,7 +106,7 @@ impl CoreTiming {
     /// # Panics
     ///
     /// Panics if `perr_target` is not in `(0, 1)`.
-    fn z_for_perr(ncp: usize, perr_target: f64) -> f64 {
+    pub(crate) fn z_for_perr(ncp: usize, perr_target: f64) -> f64 {
         assert!(
             perr_target > 0.0 && perr_target < 1.0,
             "error-rate target must be in (0,1)"
@@ -123,9 +123,14 @@ impl CoreTiming {
     /// Frequency whose period sits `z` path-sigmas above the mean
     /// delay — the cheap per-core half of [`Self::frequency_for_perr`].
     #[inline]
-    fn frequency_at_z(&self, z: f64) -> f64 {
+    pub(crate) fn frequency_at_z(&self, z: f64) -> f64 {
         let t_ns = self.mu_ns + z * self.sigma_ns;
         1.0 / t_ns
+    }
+
+    /// Critical-path count assumed per cycle.
+    pub fn critical_paths(&self) -> usize {
+        self.ncp
     }
 
     /// Convenience: the safe frequency under `params`.

@@ -12,8 +12,6 @@ use accordion_stats::rng::StreamRng;
 use accordion_telemetry::{counter, gauge, span};
 use accordion_vlsi::tech::Technology;
 use std::cell::RefCell;
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Reusable sampler of chip-variation instances over a fixed layout.
@@ -40,12 +38,22 @@ struct SamplerKey {
 
 type CacheCell = Arc<OnceLock<Result<Arc<VariationSampler>, FieldError>>>;
 
-/// Process-wide sampler cache. `repro all` and the sweep artifacts
-/// re-request identical (plan, φ, technology) correlation structures
-/// many times; each structure is assembled and factored exactly once
-/// per process. The map only ever holds one entry per distinct
-/// structure (a handful per run), so it is never evicted.
-static SAMPLER_CACHE: OnceLock<Mutex<HashMap<SamplerKey, CacheCell>>> = OnceLock::new();
+/// Most correlation structures a process keeps resident at once. A
+/// full `repro all` touches well under a dozen distinct structures;
+/// the bound exists so a long-lived serving process fed adversarial
+/// (plan, φ) combinations cannot grow the cache without limit.
+const SAMPLER_CACHE_CAP: usize = 32;
+
+/// Process-wide sampler cache with LRU eviction. `repro all` and the
+/// sweep artifacts re-request identical (plan, φ, technology)
+/// correlation structures many times; each structure is assembled and
+/// factored once and reused until it falls off the LRU shelf. The
+/// shelf is a Vec ordered oldest-first: hits move the entry to the
+/// back, inserts beyond [`SAMPLER_CACHE_CAP`] evict the front and
+/// count `varius.sampler_cache.evictions`. Linear scans are fine at
+/// this capacity — the keys are a few hundred bytes and the cache is
+/// consulted once per artifact, not per chip.
+static SAMPLER_CACHE: OnceLock<Mutex<Vec<(SamplerKey, CacheCell)>>> = OnceLock::new();
 
 // Per-thread scratch holding the two raw field draws of one chip;
 // reused across the whole fabrication hot loop.
@@ -142,21 +150,31 @@ impl ChipVariation {
             leff_sigma_bits: params.systematic_sigma(tech.leff_sigma_over_mu).to_bits(),
         };
         let cell = {
-            let mut map = SAMPLER_CACHE
-                .get_or_init(|| Mutex::new(HashMap::new()))
+            let mut shelf = SAMPLER_CACHE
+                .get_or_init(|| Mutex::new(Vec::new()))
                 .lock()
                 .expect("sampler cache poisoned");
-            let cell = match map.entry(key) {
-                Entry::Occupied(e) => {
+            let cell = match shelf.iter().position(|(k, _)| *k == key) {
+                Some(i) => {
                     counter!("varius.sampler_cache.hits").inc();
-                    e.get().clone()
+                    // LRU: refresh by moving to the back.
+                    let entry = shelf.remove(i);
+                    let cell = entry.1.clone();
+                    shelf.push(entry);
+                    cell
                 }
-                Entry::Vacant(v) => {
+                None => {
                     counter!("varius.sampler_cache.misses").inc();
-                    v.insert(Arc::new(OnceLock::new())).clone()
+                    if shelf.len() >= SAMPLER_CACHE_CAP {
+                        shelf.remove(0);
+                        counter!("varius.sampler_cache.evictions").inc();
+                    }
+                    let cell: CacheCell = Arc::new(OnceLock::new());
+                    shelf.push((key, cell.clone()));
+                    cell
                 }
             };
-            gauge!("varius.sampler_cache.entries").set(map.len() as f64);
+            gauge!("varius.sampler_cache.entries").set(shelf.len() as f64);
             cell
         };
         // Factor outside the map lock so distinct structures (e.g. the
@@ -173,10 +191,17 @@ impl ChipVariation {
 /// endpoint and for tests.
 pub fn sampler_cache_len() -> usize {
     SAMPLER_CACHE
-        .get_or_init(|| Mutex::new(HashMap::new()))
+        .get_or_init(|| Mutex::new(Vec::new()))
         .lock()
         .expect("sampler cache poisoned")
         .len()
+}
+
+/// Capacity of the process-wide sampler cache: beyond this many
+/// distinct correlation structures, the least-recently-used entry is
+/// evicted (counted by `varius.sampler_cache.evictions`).
+pub fn sampler_cache_capacity() -> usize {
+    SAMPLER_CACHE_CAP
 }
 
 impl VariationSampler {
@@ -298,8 +323,14 @@ mod tests {
         assert!(corr > 0.2, "adjacent-core correlation {corr}");
     }
 
+    // The sampler cache is process-wide; tests that fill it past
+    // capacity must not interleave with tests asserting entry
+    // identity across consecutive calls.
+    static CACHE_TESTS: Mutex<()> = Mutex::new(());
+
     #[test]
     fn cached_sampler_is_shared_and_identical_to_fresh() {
+        let _serial = CACHE_TESTS.lock().unwrap();
         let plan = SitePlan::regular_grid(5, 5, 20.0, 20.0);
         let params = VariationParams::default();
         let tech = Technology::node_11nm();
@@ -321,6 +352,44 @@ mod tests {
         )
         .unwrap();
         assert!(!Arc::ptr_eq(&a, &other));
+    }
+
+    #[test]
+    fn sampler_cache_evicts_lru_beyond_capacity() {
+        let _serial = CACHE_TESTS.lock().unwrap();
+        let plan = SitePlan::regular_grid(2, 2, 20.0, 20.0);
+        let tech = Technology::node_11nm();
+        let cap = sampler_cache_capacity();
+        let params_for = |i: usize| VariationParams {
+            // Distinct φ ⇒ distinct correlation range ⇒ distinct key.
+            phi: 0.05 + 1e-4 * i as f64,
+            ..VariationParams::default()
+        };
+        let evicted_before = accordion_telemetry::counter!("varius.sampler_cache.evictions").get();
+        let first = ChipVariation::cached_sampler_for_tech(&plan, &params_for(0), &tech).unwrap();
+        for i in 1..=cap + 1 {
+            ChipVariation::cached_sampler_for_tech(&plan, &params_for(i), &tech).unwrap();
+        }
+        assert!(
+            sampler_cache_len() <= cap,
+            "cache grew past capacity: {} > {cap}",
+            sampler_cache_len()
+        );
+        let evicted_after = accordion_telemetry::counter!("varius.sampler_cache.evictions").get();
+        assert!(
+            evicted_after > evicted_before,
+            "filling past capacity must evict"
+        );
+        // An evicted structure is re-factored on demand and must draw
+        // the same bits as the original sampler.
+        let again = ChipVariation::cached_sampler_for_tech(&plan, &params_for(0), &tech).unwrap();
+        assert!(
+            !Arc::ptr_eq(&first, &again),
+            "structure 0 should have been evicted and rebuilt"
+        );
+        let a = first.sample(&mut SeedStream::new(9).stream("c", 0));
+        let b = again.sample(&mut SeedStream::new(9).stream("c", 0));
+        assert_eq!(a, b, "eviction must not change draws");
     }
 
     #[test]

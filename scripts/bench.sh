@@ -35,7 +35,7 @@ for arg in "$@"; do
         *) out="$arg" ;;
     esac
 done
-out="${out:-BENCH_PR7.json}"
+out="${out:-BENCH_PR8.json}"
 
 baseline="${ACCORDION_BENCH_BASELINE:-}"
 if [ -z "$baseline" ]; then
@@ -62,8 +62,8 @@ if [ "$dryrun" -eq 1 ]; then
     fresh="$(medians_of "$baseline" \
         | awk -v s="$inject" '{ printf "%s %.1f %.1f\n", $1, $2 * s, $2 * s }')"
 else
-    echo "==> cargo bench -p accordion-bench --bench sparse --bench telemetry --bench serve"
-    raw="$(cargo bench -p accordion-bench --bench sparse --bench telemetry --bench serve 2>&1 \
+    echo "==> cargo bench -p accordion-bench --bench sparse --bench telemetry --bench serve --bench sweep"
+    raw="$(cargo bench -p accordion-bench --bench sparse --bench telemetry --bench serve --bench sweep 2>&1 \
         | grep -E '^bench ')"
     echo "$raw"
 
@@ -100,36 +100,69 @@ else
     # fails --check like a kernel one. Each mode runs three times and
     # keeps the median-by-throughput run: single loadtest samples on a
     # loaded machine are too noisy to gate a ratio on.
-    run_loadtest() { # extra-flags... -> "p99 ns_per_req" on stdout
+    run_loadtest() { # extra-flags... -> "p99 ns_per_req sweep_p99" on stdout
         local json samples=""
         json="$(mktemp)"
         for _ in 1 2 3; do
             cargo run --release -q -p accordion-bench --bin repro -- \
                 loadtest --duration 6 --warmup 2 --connections 4 --seed 2014 \
                 --json "$json" "$@" > /dev/null
-            local p99 nspr
-            p99="$(awk -F'[:,]' '/"p99"/ { gsub(/ /, "", $2); print $2 }' "$json")"
-            nspr="$(awk -F'[:,]' '/"ns_per_req"/ { gsub(/ /, "", $2); print $2 }' "$json")"
-            [ -n "$p99" ] && [ -n "$nspr" ] \
-                || { echo "error: loadtest report missing p99/ns_per_req" >&2; exit 1; }
-            samples="$samples$nspr $p99
+            local p99 nspr sweep
+            # First "p99" line only: the headline latency_ns block.
+            # The later kind_latency_ns blocks repeat the key per kind.
+            p99="$(awk -F'[:,]' '/"p99"/ { gsub(/ /, "", $2); print $2; exit }' "$json")"
+            nspr="$(awk -F'[:,]' '/"ns_per_req"/ { gsub(/ /, "", $2); print $2; exit }' "$json")"
+            # The warm /v1/sweep p99: the sweep entry of kind_latency_ns.
+            sweep="$(awk -F'[:,]' '
+                /"kind_latency_ns"/ { inkl = 1 }
+                inkl && /"sweep"/ { insweep = 1 }
+                insweep && /"p99"/ { gsub(/ /, "", $2); print $2; exit }' "$json")"
+            [ -n "$p99" ] && [ -n "$nspr" ] && [ -n "$sweep" ] \
+                || { echo "error: loadtest report missing p99/ns_per_req/sweep p99" >&2; exit 1; }
+            samples="$samples$nspr $p99 $sweep
 "
         done
         rm -f "$json"
-        printf '%s' "$samples" | sort -g | awk 'NR == 2 { print $2, $1 }'
+        printf '%s' "$samples" | sort -g | awk 'NR == 2 { print $2, $1, $3 }'
     }
 
     echo "==> repro loadtest x3 (serve_loadtest gate inputs, close-per-request)"
-    read -r lt_p99 lt_nspr <<< "$(run_loadtest)"
-    echo "    close-per-request median: $(awk -v n="$lt_nspr" 'BEGIN { printf "%.0f", 1e9 / n }') req/s, p99 $lt_p99 ns"
+    read -r lt_p99 lt_nspr lt_sweep_p99 <<< "$(run_loadtest)"
+    echo "    close-per-request median: $(awk -v n="$lt_nspr" 'BEGIN { printf "%.0f", 1e9 / n }') req/s, p99 $lt_p99 ns, sweep p99 $lt_sweep_p99 ns"
     echo "==> repro loadtest x3 --keepalive --pipeline 4 (serve_keepalive gate inputs)"
-    read -r ka_p99 ka_nspr <<< "$(run_loadtest --keepalive --pipeline 4)"
+    read -r ka_p99 ka_nspr _ka_sweep_p99 <<< "$(run_loadtest --keepalive --pipeline 4)"
     echo "    keep-alive median: $(awk -v n="$ka_nspr" 'BEGIN { printf "%.0f", 1e9 / n }') req/s, p99 $ka_p99 ns"
     fresh="$fresh
 serve_loadtest_p99_ns $lt_p99 $lt_p99
 serve_loadtest_ns_per_req $lt_nspr $lt_nspr
+serve_loadtest_sweep_p99_ns $lt_sweep_p99 $lt_sweep_p99
 serve_keepalive_p99_ns $ka_p99 $ka_p99
 serve_keepalive_ns_per_req $ka_nspr $ka_nspr"
+
+    # Figure-sweep wall clock, median of 3: the end-to-end cost of the
+    # fig6 (4-benchmark) and fig7 (2-benchmark) artifact generations —
+    # the consumer-visible number the columnar sweep engine exists to
+    # shrink. `repro` pays process startup per run; that overhead is
+    # identical across PRs, so the key still gates the sweep path.
+    time_artifact() { # artifact-id -> median wall ns
+        local samples="" t0 t1
+        for _ in 1 2 3; do
+            t0="$(date +%s%N)"
+            cargo run --release -q -p accordion-bench --bin repro -- "$1" > /dev/null
+            t1="$(date +%s%N)"
+            samples="$samples$((t1 - t0))
+"
+        done
+        printf '%s' "$samples" | sort -g | awk 'NR == 2'
+    }
+
+    echo "==> repro fig6/fig7 wall clock x3"
+    fig6_wall="$(time_artifact fig6)"
+    fig7_wall="$(time_artifact fig7)"
+    echo "    fig6 median $(awk -v n="$fig6_wall" 'BEGIN { printf "%.0f", n / 1e6 }') ms, fig7 median $(awk -v n="$fig7_wall" 'BEGIN { printf "%.0f", n / 1e6 }') ms"
+    fresh="$fresh
+fig6_wall_ns $fig6_wall $fig6_wall
+fig7_wall_ns $fig7_wall $fig7_wall"
 fi
 
 # Median (field 3): what the baseline file records.
@@ -168,20 +201,28 @@ if [ "$dryrun" -eq 0 ]; then
 
     serve_warm=$(fresh_of serve_latency)
     serve_cold=$(fresh_of serve_latency_cold)
-    for v in "$serve_warm" "$serve_cold"; do
+    serve_sweep_warm=$(fresh_of serve_sweep_warm)
+    for v in "$serve_warm" "$serve_cold" "$serve_sweep_warm"; do
         [ -n "$v" ] || { echo "error: serve latency bench missing" >&2; exit 1; }
+    done
+
+    sweep_batched=$(fresh_of sweep_extract_batched)
+    sweep_scalar=$(fresh_of sweep_extract_scalar)
+    for v in "$sweep_batched" "$sweep_scalar"; do
+        [ -n "$v" ] || { echo "error: sweep engine bench missing" >&2; exit 1; }
     done
 
     construct_speedup=$(awk -v a="$construct_dense" -v b="$construct_env" 'BEGIN { printf "%.2f", a / b }')
     sample_speedup=$(awk -v a="$sample_dense" -v b="$sample_env" 'BEGIN { printf "%.2f", a / b }')
     serve_speedup=$(awk -v c="$serve_cold" -v w="$serve_warm" 'BEGIN { printf "%.2f", c / w }')
+    sweep_speedup=$(awk -v s="$sweep_scalar" -v b="$sweep_batched" 'BEGIN { printf "%.2f", s / b }')
     chips_per_s=$(awk -v t="$fab8" 'BEGIN { printf "%.0f", 8e9 / t }')
     keepalive_rps=$(awk -v n="$ka_nspr" 'BEGIN { printf "%.0f", 1e9 / n }')
     keepalive_vs_close=$(awk -v c="$lt_nspr" -v k="$ka_nspr" 'BEGIN { printf "%.2f", c / k }')
 
     {
         echo '{'
-        echo '  "bench": "sparse variation engine + telemetry hot paths + serve latency",'
+        echo '  "bench": "sparse variation engine + telemetry hot paths + serve latency + columnar sweep engine",'
         echo '  "plan": { "sites": 612, "phi": 0.1, "range_mm": 2.0 },'
         echo '  "median_ns": {'
         echo "$fresh" | awk '{ pairs[NR] = "    \"" $1 "\": " $3 }
@@ -191,27 +232,32 @@ if [ "$dryrun" -eq 0 ]; then
         echo "    \"sampler_construction\": $construct_speedup,"
         echo "    \"per_chip_sampling\": $sample_speedup,"
         echo "    \"serve_warm_vs_cold\": $serve_speedup,"
-        echo "    \"keepalive_vs_close\": $keepalive_vs_close"
+        echo "    \"keepalive_vs_close\": $keepalive_vs_close,"
+        echo "    \"sweep_batched_vs_scalar\": $sweep_speedup"
         echo '  },'
         echo "  \"serve_keepalive_rps\": $keepalive_rps,"
         echo "  \"fabrication_chips_per_second\": $chips_per_s"
         echo '}'
     } > "$out"
-    echo "wrote $out (construction ${construct_speedup}x, sampling ${sample_speedup}x, serve warm ${serve_speedup}x, keep-alive ${keepalive_vs_close}x @ ${keepalive_rps} req/s, ${chips_per_s} chips/s)"
+    echo "wrote $out (construction ${construct_speedup}x, sampling ${sample_speedup}x, serve warm ${serve_speedup}x, keep-alive ${keepalive_vs_close}x @ ${keepalive_rps} req/s, sweep ${sweep_speedup}x, ${chips_per_s} chips/s)"
 
     # The PR 3 acceptance floors stay pinned; PR 5 adds the service's
     # warm-cache floor (a warm /v1/simulate must be >= 5x faster than
     # one that re-fabricates its population). PR 7 adds the connection
     # model's: the keep-alive + pipelining path must sustain >= 5x the
-    # close-per-request throughput at equal-or-better p99.
+    # close-per-request throughput at equal-or-better p99. PR 8 adds
+    # the sweep engine's: the batched columnar extraction must stay
+    # >= 5x faster than the legacy scalar path it replaced.
     awk -v c="$construct_speedup" -v s="$sample_speedup" -v v="$serve_speedup" \
-        -v ka="$keepalive_vs_close" -v kp="$ka_p99" -v cp="$lt_p99" 'BEGIN {
+        -v ka="$keepalive_vs_close" -v kp="$ka_p99" -v cp="$lt_p99" \
+        -v sw="$sweep_speedup" 'BEGIN {
         bad = 0
         if (c < 3.0) { print "FAIL: sampler construction speedup " c "x < 3x" > "/dev/stderr"; bad = 1 }
         if (s < 2.0) { print "FAIL: per-chip sampling speedup " s "x < 2x" > "/dev/stderr"; bad = 1 }
         if (v < 5.0) { print "FAIL: warm serve latency only " v "x better than cold (< 5x)" > "/dev/stderr"; bad = 1 }
         if (ka < 5.0) { print "FAIL: keep-alive throughput only " ka "x close-per-request (< 5x)" > "/dev/stderr"; bad = 1 }
         if (kp > cp) { print "FAIL: keep-alive p99 " kp " ns worse than close-per-request " cp " ns" > "/dev/stderr"; bad = 1 }
+        if (sw < 5.0) { print "FAIL: batched sweep only " sw "x faster than scalar (< 5x)" > "/dev/stderr"; bad = 1 }
         exit bad
     }'
 fi

@@ -125,6 +125,14 @@ if [ "$fast" -eq 0 ]; then
     ACCORDION_JOBS=1 cargo test -q
     echo "==> ACCORDION_JOBS=8 cargo test -q"
     ACCORDION_JOBS=8 cargo test -q
+
+    # Third pass with the SSE2 columnar kernels: the `simd` feature
+    # must be drop-in — same artifacts, same bytes. The golden suite
+    # rerunning green IS the bit-identity proof.
+    echo "==> cargo build --release --workspace --features simd"
+    cargo build --release --workspace --features simd
+    echo "==> cargo test -q --features simd"
+    cargo test -q --features simd
 fi
 
 echo "All checks passed."

@@ -10,6 +10,9 @@
 //! `accordion_pool::set_jobs` is process-global, so every test in this
 //! binary serializes on [`JOBS`].
 
+use accordion::pareto::{ParetoExtractor, SweepEngine};
+use accordion_apps::harness::FrontSet;
+use accordion_apps::hotspot::Hotspot;
 use accordion_bench::registry::generate;
 use accordion_chip::chip::Chip;
 use accordion_chip::topology::Topology;
@@ -110,6 +113,35 @@ fn flight_recording_is_byte_identical_across_job_counts() {
             &b[at.saturating_sub(40)..(at + 40).min(b.len())],
         );
     }
+}
+
+/// The columnar batched sweep engine must be a pure optimization:
+/// bit-identical to the legacy per-chip scalar path, and to itself at
+/// any worker count. `Debug` formatting of `f64` round-trips bits (it
+/// even distinguishes `-0.0`), so comparing the rendered fronts pins
+/// bit equality, not approximate equality.
+#[test]
+fn batched_sweep_engine_matches_scalar_and_is_jobs_invariant() {
+    let _guard = JOBS.lock().unwrap_or_else(|e| e.into_inner());
+    let chip = Chip::fabricate_default(0).expect("chip fabrication");
+    let app = Hotspot::paper_default();
+    let set = FrontSet::measured(&app);
+    let extractor = ParetoExtractor::new(&chip, &app, &set);
+
+    let scalar = with_jobs(1, || extractor.extract_with(SweepEngine::Scalar));
+    let batched1 = with_jobs(1, || extractor.extract_with(SweepEngine::Batched));
+    let batched8 = with_jobs(8, || extractor.extract_with(SweepEngine::Batched));
+
+    assert_eq!(
+        format!("{scalar:?}"),
+        format!("{batched1:?}"),
+        "batched engine diverged from the scalar path"
+    );
+    assert_eq!(
+        format!("{batched1:?}"),
+        format!("{batched8:?}"),
+        "batched engine differs between --jobs 1 and --jobs 8"
+    );
 }
 
 #[test]
