@@ -99,12 +99,37 @@ fn bench_flight(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_tsdb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tsdb");
+    // Self-scrape cost: one full registry gather folded into the
+    // fixed-memory ring-buffer store — the per-tick tax `repro serve`
+    // pays on its scrape thread. The registry already carries this
+    // binary's bench metrics; a spread of extra families makes the
+    // workload representative of a live server's.
+    let reg = global();
+    for i in 0..16 {
+        reg.counter(&format!("bench.tsdb.counter{i}")).inc();
+    }
+    for i in 0..4 {
+        global()
+            .histogram(
+                &format!("bench.tsdb.hist{i}"),
+                &exponential_bounds(1.0, 2.0, 20),
+            )
+            .record(black_box(37.0));
+    }
+    let tsdb = accordion_telemetry::tsdb::Tsdb::new();
+    group.bench_function("scrape_ns", |b| b.iter(|| tsdb.scrape(black_box(reg))));
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_counters,
     bench_histogram,
     bench_spans,
     bench_events,
-    bench_flight
+    bench_flight,
+    bench_tsdb
 );
 criterion_main!(benches);

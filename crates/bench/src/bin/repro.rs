@@ -9,12 +9,16 @@
 //! repro profile <artifact|all> [--chips N] [--chrome-trace FILE]
 //! repro serve [--addr HOST:PORT] [--access-log FILE] [--chrome-trace FILE]
 //!             [--no-keepalive] [--timeout S] [--idle-timeout S]
-//!             [--max-pipeline N]
+//!             [--max-pipeline N] [--alerts FILE] [--scrape-interval MS]
+//!             [--no-scrape]
 //! repro loadtest [--addr HOST:PORT] [--mode closed|open] [--rate R]
 //!                [--connections N] [--duration S] [--warmup S]
 //!                [--seed N] [--json FILE] [--keepalive] [--pipeline N]
+//!                [--no-scrape]
+//! repro dash [--addr HOST:PORT] [--interval S] [--range S] [--once]
 //! repro validate-trace <file>
 //! repro validate-metrics <addr|file>
+//! repro validate-alerts <file>
 //! ```
 //!
 //! Artifact ids: see `accordion_bench::registry::ARTIFACTS` (printed
@@ -34,6 +38,7 @@
 //! events; the recording is byte-identical at every `--jobs` count.
 //! Host-thread tracks are opt-in via `ACCORDION_CHROME_HOST=1`.
 
+use accordion_bench::dash;
 use accordion_bench::figures::fig5;
 use accordion_bench::profile::{protocol_probe, render_dashboard};
 use accordion_bench::registry::{generate, list_text, usage_text, ARTIFACTS};
@@ -259,6 +264,20 @@ fn main() {
             validate_metrics(target);
             return;
         }
+        Some("dash") => {
+            dash_main(&args[1..]);
+            return;
+        }
+        Some("validate-alerts") => {
+            let path = args
+                .get(1)
+                .unwrap_or_else(|| die("validate-alerts needs a FILE"));
+            if args.len() > 2 {
+                die(&format!("unexpected argument: {}", args[2]));
+            }
+            validate_alerts(path);
+            return;
+        }
         _ => {}
     }
 
@@ -480,6 +499,31 @@ fn serve_main(args: &[String]) {
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| die("--max-pipeline needs a number >= 1"));
             }
+            "--alerts" => {
+                cfg.alert_rules = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--alerts needs a rules file path")),
+                );
+            }
+            "--scrape-interval" => {
+                let ms: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&ms| ms >= 10)
+                    .unwrap_or_else(|| die("--scrape-interval needs milliseconds >= 10"));
+                cfg.scrape_interval = Duration::from_millis(ms);
+            }
+            "--no-scrape" => {
+                // Disables the self-scrape loop: `/v1/timeseries` and
+                // `/v1/alerts` answer empty, zero sampling overhead.
+                cfg.self_scrape = false;
+            }
+            "--debug-endpoints" => {
+                // Test hook: enables `POST /v1/debug/sleep` so scripts
+                // can inject a deterministic latency spike.
+                cfg.debug_endpoints = true;
+            }
             "--help" | "-h" => {
                 println!("{}", usage_text());
                 std::process::exit(0);
@@ -627,6 +671,9 @@ fn loadtest_main(args: &[String]) {
             "--threads" => serve_cfg.handler_threads = num(&mut it, "--threads") as usize,
             "--jobs" => serve_cfg.request_jobs = num(&mut it, "--jobs") as usize,
             "--queue" => serve_cfg.queue_capacity = num(&mut it, "--queue") as usize,
+            // In-process server only: turn the self-scrape loop off so
+            // bench.sh can price its overhead against a default run.
+            "--no-scrape" => serve_cfg.self_scrape = false,
             "--help" | "-h" => {
                 println!("{}", usage_text());
                 std::process::exit(0);
@@ -747,6 +794,85 @@ fn fetch_metrics(addr: std::net::SocketAddr) -> String {
         ));
     }
     body.to_string()
+}
+
+/// `repro dash`: terminal dashboard over a serving instance's ops
+/// plane (`/v1/timeseries` + `/v1/alerts`). `--once` prints a single
+/// frame and exits, for scripts and smoke tests.
+fn dash_main(args: &[String]) {
+    let mut addr = "127.0.0.1:8080".to_string();
+    let mut interval = Duration::from_secs(1);
+    let mut range_secs = 300u32;
+    let mut once = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                addr = it
+                    .next()
+                    .cloned()
+                    .unwrap_or_else(|| die("--addr needs HOST:PORT"));
+            }
+            "--interval" => {
+                let s: f64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s| s >= 0.1)
+                    .unwrap_or_else(|| die("--interval needs seconds >= 0.1"));
+                interval = Duration::from_secs_f64(s);
+            }
+            "--range" => {
+                range_secs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("--range needs seconds >= 1"));
+            }
+            "--once" => once = true,
+            "--help" | "-h" => {
+                println!("{}", usage_text());
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown dash argument {other}")),
+        }
+    }
+    let sock = addr
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut a| a.next())
+        .unwrap_or_else(|| die(&format!("cannot resolve {addr}")));
+    let cfg = dash::DashConfig {
+        addr: sock,
+        interval,
+        range_secs,
+        once,
+    };
+    if let Err(e) = dash::run(&cfg) {
+        die(&e);
+    }
+}
+
+/// `repro validate-alerts <file>`: parses an alert-rules file with
+/// exactly the parser `repro serve --alerts` uses and reports every
+/// violation. Exits nonzero on any error so scripts can lint configs
+/// before deploying them.
+fn validate_alerts(path: &str) {
+    let raw =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    match accordion_telemetry::alerts::parse_rules(&raw) {
+        Ok(rules) => {
+            println!("{path}: ok ({} rules)", rules.len());
+            for r in &rules {
+                println!("  {}", r.name);
+            }
+        }
+        Err(errors) => {
+            for e in &errors {
+                eprintln!("{path}: {e}");
+            }
+            die(&format!("{} alert-rule violations", errors.len()));
+        }
+    }
 }
 
 /// `repro validate-trace <file>`: parses a Chrome trace written by

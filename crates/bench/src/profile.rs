@@ -16,8 +16,11 @@
 //! error-outcome breakdown of the probe's app × Vdd grid.
 
 use crate::output::{f, TextTable};
+use accordion::pareto::ParetoExtractor;
 use accordion::runtime::RuntimeController;
 use accordion_apps::app::all_apps;
+use accordion_apps::harness::FrontSet;
+use accordion_apps::hotspot::Hotspot;
 use accordion_chip::chip::Chip;
 use accordion_sim::checkpoint::CheckpointParams;
 use accordion_sim::phases::{iterative_app, run_app};
@@ -80,6 +83,18 @@ pub fn protocol_probe() {
         let params = CheckpointParams::paper_default();
         params.optimal_interval_cycles(1e9);
         params.expected_checkpoints(1e10, 1e9);
+    }
+
+    // Columnar sweep probe: extract the four pareto fronts on the
+    // small chip under an explicit track, so the `sweep` layer
+    // contributes deterministic cell/front events and the span tree
+    // attributes extraction time to the batched engine.
+    {
+        let _track = flight_track!("probe/sweep");
+        let app = Hotspot::paper_default();
+        let set = FrontSet::measured(&app);
+        let extractor = ParetoExtractor::new(&chip, &app, &set);
+        extractor.extract();
     }
 }
 

@@ -119,11 +119,11 @@ pub const SUBCOMMANDS: &[Subcommand] = &[
         help: "enumerate artifacts and subcommands, one per line",
     },
     Subcommand {
-        usage: "repro serve [--addr HOST:PORT] [--jobs N] [--threads N] [--queue N] [--access-log F] [--no-log-timing] [--chrome-trace F] [--no-keepalive] [--timeout S] [--idle-timeout S] [--max-pipeline N]",
+        usage: "repro serve [--addr HOST:PORT] [--jobs N] [--threads N] [--queue N] [--access-log F] [--no-log-timing] [--chrome-trace F] [--no-keepalive] [--timeout S] [--idle-timeout S] [--max-pipeline N] [--alerts F] [--scrape-interval MS] [--no-scrape]",
         help: "run the batched, cached HTTP simulation service",
     },
     Subcommand {
-        usage: "repro loadtest [--addr HOST:PORT] [--mode closed|open] [--rate R] [--connections N] [--duration S] [--warmup S] [--seed N] [--json F] [--keepalive] [--pipeline N]",
+        usage: "repro loadtest [--addr HOST:PORT] [--mode closed|open] [--rate R] [--connections N] [--duration S] [--warmup S] [--seed N] [--json F] [--keepalive] [--pipeline N] [--no-scrape]",
         help: "measure serving latency/throughput with a seeded request mix",
     },
     Subcommand {
@@ -137,6 +137,14 @@ pub const SUBCOMMANDS: &[Subcommand] = &[
     Subcommand {
         usage: "repro validate-metrics <ADDR|FILE>",
         help: "lint a /metrics document against the Prometheus text format",
+    },
+    Subcommand {
+        usage: "repro dash [--addr HOST:PORT] [--interval S] [--range S] [--once]",
+        help: "live terminal dashboard over a server's /v1/timeseries and /v1/alerts",
+    },
+    Subcommand {
+        usage: "repro validate-alerts <FILE>",
+        help: "lint an alert-rules file with the server's own parser",
     },
 ];
 
@@ -275,7 +283,14 @@ mod tests {
             assert!(usage.contains(id), "usage missing artifact {id}");
             assert!(list.contains(id), "list missing artifact {id}");
         }
-        for name in ["list", "serve", "profile", "validate-trace"] {
+        for name in [
+            "list",
+            "serve",
+            "profile",
+            "validate-trace",
+            "dash",
+            "validate-alerts",
+        ] {
             assert!(usage.contains(name), "usage missing subcommand {name}");
             assert!(list.contains(name), "list missing subcommand {name}");
         }

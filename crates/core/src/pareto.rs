@@ -18,6 +18,8 @@ use accordion_chip::chip::Chip;
 use accordion_chip::columns::ChipColumns;
 use accordion_chip::selection::{ClusterSelection, SelectionPolicy};
 use accordion_sim::exec::ExecModel;
+use accordion_telemetry::event::SimEvent;
+use accordion_telemetry::{flight, span};
 
 /// Which evaluation path answers the extractor's per-point queries.
 ///
@@ -206,16 +208,37 @@ impl<'a> ParetoExtractor<'a> {
     }
 
     fn extract_flavor(&self, engine: SweepEngine, flavor: Mode) -> ParetoFront {
-        let points = self
+        let _span = span!("sweep.extract_flavor");
+        let cells: Vec<f64> = self
             .sizes
             .iter()
-            .filter(|&&s| match flavor.scaling {
+            .copied()
+            .filter(|&s| match flavor.scaling {
                 ProblemScaling::Compress => s <= 1.0 + STILL_TOL,
                 ProblemScaling::Expand => s >= 1.0 - STILL_TOL,
                 ProblemScaling::Still => (s - 1.0).abs() <= STILL_TOL,
             })
-            .filter_map(|&s| self.solve_point_with(engine, flavor, s))
             .collect();
+        let n_cells = cells.len() as u64;
+        let points: Vec<ParetoPoint> = cells
+            .into_iter()
+            .filter_map(|s| self.solve_point_with(engine, flavor, s))
+            .collect();
+        if engine == SweepEngine::Batched {
+            flight!(SimEvent::SweepFrontRetire {
+                policy: match flavor.policy {
+                    FrequencyPolicy::Safe => "safe",
+                    FrequencyPolicy::Speculative => "speculative",
+                },
+                scaling: match flavor.scaling {
+                    ProblemScaling::Compress => "compress",
+                    ProblemScaling::Expand => "expand",
+                    ProblemScaling::Still => "still",
+                },
+                cells: n_cells,
+                points: points.len() as u64,
+            });
+        }
         ParetoFront {
             app: self.app.name().to_string(),
             flavor,
@@ -250,8 +273,10 @@ impl<'a> ParetoExtractor<'a> {
     /// materialization (the `ClusterSelection` is only assembled for
     /// the accepted count), one quantile inversion per frequency query.
     fn solve_point_batched(&self, flavor: Mode, size_norm: f64) -> Option<ParetoPoint> {
+        let _span = span!("sweep.cell.batched");
         let topo = self.chip.topology();
         let w = self.baseline.workload.scaled(size_norm);
+        let size_milli = (size_norm * 1000.0).round() as u64;
         for clusters in 1..=topo.num_clusters() {
             let n_ntv = clusters * topo.cores_per_cluster;
             let f_safe = self.cols.safe_f_ghz(clusters);
@@ -264,11 +289,21 @@ impl<'a> ParetoExtractor<'a> {
             let time = self.exec.execution_time_s(&w, n_ntv, f);
             if time <= self.baseline.exec_time_s * (1.0 + 1e-9) {
                 let sel = self.cols.selection_prefix(clusters);
+                flight!(SimEvent::SweepCellSolve {
+                    probed: clusters as u64,
+                    clusters: clusters as u64,
+                    size_milli,
+                });
                 return Some(
                     self.make_point(flavor, size_norm, sel, n_ntv, f, f_safe, perr, time, &w),
                 );
             }
         }
+        flight!(SimEvent::SweepCellSolve {
+            probed: topo.num_clusters() as u64,
+            clusters: 0,
+            size_milli,
+        });
         None
     }
 
@@ -276,6 +311,7 @@ impl<'a> ParetoExtractor<'a> {
     /// the bit-identity baseline for the batched engine (and the
     /// denominator of the `sweep_batched_vs_scalar` bench gate).
     fn solve_point_scalar(&self, flavor: Mode, size_norm: f64) -> Option<ParetoPoint> {
+        let _span = span!("sweep.cell.scalar");
         let topo = self.chip.topology();
         let w = self.baseline.workload.scaled(size_norm);
         for clusters in 1..=topo.num_clusters() {

@@ -154,6 +154,25 @@ impl AccessLog {
         })
     }
 
+    /// Appends one alert state transition as a single JSON line. Alert
+    /// lines are distinguished from request lines by the leading
+    /// `"type":"alert"` field (request lines lead with `"id"`), so a
+    /// log consumer can split the two streams with one key probe.
+    pub fn write_alert(&self, name: &str, from: &str, to: &str, at_ms: u64) {
+        let line = Json::obj(vec![
+            ("type", Json::str("alert")),
+            ("alert", Json::str(name)),
+            ("from", Json::str(from)),
+            ("to", Json::str(to)),
+            ("at_ms", Json::Num(at_ms as f64)),
+        ])
+        .render();
+        let mut out = self.out.lock().expect("access log lock");
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.write_all(b"\n");
+        let _ = out.flush();
+    }
+
     /// Appends one record as a single JSON line.
     pub fn write(&self, rec: &AccessRecord) {
         let mut fields = vec![

@@ -29,9 +29,11 @@ use crate::http::{self, Request, RequestParser, Response};
 use crate::obs::{self, AccessLog, AccessRecord};
 use crate::reactor::{PollSet, WakeHandle, Waker};
 use accordion_chip::popcache;
+use accordion_telemetry::alerts::{self, AlertSet};
 use accordion_telemetry::event::SimEvent;
 use accordion_telemetry::registry::exponential_bounds;
 use accordion_telemetry::rolling::RollingHistogram;
+use accordion_telemetry::tsdb::Tsdb;
 use accordion_telemetry::{counter, flight, flight_track, histogram, json, prom, sink};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{Read as _, Write as _};
@@ -100,6 +102,23 @@ pub struct ServeConfig {
     /// log lines. The determinism test turns this off to pin the file
     /// byte-identical at any `request_jobs`.
     pub log_timing: bool,
+    /// Run the self-scrape loop: sample the prom registry into the
+    /// in-process TSDB every [`Self::scrape_interval`] and evaluate
+    /// alert rules against it. `false` leaves `/v1/timeseries` and
+    /// `/v1/alerts` serving empty history (the endpoints stay up).
+    pub self_scrape: bool,
+    /// Self-scrape sampling period.
+    pub scrape_interval: Duration,
+    /// Alert-rule file path (`repro serve --alerts`); parsed at
+    /// [`start`], rejected with the parse errors when malformed.
+    pub alert_rules: Option<String>,
+    /// Rolling window of the per-outcome latency histograms, seconds.
+    /// The global registry fixes a rolling histogram's window at first
+    /// creation, so [`start`] pre-registers every outcome class with
+    /// this value. Tests shrink it so an injected latency spike ages
+    /// out of `p99` (and the alerts watching it) within the test
+    /// budget rather than after the production 60 s.
+    pub latency_window_s: f64,
 }
 
 impl Default for ServeConfig {
@@ -118,6 +137,10 @@ impl Default for ServeConfig {
             debug_endpoints: false,
             access_log: None,
             log_timing: true,
+            self_scrape: true,
+            scrape_interval: Duration::from_secs(1),
+            alert_rules: None,
+            latency_window_s: 60.0,
         }
     }
 }
@@ -173,6 +196,10 @@ struct Shared {
     /// pure function of the request, so the replay is byte-identical)
     /// and counts as a coalesced answer in the metrics/log.
     raw_memo: Mutex<RawMemo>,
+    /// Self-scrape history store behind `/v1/timeseries`.
+    tsdb: Arc<Tsdb>,
+    /// Alert rules + evaluation state behind `/v1/alerts`.
+    alerts: Mutex<AlertSet>,
 }
 
 /// Bounded FIFO map behind [`Shared::raw_memo`]. Only successful
@@ -302,7 +329,30 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
         Some(path) => Some(AccessLog::create(path, cfg.log_timing)?),
         None => None,
     };
+    let rules = match &cfg.alert_rules {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)?;
+            alerts::parse_rules(&text).map_err(|errs| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("alert rules {path}: {}", errs.join("; ")),
+                )
+            })?
+        }
+        None => Vec::new(),
+    };
     describe_metrics();
+    // First creation fixes a rolling histogram's window (the registry
+    // ignores the spec on later lookups), so claim every outcome class
+    // at the configured window before any request records into them.
+    for outcome in ["ok", "timeout", "too_large", "shed", "error"] {
+        accordion_telemetry::registry::global().rolling_histogram(
+            "served.http.request_latency_us",
+            &[("outcome", outcome)],
+            &latency_bounds(),
+            cfg.latency_window_s,
+        );
+    }
     let shared = Arc::new(Shared {
         cfg,
         jobs: Mutex::new(VecDeque::new()),
@@ -317,6 +367,8 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
         started: Instant::now(),
         log,
         raw_memo: Mutex::new(RawMemo::default()),
+        tsdb: Arc::new(Tsdb::new()),
+        alerts: Mutex::new(AlertSet::new(rules)),
     });
 
     let reactor = {
@@ -332,6 +384,14 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
             thread::Builder::new()
                 .name(format!("served-worker-{i}"))
                 .spawn(move || worker_loop(&shared))?,
+        );
+    }
+    if shared.cfg.self_scrape {
+        let shared = shared.clone();
+        workers.push(
+            thread::Builder::new()
+                .name("served-scrape".into())
+                .spawn(move || scrape_loop(&shared))?,
         );
     }
     Ok(ServerHandle {
@@ -732,7 +792,7 @@ fn dispatch(
     let resp = Response::error(503, "server saturated; retry shortly")
         .with_header("Retry-After", "1".to_string());
     let us = now.elapsed().as_micros() as f64;
-    request_hist("shed").record(us);
+    request_hist("shed").record_with_exemplar(us, &exemplar_labels(id));
     outcome_counter("shed").inc();
     if let Some(log) = &shared.log {
         log.write(&AccessRecord {
@@ -775,7 +835,7 @@ fn answer_reactor_side(
     let bytes = resp.body.len() as u64;
     let outcome = obs::outcome_of(status);
     count_response(status);
-    request_hist(outcome).record(parse_us as f64);
+    request_hist(outcome).record_with_exemplar(parse_us as f64, &exemplar_labels(id));
     outcome_counter(outcome).inc();
     flight!(SimEvent::RequestRetire {
         status: u64::from(status),
@@ -907,7 +967,7 @@ fn handle_job(shared: &Shared, job: Job) -> Vec<u8> {
     let us = job.parse_us + started.elapsed().as_micros() as u64;
     let outcome = obs::outcome_of(status);
     histogram!("served.http.latency_us", exponential_bounds(1.0, 2.0, 24)).record(us as f64);
-    request_hist(outcome).record(us as f64);
+    request_hist(outcome).record_with_exemplar(us as f64, &exemplar_labels(job.id));
     outcome_counter(outcome).inc();
     flight!(SimEvent::RequestRetire {
         status: u64::from(status),
@@ -973,12 +1033,71 @@ fn render_artifact(
 }
 
 // ---------------------------------------------------------------------------
+// Self-scrape loop: registry → TSDB → alert evaluation.
+// ---------------------------------------------------------------------------
+
+/// One self-scrape tick: refresh the point-in-time gauges, fold the
+/// whole registry into the TSDB, then advance the alert state
+/// machines. Transitions land in the access log (as `type:"alert"`
+/// lines) and the `served.alerts.*` metrics.
+fn scrape_tick(shared: &Shared) {
+    let scrape_started = Instant::now();
+    refresh_gauges(shared);
+    shared.tsdb.scrape(accordion_telemetry::registry::global());
+    let now_ms = shared.tsdb.now_ms();
+    let transitions = {
+        let mut alerts = shared.alerts.lock().expect("alert set poisoned");
+        let t = alerts.evaluate_at_ms(&shared.tsdb, now_ms);
+        accordion_telemetry::registry::global()
+            .gauge("served.alerts.firing")
+            .set(alerts.firing() as f64);
+        t
+    };
+    for t in &transitions {
+        counter!("served.alerts.transitions").inc();
+        if let Some(log) = &shared.log {
+            log.write_alert(&t.name, t.from.as_str(), t.to.as_str(), t.at_ms);
+        }
+    }
+    histogram!("served.scrape.us", exponential_bounds(1.0, 2.0, 20))
+        .record(scrape_started.elapsed().as_micros() as f64);
+}
+
+/// The self-scrape thread body: one [`scrape_tick`] per
+/// `scrape_interval`, sleeping in short steps so shutdown is never
+/// held up by a long interval.
+fn scrape_loop(shared: &Arc<Shared>) {
+    const STEP: Duration = Duration::from_millis(25);
+    while !shared.stop.load(Ordering::SeqCst) {
+        let started = Instant::now();
+        scrape_tick(shared);
+        while started.elapsed() < shared.cfg.scrape_interval {
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            let left = shared.cfg.scrape_interval.saturating_sub(started.elapsed());
+            if left.is_zero() {
+                break;
+            }
+            thread::sleep(STEP.min(left));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Metrics plumbing.
 // ---------------------------------------------------------------------------
 
 /// Latency bucket edges: 1 µs .. ~8.4 s, powers of two.
 fn latency_bounds() -> Vec<f64> {
     exponential_bounds(1.0, 2.0, 24)
+}
+
+/// Exemplar label body for one request: the arrival id plus its
+/// flight-recorder track name (`req00000042`), so a bucket exemplar on
+/// `/metrics` cross-references straight into a Chrome trace.
+fn exemplar_labels(id: u64) -> String {
+    format!("request_id=\"{id}\",track=\"req{id:08}\"")
 }
 
 /// The rolling request-latency histogram for one outcome class
@@ -1032,6 +1151,41 @@ fn describe_metrics() {
         "served.popcache.hit_ratio",
         "population cache lifetime hit ratio",
     );
+    reg.describe(
+        "served.alerts.firing",
+        "alert rules currently in the firing state",
+    );
+    reg.describe(
+        "served.alerts.transitions",
+        "alert state-machine transitions observed",
+    );
+    reg.describe(
+        "served.scrape.us",
+        "self-scrape tick duration (registry gather + TSDB fold + alert eval), microseconds",
+    );
+    reg.describe(
+        "varius.sampler_cache.hits",
+        "variation sampler cache hits (see accordion-varius vmap)",
+    );
+    reg.describe(
+        "varius.sampler_cache.misses",
+        "variation sampler cache misses",
+    );
+    reg.describe(
+        "varius.sampler_cache.evictions",
+        "variation samplers evicted from the LRU cache",
+    );
+    reg.describe(
+        "varius.sampler_cache.entries",
+        "variation samplers currently cached",
+    );
+    // Eager registration: these appear on `/metrics` (and therefore in
+    // the TSDB) from the first scrape, not from first traffic.
+    reg.counter("varius.sampler_cache.hits");
+    reg.counter("varius.sampler_cache.misses");
+    reg.counter("varius.sampler_cache.evictions");
+    reg.gauge("varius.sampler_cache.entries");
+    reg.gauge("served.alerts.firing");
     reg.describe("served.build.info", "build metadata; value is always 1");
     reg.labeled_gauge(
         "served.build.info",
@@ -1071,6 +1225,8 @@ fn handler_name(method: &str, path: &str) -> &'static str {
     match (method, path) {
         ("GET", "/healthz") => "healthz",
         ("GET", "/metrics") => "metrics",
+        ("GET", "/v1/timeseries") => "timeseries",
+        ("GET", "/v1/alerts") => "alerts",
         ("GET", "/v1/artifacts") => "artifacts_list",
         ("POST", "/v1/simulate") => "simulate",
         ("POST", "/v1/sweep") => "sweep",
@@ -1097,6 +1253,8 @@ fn route(shared: &Shared, req: &Request) -> Routed {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => plain(healthz(shared)),
         ("GET", "/metrics") => plain(metrics(shared)),
+        ("GET", "/v1/timeseries") => plain(timeseries(shared, req)),
+        ("GET", "/v1/alerts") => plain(alerts_status(shared)),
         ("GET", "/v1/artifacts") => plain(list_artifacts(shared)),
         ("POST", "/v1/simulate") => plain(simulate(shared, req)),
         ("POST", "/v1/sweep") => plain(sweep(shared, req)),
@@ -1128,7 +1286,7 @@ fn route(shared: &Shared, req: &Request) -> Routed {
             };
             Routed::Artifact { id, chips, source }
         }
-        (_, "/healthz" | "/metrics" | "/v1/artifacts")
+        (_, "/healthz" | "/metrics" | "/v1/artifacts" | "/v1/timeseries" | "/v1/alerts")
         | ("GET" | "PUT" | "DELETE", "/v1/simulate" | "/v1/sweep") => {
             plain(Response::error(405, "method not allowed"))
         }
@@ -1136,9 +1294,10 @@ fn route(shared: &Shared, req: &Request) -> Routed {
     }
 }
 
-/// Renders `/metrics`: refreshes the point-in-time serving gauges,
-/// then emits the whole registry in Prometheus exposition format.
-fn metrics(shared: &Shared) -> Response {
+/// Refreshes the point-in-time serving gauges (queue depth, in-flight,
+/// shed, uptime, cache occupancy). Shared by `/metrics` and the
+/// self-scrape loop so the exposition and the TSDB history agree.
+fn refresh_gauges(shared: &Shared) {
     let reg = accordion_telemetry::registry::global();
     let depth = shared.jobs.lock().expect("job queue poisoned").len();
     reg.gauge("served.queue.depth").set(depth as f64);
@@ -1155,8 +1314,122 @@ fn metrics(shared: &Shared) -> Response {
     } else {
         0.0
     });
+    reg.gauge("varius.sampler_cache.entries")
+        .set(accordion_varius::vmap::sampler_cache_len() as f64);
+}
+
+/// Renders `/metrics`: refreshes the point-in-time serving gauges,
+/// then emits the whole registry in Prometheus exposition format.
+fn metrics(shared: &Shared) -> Response {
+    refresh_gauges(shared);
     Response::text(200, prom::render(accordion_telemetry::registry::global()))
         .with_header("X-Content-Type-Options", "nosniff".to_string())
+}
+
+/// Decodes `%XX` escapes (and `+` as space) in a query-string value.
+/// Series ids contain `{`, `"` and `=`, which well-behaved clients
+/// percent-encode; malformed escapes pass through literally.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).ok();
+                match hex.and_then(|h| u8::from_str_radix(h, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// `GET /v1/timeseries?metric=<id>&range=<secs>`: one series' history
+/// from the self-scrape TSDB. Without `metric`, lists the known series
+/// ids (the discovery call `repro dash` makes first).
+fn timeseries(shared: &Shared, req: &Request) -> Response {
+    let Some(raw_metric) = req.query_value("metric") else {
+        let mut ids = shared.tsdb.series_ids();
+        ids.sort();
+        let doc = json::Json::obj(vec![
+            ("count", json::Json::Num(ids.len() as f64)),
+            ("scrapes", json::Json::Num(shared.tsdb.scrapes() as f64)),
+            (
+                "series",
+                json::Json::Arr(ids.iter().map(json::Json::str).collect()),
+            ),
+        ]);
+        return Response::json(200, doc.render());
+    };
+    let metric = percent_decode(raw_metric);
+    let range_secs = match req.query_value("range").map(str::parse::<u64>) {
+        None => 300,
+        Some(Ok(n)) if n >= 1 => n,
+        Some(_) => return Response::error(400, "range must be a positive integer (seconds)"),
+    };
+    let r = shared.tsdb.query(&metric, range_secs);
+    let points: Vec<json::Json> = r
+        .points
+        .iter()
+        .map(|p| {
+            json::Json::obj(vec![
+                ("t_ms", json::Json::Num(p.t_ms as f64)),
+                ("value", json::Json::Num(p.value)),
+            ])
+        })
+        .collect();
+    let doc = json::Json::obj(vec![
+        ("metric", json::Json::str(&r.metric)),
+        ("range_secs", json::Json::Num(range_secs as f64)),
+        ("tier_secs", json::Json::Num(r.tier_secs as f64)),
+        ("points", json::Json::Arr(points)),
+    ]);
+    Response::json(200, doc.render())
+}
+
+/// `GET /v1/alerts`: point-in-time view of every rule's state machine.
+fn alerts_status(shared: &Shared) -> Response {
+    let alerts = shared.alerts.lock().expect("alert set poisoned");
+    let statuses = alerts.statuses();
+    let rows: Vec<json::Json> = statuses
+        .iter()
+        .map(|s| {
+            let num_or_null = |v: Option<f64>| match v {
+                Some(x) if x.is_finite() => json::Json::Num(x),
+                _ => json::Json::Null,
+            };
+            json::Json::obj(vec![
+                ("name", json::Json::str(&s.name)),
+                ("state", json::Json::str(s.state.as_str())),
+                ("since_ms", json::Json::Num(s.since_ms as f64)),
+                ("fast_value", num_or_null(s.fast_value)),
+                ("slow_value", num_or_null(s.slow_value)),
+            ])
+        })
+        .collect();
+    let doc = json::Json::obj(vec![
+        ("count", json::Json::Num(statuses.len() as f64)),
+        ("firing", json::Json::Num(alerts.firing() as f64)),
+        ("alerts", json::Json::Arr(rows)),
+    ]);
+    Response::json(200, doc.render())
 }
 
 fn healthz(shared: &Shared) -> Response {
@@ -1352,6 +1625,88 @@ mod tests {
         let metrics = get(addr, "/metrics");
         assert!(metrics.contains("served_http_requests"), "{metrics}");
         handle.shutdown();
+    }
+
+    #[test]
+    fn percent_decode_handles_escapes_and_passthrough() {
+        assert_eq!(percent_decode("plain_name"), "plain_name");
+        assert_eq!(
+            percent_decode("a%7Boutcome%3D%22ok%22%7D%3Arate"),
+            "a{outcome=\"ok\"}:rate"
+        );
+        assert_eq!(percent_decode("a+b"), "a b");
+        // Malformed escapes pass through literally.
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn ops_plane_endpoints_serve_history_and_alert_state() {
+        let dir = std::env::temp_dir().join("accordion-opsplane-route-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let rules = dir.join("rules.toml");
+        std::fs::write(
+            &rules,
+            "[[alert]]\nname = \"queue_deep\"\nmetric = \"served_queue_depth\"\n\
+             threshold = 1000000000\nfast_window_s = 5\nslow_window_s = 30\n",
+        )
+        .unwrap();
+        let handle = start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            handler_threads: 2,
+            scrape_interval: Duration::from_millis(20),
+            alert_rules: Some(rules.to_str().unwrap().to_string()),
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        let addr = handle.addr();
+        // Let the self-scrape loop take a few samples.
+        thread::sleep(Duration::from_millis(120));
+
+        let listing = get(addr, "/v1/timeseries");
+        assert!(listing.starts_with("HTTP/1.1 200"), "{listing}");
+        assert!(listing.contains("served_queue_depth"), "{listing}");
+
+        let series = get(addr, "/v1/timeseries?metric=served_queue_depth&range=60");
+        assert!(series.starts_with("HTTP/1.1 200"), "{series}");
+        assert!(series.contains("\"tier_secs\":1"), "{series}");
+        assert!(series.contains("\"points\":["), "{series}");
+
+        let bad = get(addr, "/v1/timeseries?metric=x&range=zero");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+
+        let alerts = get(addr, "/v1/alerts");
+        assert!(alerts.starts_with("HTTP/1.1 200"), "{alerts}");
+        assert!(alerts.contains("\"name\":\"queue_deep\""), "{alerts}");
+        assert!(alerts.contains("\"state\":\"inactive\""), "{alerts}");
+
+        let wrong_method = request(
+            addr,
+            "POST /v1/alerts HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+        );
+        assert!(wrong_method.starts_with("HTTP/1.1 405"), "{wrong_method}");
+        handle.shutdown();
+        let _ = std::fs::remove_file(&rules);
+    }
+
+    #[test]
+    fn bad_alert_rules_fail_start() {
+        let dir = std::env::temp_dir().join("accordion-opsplane-badrules-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let rules = dir.join("bad.toml");
+        std::fs::write(&rules, "[[alert]]\nname = \"x\"\n").unwrap();
+        match start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            alert_rules: Some(rules.to_str().unwrap().to_string()),
+            ..ServeConfig::default()
+        }) {
+            Ok(handle) => {
+                handle.shutdown();
+                panic!("rules without a kind must be rejected");
+            }
+            Err(err) => assert_eq!(err.kind(), std::io::ErrorKind::InvalidData),
+        }
+        let _ = std::fs::remove_file(&rules);
     }
 
     #[test]

@@ -151,6 +151,31 @@ pub enum SimEvent {
         /// Selected safe frequency, GHz.
         f_ghz: f64,
     },
+    /// One pareto grid cell solved by the batched (columnar) sweep
+    /// engine. The payload is a pure function of the cell inputs —
+    /// no wall-clock — so recordings stay byte-identical at any job
+    /// count.
+    SweepCellSolve {
+        /// Cluster counts probed before the search stopped.
+        probed: u64,
+        /// Accepted cluster count; 0 when no count achieved iso-time
+        /// (the cell is N-limited and yields no point).
+        clusters: u64,
+        /// Problem size in parts-per-thousand of the STV default.
+        size_milli: u64,
+    },
+    /// One mode-family pareto front finished extracting (batched
+    /// engine).
+    SweepFrontRetire {
+        /// Frequency policy, `"safe"` or `"speculative"`.
+        policy: &'static str,
+        /// Problem scaling, `"compress"`, `"expand"` or `"still"`.
+        scaling: &'static str,
+        /// Grid cells evaluated for this front.
+        cells: u64,
+        /// Points accepted onto the front.
+        points: u64,
+    },
     /// One stage of an HTTP request's lifecycle completed (parse,
     /// cache lookup, pool fanout, serialize). The serving layer runs
     /// its track clocks in microseconds, so `us` doubles as the
@@ -189,6 +214,8 @@ impl SimEvent {
             SimEvent::Replan { .. } => "runtime.replan",
             SimEvent::EpochRetire { .. } => "runtime.epoch",
             SimEvent::SafeFreq { .. } => "timing.safe_freq",
+            SimEvent::SweepCellSolve { .. } => "sweep.cell",
+            SimEvent::SweepFrontRetire { .. } => "sweep.front",
             SimEvent::ServeStage { stage, .. } => stage,
             SimEvent::RequestRetire { .. } => "serve.request",
         }
@@ -295,6 +322,26 @@ impl SimEvent {
                 ("work_done_frac", Json::Num(*work_done_frac)),
             ]),
             SimEvent::SafeFreq { f_ghz } => Json::obj(vec![("f_ghz", Json::Num(*f_ghz))]),
+            SimEvent::SweepCellSolve {
+                probed,
+                clusters,
+                size_milli,
+            } => Json::obj(vec![
+                ("probed", n(*probed)),
+                ("clusters", n(*clusters)),
+                ("size_milli", n(*size_milli)),
+            ]),
+            SimEvent::SweepFrontRetire {
+                policy,
+                scaling,
+                cells,
+                points,
+            } => Json::obj(vec![
+                ("policy", Json::str(*policy)),
+                ("scaling", Json::str(*scaling)),
+                ("cells", n(*cells)),
+                ("points", n(*points)),
+            ]),
             SimEvent::ServeStage { us, .. } => Json::obj(vec![("us", n(*us))]),
             SimEvent::RequestRetire { status, bytes, us } => Json::obj(vec![
                 ("status", n(*status)),

@@ -47,6 +47,7 @@
 
 #![deny(missing_docs)]
 
+pub mod alerts;
 pub mod chrome;
 pub mod event;
 pub mod json;
@@ -56,6 +57,7 @@ pub mod registry;
 pub mod rolling;
 pub mod sink;
 pub mod span;
+pub mod tsdb;
 
 pub use manifest::RunManifest;
 pub use sink::Level;

@@ -54,6 +54,40 @@ pub struct Sample {
     pub labels: String,
     /// The sample value.
     pub value: SampleValue,
+    /// Per-bucket exemplars for histogram samples (index `i` decorates
+    /// the `i`-th bucket line, the last entry the `+Inf` bucket).
+    /// Empty for scalar samples and histograms without exemplars.
+    pub exemplars: Vec<Option<Exemplar>>,
+}
+
+/// An OpenMetrics exemplar: one recent observation annotated with
+/// trace-correlation labels, rendered after a bucket line as
+/// `... # {labels} value`. The serving path stores the request id and
+/// flight-recorder track of a recent observation per latency bucket,
+/// so a tail-latency spike links directly to the trace of a request
+/// that caused it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exemplar {
+    /// Canonical rendered label body, e.g.
+    /// `request_id="42",track="req00000042"`.
+    pub labels: String,
+    /// The exemplared observation value.
+    pub value: f64,
+}
+
+/// Escapes one label *value* the Prometheus way (`\\`, `\"`, `\n`).
+/// Use when building exemplar or label bodies from runtime strings.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
 }
 
 /// A sample's payload.
@@ -120,6 +154,17 @@ fn fmt_value(v: f64) -> String {
 }
 
 fn sample_line(out: &mut String, name: &str, labels: &str, extra: Option<&str>, v: f64) {
+    sample_line_ex(out, name, labels, extra, v, None);
+}
+
+fn sample_line_ex(
+    out: &mut String,
+    name: &str,
+    labels: &str,
+    extra: Option<&str>,
+    v: f64,
+    exemplar: Option<&Exemplar>,
+) {
     out.push_str(name);
     match (labels.is_empty(), extra) {
         (true, None) => {}
@@ -133,7 +178,11 @@ fn sample_line(out: &mut String, name: &str, labels: &str, extra: Option<&str>, 
             let _ = write!(out, "{{{labels},{e}}}");
         }
     }
-    let _ = writeln!(out, " {}", fmt_value(v));
+    let _ = write!(out, " {}", fmt_value(v));
+    if let Some(ex) = exemplar {
+        let _ = write!(out, " # {{{}}} {}", ex.labels, fmt_value(ex.value));
+    }
+    out.push('\n');
 }
 
 /// Renders gathered families as one exposition document. Families are
@@ -156,17 +205,25 @@ pub fn render_families(families: &[Family]) -> String {
                 SampleValue::Hist(h) => {
                     let bucket = format!("{name}_bucket");
                     let mut cum = 0u64;
-                    for (edge, c) in h.bounds.iter().zip(&h.buckets) {
+                    for (i, (edge, c)) in h.bounds.iter().zip(&h.buckets).enumerate() {
                         cum += c;
                         let le = format!("le=\"{}\"", fmt_value(*edge));
-                        sample_line(&mut out, &bucket, &s.labels, Some(&le), cum as f64);
+                        sample_line_ex(
+                            &mut out,
+                            &bucket,
+                            &s.labels,
+                            Some(&le),
+                            cum as f64,
+                            s.exemplars.get(i).and_then(Option::as_ref),
+                        );
                     }
-                    sample_line(
+                    sample_line_ex(
                         &mut out,
                         &bucket,
                         &s.labels,
                         Some("le=\"+Inf\""),
                         h.count as f64,
+                        s.exemplars.get(h.bounds.len()).and_then(Option::as_ref),
                     );
                     sample_line(&mut out, &format!("{name}_sum"), &s.labels, None, h.sum);
                     sample_line(
@@ -184,7 +241,7 @@ pub fn render_families(families: &[Family]) -> String {
 }
 
 /// The family's on-the-wire name (counters carry `_total`).
-fn rendered_name(fam: &Family) -> String {
+pub fn rendered_name(fam: &Family) -> String {
     if fam.kind == Kind::Counter && !fam.name.ends_with("_total") {
         format!("{}_total", fam.name)
     } else {
@@ -215,7 +272,10 @@ pub struct LintReport {
 /// * metric and label names are well-formed, label values are quoted
 ///   with balanced, correctly escaped quotes;
 /// * histogram buckets are cumulative (non-decreasing) in `le` order,
-///   end with `le="+Inf"`, and the `+Inf` bucket equals `_count`.
+///   end with `le="+Inf"`, and the `+Inf` bucket equals `_count`;
+/// * OpenMetrics exemplar suffixes (`# {labels} value [timestamp]`)
+///   appear only on `_bucket` lines, with well-formed, correctly
+///   escaped labels and a parseable value.
 ///
 /// # Errors
 ///
@@ -270,7 +330,7 @@ pub fn lint(text: &str) -> Result<LintReport, Vec<String>> {
         if line.starts_with('#') {
             continue;
         }
-        let Some((name, label_body, value)) = split_sample(line) else {
+        let Some((name, label_body, value, trailer)) = split_sample(line) else {
             errors.push(format!("line {ln}: malformed sample line {line:?}"));
             continue;
         };
@@ -295,6 +355,17 @@ pub fn lint(text: &str) -> Result<LintReport, Vec<String>> {
             errors.push(format!("line {ln}: sample {name} has no preceding TYPE"));
             continue;
         };
+        if !trailer.is_empty() {
+            if let Some(ex) = trailer.strip_prefix('#') {
+                if suffix != "_bucket" {
+                    errors.push(format!("line {ln}: exemplar on a non-bucket sample {name}"));
+                } else if let Err(e) = check_exemplar(ex.trim_start()) {
+                    errors.push(format!("line {ln}: {e}"));
+                }
+            } else if trailer.split(' ').count() != 1 || parse_value(trailer).is_err() {
+                errors.push(format!("line {ln}: malformed sample trailer {trailer:?}"));
+            }
+        }
         if suffix == "_bucket" {
             let le = labels.iter().find(|(k, _)| k == "le");
             let Some((_, le)) = le else {
@@ -369,10 +440,18 @@ pub fn lint(text: &str) -> Result<LintReport, Vec<String>> {
     }
 }
 
-/// Splits `name{labels} value [timestamp]` into its parts; the label
-/// block is optional. Returns `None` on structural nonsense.
-fn split_sample(line: &str) -> Option<(&str, &str, &str)> {
-    let (head, tail) = match line.find('{') {
+/// Splits `name{labels} value [trailer]` into its parts; the label
+/// block is optional and the trailer (a plain timestamp or an
+/// OpenMetrics `# {...} value` exemplar) may be empty. Returns `None`
+/// on structural nonsense.
+fn split_sample(line: &str) -> Option<(&str, &str, &str, &str)> {
+    // A `{` only opens the label block when it is attached to the
+    // metric name (an exemplar trailer contains its own `{`).
+    let label_open = match line.find('{') {
+        Some(open) if !line[..open].contains(' ') => Some(open),
+        _ => None,
+    };
+    let (head, tail) = match label_open {
         Some(open) => {
             // The closing brace must be found respecting quoted values.
             let rest = &line[open + 1..];
@@ -392,7 +471,32 @@ fn split_sample(line: &str) -> Option<(&str, &str, &str)> {
     if value.is_empty() {
         return None;
     }
-    Some((head.0, head.1, value))
+    let trailer = tail[value.len()..].trim_start();
+    Some((head.0, head.1, value, trailer))
+}
+
+/// Validates the body of an exemplar trailer (after the `#`):
+/// `{labels} value [timestamp]` with Prometheus-escaped label values.
+fn check_exemplar(body: &str) -> Result<(), String> {
+    let rest = body
+        .strip_prefix('{')
+        .ok_or_else(|| format!("exemplar without a label block: {body:?}"))?;
+    let close =
+        find_label_end(rest).ok_or_else(|| format!("unterminated exemplar labels: {body:?}"))?;
+    parse_labels(&rest[..close]).map_err(|e| format!("exemplar labels: {e}"))?;
+    let mut tokens = rest[close + 1..].split_whitespace();
+    let value = tokens
+        .next()
+        .ok_or_else(|| format!("exemplar without a value: {body:?}"))?;
+    parse_value(value).map_err(|()| format!("unparseable exemplar value {value:?}"))?;
+    if let Some(ts) = tokens.next() {
+        ts.parse::<f64>()
+            .map_err(|_| format!("unparseable exemplar timestamp {ts:?}"))?;
+    }
+    if tokens.next().is_some() {
+        return Err(format!("trailing tokens after exemplar: {body:?}"));
+    }
+    Ok(())
 }
 
 /// Index of the `}` closing a label body, skipping quoted strings.
@@ -524,6 +628,7 @@ mod tests {
             samples: vec![Sample {
                 labels: "outcome=\"ok\"".into(),
                 value: SampleValue::Scalar(3.0),
+                exemplars: Vec::new(),
             }],
         };
         let text = render_families(&[fam]);
@@ -549,6 +654,7 @@ mod tests {
                     min: Some(0.5),
                     max: Some(9.0),
                 }),
+                exemplars: Vec::new(),
             }],
         };
         let text = render_families(&[fam]);
@@ -589,6 +695,95 @@ mod tests {
         );
         let errs = lint(mismatch).unwrap_err();
         assert!(errs.iter().any(|e| e.contains("_count")), "{errs:?}");
+    }
+
+    #[test]
+    fn exemplars_render_and_lint() {
+        let fam = Family {
+            name: "demo_ex".into(),
+            help: "exemplared latency".into(),
+            kind: Kind::Histogram,
+            samples: vec![Sample {
+                labels: "outcome=\"ok\"".into(),
+                value: SampleValue::Hist(HistogramSnapshot {
+                    bounds: vec![1.0, 2.0],
+                    buckets: vec![3, 2, 1],
+                    count: 6,
+                    sum: 7.5,
+                    min: Some(0.5),
+                    max: Some(9.0),
+                }),
+                exemplars: vec![
+                    Some(Exemplar {
+                        labels: "request_id=\"7\",track=\"req00000007\"".into(),
+                        value: 0.9,
+                    }),
+                    None,
+                    Some(Exemplar {
+                        labels: "request_id=\"9\",track=\"req00000009\"".into(),
+                        value: 9.0,
+                    }),
+                ],
+            }],
+        };
+        let text = render_families(&[fam]);
+        assert!(
+            text.contains(
+                "demo_ex_bucket{outcome=\"ok\",le=\"1\"} 3 \
+                 # {request_id=\"7\",track=\"req00000007\"} 0.9"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "demo_ex_bucket{outcome=\"ok\",le=\"+Inf\"} 6 \
+                 # {request_id=\"9\",track=\"req00000009\"} 9"
+            ),
+            "{text}"
+        );
+        // The le="2" bucket has no exemplar.
+        assert!(text.contains("demo_ex_bucket{outcome=\"ok\",le=\"2\"} 5\n"));
+        lint(&text).expect("exemplared exposition lints clean");
+    }
+
+    #[test]
+    fn lint_validates_exemplar_structure() {
+        let head = "# HELP h x\n# TYPE h histogram\n";
+        let base = "h_bucket{le=\"+Inf\"} 1 # {t=\"a\"} 0.5\nh_sum 1\nh_count 1\n";
+        lint(&format!("{head}{base}")).expect("well-formed exemplar");
+        // Exemplar with timestamp is legal.
+        let ts = "h_bucket{le=\"+Inf\"} 1 # {t=\"a\"} 0.5 1712.5\nh_sum 1\nh_count 1\n";
+        lint(&format!("{head}{ts}")).expect("exemplar with timestamp");
+        // Exemplar on a non-bucket sample is rejected.
+        let on_sum = "h_bucket{le=\"+Inf\"} 1\nh_sum 1 # {t=\"a\"} 0.5\nh_count 1\n";
+        let errs = lint(&format!("{head}{on_sum}")).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("non-bucket")), "{errs:?}");
+        // Unterminated exemplar labels.
+        let bad = "h_bucket{le=\"+Inf\"} 1 # {t=\"a} 0.5\nh_sum 1\nh_count 1\n";
+        assert!(lint(&format!("{head}{bad}")).is_err());
+        // Missing exemplar value.
+        let noval = "h_bucket{le=\"+Inf\"} 1 # {t=\"a\"}\nh_sum 1\nh_count 1\n";
+        let errs = lint(&format!("{head}{noval}")).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("value")), "{errs:?}");
+    }
+
+    #[test]
+    fn escape_label_value_round_trips_through_lint() {
+        let hostile = "a\"b\\c\nd";
+        let escaped = escape_label_value(hostile);
+        assert_eq!(escaped, "a\\\"b\\\\c\\nd");
+        let text = format!(
+            "# HELP h x\n# TYPE h histogram\n\
+             h_bucket{{le=\"+Inf\"}} 1 # {{track=\"{escaped}\"}} 2\nh_sum 1\nh_count 1\n"
+        );
+        lint(&text).expect("escaped exemplar labels lint clean");
+        // The raw (unescaped) form must be rejected: it embeds a bare
+        // quote and a literal newline inside the label block.
+        let raw = format!(
+            "# HELP h x\n# TYPE h histogram\n\
+             h_bucket{{le=\"+Inf\"}} 1 # {{track=\"{hostile}\"}} 2\nh_sum 1\nh_count 1\n"
+        );
+        assert!(lint(&raw).is_err());
     }
 
     #[test]

@@ -472,6 +472,7 @@ impl Registry {
                 Sample {
                     labels: String::new(),
                     value: SampleValue::Scalar(c.get() as f64),
+                    exemplars: Vec::new(),
                 },
             );
         }
@@ -484,6 +485,7 @@ impl Registry {
                     Sample {
                         labels: labels.clone(),
                         value: SampleValue::Scalar(c.get() as f64),
+                        exemplars: Vec::new(),
                     },
                 );
             }
@@ -496,6 +498,7 @@ impl Registry {
                 Sample {
                     labels: String::new(),
                     value: SampleValue::Scalar(g.get()),
+                    exemplars: Vec::new(),
                 },
             );
         }
@@ -508,6 +511,7 @@ impl Registry {
                     Sample {
                         labels: labels.clone(),
                         value: SampleValue::Scalar(g.get()),
+                        exemplars: Vec::new(),
                     },
                 );
             }
@@ -520,6 +524,7 @@ impl Registry {
                 Sample {
                     labels: String::new(),
                     value: SampleValue::Hist(h.snapshot()),
+                    exemplars: Vec::new(),
                 },
             );
         }
@@ -532,6 +537,7 @@ impl Registry {
                     Sample {
                         labels: labels.clone(),
                         value: SampleValue::Hist(h.window_snapshot()),
+                        exemplars: h.exemplars(),
                     },
                 );
             }
@@ -545,6 +551,7 @@ impl Registry {
                 Sample {
                     labels: String::new(),
                     value: SampleValue::Scalar(s.calls() as f64),
+                    exemplars: Vec::new(),
                 },
             );
             push(
@@ -554,6 +561,7 @@ impl Registry {
                 Sample {
                     labels: String::new(),
                     value: SampleValue::Scalar(s.total_ns() as f64 / 1e9),
+                    exemplars: Vec::new(),
                 },
             );
         }

@@ -32,6 +32,7 @@
 //! per-cycle one — the simulation hot loops keep the atomic lifetime
 //! histograms.
 
+use crate::prom::Exemplar;
 use crate::registry::HistogramSnapshot;
 use std::sync::Mutex;
 use std::time::Instant;
@@ -63,11 +64,23 @@ impl Slice {
     }
 }
 
+/// One stored exemplar: the rendered label body plus the observation
+/// and its stamp (for aging out with the window).
+struct ExemplarSlot {
+    labels: String,
+    value: f64,
+    t_ms: u64,
+}
+
 /// A fixed-bucket histogram over a rolling time window.
 pub struct RollingHistogram {
     bounds: Vec<f64>,
     slice_ms: u64,
     slices: Vec<Mutex<Slice>>,
+    /// Latest exemplar per bucket (`bounds.len() + 1` slots, last =
+    /// overflow). Latest-wins keeps memory fixed at one slot per
+    /// bucket; stale entries age out of snapshots with the window.
+    exemplars: Mutex<Vec<Option<ExemplarSlot>>>,
     start: Instant,
 }
 
@@ -103,6 +116,7 @@ impl RollingHistogram {
                     })
                 })
                 .collect(),
+            exemplars: Mutex::new((0..=bounds.len()).map(|_| None).collect()),
             start: Instant::now(),
         }
     }
@@ -144,6 +158,51 @@ impl RollingHistogram {
         slice.sum += v;
         slice.min = slice.min.min(v);
         slice.max = slice.max.max(v);
+    }
+
+    /// Records one observation and stores an exemplar for its bucket:
+    /// `labels` is a pre-escaped Prometheus label body (see
+    /// [`crate::prom::escape_label_value`]), e.g.
+    /// `request_id="42",track="req00000042"`. Latest-wins per bucket.
+    pub fn record_with_exemplar(&self, v: f64, labels: &str) {
+        self.record_with_exemplar_at_ms(v, self.now_ms(), labels);
+    }
+
+    /// [`record_with_exemplar`](Self::record_with_exemplar) with an
+    /// injected clock.
+    pub fn record_with_exemplar_at_ms(&self, v: f64, now_ms: u64, labels: &str) {
+        self.record_at_ms(v, now_ms);
+        let idx = self.bounds.partition_point(|&b| b < v);
+        let mut slots = self.exemplars.lock().expect("exemplar lock");
+        slots[idx] = Some(ExemplarSlot {
+            labels: labels.to_string(),
+            value: v,
+            t_ms: now_ms,
+        });
+    }
+
+    /// Per-bucket exemplars still inside the window, indexed like the
+    /// snapshot's buckets (`None` where no recent exemplar exists).
+    pub fn exemplars(&self) -> Vec<Option<Exemplar>> {
+        self.exemplars_at_ms(self.now_ms())
+    }
+
+    /// [`exemplars`](Self::exemplars) with an injected clock: entries
+    /// older than the window (or stamped in its future) are dropped.
+    pub fn exemplars_at_ms(&self, now_ms: u64) -> Vec<Option<Exemplar>> {
+        let window_ms = self.slice_ms * self.slices.len() as u64;
+        let slots = self.exemplars.lock().expect("exemplar lock");
+        slots
+            .iter()
+            .map(|s| {
+                s.as_ref()
+                    .filter(|s| s.t_ms <= now_ms && now_ms - s.t_ms <= window_ms)
+                    .map(|s| Exemplar {
+                        labels: s.labels.clone(),
+                        value: s.value,
+                    })
+            })
+            .collect()
     }
 
     /// Merged view of the window ending at the current wall clock.
@@ -274,5 +333,72 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn unsorted_bounds_panic() {
         let _ = RollingHistogram::new(&[2.0, 1.0], 1.0, 2);
+    }
+
+    #[test]
+    fn idle_gap_expires_slices_without_writes() {
+        // No traffic arrives between scrapes: expiry must come from
+        // the snapshot clock alone, with no record() to trigger the
+        // lazy slot reset.
+        let h = hist(); // 8 s window, 4 × 2 s slices
+        for i in 0..20 {
+            h.record_at_ms(5.0, 100 + i); // all in slice 0
+        }
+        assert_eq!(h.window_snapshot_at_ms(1_000).count, 20);
+        // Scrapes during the idle gap watch the window drain...
+        assert_eq!(h.window_snapshot_at_ms(7_999).count, 20);
+        assert_eq!(h.window_snapshot_at_ms(8_000).count, 0);
+        // ...and far past the gap it stays empty (slot epochs are long
+        // stale but must never alias back into the window).
+        for t in [20_000, 60_000, 3_600_000] {
+            let s = h.window_snapshot_at_ms(t);
+            assert_eq!(s.count, 0, "t={t}");
+            assert_eq!(s.percentile(0.99), None, "t={t}");
+            assert_eq!(s.min, None, "t={t}");
+        }
+        // Traffic resuming after the gap lands in a clean window.
+        h.record_at_ms(7.0, 3_600_500);
+        let s = h.window_snapshot_at_ms(3_600_600);
+        assert_eq!((s.count, s.min), (1, Some(7.0)));
+    }
+
+    #[test]
+    fn idle_gap_spanning_one_partial_window_keeps_recent_slices() {
+        let h = hist();
+        h.record_at_ms(1.5, 1_000); // slice 0
+        h.record_at_ms(50.0, 7_000); // slice 3
+                                     // A gap moves the window to epochs 1..=4: slice 0 is out,
+                                     // slice 3 still in, with no intervening traffic.
+        let s = h.window_snapshot_at_ms(9_900);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, Some(50.0));
+    }
+
+    #[test]
+    fn exemplars_capture_latest_and_age_out() {
+        let h = hist();
+        h.record_with_exemplar_at_ms(0.5, 100, "request_id=\"1\"");
+        h.record_with_exemplar_at_ms(0.7, 200, "request_id=\"2\"");
+        h.record_with_exemplar_at_ms(50.0, 300, "request_id=\"3\"");
+        let ex = h.exemplars_at_ms(400);
+        // Bucket 0 (≤1.0): latest wins.
+        assert_eq!(ex[0].as_ref().unwrap().labels, "request_id=\"2\"");
+        assert_eq!(ex[0].as_ref().unwrap().value, 0.7);
+        // Bucket 2 (≤100.0) holds request 3; bucket 1 and overflow are
+        // empty.
+        assert_eq!(ex[2].as_ref().unwrap().labels, "request_id=\"3\"");
+        assert!(ex[1].is_none() && ex[3].is_none());
+        // Past the window every exemplar ages out, matching the
+        // histogram itself.
+        assert!(h.exemplars_at_ms(9_000).iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn exemplar_counts_match_bucket_layout() {
+        let h = hist();
+        assert_eq!(h.exemplars().len(), 4); // 3 bounds + overflow
+        h.record_with_exemplar(3.0, "t=\"x\"");
+        let ex = h.exemplars();
+        assert_eq!(ex[1].as_ref().map(|e| e.value), Some(3.0));
     }
 }

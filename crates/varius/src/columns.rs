@@ -23,7 +23,7 @@
 //! * `z_for_perr(ncp, perr)` is a pure function — computing it once
 //!   and reusing it across clusters changes nothing;
 //! * each element evaluates `1.0 / (μ + z·σ)` with the exact operation
-//!   order of [`CoreTiming::frequency_at_z`] (mul, add, div — never
+//!   order of `CoreTiming::frequency_at_z` (mul, add, div — never
 //!   fused);
 //! * reductions are `min`, which is associative and commutative over
 //!   the non-NaN values produced here, so lane order cannot change the
@@ -113,7 +113,7 @@ impl TimingColumns {
     }
 
     /// Minimum member frequency of `cluster` at a pre-hoisted `z` —
-    /// bit-identical to folding [`CoreTiming::frequency_at_z`] over
+    /// bit-identical to folding `CoreTiming::frequency_at_z` over
     /// the members.
     pub fn cluster_frequency_at_z(&self, cluster: usize, z: f64) -> f64 {
         let r = self.cluster_range(cluster);

@@ -35,7 +35,7 @@ for arg in "$@"; do
         *) out="$arg" ;;
     esac
 done
-out="${out:-BENCH_PR8.json}"
+out="${out:-BENCH_PR9.json}"
 
 baseline="${ACCORDION_BENCH_BASELINE:-}"
 if [ -z "$baseline" ]; then
@@ -132,12 +132,23 @@ else
     echo "==> repro loadtest x3 --keepalive --pipeline 4 (serve_keepalive gate inputs)"
     read -r ka_p99 ka_nspr _ka_sweep_p99 <<< "$(run_loadtest --keepalive --pipeline 4)"
     echo "    keep-alive median: $(awk -v n="$ka_nspr" 'BEGIN { printf "%.0f", 1e9 / n }') req/s, p99 $ka_p99 ns"
+    # Same path with the ops-plane self-scrape loop off: the ratio of
+    # the two prices the per-tick TSDB sampling + alert evaluation the
+    # default server config now pays. Both keys join the regression
+    # gate, so scrape overhead creeping past the tolerance fails
+    # --check like any other serving regression.
+    echo "==> repro loadtest x3 --keepalive --pipeline 4 --no-scrape (self-scrape overhead)"
+    read -r ns_p99 ns_nspr _ns_sweep_p99 <<< "$(run_loadtest --keepalive --pipeline 4 --no-scrape)"
+    scrape_overhead="$(awk -v on="$ka_nspr" -v off="$ns_nspr" 'BEGIN { printf "%.3f", on / off }')"
+    echo "    no-scrape median: $(awk -v n="$ns_nspr" 'BEGIN { printf "%.0f", 1e9 / n }') req/s, p99 $ns_p99 ns (scrape-on/off ${scrape_overhead}x)"
     fresh="$fresh
 serve_loadtest_p99_ns $lt_p99 $lt_p99
 serve_loadtest_ns_per_req $lt_nspr $lt_nspr
 serve_loadtest_sweep_p99_ns $lt_sweep_p99 $lt_sweep_p99
 serve_keepalive_p99_ns $ka_p99 $ka_p99
-serve_keepalive_ns_per_req $ka_nspr $ka_nspr"
+serve_keepalive_ns_per_req $ka_nspr $ka_nspr
+serve_noscrape_p99_ns $ns_p99 $ns_p99
+serve_noscrape_ns_per_req $ns_nspr $ns_nspr"
 
     # Figure-sweep wall clock, median of 3: the end-to-end cost of the
     # fig6 (4-benchmark) and fig7 (2-benchmark) artifact generations —
@@ -181,6 +192,8 @@ if [ "$dryrun" -eq 0 ]; then
     # scale PR 1 established for disabled trace events.
     flight_ns="$(fresh_of telemetry_flight_disabled_event)"
     [ -n "$flight_ns" ] || { echo "error: flight overhead bench missing" >&2; exit 1; }
+    tsdb_scrape_ns="$(fresh_of tsdb_scrape_ns)"
+    [ -n "$tsdb_scrape_ns" ] || { echo "error: tsdb scrape bench missing" >&2; exit 1; }
     awk -v v="$flight_ns" 'BEGIN {
         if (v > 5.0) {
             print "FAIL: disabled flight recorder costs " v " ns/event (> 5 ns envelope)" > "/dev/stderr"
@@ -222,7 +235,7 @@ if [ "$dryrun" -eq 0 ]; then
 
     {
         echo '{'
-        echo '  "bench": "sparse variation engine + telemetry hot paths + serve latency + columnar sweep engine",'
+        echo '  "bench": "sparse variation engine + telemetry hot paths + serve latency + columnar sweep engine + ops-plane self-scrape",'
         echo '  "plan": { "sites": 612, "phi": 0.1, "range_mm": 2.0 },'
         echo '  "median_ns": {'
         echo "$fresh" | awk '{ pairs[NR] = "    \"" $1 "\": " $3 }
@@ -235,11 +248,12 @@ if [ "$dryrun" -eq 0 ]; then
         echo "    \"keepalive_vs_close\": $keepalive_vs_close,"
         echo "    \"sweep_batched_vs_scalar\": $sweep_speedup"
         echo '  },'
+        echo "  \"self_scrape_overhead\": $scrape_overhead,"
         echo "  \"serve_keepalive_rps\": $keepalive_rps,"
         echo "  \"fabrication_chips_per_second\": $chips_per_s"
         echo '}'
     } > "$out"
-    echo "wrote $out (construction ${construct_speedup}x, sampling ${sample_speedup}x, serve warm ${serve_speedup}x, keep-alive ${keepalive_vs_close}x @ ${keepalive_rps} req/s, sweep ${sweep_speedup}x, ${chips_per_s} chips/s)"
+    echo "wrote $out (construction ${construct_speedup}x, sampling ${sample_speedup}x, serve warm ${serve_speedup}x, keep-alive ${keepalive_vs_close}x @ ${keepalive_rps} req/s, sweep ${sweep_speedup}x, scrape overhead ${scrape_overhead}x, ${chips_per_s} chips/s)"
 
     # The PR 3 acceptance floors stay pinned; PR 5 adds the service's
     # warm-cache floor (a warm /v1/simulate must be >= 5x faster than

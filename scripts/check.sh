@@ -62,6 +62,7 @@ if [ "$fast" -eq 0 ]; then
     serve_port=18471
     cargo run --release -q -p accordion-bench --bin repro -- \
         serve --addr "127.0.0.1:$serve_port" --threads 2 \
+        --alerts configs/alerts.toml --scrape-interval 200 \
         < /dev/null > "$smoke_dir/serve.log" 2>&1 &
     serve_pid=$!
     for _ in $(seq 1 50); do
@@ -80,9 +81,26 @@ if [ "$fast" -eq 0 ]; then
     cargo run --release -q -p accordion-bench --bin repro -- \
         validate-metrics "127.0.0.1:$serve_port"
 
+    # Ops-plane smoke: one dashboard frame against the live server
+    # must render the panels and the configured alert rules — proves
+    # the self-scrape loop, both /v1 endpoints, and the dash renderer
+    # end to end.
+    echo "==> repro dash --once (ops-plane smoke)"
+    cargo run --release -q -p accordion-bench --bin repro -- \
+        dash --once --addr "127.0.0.1:$serve_port" > "$smoke_dir/dash.txt"
+    grep -q "accordion dash" "$smoke_dir/dash.txt"
+    grep -q "ok-p99-latency" "$smoke_dir/dash.txt"
+
     curl -sf -X POST "http://127.0.0.1:$serve_port/v1/shutdown" > /dev/null
     wait "$serve_pid"
     grep -q "accordion-served stopped" "$smoke_dir/serve.log"
+
+    # Alert-rule lint: the shipped example rules must parse with the
+    # server's own parser (`repro serve --alerts` would reject what
+    # this rejects).
+    echo "==> repro validate-alerts configs/alerts.toml"
+    cargo run --release -q -p accordion-bench --bin repro -- \
+        validate-alerts configs/alerts.toml
 
     # Loadtest smoke: a two-second closed-loop run against an
     # in-process ephemeral-port server must complete requests and emit
