@@ -15,6 +15,11 @@
 //!                [--connections N] [--duration S] [--warmup S]
 //!                [--seed N] [--json FILE] [--keepalive] [--pipeline N]
 //!                [--no-scrape]
+//! repro optimize [--app NAME] [--topo default|small] [--seed N]
+//!                [--pop-seed N] [--chips N] [--chip N] [--population N]
+//!                [--generations N] [--scout-steps N] [--quality-floor Q]
+//!                [--power-budget W] [--time-budget S] [--grid-check N]
+//!                [--no-iso] [--json FILE] [--jobs N]
 //! repro dash [--addr HOST:PORT] [--interval S] [--range S] [--once]
 //! repro validate-trace <file>
 //! repro validate-metrics <addr|file>
@@ -252,6 +257,10 @@ fn main() {
         }
         Some("loadtest") => {
             loadtest_main(&args[1..]);
+            return;
+        }
+        Some("optimize") => {
+            optimize_main(&args[1..]);
             return;
         }
         Some("validate-metrics") => {
@@ -735,6 +744,189 @@ fn loadtest_main(args: &[String]) {
     }
 }
 
+/// `repro optimize`: searches the `(Vdd, clusters, size, guardband)`
+/// knob space with the seeded NSGA-II loop in `accordion-opt` and
+/// prints the JSON report (front, champions, iso-metric curves,
+/// provenance) on stdout — or to `--json FILE`. A one-line evals/s
+/// summary goes to stderr; `scripts/bench.sh` parses it for the
+/// `opt_evals_per_s` gate. The report is byte-identical at any
+/// `--jobs` setting (the optimizer's determinism contract).
+fn optimize_main(args: &[String]) {
+    use accordion_chip::topology::Topology;
+    use accordion_opt::{Constraints, KnobSpace, OptConfig, OptimizeRequest};
+    let mut app = "canneal".to_string();
+    let mut topo = Topology::paper_default();
+    let mut seed = POPULATION_SEED;
+    let mut pop_seed = POPULATION_SEED;
+    let mut chips = 5usize;
+    let mut chip = 0usize;
+    let mut population = 24usize;
+    let mut generations = 8usize;
+    let mut scout_steps = 3u32;
+    let mut quality_floor: Option<f64> = None;
+    let mut power_budget_w: Option<f64> = None;
+    let mut time_budget_s: Option<f64> = None;
+    let mut grid_check: Option<u32> = None;
+    let mut iso = true;
+    let mut json_path: Option<String> = None;
+    let mut it = args.iter();
+    fn num(it: &mut std::slice::Iter<'_, String>, what: &str) -> f64 {
+        it.next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| die(&format!("{what} needs a number")))
+    }
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--app" => {
+                app = it
+                    .next()
+                    .cloned()
+                    .unwrap_or_else(|| die("--app needs a benchmark name"));
+            }
+            "--topo" => {
+                topo = match it.next().map(String::as_str) {
+                    Some("default") => Topology::paper_default(),
+                    Some("small") => Topology::small(),
+                    other => die(&format!("--topo needs default or small, got {other:?}")),
+                };
+            }
+            "--seed" => seed = num(&mut it, "--seed") as u64,
+            "--pop-seed" => pop_seed = num(&mut it, "--pop-seed") as u64,
+            "--chips" => {
+                chips = num(&mut it, "--chips") as usize;
+                if chips == 0 {
+                    die("--chips must be at least 1");
+                }
+            }
+            "--chip" => chip = num(&mut it, "--chip") as usize,
+            "--population" => {
+                population = num(&mut it, "--population") as usize;
+                if population < 4 {
+                    die("--population must be at least 4");
+                }
+            }
+            "--generations" => {
+                generations = num(&mut it, "--generations") as usize;
+                if generations == 0 {
+                    die("--generations must be at least 1");
+                }
+            }
+            "--scout-steps" => {
+                scout_steps = num(&mut it, "--scout-steps") as u32;
+                if !(2..=6).contains(&scout_steps) {
+                    die("--scout-steps must be in [2, 6]");
+                }
+            }
+            "--quality-floor" => {
+                let q = num(&mut it, "--quality-floor");
+                if !(0.0..=1.0).contains(&q) {
+                    die("--quality-floor must be in [0, 1]");
+                }
+                quality_floor = Some(q);
+            }
+            "--power-budget" => {
+                let w = num(&mut it, "--power-budget");
+                if w <= 0.0 {
+                    die("--power-budget must be positive (watts)");
+                }
+                power_budget_w = Some(w);
+            }
+            "--time-budget" => {
+                let t = num(&mut it, "--time-budget");
+                if t <= 0.0 {
+                    die("--time-budget must be positive (seconds)");
+                }
+                time_budget_s = Some(t);
+            }
+            "--grid-check" => {
+                let steps = num(&mut it, "--grid-check") as u32;
+                if !(2..=6).contains(&steps) {
+                    die("--grid-check steps must be in [2, 6]");
+                }
+                grid_check = Some(steps);
+            }
+            "--no-iso" => iso = false,
+            "--json" => {
+                json_path = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| die("--json needs a file path")),
+                );
+            }
+            "--jobs" => {
+                let n = num(&mut it, "--jobs") as usize;
+                if n == 0 {
+                    die("--jobs must be at least 1");
+                }
+                accordion_pool::set_jobs(Some(n));
+            }
+            "--help" | "-h" => {
+                println!("{}", usage_text());
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown optimize argument {other}")),
+        }
+    }
+    if chip >= chips {
+        die(&format!("--chip {chip} outside population of {chips}"));
+    }
+    sink::init_from_env();
+    let req = OptimizeRequest {
+        app,
+        topo,
+        pop_seed,
+        chips,
+        chip,
+        cfg: OptConfig {
+            seed,
+            population,
+            generations,
+            scout_steps,
+            // The ceiling only has to exceed the chip's cluster count;
+            // `optimize_report` clamps it to the actual topology.
+            space: KnobSpace::full(64),
+            constraints: Constraints {
+                quality_floor,
+                power_budget_w,
+                time_budget_s,
+            },
+        },
+        iso,
+        grid_check,
+    };
+    let started = Instant::now();
+    let doc =
+        accordion_opt::optimize_report(&req, accordion_pool::jobs()).unwrap_or_else(|e| die(&e));
+    let wall_s = started.elapsed().as_secs_f64();
+    let search_stat = |key: &str| {
+        doc.get("search")
+            .and_then(|s| s.get(key))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    let evals = search_stat("evals");
+    let hits = search_stat("cache_hits");
+    let rendered = doc.render_pretty();
+    match &json_path {
+        Some(path) => {
+            std::fs::write(path, &rendered)
+                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+            eprintln!("optimize report: {path}");
+        }
+        None => print!("{rendered}"),
+    }
+    // The stderr summary is the bench gate's input: evals/s measures
+    // search throughput including every cache layer.
+    eprintln!(
+        "optimize: {} evals ({} cache hits) in {:.3} s ({:.1} evals/s)",
+        evals as u64,
+        hits as u64,
+        wall_s,
+        evals / wall_s.max(1e-9),
+    );
+    sink::flush();
+}
+
 /// `repro validate-metrics <addr|file>`: lints a Prometheus exposition
 /// document — fetched live from `http://ADDR/metrics` when the target
 /// looks like an address, read from disk otherwise. Exits nonzero on
@@ -802,7 +994,7 @@ fn fetch_metrics(addr: std::net::SocketAddr) -> String {
 fn dash_main(args: &[String]) {
     let mut addr = "127.0.0.1:8080".to_string();
     let mut interval = Duration::from_secs(1);
-    let mut range_secs = 300u32;
+    let mut range = "300".to_string();
     let mut once = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -821,12 +1013,14 @@ fn dash_main(args: &[String]) {
                     .unwrap_or_else(|| die("--interval needs seconds >= 0.1"));
                 interval = Duration::from_secs_f64(s);
             }
+            // Passed through verbatim: `/v1/timeseries` owns range
+            // validation, so a value it rejects surfaces the server's
+            // own error message instead of a client-side parse failure.
             "--range" => {
-                range_secs = it
+                range = it
                     .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|&n| n >= 1)
-                    .unwrap_or_else(|| die("--range needs seconds >= 1"));
+                    .cloned()
+                    .unwrap_or_else(|| die("--range needs a value (seconds)"));
             }
             "--once" => once = true,
             "--help" | "-h" => {
@@ -844,7 +1038,7 @@ fn dash_main(args: &[String]) {
     let cfg = dash::DashConfig {
         addr: sock,
         interval,
-        range_secs,
+        range,
         once,
     };
     if let Err(e) = dash::run(&cfg) {

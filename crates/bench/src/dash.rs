@@ -39,8 +39,11 @@ pub struct DashConfig {
     pub addr: SocketAddr,
     /// Seconds between redraws.
     pub interval: Duration,
-    /// History window requested from `/v1/timeseries`, seconds.
-    pub range_secs: u32,
+    /// History window requested from `/v1/timeseries`, seconds. Passed
+    /// through verbatim: the server owns range validation, so a value
+    /// it rejects surfaces its own error message (not a client-side
+    /// parse failure that hides what the server would have said).
+    pub range: String,
     /// Render a single frame and exit (for scripts and smoke tests).
     pub once: bool,
 }
@@ -189,8 +192,9 @@ pub fn render_frame(addr: &str, series: &[Series], alerts: &[AlertRow], width: u
 }
 
 /// Blocking one-shot HTTP GET against the serving instance. Returns
-/// the response body on 200, an error string otherwise.
-pub fn fetch(addr: SocketAddr, path: &str) -> Result<String, String> {
+/// the status code and body; only transport-level failures are `Err`,
+/// so callers can read the server's error body on a 4xx/5xx answer.
+pub fn fetch(addr: SocketAddr, path: &str) -> Result<(u16, String), String> {
     let timeout = Duration::from_secs(5);
     let mut conn = TcpStream::connect_timeout(&addr, timeout)
         .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
@@ -206,13 +210,25 @@ pub fn fetch(addr: SocketAddr, path: &str) -> Result<String, String> {
     let (head, body) = reply
         .split_once("\r\n\r\n")
         .ok_or_else(|| format!("{addr}: malformed HTTP response"))?;
-    if !head.starts_with("HTTP/1.1 200") {
-        return Err(format!(
-            "{addr}{path} answered {}",
-            head.lines().next().unwrap_or("?")
-        ));
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("{addr}: malformed status line"))?;
+    Ok((status, body.to_string()))
+}
+
+/// Renders a non-200 answer as the message the user should see: the
+/// server's own `{"error": ...}` body when present (e.g. the valid
+/// range `/v1/timeseries` would accept), the raw status otherwise.
+pub fn server_error(path: &str, status: u16, body: &str) -> String {
+    let detail = json::parse(body)
+        .ok()
+        .and_then(|doc| doc.get("error").and_then(Json::as_str).map(String::from));
+    match detail {
+        Some(msg) => format!("{path}: server rejected the request ({status}): {msg}"),
+        None => format!("{path} answered {status}"),
     }
-    Ok(body.to_string())
 }
 
 /// Percent-encodes a series id for use in a query string. Only the
@@ -238,15 +254,19 @@ fn fetch_frame(cfg: &DashConfig) -> Result<(Vec<Series>, Vec<AlertRow>), String>
         let path = format!(
             "/v1/timeseries?metric={}&range={}",
             encode_metric(id),
-            cfg.range_secs
+            encode_metric(&cfg.range)
         );
-        let values = match fetch(cfg.addr, &path) {
-            Ok(body) => json::parse(&body)
+        let values = match fetch(cfg.addr, &path)? {
+            (200, body) => json::parse(&body)
                 .map(|doc| decode_points(&doc))
                 .unwrap_or_default(),
             // A 404 just means the series has no samples yet (e.g. no
             // request has been shed); render the panel empty.
-            Err(_) => Vec::new(),
+            (404, _) => Vec::new(),
+            // Anything else (a rejected --range value, a 5xx) carries
+            // the server's explanation — surface it, don't render an
+            // empty frame that hides it.
+            (status, body) => return Err(server_error("/v1/timeseries", status, &body)),
         };
         series.push(Series {
             title: title.to_string(),
@@ -254,7 +274,10 @@ fn fetch_frame(cfg: &DashConfig) -> Result<(Vec<Series>, Vec<AlertRow>), String>
             values,
         });
     }
-    let body = fetch(cfg.addr, "/v1/alerts")?;
+    let (status, body) = fetch(cfg.addr, "/v1/alerts")?;
+    if status != 200 {
+        return Err(server_error("/v1/alerts", status, &body));
+    }
     let doc = json::parse(&body).map_err(|e| format!("/v1/alerts: invalid JSON: {e}"))?;
     Ok((series, decode_alerts(&doc)))
 }
@@ -369,6 +392,23 @@ mod tests {
         assert!(frame.contains("(no data)"));
         assert!(frame.contains("!! p99_slo"));
         assert!(frame.contains("fast=0.50"));
+    }
+
+    #[test]
+    fn server_error_surfaces_the_servers_message() {
+        let msg = server_error(
+            "/v1/timeseries",
+            400,
+            r#"{"error":"range must be a positive integer (seconds)"}"#,
+        );
+        assert!(
+            msg.contains("range must be a positive integer"),
+            "server's explanation lost: {msg}"
+        );
+        assert!(msg.contains("400"), "{msg}");
+        // A body that is not the error shape falls back to the status.
+        let fallback = server_error("/v1/alerts", 503, "Service Unavailable");
+        assert_eq!(fallback, "/v1/alerts answered 503");
     }
 
     #[test]

@@ -127,6 +127,10 @@ pub const SUBCOMMANDS: &[Subcommand] = &[
         help: "measure serving latency/throughput with a seeded request mix",
     },
     Subcommand {
+        usage: "repro optimize [--app NAME] [--topo default|small] [--seed N] [--pop-seed N] [--chips N] [--chip N] [--population N] [--generations N] [--scout-steps N] [--quality-floor Q] [--power-budget W] [--time-budget S] [--grid-check STEPS] [--no-iso] [--json F] [--jobs N]",
+        help: "search the knob space: iso-metric fronts + a seeded NSGA-II Pareto front",
+    },
+    Subcommand {
         usage: "repro profile <artifact|all> [same flags as repro <artifact>]",
         help: "run with the flight recorder on and render the dashboard",
     },
@@ -286,6 +290,7 @@ mod tests {
         for name in [
             "list",
             "serve",
+            "optimize",
             "profile",
             "validate-trace",
             "dash",

@@ -1,0 +1,257 @@
+//! Iso-metric front extraction: the curves the paper's figures are
+//! read along, computed directly instead of eyeballed off a sweep.
+//!
+//! Each curve fixes one metric and asks, per engaged-cluster count,
+//! what supply (or problem size) hits it:
+//!
+//! * **iso-power** — the highest supply whose chip power stays within
+//!   the target: the "spend the whole budget" frontier.
+//! * **iso-time** — the lowest supply that still meets the target
+//!   execution time: the paper's iso-execution-time discipline.
+//! * **iso-quality** — the smallest problem size whose Safe quality
+//!   reaches the target, then per cluster count the lowest supply
+//!   matching the STV baseline's execution time at that size.
+//!
+//! All three metrics are monotone in the bisected knob (power and
+//! speed rise with `Vdd`, quality rises with problem size), so a
+//! bracket check plus integer-millivolt bisection finds each curve
+//! point exactly — and deterministically, no float-tolerance loops.
+//! Every probe goes through the [`Evaluator`]'s memo and per-supply
+//! context cache, so adjacent bisection steps (which revisit nearby
+//! supplies across cluster counts) are near-free.
+
+use crate::eval::{Evaluator, OperatingPoint};
+use crate::space::{Candidate, KnobSpace};
+use accordion_telemetry::span;
+
+/// Targets for the three curves. [`IsoTargets::paper_default`] derives
+/// them from the chip and baseline the evaluator is bound to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IsoTargets {
+    /// iso-power target in watts.
+    pub power_w: f64,
+    /// iso-time target in seconds.
+    pub time_s: f64,
+    /// iso-quality target (normalized output quality).
+    pub quality: f64,
+}
+
+impl IsoTargets {
+    /// The paper's framing: the chip's power budget, the STV
+    /// baseline's execution time, and 99 % output quality.
+    pub fn paper_default(eval: &Evaluator) -> Self {
+        Self {
+            power_w: eval.chip().power_model().budget_w(),
+            time_s: eval.baseline().exec_time_s,
+            quality: 0.99,
+        }
+    }
+}
+
+/// The three extracted curves, one evaluated point per feasible
+/// cluster count (cluster counts with no in-range solution are
+/// skipped, which is what bounds each curve's extent).
+#[derive(Debug, Clone)]
+pub struct IsoFronts {
+    /// The targets the curves were extracted at.
+    pub targets: IsoTargets,
+    /// Iso-power curve: highest in-budget supply per cluster count.
+    pub iso_power: Vec<OperatingPoint>,
+    /// Iso-time curve: lowest deadline-meeting supply per cluster
+    /// count.
+    pub iso_time: Vec<OperatingPoint>,
+    /// Iso-quality curve: per cluster count, the lowest supply running
+    /// the quality-hitting problem size in the baseline's time.
+    pub iso_quality: Vec<OperatingPoint>,
+    /// The problem size (parts-per-thousand) the iso-quality curve
+    /// runs at; `None` when no in-range size reaches the target.
+    pub quality_size_milli: Option<u32>,
+}
+
+/// Largest value in `[lo, hi]` satisfying `test`, assuming `test` is
+/// monotone true-then-false over the range; `None` when even `lo`
+/// fails (no bracket).
+fn bisect_last_true(lo: u32, hi: u32, mut test: impl FnMut(u32) -> bool) -> Option<u32> {
+    if !test(lo) {
+        return None;
+    }
+    if test(hi) {
+        return Some(hi);
+    }
+    let (mut lo, mut hi) = (lo, hi); // invariant: test(lo) && !test(hi)
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if test(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+/// Smallest value in `[lo, hi]` satisfying `test`, assuming `test` is
+/// monotone false-then-true; `None` when even `hi` fails.
+fn bisect_first_true(lo: u32, hi: u32, mut test: impl FnMut(u32) -> bool) -> Option<u32> {
+    if test(lo) {
+        return Some(lo);
+    }
+    if !test(hi) {
+        return None;
+    }
+    let (mut lo, mut hi) = (lo, hi); // invariant: !test(lo) && test(hi)
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if test(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+/// A Safe-mode probe candidate at `(vdd_mv, clusters, size_milli)`,
+/// clamped into the space.
+fn probe(space: &KnobSpace, vdd_mv: u32, clusters: u32, size_milli: u32) -> Candidate {
+    space.clamp(Candidate {
+        vdd_mv,
+        clusters,
+        size_milli,
+        gb_centi: space.gb_centi.1,
+    })
+}
+
+/// Extracts all three curves. Probes route through `eval`'s memo and
+/// per-supply context cache; the whole extraction is a pure function
+/// of `(evaluator binding, space, targets)`.
+pub fn extract(eval: &Evaluator, space: &KnobSpace, targets: &IsoTargets) -> IsoFronts {
+    let _span = span!("opt.iso");
+    let (vlo, vhi) = space.vdd_mv;
+    let cluster_steps = space.cluster_steps();
+    let default_size = 1000u32.clamp(space.size_milli.0, space.size_milli.1);
+
+    // Iso-power: power rises with Vdd, so the curve point is the last
+    // supply still within the target.
+    let mut iso_power = Vec::new();
+    for &n in &cluster_steps {
+        let found = bisect_last_true(vlo, vhi, |mv| {
+            eval.point(probe(space, mv, n, default_size)).power_w <= targets.power_w
+        });
+        if let Some(mv) = found {
+            iso_power.push(eval.point(probe(space, mv, n, default_size)));
+        }
+    }
+
+    // Iso-time: speed rises with Vdd, so the curve point is the first
+    // supply meeting the deadline.
+    let mut iso_time = Vec::new();
+    for &n in &cluster_steps {
+        let found = bisect_first_true(vlo, vhi, |mv| {
+            eval.point(probe(space, mv, n, default_size)).time_s <= targets.time_s
+        });
+        if let Some(mv) = found {
+            iso_time.push(eval.point(probe(space, mv, n, default_size)));
+        }
+    }
+
+    // Iso-quality: quality rises with problem size (the paper's core
+    // observation), so first find the smallest quality-hitting size,
+    // then run the iso-time discipline at that size against the STV
+    // baseline's execution time.
+    let (slo, shi) = space.size_milli;
+    let n_probe = *cluster_steps.last().expect("cluster steps non-empty");
+    let quality_size_milli = bisect_first_true(slo, shi, |sm| {
+        eval.point(probe(space, vhi, n_probe, sm)).quality >= targets.quality
+    });
+    let mut iso_quality = Vec::new();
+    if let Some(sm) = quality_size_milli {
+        let baseline_s = eval.baseline().exec_time_s;
+        for &n in &cluster_steps {
+            let found = bisect_first_true(vlo, vhi, |mv| {
+                eval.point(probe(space, mv, n, sm)).time_s <= baseline_s
+            });
+            if let Some(mv) = found {
+                iso_quality.push(eval.point(probe(space, mv, n, sm)));
+            }
+        }
+    }
+
+    IsoFronts {
+        targets: targets.clone(),
+        iso_power,
+        iso_time,
+        iso_quality,
+        quality_size_milli,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accordion_chip::topology::Topology;
+    use std::sync::OnceLock;
+
+    fn eval() -> &'static Evaluator {
+        static EVAL: OnceLock<Evaluator> = OnceLock::new();
+        EVAL.get_or_init(|| {
+            Evaluator::new(Topology::small(), 7003, 2, 0, "hotspot").expect("evaluator")
+        })
+    }
+
+    #[test]
+    fn bisections_find_exact_boundaries() {
+        assert_eq!(bisect_last_true(0, 100, |v| v <= 37), Some(37));
+        assert_eq!(bisect_last_true(0, 100, |v| v <= 100), Some(100));
+        assert_eq!(bisect_last_true(10, 100, |v| v <= 5), None);
+        assert_eq!(bisect_first_true(0, 100, |v| v >= 37), Some(37));
+        assert_eq!(bisect_first_true(5, 100, |v| v >= 5), Some(5));
+        assert_eq!(bisect_first_true(0, 100, |v| v >= 200), None);
+    }
+
+    #[test]
+    fn curves_hit_their_targets() {
+        let e = eval();
+        let space = KnobSpace::full(e.max_clusters());
+        let targets = IsoTargets::paper_default(e);
+        let fronts = extract(e, &space, &targets);
+        assert!(!fronts.iso_power.is_empty(), "budget admits some supply");
+        for p in &fronts.iso_power {
+            assert!(p.power_w <= targets.power_w, "{p:?}");
+            // One millivolt more must break the budget (or be the rail).
+            let c = p.candidate;
+            if c.vdd_mv < space.vdd_mv.1 {
+                let over = e.point(Candidate {
+                    vdd_mv: c.vdd_mv + 1,
+                    ..c
+                });
+                assert!(over.power_w > targets.power_w, "not the boundary: {c:?}");
+            }
+        }
+        for p in &fronts.iso_time {
+            assert!(p.time_s <= targets.time_s, "{p:?}");
+        }
+        for p in &fronts.iso_quality {
+            assert!(p.quality >= targets.quality - 1e-9, "{p:?}");
+            assert!(p.time_s <= e.baseline().exec_time_s, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn extraction_is_deterministic_and_cached() {
+        let e = eval();
+        let space = KnobSpace::full(e.max_clusters());
+        let targets = IsoTargets::paper_default(e);
+        let a = extract(e, &space, &targets);
+        let (evals_after_first, _, _, _) = e.stats();
+        let b = extract(e, &space, &targets);
+        let (evals_after_second, _, _, _) = e.stats();
+        assert_eq!(a.iso_power, b.iso_power);
+        assert_eq!(a.iso_time, b.iso_time);
+        assert_eq!(a.iso_quality, b.iso_quality);
+        assert_eq!(
+            evals_after_first, evals_after_second,
+            "a repeated extraction must be all memo hits"
+        );
+    }
+}

@@ -1,0 +1,317 @@
+//! The optimizer's knob space: quantized candidates, bounds, and the
+//! constraint model.
+//!
+//! A candidate operating point is the paper's four knobs — supply
+//! voltage, engaged cluster count, problem size and timing guardband —
+//! stored **quantized to integers** (millivolts, clusters, size in
+//! parts-per-thousand, guardband in centi-decades). Integer knobs make
+//! the search byte-deterministic (no float drift in mutation
+//! arithmetic), give candidates a total order and an exact hash for
+//! the evaluator memo, and bound the search to physically meaningful
+//! resolution: nobody trims a supply rail finer than a millivolt.
+
+use accordion_telemetry::json::Json;
+
+/// Guardband quantization: `gb_centi` is the error-rate exponent times
+/// 100, so `gb_centi = 900` targets `Perr = 10^-9` per core-cycle.
+pub const GB_CENTI_PER_DECADE: u32 = 100;
+
+/// Guardband ceiling: at `gb_centi >= GB_SAFE_CENTI` the candidate
+/// runs Safe (the chip's error-free `perr_safe_target`, quality read
+/// from the Default front); below it the candidate speculates at
+/// `Perr = 10^(-gb_centi/100)` and quality drops to the Drop front.
+pub const GB_SAFE_CENTI: u32 = 1200;
+
+/// Guardband floor: `10^-6` is the cap the pareto extractor places on
+/// useful speculation (one expected timing error per ~1M cycles).
+pub const GB_MIN_CENTI: u32 = 600;
+
+/// One quantized candidate operating point. Derives a total order —
+/// the tie-break of last resort everywhere the search must pick
+/// between equals deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Candidate {
+    /// Supply in integer millivolts.
+    pub vdd_mv: u32,
+    /// Engaged clusters (a prefix of the chip's efficiency order).
+    pub clusters: u32,
+    /// Problem size in parts-per-thousand of the benchmark default.
+    pub size_milli: u32,
+    /// Guardband in centi-decades of error-rate exponent; see
+    /// [`GB_SAFE_CENTI`].
+    pub gb_centi: u32,
+}
+
+impl Candidate {
+    /// Supply in volts.
+    pub fn vdd_v(&self) -> f64 {
+        f64::from(self.vdd_mv) / 1000.0
+    }
+
+    /// Problem size normalized to the benchmark default.
+    pub fn size(&self) -> f64 {
+        f64::from(self.size_milli) / 1000.0
+    }
+
+    /// Guardband as an error-rate exponent (`Perr = 10^-g`).
+    pub fn guardband(&self) -> f64 {
+        f64::from(self.gb_centi) / f64::from(GB_CENTI_PER_DECADE)
+    }
+
+    /// Whether the candidate runs Safe (no timing speculation).
+    pub fn is_safe(&self) -> bool {
+        self.gb_centi >= GB_SAFE_CENTI
+    }
+
+    /// The speculative per-core-cycle error-rate target; `None` for
+    /// Safe candidates.
+    pub fn perr_target(&self) -> Option<f64> {
+        if self.is_safe() {
+            None
+        } else {
+            Some(10f64.powf(-self.guardband()))
+        }
+    }
+}
+
+/// Inclusive bounds for every knob. All candidate construction —
+/// random init, mutation, bisection, the scout grid — clamps into
+/// these, so the space is closed under every search operator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnobSpace {
+    /// Supply range in millivolts, `lo <= hi`, within `[300, 1200]`.
+    pub vdd_mv: (u32, u32),
+    /// Cluster-count range, `1 <= lo <= hi <= topology clusters`.
+    pub clusters: (u32, u32),
+    /// Problem-size range in parts-per-thousand.
+    pub size_milli: (u32, u32),
+    /// Guardband range in centi-decades, within
+    /// `[GB_MIN_CENTI, GB_SAFE_CENTI]`.
+    pub gb_centi: (u32, u32),
+}
+
+impl KnobSpace {
+    /// Number of scout-grid steps per continuous knob (Vdd, size,
+    /// guardband); the cluster knob contributes up to
+    /// [`Self::SCOUT_CLUSTER_STEPS`] values. With the defaults the
+    /// scout grid is at most `4 * 3 * 3 * 6 = 216` candidates.
+    pub const SCOUT_STEPS: u32 = 4;
+    /// Cluster-count values probed by the scout grid.
+    pub const SCOUT_CLUSTER_STEPS: u32 = 6;
+
+    /// The full knob space for a chip with `max_clusters` clusters:
+    /// NTV-and-above supplies, every cluster count, the paper's
+    /// size range, and guardbands from the speculation cap down to
+    /// Safe.
+    pub fn full(max_clusters: u32) -> Self {
+        Self {
+            vdd_mv: (300, 1200),
+            clusters: (1, max_clusters.max(1)),
+            size_milli: (10, 4000),
+            gb_centi: (GB_MIN_CENTI, GB_SAFE_CENTI),
+        }
+    }
+
+    /// Clamps a candidate into the space, knob by knob.
+    pub fn clamp(&self, c: Candidate) -> Candidate {
+        Candidate {
+            vdd_mv: c.vdd_mv.clamp(self.vdd_mv.0, self.vdd_mv.1),
+            clusters: c.clusters.clamp(self.clusters.0, self.clusters.1),
+            size_milli: c.size_milli.clamp(self.size_milli.0, self.size_milli.1),
+            gb_centi: c.gb_centi.clamp(self.gb_centi.0, self.gb_centi.1),
+        }
+    }
+
+    /// `steps` evenly spaced values spanning `[lo, hi]` inclusive
+    /// (fewer when the range has fewer integers).
+    fn axis(lo: u32, hi: u32, steps: u32) -> Vec<u32> {
+        let span = u64::from(hi - lo);
+        let steps = u64::from(steps.max(1)).min(span + 1);
+        (0..steps)
+            .map(|i| {
+                if steps == 1 {
+                    lo
+                } else {
+                    lo + (span * i / (steps - 1)) as u32
+                }
+            })
+            .collect()
+    }
+
+    /// The cluster-count values the scout grid and the iso-metric
+    /// curves probe: up to [`Self::SCOUT_CLUSTER_STEPS`] evenly spaced
+    /// counts including both endpoints.
+    pub fn cluster_steps(&self) -> Vec<u32> {
+        Self::axis(self.clusters.0, self.clusters.1, Self::SCOUT_CLUSTER_STEPS)
+    }
+
+    /// The deterministic scout lattice seeding the search: the cross
+    /// product of `steps` values per continuous knob with
+    /// [`Self::cluster_steps`]. The NSGA-II loop evaluates this grid
+    /// as generation 0, which is what makes the final front provably
+    /// dominate-or-tie "the equivalent sweep": the grid's points are
+    /// all in the archive the front is extracted from.
+    pub fn scout_grid(&self, steps: u32) -> Vec<Candidate> {
+        let mut grid = Vec::new();
+        for &vdd_mv in &Self::axis(self.vdd_mv.0, self.vdd_mv.1, steps) {
+            for &clusters in &self.cluster_steps() {
+                for &size_milli in
+                    &Self::axis(self.size_milli.0, self.size_milli.1, steps.max(2) - 1)
+                {
+                    for &gb_centi in &Self::axis(self.gb_centi.0, self.gb_centi.1, steps.max(2) - 1)
+                    {
+                        grid.push(Candidate {
+                            vdd_mv,
+                            clusters,
+                            size_milli,
+                            gb_centi,
+                        });
+                    }
+                }
+            }
+        }
+        grid.sort_unstable();
+        grid.dedup();
+        grid
+    }
+
+    /// The knob bounds as a JSON object (report provenance).
+    pub fn to_json(&self) -> Json {
+        let pair = |(lo, hi): (u32, u32)| {
+            Json::Arr(vec![Json::Num(f64::from(lo)), Json::Num(f64::from(hi))])
+        };
+        Json::obj(vec![
+            ("vdd_mv", pair(self.vdd_mv)),
+            ("clusters", pair(self.clusters)),
+            ("size_milli", pair(self.size_milli)),
+            ("gb_centi", pair(self.gb_centi)),
+        ])
+    }
+}
+
+/// The constraint model: optional ceilings/floors a point must meet to
+/// count as feasible. The search uses Deb's constraint-domination, so
+/// infeasible points are not discarded — they rank behind every
+/// feasible point and among themselves by total violation, which keeps
+/// selection pressure pointing at the feasible region even when the
+/// initial population misses it entirely.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Constraints {
+    /// Minimum acceptable output quality (normalized to STV default).
+    pub quality_floor: Option<f64>,
+    /// Maximum chip power in watts.
+    pub power_budget_w: Option<f64>,
+    /// Maximum execution time in seconds.
+    pub time_budget_s: Option<f64>,
+}
+
+impl Constraints {
+    /// Total relative constraint violation of `(power_w, time_s,
+    /// quality)`; `0.0` means feasible. Each active constraint
+    /// contributes its relative excess, so a watt over a 10 W budget
+    /// weighs like a decisecond over a 1 s budget.
+    pub fn violation(&self, power_w: f64, time_s: f64, quality: f64) -> f64 {
+        let mut v = 0.0;
+        if let Some(q) = self.quality_floor {
+            if quality < q {
+                v += (q - quality) / q.max(1e-9);
+            }
+        }
+        if let Some(p) = self.power_budget_w {
+            if power_w > p {
+                v += (power_w - p) / p.max(1e-9);
+            }
+        }
+        if let Some(t) = self.time_budget_s {
+            if time_s > t {
+                v += (time_s - t) / t.max(1e-9);
+            }
+        }
+        v
+    }
+
+    /// The constraints as a JSON object (report provenance); inactive
+    /// constraints render as `null`.
+    pub fn to_json(&self) -> Json {
+        let opt = |v: Option<f64>| v.map_or(Json::Null, Json::Num);
+        Json::obj(vec![
+            ("quality_floor", opt(self.quality_floor)),
+            ("power_budget_w", opt(self.power_budget_w)),
+            ("time_budget_s", opt(self.time_budget_s)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scout_grid_is_sorted_dedup_and_in_bounds() {
+        let space = KnobSpace::full(36);
+        let grid = space.scout_grid(KnobSpace::SCOUT_STEPS);
+        assert!(!grid.is_empty());
+        let mut sorted = grid.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(grid, sorted, "grid must be sorted and deduplicated");
+        for c in &grid {
+            assert_eq!(space.clamp(*c), *c, "{c:?} out of bounds");
+        }
+        // Both endpoints of every axis are probed.
+        assert!(grid.iter().any(|c| c.vdd_mv == 300));
+        assert!(grid.iter().any(|c| c.vdd_mv == 1200));
+        assert!(grid.iter().any(|c| c.clusters == 1));
+        assert!(grid.iter().any(|c| c.clusters == 36));
+        assert!(grid.iter().any(|c| c.is_safe()));
+        assert!(grid.iter().any(|c| !c.is_safe()));
+    }
+
+    #[test]
+    fn narrow_axes_collapse_without_panicking() {
+        let space = KnobSpace {
+            vdd_mv: (550, 550),
+            clusters: (2, 3),
+            size_milli: (1000, 1001),
+            gb_centi: (900, 900),
+        };
+        let grid = space.scout_grid(KnobSpace::SCOUT_STEPS);
+        assert!(!grid.is_empty());
+        for c in &grid {
+            assert_eq!(c.vdd_mv, 550);
+            assert_eq!(c.gb_centi, 900);
+        }
+    }
+
+    #[test]
+    fn violation_is_zero_when_feasible_and_additive_when_not() {
+        let c = Constraints {
+            quality_floor: Some(0.99),
+            power_budget_w: Some(10.0),
+            time_budget_s: Some(1.0),
+        };
+        assert_eq!(c.violation(9.0, 0.5, 0.995), 0.0);
+        let v1 = c.violation(11.0, 0.5, 0.995);
+        let v2 = c.violation(11.0, 2.0, 0.995);
+        assert!(v1 > 0.0 && v2 > v1, "violations accumulate: {v1} {v2}");
+        assert_eq!(Constraints::default().violation(1e9, 1e9, 0.0), 0.0);
+    }
+
+    #[test]
+    fn guardband_semantics() {
+        let safe = Candidate {
+            vdd_mv: 550,
+            clusters: 4,
+            size_milli: 1000,
+            gb_centi: GB_SAFE_CENTI,
+        };
+        assert!(safe.is_safe());
+        assert_eq!(safe.perr_target(), None);
+        let spec = Candidate {
+            gb_centi: 600,
+            ..safe
+        };
+        let perr = spec.perr_target().unwrap();
+        assert!((perr - 1e-6).abs() < 1e-18, "perr {perr}");
+    }
+}

@@ -1,4 +1,5 @@
-//! The simulation engine behind `/v1/simulate` and `/v1/sweep`.
+//! The simulation engine behind `/v1/simulate`, `/v1/sweep` and
+//! `/v1/optimize`.
 //!
 //! One query answers the paper's central question for one operating
 //! point: *given this chip instance at this supply, what frequency can
@@ -712,6 +713,178 @@ fn set_field(doc: &mut Json, key: &str, value: Json) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// `/v1/optimize`: the operating-point optimizer behind the service.
+// ---------------------------------------------------------------------------
+
+/// Upper bound on the optimizer's per-generation population.
+const MAX_OPT_POPULATION: usize = 128;
+/// Upper bound on breeding generations per request.
+const MAX_OPT_GENERATIONS: usize = 64;
+
+fn bool_field(doc: &Json, key: &str, default: bool) -> Result<bool, String> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(Json::Bool(b)) => Ok(*b),
+        Some(_) => Err(format!("{key} must be a boolean")),
+    }
+}
+
+/// Parses and validates a `/v1/optimize` body into an
+/// [`accordion_opt::OptimizeRequest`]. Field vocabulary and defaults
+/// match `repro optimize`; bounds keep one request's work finite.
+///
+/// # Errors
+///
+/// A human-readable message (the `400` body) when the JSON is
+/// malformed, a field has the wrong type, or a value is out of range.
+pub fn optimize_request_from_json(doc: &Json) -> Result<accordion_opt::OptimizeRequest, String> {
+    use accordion_opt::{Constraints, KnobSpace, OptConfig};
+    let app = doc
+        .get("app")
+        .and_then(Json::as_str)
+        .ok_or("missing required string field \"app\"")?
+        .to_string();
+    if !all_apps().iter().any(|a| a.name() == app) {
+        let known: Vec<String> = all_apps().iter().map(|a| a.name().to_string()).collect();
+        return Err(format!("unknown app {app:?}; known: {}", known.join(", ")));
+    }
+    let topo = match doc.get("topo").and_then(Json::as_str).unwrap_or("default") {
+        "default" => Topology::paper_default(),
+        "small" => Topology::small(),
+        other => return Err(format!("unknown topo {other:?}; use default or small")),
+    };
+    let pop_seed = int_field(doc, "pop_seed", 2014.0)? as u64;
+    let chips = int_field(doc, "chips", 8.0)? as usize;
+    if chips == 0 || chips > MAX_CHIPS {
+        return Err(format!("chips {chips} outside [1, {MAX_CHIPS}]"));
+    }
+    let chip = int_field(doc, "chip", 0.0)? as usize;
+    if chip >= chips {
+        return Err(format!("chip index {chip} outside population of {chips}"));
+    }
+    let seed = int_field(doc, "seed", 0.0)? as u64;
+    let population = int_field(doc, "population", 24.0)? as usize;
+    if !(4..=MAX_OPT_POPULATION).contains(&population) {
+        return Err(format!(
+            "population {population} outside [4, {MAX_OPT_POPULATION}]"
+        ));
+    }
+    let generations = int_field(doc, "generations", 8.0)? as usize;
+    if generations == 0 || generations > MAX_OPT_GENERATIONS {
+        return Err(format!(
+            "generations {generations} outside [1, {MAX_OPT_GENERATIONS}]"
+        ));
+    }
+    let scout_steps = int_field(doc, "scout_steps", 3.0)? as u32;
+    if !(2..=6).contains(&scout_steps) {
+        return Err(format!("scout_steps {scout_steps} outside [2, 6]"));
+    }
+    let quality_floor = match doc.get("quality_floor") {
+        None | Some(Json::Null) => None,
+        Some(v) => {
+            let q = v.as_f64().ok_or("quality_floor must be a number")?;
+            if !(0.0..=1.0).contains(&q) {
+                return Err(format!("quality_floor {q} outside [0, 1]"));
+            }
+            Some(q)
+        }
+    };
+    let power_budget_w = match doc.get("power_budget_w") {
+        None | Some(Json::Null) => None,
+        Some(v) => {
+            let w = v.as_f64().ok_or("power_budget_w must be a number")?;
+            if w <= 0.0 || !w.is_finite() {
+                return Err(format!("power_budget_w {w} must be positive"));
+            }
+            Some(w)
+        }
+    };
+    let time_budget_s = match doc.get("time_budget_s") {
+        None | Some(Json::Null) => None,
+        Some(v) => {
+            let t = v.as_f64().ok_or("time_budget_s must be a number")?;
+            if t <= 0.0 || !t.is_finite() {
+                return Err(format!("time_budget_s {t} must be positive"));
+            }
+            Some(t)
+        }
+    };
+    let iso = bool_field(doc, "iso", false)?;
+    let grid_check = match doc.get("grid_check") {
+        None | Some(Json::Null) => None,
+        Some(v) => {
+            let steps = v
+                .as_f64()
+                .filter(|s| s.fract() == 0.0 && (2.0..=6.0).contains(s))
+                .ok_or("grid_check must be an integer in [2, 6]")?;
+            Some(steps as u32)
+        }
+    };
+    // The cluster-knob ceiling is clamped to the chip's actual cluster
+    // count inside `optimize_report`; 64 just has to exceed it.
+    Ok(accordion_opt::OptimizeRequest {
+        app,
+        topo,
+        pop_seed,
+        chips,
+        chip,
+        cfg: OptConfig {
+            seed,
+            population,
+            generations,
+            scout_steps,
+            space: KnobSpace::full(64),
+            constraints: Constraints {
+                quality_floor,
+                power_budget_w,
+                time_budget_s,
+            },
+        },
+        iso,
+        grid_check,
+    })
+}
+
+/// Parses and runs a `/v1/optimize` body: knob-space search via the
+/// seeded NSGA-II loop in `accordion-opt`, sharing the process-wide
+/// population/quality caches with the other routes. The report is a
+/// pure function of the request document (see `accordion_opt::report`),
+/// which is what makes the coalescing in [`optimize_rendered`] sound.
+///
+/// # Errors
+///
+/// [`EngineError::Bad`] on malformed input, [`EngineError::Internal`]
+/// on model failures (e.g. the variation sampler).
+pub fn optimize(doc: &Json, workers: usize) -> Result<Json, EngineError> {
+    let _span = span!("served.engine.optimize");
+    let req = optimize_request_from_json(doc).map_err(EngineError::Bad)?;
+    counter!("served.engine.optimizations").inc();
+    accordion_opt::optimize_report(&req, workers).map_err(|msg| {
+        // Binding errors surfacing past our validation are model-side.
+        if msg.starts_with("variation sampler") {
+            EngineError::Internal(msg)
+        } else {
+            EngineError::Bad(msg)
+        }
+    })
+}
+
+/// [`optimize`], rendered — with the same cross-connection coalescing
+/// as [`sweep_rendered`]: the key is the canonical rendering of the
+/// parsed request document, and the optimizer's byte-determinism
+/// contract (same request ⇒ same bytes at any worker count) makes
+/// replaying a memoized body indistinguishable from re-searching.
+///
+/// # Errors
+///
+/// As [`optimize`]; errors propagate to joiners but are never memoized.
+pub fn optimize_rendered(doc: &Json, workers: usize) -> Result<Arc<str>, EngineError> {
+    coalesced_rendered(format!("optimize|{}", doc.render()), || {
+        optimize(doc, workers).map(|d| d.render())
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -790,6 +963,57 @@ mod tests {
                 .unwrap()
         };
         assert!(f(&boosted) > f(&ntv), "higher Vdd must clock faster");
+    }
+
+    #[test]
+    fn optimize_request_validation() {
+        let ok = json::parse(r#"{"app": "hotspot", "topo": "small", "chips": 2}"#).unwrap();
+        let req = optimize_request_from_json(&ok).unwrap();
+        assert_eq!(req.cfg.population, 24);
+        assert_eq!(req.cfg.generations, 8);
+        assert!(!req.iso);
+        assert!(req.grid_check.is_none());
+        for body in [
+            r#"{}"#,
+            r#"{"app": "nope"}"#,
+            r#"{"app": "hotspot", "population": 2}"#,
+            r#"{"app": "hotspot", "generations": 0}"#,
+            r#"{"app": "hotspot", "generations": 65}"#,
+            r#"{"app": "hotspot", "scout_steps": 9}"#,
+            r#"{"app": "hotspot", "quality_floor": 1.5}"#,
+            r#"{"app": "hotspot", "power_budget_w": -1}"#,
+            r#"{"app": "hotspot", "iso": "yes"}"#,
+            r#"{"app": "hotspot", "grid_check": 10}"#,
+        ] {
+            let doc = json::parse(body).unwrap();
+            assert!(optimize_request_from_json(&doc).is_err(), "{body}");
+        }
+    }
+
+    #[test]
+    fn optimize_is_deterministic_and_coalesces() {
+        let doc = json::parse(
+            r#"{"app": "hotspot", "topo": "small", "chips": 2, "pop_seed": 9104,
+                "seed": 5, "population": 8, "generations": 2, "scout_steps": 2,
+                "quality_floor": 0.9, "grid_check": 2}"#,
+        )
+        .unwrap();
+        let a = optimize(&doc, 2).unwrap().render();
+        let b = optimize(&doc, 1).unwrap().render();
+        assert_eq!(a, b, "worker count must never change the bytes");
+        let parsed = json::parse(&a).unwrap();
+        assert_eq!(
+            parsed.get("grid_check").and_then(|g| g.get("dominated")),
+            Some(&Json::Bool(true))
+        );
+        // The rendered path replays the memo for an identical document.
+        let first = optimize_rendered(&doc, 2).unwrap();
+        let second = optimize_rendered(&doc, 2).unwrap();
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "second call must be a memo hit"
+        );
+        assert_eq!(first.as_ref(), a);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! |---|---|
 //! | `POST /v1/simulate` | one operating point: app, size, Vdd, seed → frequency, quality, protocol outcome, energy |
 //! | `POST /v1/sweep` | a Vdd × size grid, executed as one ordered parallel map |
+//! | `POST /v1/optimize` | operating-point search: iso-metric fronts + seeded NSGA-II over the knob space |
 //! | `GET /v1/artifacts` | registered repro artifact ids |
 //! | `GET /v1/artifacts/{name}` | generate one artifact (chunked transfer encoding) |
 //! | `GET /healthz` | liveness plus cache occupancy |
@@ -62,5 +63,7 @@ pub mod obs;
 pub mod reactor;
 pub mod server;
 
-pub use engine::{simulate, simulate_rendered, sweep, EngineError, SimQuery};
+pub use engine::{
+    optimize, optimize_rendered, simulate, simulate_rendered, sweep, EngineError, SimQuery,
+};
 pub use server::{start, ArtifactSource, ServeConfig, ServerHandle, ShutdownTrigger};

@@ -1164,6 +1164,35 @@ fn describe_metrics() {
         "self-scrape tick duration (registry gather + TSDB fold + alert eval), microseconds",
     );
     reg.describe(
+        "opt.evals",
+        "operating points evaluated by the optimizer (memo misses)",
+    );
+    reg.describe(
+        "opt.eval_cache.hits",
+        "optimizer evaluations answered from the candidate memo",
+    );
+    reg.describe(
+        "opt.ctx_cache.hits",
+        "optimizer per-supply timing-context cache hits",
+    );
+    reg.describe(
+        "opt.ctx_cache.misses",
+        "optimizer per-supply timing-context cache misses",
+    );
+    reg.describe("opt.generations", "NSGA-II generations completed");
+    reg.describe(
+        "opt.front_size",
+        "rank-0 archive front size after the latest generation",
+    );
+    reg.describe(
+        "opt.cache_hit_ratio",
+        "optimizer memo hit ratio over the process lifetime",
+    );
+    reg.describe(
+        "served.engine.optimizations",
+        "optimize requests that ran the search engine",
+    );
+    reg.describe(
         "varius.sampler_cache.hits",
         "variation sampler cache hits (see accordion-varius vmap)",
     );
@@ -1230,6 +1259,7 @@ fn handler_name(method: &str, path: &str) -> &'static str {
         ("GET", "/v1/artifacts") => "artifacts_list",
         ("POST", "/v1/simulate") => "simulate",
         ("POST", "/v1/sweep") => "sweep",
+        ("POST", "/v1/optimize") => "optimize",
         ("POST", "/v1/shutdown") => "shutdown",
         ("POST", "/v1/debug/sleep") => "debug_sleep",
         ("GET", p) if p.starts_with("/v1/artifacts/") => "artifact",
@@ -1258,6 +1288,7 @@ fn route(shared: &Shared, req: &Request) -> Routed {
         ("GET", "/v1/artifacts") => plain(list_artifacts(shared)),
         ("POST", "/v1/simulate") => plain(simulate(shared, req)),
         ("POST", "/v1/sweep") => plain(sweep(shared, req)),
+        ("POST", "/v1/optimize") => plain(optimize(shared, req)),
         ("POST", "/v1/shutdown") => {
             shared.request_stop();
             plain(Response::json(
@@ -1287,7 +1318,7 @@ fn route(shared: &Shared, req: &Request) -> Routed {
             Routed::Artifact { id, chips, source }
         }
         (_, "/healthz" | "/metrics" | "/v1/artifacts" | "/v1/timeseries" | "/v1/alerts")
-        | ("GET" | "PUT" | "DELETE", "/v1/simulate" | "/v1/sweep") => {
+        | ("GET" | "PUT" | "DELETE", "/v1/simulate" | "/v1/sweep" | "/v1/optimize") => {
             plain(Response::error(405, "method not allowed"))
         }
         _ => plain(Response::error(404, "no such endpoint")),
@@ -1564,6 +1595,27 @@ fn sweep(shared: &Shared, req: &Request) -> Response {
     }
 }
 
+fn optimize(shared: &Shared, req: &Request) -> Response {
+    if let Some(resp) = raw_replay(shared, "optimize", req) {
+        return resp;
+    }
+    let doc = match parse_body(req) {
+        Ok(d) => d,
+        Err(resp) => return resp,
+    };
+    // The optimizer report is a pure function of the request document
+    // (the accordion-opt determinism contract), so optimize requests
+    // coalesce exactly like simulates and sweeps: concurrent identical
+    // searches collapse onto one NSGA-II run, repeats replay the memo.
+    match engine::optimize_rendered(&doc, shared.cfg.request_jobs) {
+        Ok(body) => {
+            raw_store(shared, "optimize", req, body.clone());
+            Response::json(200, body.as_ref().to_owned())
+        }
+        Err(e) => engine_error(&e),
+    }
+}
+
 fn engine_error(e: &EngineError) -> Response {
     match e {
         EngineError::Bad(msg) => Response::error(400, msg),
@@ -1624,6 +1676,33 @@ mod tests {
         assert!(wrong_method.starts_with("HTTP/1.1 405"), "{wrong_method}");
         let metrics = get(addr, "/metrics");
         assert!(metrics.contains("served_http_requests"), "{metrics}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn optimize_route_validates_and_shares_error_parity() {
+        let handle = start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            handler_threads: 2,
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        let addr = handle.addr();
+        // Wrong method answers 405 like the other engine routes.
+        let wrong_method = get(addr, "/v1/optimize");
+        assert!(wrong_method.starts_with("HTTP/1.1 405"), "{wrong_method}");
+        // Validation failures surface the engine's message as a 400.
+        let body = r#"{"app": "nope"}"#;
+        let bad = request(
+            addr,
+            &format!(
+                "POST /v1/optimize HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+                body.len(),
+                body
+            ),
+        );
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+        assert!(bad.contains("unknown app"), "{bad}");
         handle.shutdown();
     }
 

@@ -176,6 +176,20 @@ pub enum SimEvent {
         /// Points accepted onto the front.
         points: u64,
     },
+    /// One optimizer generation retired (NSGA-II loop in
+    /// `accordion-opt`). The payload is a pure function of the seeded
+    /// search state — no wall-clock — so recordings stay
+    /// byte-identical at any job count.
+    OptGeneration {
+        /// Generation index (0 = the seeded scout grid).
+        generation: u64,
+        /// Fresh evaluator calls this generation (memo misses).
+        evals: u64,
+        /// Evaluator memo hits this generation.
+        cache_hits: u64,
+        /// Size of the archive's rank-0 front after this generation.
+        front: u64,
+    },
     /// One stage of an HTTP request's lifecycle completed (parse,
     /// cache lookup, pool fanout, serialize). The serving layer runs
     /// its track clocks in microseconds, so `us` doubles as the
@@ -216,6 +230,7 @@ impl SimEvent {
             SimEvent::SafeFreq { .. } => "timing.safe_freq",
             SimEvent::SweepCellSolve { .. } => "sweep.cell",
             SimEvent::SweepFrontRetire { .. } => "sweep.front",
+            SimEvent::OptGeneration { .. } => "opt.generation",
             SimEvent::ServeStage { stage, .. } => stage,
             SimEvent::RequestRetire { .. } => "serve.request",
         }
@@ -341,6 +356,17 @@ impl SimEvent {
                 ("scaling", Json::str(*scaling)),
                 ("cells", n(*cells)),
                 ("points", n(*points)),
+            ]),
+            SimEvent::OptGeneration {
+                generation,
+                evals,
+                cache_hits,
+                front,
+            } => Json::obj(vec![
+                ("generation", n(*generation)),
+                ("evals", n(*evals)),
+                ("cache_hits", n(*cache_hits)),
+                ("front", n(*front)),
             ]),
             SimEvent::ServeStage { us, .. } => Json::obj(vec![("us", n(*us))]),
             SimEvent::RequestRetire { status, bytes, us } => Json::obj(vec![

@@ -74,6 +74,16 @@ if [ "$fast" -eq 0 ]; then
         -d '{"app":"hotspot","topo":"small","chips":2}' \
         | grep -q '"f_run_ghz"'
 
+    # Optimizer e2e: a small fixed-seed search through the live server
+    # must come back with a non-empty Pareto front and the winning
+    # point, proving the route, engine plumbing and coalescing memo.
+    echo "==> POST /v1/optimize e2e smoke"
+    curl -sf -X POST "http://127.0.0.1:$serve_port/v1/optimize" \
+        -d '{"app":"hotspot","topo":"small","chips":2,"population":8,"generations":2,"scout_steps":2}' \
+        > "$smoke_dir/optimize.json"
+    grep -q '"front"' "$smoke_dir/optimize.json"
+    grep -q '"best"' "$smoke_dir/optimize.json"
+
     # Exposition lint: the live /metrics document must conform to the
     # Prometheus text format (TYPE/HELP placement, label escaping,
     # histogram bucket monotonicity) per the crate's own linter.
@@ -94,6 +104,17 @@ if [ "$fast" -eq 0 ]; then
     curl -sf -X POST "http://127.0.0.1:$serve_port/v1/shutdown" > /dev/null
     wait "$serve_pid"
     grep -q "accordion-served stopped" "$smoke_dir/serve.log"
+
+    # Optimizer CLI smoke: a tiny fixed-seed search must finish fast,
+    # beat (or tie) its own scout grid, and render the report sections
+    # the docs promise.
+    echo "==> repro optimize smoke (2 generations, grid cross-check)"
+    cargo run --release -q -p accordion-bench --bin repro -- \
+        optimize --app hotspot --topo small --chips 2 --population 8 \
+        --generations 2 --scout-steps 2 --grid-check 2 \
+        --json "$smoke_dir/optimize-cli.json" 2> /dev/null
+    grep -q '"dominated": true' "$smoke_dir/optimize-cli.json"
+    grep -q '"front"' "$smoke_dir/optimize-cli.json"
 
     # Alert-rule lint: the shipped example rules must parse with the
     # server's own parser (`repro serve --alerts` would reject what
